@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction repository.
+
+PYTHON ?= python3
+
+.PHONY: install test bench artifacts examples clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure into results/ (parallel campaigns).
+artifacts:
+	$(PYTHON) examples/full_paper_run.py --parallel 6 --out results/
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/spice_waveforms.py
+	$(PYTHON) examples/ecc_selective_refresh.py
+	$(PYTHON) examples/reduced_vpp_system.py
+	$(PYTHON) examples/system_level_attack.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact (table or figure) and
+prints the regenerated rows/series next to the paper's reference
+numbers. Campaign-based artifacts share one in-process study cache, so
+the expensive characterization runs once per (tests, modules, scale)
+combination regardless of how many figure benches consume it.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scale import StudyScale
+from repro.dram.calibration import ModuleGeometry
+
+#: Module subset used by the benches: two per vendor, covering the
+#: paper's interesting behaviours (strong responders B3/C5, the
+#: reversal module B9, tRCD offenders A0/B2, near-insensitive A4, and
+#: retention offenders B6/C9).
+ROWHAMMER_MODULES = ("A0", "A4", "B3", "B9", "C5", "C9")
+TRCD_MODULES = ("A0", "A4", "B2", "B9", "C5", "C9")
+RETENTION_MODULES = ("A4", "B3", "B6", "C5", "C9")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> StudyScale:
+    """Reduced-sampling scale: preserves every paper trend at a few
+    seconds per (module, V_PP) point."""
+    return StudyScale(
+        rows_per_module=48,
+        iterations=2,
+        hcfirst_min_step=4000,
+        geometry=ModuleGeometry(rows_per_bank=4096, banks=1, row_bits=8192),
+    )
+
+
+def run_once(benchmark, function):
+    """Run a macro-benchmark exactly once and return its output."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Bench: regenerate Figure 11 (retention flip character at 64/128 ms).
+
+Paper shape (Observations 14/15): every erroneous 64-bit word at the
+smallest failing window carries exactly one flip (SECDED-correctable);
+only a small fraction of rows contains erroneous words at 64 ms
+(16.4 %) and 128 ms (5.0 %), so selective refresh covers them.
+"""
+
+from conftest import RETENTION_MODULES, run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_fig11_ecc_and_selective_refresh(benchmark, bench_scale):
+    output = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig11", scale=bench_scale, modules=RETENTION_MODULES
+        ),
+    )
+    print("\n" + output.render())
+
+    # Observation 14 for the 64 ms tier offenders: their weak cells sit
+    # in distinct words by construction, so SECDED fixes everything.
+    verdicts = output.data["ecc_all_correctable"]
+    assert verdicts.get("B6") is True
+
+    # Observation 15: only a bounded fraction of rows newly fails at the
+    # 64 ms window (paper: 16.4%; B6 carries the B-vendor tier at 15.5%).
+    fractions_64 = output.data["row_fractions"][64.0]
+    assert 0.0 < fractions_64["B6"] <= 0.5
+    # Clean modules contribute no rows at 64 ms.
+    assert fractions_64["A4"] == 0.0

@@ -1,0 +1,34 @@
+"""Bench: regenerate Figure 3 (normalized BER across V_PP levels).
+
+Paper shape (Observations 1/2): BER decreases with reduced V_PP for the
+large majority of rows (81.2 % in the paper), average reduction ~15 %,
+with a small opposing population (~15 % of rows).
+"""
+
+from conftest import ROWHAMMER_MODULES, run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_fig3_normalized_ber(benchmark, bench_scale):
+    output = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig3", scale=bench_scale, modules=ROWHAMMER_MODULES
+        ),
+    )
+    print("\n" + output.render())
+
+    summary = output.data["summary"]
+    # Direction: decreasing rows dominate increasing rows, and the mean
+    # change is a reduction (paper: -15.2%).
+    assert summary["fraction_decreasing"] > summary["fraction_increasing"]
+    assert summary["mean_change"] < 0.0
+    # Magnitude band: mean reduction within a few x of the paper's 15.2%.
+    assert 0.02 <= -summary["mean_change"] <= 0.45
+    # A strong responder exists (paper: up to 66.9% on B3).
+    assert summary["max_decrease"] >= 0.3
+
+    # Every module's curve starts at 1.0 by construction.
+    for curve in output.data["curves"].values():
+        assert abs(curve["mean"][0] - 1.0) < 1e-9

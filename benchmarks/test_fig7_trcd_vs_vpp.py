@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 7 (minimum reliable tRCD across V_PP).
+
+Paper shape (Observation 7): tRCD_min rises as V_PP drops; most modules
+stay below the 13.5 ns nominal across their entire range (25 of 30 in
+the paper), the guardband shrinks ~21.9 % on average, and the offenders
+(A0-A2 at 24 ns, B2/B5 at 15 ns) are fixed by a longer tRCD.
+"""
+
+from conftest import TRCD_MODULES, run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_fig7_trcd_curves(benchmark, bench_scale):
+    output = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "fig7", scale=bench_scale, modules=TRCD_MODULES
+        ),
+    )
+    print("\n" + output.render())
+
+    # Offenders vs passers, per Table 3 character.
+    assert set(output.data["failing_modules"]) == {"A0", "B2"}
+    assert set(output.data["passing_modules"]) == {"A4", "B9", "C5", "C9"}
+
+    # Monotone rise (within command-clock quantization).
+    for curve in output.data["curves"].values():
+        values = curve["trcd_min_ns"]
+        assert values[-1] >= values[0]
+
+    # A0 needs ~24 ns at V_PPmin, B2 ~15 ns.
+    a0 = output.data["curves"]["A0"]["trcd_min_ns"][-1]
+    b2 = output.data["curves"]["B2"]["trcd_min_ns"][-1]
+    assert 19.5 <= a0 <= 25.5
+    assert 13.5 < b2 <= 16.5
+
+    # Guardband reduction in the paper's ballpark (21.9%).
+    reduction = output.data["mean_guardband_reduction"]
+    assert 0.05 <= reduction <= 0.6

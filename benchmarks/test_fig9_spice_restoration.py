@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 9 (SPICE cell restoration waveforms +
+tRAS_min Monte-Carlo distribution).
+
+Paper shape (Observations 10/11): the restored cell voltage saturates
+4.1/11.0/18.1 % below V_DD at 1.9/1.8/1.7 V; tRAS_min exceeds the
+nominal below ~2.0 V and its distribution widens; below ~1.6 V the
+SPICE model never completes restoration (footnote 13).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_fig9_restoration(benchmark):
+    output = run_once(
+        benchmark, lambda: run_experiment("fig9", samples=60)
+    )
+    print("\n" + output.render())
+
+    saturation = {
+        float(vpp): info for vpp, info in output.data["saturation"].items()
+    }
+    # Observation 10: no deficit at/above ~2.0 V knee; growing below.
+    assert saturation[2.5]["deficit_fraction"] < 0.01
+    deficits = [saturation[v]["deficit_fraction"] for v in (1.9, 1.8, 1.7)]
+    assert deficits == sorted(deficits)
+    assert 0.01 <= deficits[0] <= 0.12  # paper: 4.1%
+    assert 0.12 <= deficits[2] <= 0.28  # paper: 18.1%
+
+    tras = {
+        float(vpp): np.asarray(values)
+        for vpp, values in output.data["tras_ns"].items()
+    }
+    # Observation 11: shift up and widen with reduced V_PP.
+    assert np.nanmean(tras[2.0]) > np.nanmean(tras[2.5])
+    assert np.nanstd(tras[1.8]) > np.nanstd(tras[2.5])
+    # The cell waveform dips during charge sharing then recovers.
+    wave = output.data["waveforms"]["2.5"]["cell"]
+    assert min(wave) < wave[0]
+    assert wave[-1] > 1.1

@@ -1,0 +1,27 @@
+"""Bench: regenerate the Section 4.6 statistical-significance analysis.
+
+Paper: CV across measurement iterations is 0.08 / 0.13 / 0.24 at the
+90th / 95th / 99th percentiles -- small enough to call the measurements
+statistically significant.
+"""
+
+from conftest import ROWHAMMER_MODULES, run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_significance_cv_percentiles(benchmark, bench_scale):
+    output = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "significance", scale=bench_scale, modules=ROWHAMMER_MODULES
+        ),
+    )
+    print("\n" + output.render())
+
+    percentiles = output.data["cv_percentiles"]
+    # Ordered percentiles, all small (paper tops out at 0.24 at p99).
+    assert percentiles[90.0] <= percentiles[95.0] <= percentiles[99.0]
+    assert percentiles[90.0] <= 0.25
+    assert percentiles[99.0] <= 1.0
+    assert output.data["series_count"] > 0

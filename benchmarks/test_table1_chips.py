@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (tested-chip summary)."""
+
+from conftest import run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_table1_chip_summary(benchmark):
+    output = run_once(benchmark, lambda: run_experiment("table1"))
+    print("\n" + output.render())
+    # Paper: 272 chips across 30 DIMMs from three manufacturers.
+    assert output.data["total_chips"] == 272
+    assert output.data["total_dimms"] == 30

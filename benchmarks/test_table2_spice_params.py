@@ -1,0 +1,19 @@
+"""Bench: regenerate Table 2 (SPICE simulation parameters)."""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.registry import run_experiment
+
+
+def test_table2_spice_parameters(benchmark):
+    output = run_once(benchmark, lambda: run_experiment("table2"))
+    print("\n" + output.render())
+    parameters = output.data["parameters"]
+    # Table 2 values, verbatim.
+    assert parameters["c_cell_fF"] == pytest.approx(16.8)
+    assert parameters["r_cell_ohm"] == pytest.approx(698.0)
+    assert parameters["c_bitline_fF"] == pytest.approx(100.5)
+    assert parameters["r_bitline_ohm"] == pytest.approx(6980.0)
+    assert parameters["w_access_nm"] == pytest.approx(55.0)
+    assert parameters["l_access_nm"] == pytest.approx(85.0)

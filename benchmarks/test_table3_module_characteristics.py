@@ -1,0 +1,45 @@
+"""Bench: regenerate the Table 3 measurement columns.
+
+Paper shape: per-module V_PPmin is discovered empirically and matches
+the appendix; HC_first and BER move between nominal and V_PPmin in the
+anchored directions; V_PPRec never undercuts V_PPmin.
+"""
+
+from conftest import ROWHAMMER_MODULES, run_once
+
+import pytest
+
+from repro.dram.profiles import module_profile
+from repro.harness.registry import run_experiment
+
+
+def test_table3_module_rows(benchmark, bench_scale):
+    output = run_once(
+        benchmark,
+        lambda: run_experiment(
+            "table3", scale=bench_scale, modules=ROWHAMMER_MODULES
+        ),
+    )
+    print("\n" + output.render())
+
+    for name, row in output.data["modules"].items():
+        profile = module_profile(name)
+        # V_PPmin discovered == Table 3.
+        assert row["vppmin"] == pytest.approx(profile.vppmin)
+        # Recommendation bounded by the operating range.
+        assert profile.vppmin <= row["vpp_rec"] <= 2.5
+        # Module BER at nominal lands within an order of magnitude of
+        # the anchor (module max-over-rows at reduced sampling).
+        assert row["ber_nominal"] == pytest.approx(
+            profile.ber_nominal, rel=9.0
+        )
+
+    # HC_first shift between nominal and V_PPmin. The module metric is a
+    # minimum over sampled rows -- an extreme-value statistic that the
+    # per-row gamma heterogeneity can swing either way at reduced
+    # sampling -- so the bench bounds the shift rather than pinning its
+    # sign (the per-row mean direction is asserted by the fig5 bench).
+    b3 = output.data["modules"]["B3"]
+    assert b3["hcfirst_vppmin"] >= 0.5 * b3["hcfirst_nominal"]
+    b9 = output.data["modules"]["B9"]
+    assert b9["hcfirst_vppmin"] <= 1.5 * b9["hcfirst_nominal"]

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Double-sided RowHammer attack walkthrough on the simulated device.
+
+Shows the full attack anatomy the paper's methodology builds on:
+
+1. reverse-engineer the victim's physical neighbors (the DRAM-internal
+   address mapping differs per vendor, Section 4.2);
+2. hammer the two aggressors with increasing activation counts and watch
+   the victim's bit flips appear at consistently predictable locations;
+3. repeat at reduced V_PP and see the same attack need more activations
+   (the paper's key finding).
+
+Run:  python examples/attack_demo.py
+"""
+
+import numpy as np
+
+from repro.core.adjacency import ReverseEngineeredAdjacency
+from repro.core.scale import safe_timings
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.patterns import STANDARD_PATTERNS
+from repro.softmc import Program, TestInfrastructure
+
+
+def flips_after_attack(infra, victim, aggressors, hammer_count, pattern):
+    """Run one double-sided attack; returns the victim's flipped bit
+    positions."""
+    row_bits = infra.module.geometry.row_bits
+    program = Program(safe_timings())
+    program.initialize_row(0, victim, pattern, row_bits)
+    for aggressor in aggressors:
+        program.initialize_row(0, aggressor, pattern, row_bits, inverse=True)
+    program.hammer_doublesided(0, aggressors, hammer_count)
+    read_index = program.read_row(0, victim)
+    result = infra.host.execute(program)
+    expected = pattern.row_bits(row_bits)
+    return np.flatnonzero(result.data(read_index) != expected)
+
+
+def main() -> None:
+    geometry = ModuleGeometry(rows_per_bank=2048, banks=2, row_bits=4096)
+    infra = TestInfrastructure.for_module("C5", geometry=geometry, seed=11)
+    infra.set_temperature(50.0)
+    victim = 200
+
+    print("Step 1: reverse-engineer the physical neighbors of row",
+          victim)
+    discovered = ReverseEngineeredAdjacency(infra).neighbors(0, victim)
+    oracle = infra.module.bank(0).mapping.physical_neighbors(victim)
+    print(f"  discovered aggressors: {discovered} (mapping oracle: "
+          f"{sorted(oracle)})\n")
+
+    pattern = STANDARD_PATTERNS[0]
+    print("Step 2: escalate the hammer count at nominal V_PP (2.5 V)")
+    first_flip_nominal = None
+    for hammer_count in (1_000, 5_000, 20_000, 80_000, 300_000):
+        flips = flips_after_attack(
+            infra, victim, discovered, hammer_count, pattern
+        )
+        if flips.size and first_flip_nominal is None:
+            first_flip_nominal = hammer_count
+        preview = flips[:6].tolist()
+        print(f"  HC={hammer_count:>7}: {flips.size:>3} flips "
+              f"{'at bits ' + str(preview) if flips.size else ''}")
+
+    print("\nStep 3: the same attack at V_PPmin "
+          f"({infra.module.vppmin} V)")
+    infra.set_vpp(infra.module.vppmin)
+    for hammer_count in (1_000, 5_000, 20_000, 80_000, 300_000):
+        flips = flips_after_attack(
+            infra, victim, discovered, hammer_count, pattern
+        )
+        print(f"  HC={hammer_count:>7}: {flips.size:>3} flips")
+
+    print(
+        "\nReduced V_PP weakens each activation's disturbance: the same "
+        "hammer count flips fewer bits, and the first flip needs more "
+        "activations (Observations 1 and 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Operating a system at reduced V_PP with the Section 8 mitigations.
+
+Puts the V_PP-aware memory controller to work on module B6 -- one of the
+paper's seven retention offenders that flip bits at the nominal 64 ms
+refresh window when run at V_PPmin -- and shows the end-to-end story:
+
+* at nominal V_PP everything is clean (but RowHammer-weakest);
+* at V_PPmin without mitigation the application reads corrupted data;
+* SECDED or selective double-rate refresh make V_PPmin safe, buying the
+  RowHammer hardening (and wordline power savings) for free.
+
+Run:  python examples/reduced_vpp_system.py
+"""
+
+from repro.core.scale import StudyScale
+from repro.harness.experiments.system_mitigations import run
+
+
+def main() -> None:
+    output = run(modules=("B6",), scale=StudyScale.tiny(), row_count=24)
+    print(output.render())
+
+    results = output.data["results"]
+    baseline = results["V_PPmin, no mitigation"]["corrupted_words"]
+    ecc = results["V_PPmin + SECDED"]["corrupted_words"]
+    selective = results["V_PPmin + selective refresh"]["corrupted_words"]
+    print(
+        f"\nTakeaway: {baseline} corrupted words without mitigation; "
+        f"{ecc} with SECDED, {selective} with selective refresh -- "
+        "reduced-V_PP operation is safe with either mitigation "
+        "(Observations 14/15)."
+    )
+
+
+if __name__ == "__main__":
+    main()

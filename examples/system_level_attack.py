@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""A user-space RowHammer attack through the memory controller.
+
+Unlike the characterization examples (which drive the SoftMC bench),
+this attack uses nothing but ordinary reads through the system's memory
+controller -- the scenario the paper's threat model worries about
+(footnote 8: a 300K hammer count "is low enough to be used in a
+system-level attack in a real system"):
+
+1. the victim writes data;
+2. the attacker replays a read trace alternating between the two
+   addresses that map to the victim row's physical neighbors (every
+   access is a row-buffer conflict, forcing an activation);
+3. the victim reads back corrupted data -- no writes to the victim ever
+   happened.
+
+Run:  python examples/system_level_attack.py
+"""
+
+import numpy as np
+
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.module import DramModule
+from repro.dram.patterns import STANDARD_PATTERNS
+from repro.dram.profiles import module_profile
+from repro.system import ControllerPolicy, MemoryController
+from repro.system.trace import attack_feasibility, replay, rowhammer_trace
+
+
+def template_weakest_row(module, candidates, hammer_count):
+    """The attacker's offline templating pass (flip-feng-shui style):
+    hammer candidate victims hard and keep the one that flips most."""
+    bank = module.bank(0)
+    row_bits = module.geometry.row_bits
+    best_row, best_flips = None, -1
+    for row in candidates:
+        physical = bank.mapping.to_physical(row)
+        pattern = STANDARD_PATTERNS[1 if physical % 2 else 0]
+        aggressors = bank.mapping.physical_neighbors(row)
+        bank.activate(row)
+        bank.write_row(pattern.row_bits(row_bits))
+        bank.precharge()
+        bank.hammer(aggressors, hammer_count)
+        bank.activate(row)
+        flips = int(np.sum(bank.read_row() != pattern.row_bits(row_bits)))
+        bank.precharge()
+        if flips > best_flips:
+            best_row, best_flips = row, flips
+    return best_row, best_flips
+
+
+def main() -> None:
+    geometry = ModuleGeometry(rows_per_bank=2048, banks=2, row_bits=4096)
+    module = DramModule(module_profile("C5"), geometry=geometry, seed=8)
+    controller = MemoryController(module, ControllerPolicy.nominal())
+
+    bank = module.bank(0)
+    print("Attacker templates candidate victims offline...")
+    victim_row, template_flips = template_weakest_row(
+        module, range(20, 220, 8), hammer_count=80_000
+    )
+    print(f"  weakest candidate: row {victim_row} "
+          f"({template_flips} flips in templating)\n")
+    physical = bank.mapping.to_physical(victim_row)
+    fill = 0x00 if physical % 2 else 0xFF
+    payload = bytes([fill]) * controller.mapping.row_bytes
+    victim_address = controller.mapping.row_base_address(0, victim_row)
+
+    print("Victim stores its data...")
+    controller.write(victim_address, payload)
+    controller.flush()
+
+    aggressors = bank.mapping.physical_neighbors(victim_row)
+    hammer_count = 90_000
+    report = attack_feasibility(module.profile.hcfirst_nominal)
+    print(
+        f"Attacker targets rows {aggressors} (physical neighbors of "
+        f"{victim_row}).\nFeasibility: {report.attacks_per_window:.0f} "
+        f"complete attacks fit in one 64 ms refresh window "
+        f"(HC_first anchor {report.hcfirst})."
+    )
+
+    print(f"Hammering with {hammer_count} plain reads per aggressor...")
+    stats = replay(
+        controller,
+        rowhammer_trace(controller.mapping, 0, aggressors, hammer_count),
+    )
+    print(
+        f"  controller stats: {stats.activations} activations, "
+        f"{stats.row_hits} row hits (every access conflicts by design)"
+    )
+
+    read_back = controller.read(victim_address, len(payload))
+    flipped = sum(
+        bin(a ^ b).count("1") for a, b in zip(read_back, payload)
+    )
+    print(
+        f"\nVictim reads back its data: {flipped} bit(s) flipped without "
+        "a single write to the victim row."
+    )
+    if flipped:
+        print(
+            "Lowering V_PP raises HC_first (Observation 4), forcing the "
+            "attacker to spend more activations for the same damage."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro: reproduction of "Understanding RowHammer Under Reduced
+Wordline Voltage" (DSN 2022).
+
+Public API tour:
+
+* :mod:`repro.dram` -- the behavioral DDR4 device model (30 Table 3
+  module profiles, V_PP-dependent physics).
+* :mod:`repro.softmc` -- the SoftMC-style test bench (FPGA command
+  clock, V_PP supply, temperature control).
+* :mod:`repro.core` -- the paper's characterization methodology
+  (Algorithms 1-3, WCDP determination, campaign orchestration,
+  analyses).
+* :mod:`repro.spice` -- a from-scratch nonlinear transient circuit
+  simulator and the Table 2 DRAM circuit (Figures 8-9).
+* :mod:`repro.system` -- a V_PP-aware memory controller implementing
+  the paper's Section 8 policies (programmed tRCD, rank-level SECDED,
+  selective refresh), trace replay, and defense cost models.
+* :mod:`repro.harness` -- one runnable experiment per paper table and
+  figure (``python -m repro.harness.runner --all``).
+
+Quickstart::
+
+    from repro import CharacterizationStudy, StudyScale
+
+    study = CharacterizationStudy(scale=StudyScale.tiny(), seed=0)
+    result = study.run(modules=["B3"], tests=("rowhammer",))
+    module = result.module("B3")
+    print(module.min_hcfirst(2.5), module.min_hcfirst(module.vppmin))
+"""
+
+from repro.core import CharacterizationStudy, StudyResult, StudyScale
+from repro.dram import DramModule, build_module, module_profile
+from repro.errors import ReproError
+from repro.harness import run_experiment
+from repro.softmc import TestInfrastructure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CharacterizationStudy",
+    "DramModule",
+    "ReproError",
+    "StudyResult",
+    "StudyScale",
+    "TestInfrastructure",
+    "build_module",
+    "module_profile",
+    "run_experiment",
+    "__version__",
+]

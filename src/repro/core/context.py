@@ -1,0 +1,41 @@
+"""Shared context threaded through the test algorithms.
+
+Bundles the bench, the study scale, the bank under test and the
+adjacency oracle so that Algorithms 1-3 take one argument instead of
+four, matching how the paper's pseudo-code implicitly shares its setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.adjacency import AdjacencyOracle, MappingAdjacency
+from repro.core.scale import StudyScale, safe_timings  # noqa: F401 (re-export)
+from repro.softmc.infrastructure import TestInfrastructure
+
+
+@dataclass
+class TestContext:
+    """Execution context of one module's characterization."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    infra: TestInfrastructure
+    scale: StudyScale
+    bank: int = 0
+    adjacency: AdjacencyOracle = None
+
+    def __post_init__(self) -> None:
+        if self.adjacency is None:
+            self.adjacency = MappingAdjacency(self.infra)
+
+    @property
+    def row_bits(self) -> int:
+        """Bits per row of the module under test."""
+        return self.infra.module.geometry.row_bits
+
+    @property
+    def module_name(self) -> str:
+        """Name of the module under test."""
+        return self.infra.module.name

@@ -1,0 +1,109 @@
+"""tRCD guardband analysis (Section 6.1, Observation 7).
+
+JEDEC's nominal tRCD (13.5 ns) includes a safety margin over the latency
+chips actually need; reduced V_PP eats into that margin. This module
+computes, per module:
+
+* the worst-row tRCD_min at nominal V_PP and at V_PPmin,
+* the guardband ``(nominal - tRCD_min) / nominal`` at both points and
+  its relative reduction,
+* whether the module still fits under the nominal tRCD at V_PPmin and,
+  if not, the increased latency that fixes it (the paper's offenders
+  need 24 ns / 15 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.results import ModuleResult
+from repro.core.study import StudyResult
+from repro.dram.constants import NOMINAL_TRCD, SOFTMC_COMMAND_CLOCK
+from repro.errors import AnalysisError
+from repro.units import seconds_to_ns
+
+
+@dataclass(frozen=True)
+class GuardbandReport:
+    """Guardband character of one module."""
+
+    module: str
+    trcd_min_nominal: float  # worst row at nominal V_PP [s]
+    trcd_min_vppmin: float  # worst row at V_PPmin [s]
+    guardband_nominal: float  # fraction of nominal tRCD
+    guardband_vppmin: float
+    meets_nominal_trcd: bool
+    required_trcd: float  # smallest command-clock multiple that works
+
+    @property
+    def guardband_reduction(self) -> float:
+        """Relative guardband loss from nominal V_PP to V_PPmin."""
+        if self.guardband_nominal <= 0:
+            return 0.0
+        return (
+            self.guardband_nominal - self.guardband_vppmin
+        ) / self.guardband_nominal
+
+
+def analyze_module(module_result: ModuleResult) -> GuardbandReport:
+    """Guardband report for one module's tRCD measurements."""
+    if not module_result.trcd:
+        raise AnalysisError(f"module {module_result.module} has no tRCD data")
+    nominal_vpp = module_result.vpp_levels[0]
+    trcd_nom = module_result.max_trcd_min(nominal_vpp)
+    trcd_min = module_result.max_trcd_min(module_result.vppmin)
+    slots = max(1, int(np.ceil(trcd_min / SOFTMC_COMMAND_CLOCK - 1e-9)))
+    required = slots * SOFTMC_COMMAND_CLOCK
+    return GuardbandReport(
+        module=module_result.module,
+        trcd_min_nominal=trcd_nom,
+        trcd_min_vppmin=trcd_min,
+        guardband_nominal=(NOMINAL_TRCD - trcd_nom) / NOMINAL_TRCD,
+        guardband_vppmin=(NOMINAL_TRCD - trcd_min) / NOMINAL_TRCD,
+        meets_nominal_trcd=trcd_min <= NOMINAL_TRCD + 1e-12,
+        required_trcd=required,
+    )
+
+
+@dataclass(frozen=True)
+class GuardbandSummary:
+    """Campaign-level guardband statistics (the Observation 7 numbers)."""
+
+    reports: Dict[str, GuardbandReport]
+    passing_modules: List[str]
+    failing_modules: List[str]
+    mean_guardband_reduction: float  # across passing modules
+
+    @property
+    def passing_chip_statement(self) -> str:
+        """Human-readable pass/fail statement."""
+        return (
+            f"{len(self.passing_modules)} of "
+            f"{len(self.reports)} modules complete activation within the "
+            f"nominal tRCD ({seconds_to_ns(NOMINAL_TRCD):.1f} ns) at V_PPmin"
+        )
+
+
+def analyze_guardband(study: StudyResult) -> GuardbandSummary:
+    """Guardband analysis across a whole study."""
+    reports = {
+        name: analyze_module(result)
+        for name, result in study.modules.items()
+        if result.trcd
+    }
+    if not reports:
+        raise AnalysisError("study contains no tRCD measurements")
+    passing = [n for n, r in reports.items() if r.meets_nominal_trcd]
+    failing = [n for n, r in reports.items() if not r.meets_nominal_trcd]
+    reductions = [
+        reports[name].guardband_reduction for name in passing
+    ]
+    return GuardbandSummary(
+        reports=reports,
+        passing_modules=sorted(passing),
+        failing_modules=sorted(failing),
+        mean_guardband_reduction=float(np.mean(reductions)) if reductions else 0.0,
+    )

@@ -1,0 +1,73 @@
+"""Measurement metrics.
+
+Small, sharply-named helpers so that test loops read like the paper's
+metric definitions: BER is "the fraction of DRAM cells that experience a
+bit flip in a DRAM row" (Section 4.2), and statistical significance is
+assessed through coefficients of variation over the ten measurement
+iterations (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.stats import coefficient_of_variation
+
+
+def bit_error_rate(expected_bits: np.ndarray, read_bits: np.ndarray) -> float:
+    """Fraction of mismatching cells between two bit vectors."""
+    expected = np.asarray(expected_bits)
+    read = np.asarray(read_bits)
+    if expected.shape != read.shape:
+        raise AnalysisError(
+            f"shape mismatch: expected {expected.shape}, read {read.shape}"
+        )
+    if expected.size == 0:
+        raise AnalysisError("cannot compute BER of empty vectors")
+    return float(np.count_nonzero(expected != read) / expected.size)
+
+
+def flipped_word_counts(
+    expected_bits: np.ndarray, read_bits: np.ndarray, word_bits: int = 64
+) -> np.ndarray:
+    """Per-64-bit-word flip counts (the unit of the ECC analysis,
+    Observation 14 / Figure 11)."""
+    expected = np.asarray(expected_bits)
+    read = np.asarray(read_bits)
+    if expected.shape != read.shape:
+        raise AnalysisError("shape mismatch between expected and read bits")
+    if expected.size % word_bits:
+        raise AnalysisError(
+            f"bit count {expected.size} not divisible by word size {word_bits}"
+        )
+    flips = (expected != read).astype(np.int64)
+    return flips.reshape(-1, word_bits).sum(axis=1)
+
+
+def cv_percentiles(
+    iteration_series: Sequence[Sequence[float]],
+    percentiles: Sequence[float] = (90.0, 95.0, 99.0),
+) -> Dict[float, float]:
+    """Coefficient-of-variation percentiles across many measurements.
+
+    ``iteration_series`` holds, for each measured quantity (e.g. each
+    row's BER), its per-iteration values. Reproduces the Section 4.6
+    statistic: CV per series, then the requested percentiles over all
+    series. Series with zero mean and zero variation contribute CV = 0.
+    """
+    cvs: List[float] = []
+    for series in iteration_series:
+        arr = np.asarray(series, dtype=float)
+        if arr.size == 0:
+            continue
+        if arr.mean() == 0 and np.all(arr == 0):
+            cvs.append(0.0)
+        else:
+            cvs.append(coefficient_of_variation(arr))
+    if not cvs:
+        raise AnalysisError("no measurement series supplied")
+    values = np.asarray(cvs)
+    return {p: float(np.percentile(values, p)) for p in percentiles}

@@ -1,0 +1,226 @@
+"""Mitigation analyses: ECC, selective refresh, and V_PP recommendation.
+
+Covers the paper's Section 6.3 mitigation study and Table 3's
+``V_PPRec`` column:
+
+* **ECC** (Observation 14): at the smallest refresh window with non-zero
+  retention BER (module at V_PPmin), classify every 64-bit data word by
+  SECDED outcome. The paper finds every failing word carries exactly one
+  flip -- fully correctable.
+* **Selective refresh** (Observation 15): the fraction of rows that
+  contain erroneous words at a window but not at any smaller one; only
+  those rows need the doubled refresh rate [75, 144, 145].
+* **V_PPRec** (Table 3 / Section 8): the lowest V_PP at which the module
+  is no worse than nominal on both RowHammer metrics and still passes
+  its reliability checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.results import ModuleResult
+from repro.core.study import StudyResult
+from repro.dram.constants import NOMINAL_TRCD, NOMINAL_TREFW
+from repro.dram.ecc import count_correctable_words
+from repro.errors import AnalysisError
+
+import numpy as np
+
+
+# -- ECC analysis (Observation 14 / Figure 11) -------------------------------------
+
+
+@dataclass(frozen=True)
+class EccReport:
+    """SECDED outcome of one module's retention flips at one window."""
+
+    module: str
+    vpp: float
+    trefw: float
+    rows_with_flips: int
+    words_correctable: int
+    words_uncorrectable: int
+
+    @property
+    def all_correctable(self) -> bool:
+        """True when simple SECDED fixes every erroneous word."""
+        return self.words_uncorrectable == 0
+
+
+def smallest_failing_window(
+    module_result: ModuleResult, vpp: float
+) -> Optional[float]:
+    """Smallest tREFW with non-zero retention BER at ``vpp`` (None when
+    the module never fails in the swept range)."""
+    failing = [
+        r.trefw for r in module_result.retention_at(vpp) if r.ber > 0
+    ]
+    return min(failing) if failing else None
+
+
+def ecc_report(
+    module_result: ModuleResult, vpp: float, trefw: float = None
+) -> Optional[EccReport]:
+    """ECC classification at the smallest failing window (or ``trefw``)."""
+    if trefw is None:
+        trefw = smallest_failing_window(module_result, vpp)
+        if trefw is None:
+            return None
+    records = module_result.retention_at(vpp, trefw)
+    if not records:
+        raise AnalysisError(
+            f"no retention data at vpp={vpp}, trefw={trefw}"
+        )
+    correctable = 0
+    uncorrectable = 0
+    rows_with_flips = 0
+    for record in records:
+        if not record.word_flip_histogram:
+            continue
+        rows_with_flips += 1
+        counts = []
+        for flips, words in record.word_flip_histogram.items():
+            counts.extend([flips] * words)
+        verdict = count_correctable_words(np.asarray(counts))
+        correctable += verdict["correctable"]
+        uncorrectable += verdict["uncorrectable"]
+    return EccReport(
+        module=module_result.module,
+        vpp=vpp,
+        trefw=trefw,
+        rows_with_flips=rows_with_flips,
+        words_correctable=correctable,
+        words_uncorrectable=uncorrectable,
+    )
+
+
+# -- selective refresh (Observation 15 / Figure 11) ----------------------------------
+
+
+@dataclass(frozen=True)
+class SelectiveRefreshReport:
+    """Fraction of rows needing a doubled refresh rate at one window."""
+
+    module: str
+    vpp: float
+    trefw: float
+    total_rows: int
+    newly_failing_rows: int  # fail at trefw but at no smaller window
+    word_count_histogram: Dict[int, int]  # erroneous words/row -> rows
+
+    @property
+    def row_fraction(self) -> float:
+        """Fraction of rows that must be refreshed faster."""
+        if self.total_rows == 0:
+            return 0.0
+        return self.newly_failing_rows / self.total_rows
+
+
+def selective_refresh_report(
+    module_result: ModuleResult, vpp: float, trefw: float
+) -> SelectiveRefreshReport:
+    """Rows failing at ``trefw`` but clean at every smaller window."""
+    records_at = {
+        r.row: r for r in module_result.retention_at(vpp, trefw)
+    }
+    smaller_windows = sorted(
+        {
+            r.trefw
+            for r in module_result.retention_at(vpp)
+            if r.trefw < trefw - 1e-12
+        }
+    )
+    failed_smaller = set()
+    for window in smaller_windows:
+        for record in module_result.retention_at(vpp, window):
+            if record.ber > 0:
+                failed_smaller.add(record.row)
+    histogram: Dict[int, int] = {}
+    newly_failing = 0
+    for row, record in records_at.items():
+        if row in failed_smaller or record.ber == 0:
+            continue
+        newly_failing += 1
+        erroneous_words = sum(record.word_flip_histogram.values())
+        histogram[erroneous_words] = histogram.get(erroneous_words, 0) + 1
+    return SelectiveRefreshReport(
+        module=module_result.module,
+        vpp=vpp,
+        trefw=trefw,
+        total_rows=len(records_at),
+        newly_failing_rows=newly_failing,
+        word_count_histogram=histogram,
+    )
+
+
+# -- V_PP recommendation (Table 3 / Section 8) ----------------------------------------
+
+
+@dataclass(frozen=True)
+class VppRecommendation:
+    """Recommended operating point of one module."""
+
+    module: str
+    vpp: float
+    hcfirst: Optional[int]
+    ber: float
+    rationale: str
+
+
+def recommend_vpp(module_result: ModuleResult) -> VppRecommendation:
+    """Table 3's V_PPRec rule.
+
+    Scanning from V_PPmin upward, pick the lowest V_PP that is no worse
+    than nominal on both RowHammer metrics (HC_first not reduced, BER
+    not increased) and whose reliability data -- when measured -- shows
+    the module still meets nominal tRCD and stays retention-clean at the
+    nominal 64 ms window. Falls back to nominal V_PP when no reduced
+    level qualifies.
+    """
+    levels = sorted(module_result.vpp_levels)
+    nominal = max(levels)
+    hc_nominal = module_result.min_hcfirst(nominal)
+    ber_nominal = module_result.max_ber(nominal)
+    for vpp in levels:
+        if vpp >= nominal:
+            break
+        hc = module_result.min_hcfirst(vpp)
+        ber = module_result.max_ber(vpp)
+        if hc_nominal is not None and (hc is None or hc < hc_nominal):
+            continue
+        if ber > ber_nominal:
+            continue
+        if module_result.trcd and (
+            module_result.max_trcd_min(vpp) > NOMINAL_TRCD + 1e-12
+        ):
+            continue
+        if module_result.retention:
+            at_64ms = module_result.retention_at(vpp, NOMINAL_TREFW)
+            if any(r.ber > 0 for r in at_64ms):
+                continue
+        return VppRecommendation(
+            module=module_result.module,
+            vpp=vpp,
+            hcfirst=hc,
+            ber=ber,
+            rationale=(
+                "lowest V_PP with RowHammer metrics no worse than nominal "
+                "and reliability checks passing"
+            ),
+        )
+    return VppRecommendation(
+        module=module_result.module,
+        vpp=nominal,
+        hcfirst=hc_nominal,
+        ber=ber_nominal,
+        rationale="no reduced V_PP improved on nominal without side effects",
+    )
+
+
+def recommend_all(study: StudyResult) -> Dict[str, VppRecommendation]:
+    """V_PPRec for every module of a study."""
+    return {
+        name: recommend_vpp(result) for name, result in study.modules.items()
+    }

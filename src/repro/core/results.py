@@ -1,0 +1,141 @@
+"""Result records of the characterization pipeline.
+
+Plain dataclasses; analysis code consumes them, the harness serializes
+them. One record per (row, V_PP) measurement, grouped per module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RowHammerRowResult:
+    """Alg. 1 outcome for one (row, V_PP) point.
+
+    ``hcfirst`` is None when no bit flip was observed anywhere within the
+    bisection's reach (censored measurement -- very strong rows).
+    ``ber`` is the worst (largest) BER over iterations at the fixed
+    300K hammer count; ``ber_iterations`` keeps the per-iteration values
+    for the CV analysis of Section 4.6.
+    """
+
+    module: str
+    bank: int
+    row: int
+    vpp: float
+    wcdp_index: int
+    hcfirst: Optional[int]
+    ber: float
+    ber_iterations: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class TrcdRowResult:
+    """Alg. 2 outcome: minimum reliable activation latency for one
+    (row, V_PP) point. ``trcd_min`` is in seconds, quantized to the
+    1.5 ns command clock."""
+
+    module: str
+    bank: int
+    row: int
+    vpp: float
+    wcdp_index: int
+    trcd_min: float
+
+
+@dataclass(frozen=True)
+class RetentionRowResult:
+    """Alg. 3 outcome for one (row, V_PP, tREFW) point.
+
+    ``word_flip_histogram`` maps flips-per-64-bit-word to word counts,
+    feeding the ECC analysis (Observation 14, Figure 11).
+    """
+
+    module: str
+    bank: int
+    row: int
+    vpp: float
+    trefw: float
+    wcdp_index: int
+    ber: float
+    word_flip_histogram: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def words_with_one_flip(self) -> int:
+        """Number of 64-bit words with exactly one flipped bit."""
+        return self.word_flip_histogram.get(1, 0)
+
+    @property
+    def words_uncorrectable(self) -> int:
+        """Number of words with two or more flips (beyond SECDED)."""
+        return sum(
+            count for flips, count in self.word_flip_histogram.items() if flips >= 2
+        )
+
+
+@dataclass
+class ModuleResult:
+    """All measurements for one module."""
+
+    module: str
+    vendor: str
+    vppmin: float
+    vpp_levels: List[float] = field(default_factory=list)
+    rowhammer: List[RowHammerRowResult] = field(default_factory=list)
+    trcd: List[TrcdRowResult] = field(default_factory=list)
+    retention: List[RetentionRowResult] = field(default_factory=list)
+
+    # -- access helpers ---------------------------------------------------------
+
+    def rowhammer_at(self, vpp: float) -> List[RowHammerRowResult]:
+        """RowHammer records at one V_PP level."""
+        return [r for r in self.rowhammer if abs(r.vpp - vpp) < 1e-9]
+
+    def trcd_at(self, vpp: float) -> List[TrcdRowResult]:
+        """tRCD records at one V_PP level."""
+        return [r for r in self.trcd if abs(r.vpp - vpp) < 1e-9]
+
+    def retention_at(
+        self, vpp: float, trefw: float = None
+    ) -> List[RetentionRowResult]:
+        """Retention records at one V_PP (optionally one window)."""
+        records = [r for r in self.retention if abs(r.vpp - vpp) < 1e-9]
+        if trefw is not None:
+            records = [r for r in records if abs(r.trefw - trefw) < 1e-12]
+        return records
+
+    def min_hcfirst(self, vpp: float) -> Optional[int]:
+        """Module-level HC_first: minimum across rows (Table 3's metric)."""
+        values = [
+            r.hcfirst for r in self.rowhammer_at(vpp) if r.hcfirst is not None
+        ]
+        return min(values) if values else None
+
+    def max_ber(self, vpp: float) -> float:
+        """Module-level BER: maximum across rows at the fixed hammer count."""
+        records = self.rowhammer_at(vpp)
+        if not records:
+            raise AnalysisError(f"no RowHammer records at vpp={vpp}")
+        return max(r.ber for r in records)
+
+    def max_trcd_min(self, vpp: float) -> float:
+        """Module-level tRCD_min: the worst row's requirement."""
+        records = self.trcd_at(vpp)
+        if not records:
+            raise AnalysisError(f"no tRCD records at vpp={vpp}")
+        return max(r.trcd_min for r in records)
+
+    def mean_retention_ber(self, vpp: float, trefw: float) -> float:
+        """Average retention BER across rows (Figure 10a's statistic)."""
+        records = self.retention_at(vpp, trefw)
+        if not records:
+            raise AnalysisError(
+                f"no retention records at vpp={vpp}, trefw={trefw}"
+            )
+        return float(np.mean([r.ber for r in records]))

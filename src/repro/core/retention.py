@@ -1,0 +1,79 @@
+"""Alg. 3: data-retention measurement.
+
+For each refresh window in the 16 ms ... 16 s powers-of-two sweep
+(Section 4.4), each tested row is written with its retention WCDP, left
+unrefreshed for the full window, then read back and compared. Retention
+BER is the fraction of flipped cells; the per-64-bit-word flip histogram
+feeds the ECC and selective-refresh analyses (Observations 14/15,
+Figure 11).
+
+The worst case over iterations (largest BER) is recorded, consistent
+with the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.core.context import TestContext, safe_timings
+from repro.core.metrics import bit_error_rate, flipped_word_counts
+from repro.core.results import RetentionRowResult
+from repro.dram.patterns import DataPattern
+from repro.softmc.program import Program
+
+
+def measure_retention(
+    ctx: TestContext, row: int, pattern: DataPattern, trefw: float,
+) -> Tuple[float, Dict[int, int]]:
+    """One write-wait-read retention probe.
+
+    Returns (BER, word-flip histogram) where the histogram maps
+    flips-per-64-bit-word to the number of such words (zero-flip words
+    omitted).
+    """
+    program = Program(safe_timings())
+    program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
+    program.wait(trefw)
+    read_index = program.read_row(ctx.bank, row)
+    result = ctx.infra.host.execute(program)
+    expected = pattern.row_bits(ctx.row_bits)
+    read = result.data(read_index)
+    ber = bit_error_rate(expected, read)
+    counts = flipped_word_counts(expected, read)
+    histogram = Counter(int(c) for c in counts if c > 0)
+    return ber, dict(histogram)
+
+
+def characterize_row(
+    ctx: TestContext, row: int, pattern: DataPattern, vpp: float,
+    windows: List[float] = None,
+) -> List[RetentionRowResult]:
+    """Full Alg. 3 characterization of one row at the current V_PP.
+
+    Measures every refresh window in the scale's sweep, keeping the
+    worst iteration per window.
+    """
+    windows = windows if windows is not None else list(ctx.scale.retention_windows)
+    results: List[RetentionRowResult] = []
+    for trefw in windows:
+        worst_ber = -1.0
+        worst_histogram: Dict[int, int] = {}
+        for _ in range(ctx.scale.iterations):
+            ber, histogram = measure_retention(ctx, row, pattern, trefw)
+            if ber > worst_ber:
+                worst_ber = ber
+                worst_histogram = histogram
+        results.append(
+            RetentionRowResult(
+                module=ctx.module_name,
+                bank=ctx.bank,
+                row=row,
+                vpp=vpp,
+                trefw=trefw,
+                wcdp_index=pattern.index,
+                ber=worst_ber,
+                word_flip_histogram=worst_histogram,
+            )
+        )
+    return results

@@ -1,0 +1,110 @@
+"""Alg. 1: RowHammer BER and HC_first measurement.
+
+``measure_ber`` is the paper's ``measure_BER``: initialize the victim
+with its worst-case data pattern and the two physically-adjacent
+aggressors with the bitwise inverse, hammer double-sided, read back and
+count flips. ``find_hcfirst`` wraps it in the bisection loop of Alg. 1
+(initial hammer count 300K, initial step 150K, step halving until the
+termination step), taking the worst case over iterations exactly as
+Section 4.2 prescribes: the *smallest* observed HC_first and the
+*largest* observed BER.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.context import TestContext, safe_timings
+from repro.core.metrics import bit_error_rate
+from repro.core.results import RowHammerRowResult
+from repro.dram.patterns import DataPattern
+from repro.errors import AnalysisError
+from repro.softmc.program import Program
+
+
+def measure_ber(
+    ctx: TestContext, row: int, pattern: DataPattern, hammer_count: int
+) -> float:
+    """One double-sided RowHammer measurement (Alg. 1's ``measure_BER``).
+
+    Returns the fraction of the victim row's cells that flipped.
+    """
+    aggressors = ctx.adjacency.neighbors(ctx.bank, row)
+    if not aggressors:
+        raise AnalysisError(f"row {row} has no physical neighbors")
+    program = Program(safe_timings())
+    program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
+    for aggressor in aggressors:
+        program.initialize_row(ctx.bank, aggressor, pattern, ctx.row_bits,
+                               inverse=True)
+    program.hammer_doublesided(ctx.bank, aggressors, hammer_count)
+    read_index = program.read_row(ctx.bank, row)
+    result = ctx.infra.host.execute(program)
+    return bit_error_rate(pattern.row_bits(ctx.row_bits), result.data(read_index))
+
+
+def measure_worst_ber(
+    ctx: TestContext, row: int, pattern: DataPattern, hammer_count: int,
+    iterations: int,
+) -> Tuple[float, Tuple[float, ...]]:
+    """Worst (largest) BER over ``iterations`` repetitions, plus the
+    per-iteration values (Section 4.6's CV input)."""
+    values = tuple(
+        measure_ber(ctx, row, pattern, hammer_count) for _ in range(iterations)
+    )
+    return max(values), values
+
+
+def find_hcfirst(
+    ctx: TestContext, row: int, pattern: DataPattern,
+    iterations: int = None,
+) -> Optional[int]:
+    """Alg. 1's bisection for the minimum flip-inducing hammer count.
+
+    Starting at 300K with a 150K step, the hammer count moves up while no
+    flip occurs and down once one does, the step halving each round until
+    it falls below the scale's termination step. Any flip in any of the
+    ``iterations`` repetitions counts (worst case). Returns None when
+    even the bisection's maximum reach produces no flip (censored:
+    extremely strong row, cf. module A5).
+    """
+    scale = ctx.scale
+    iterations = iterations or scale.iterations
+    hc = scale.hcfirst_initial
+    step = scale.hcfirst_step
+    lowest_flipping: Optional[int] = None
+    while step >= scale.hcfirst_min_step:
+        flipped = any(
+            measure_ber(ctx, row, pattern, hc) > 0 for _ in range(iterations)
+        )
+        if flipped:
+            lowest_flipping = hc if lowest_flipping is None else min(
+                lowest_flipping, hc
+            )
+            hc -= step
+        else:
+            hc += step
+        step //= 2
+        if hc <= 0:
+            hc = scale.hcfirst_min_step
+    return lowest_flipping
+
+
+def characterize_row(
+    ctx: TestContext, row: int, pattern: DataPattern, vpp: float,
+) -> RowHammerRowResult:
+    """Full Alg. 1 characterization of one row at the current V_PP."""
+    ber, iterations_values = measure_worst_ber(
+        ctx, row, pattern, ctx.scale.ber_hammer_count, ctx.scale.iterations
+    )
+    hcfirst = find_hcfirst(ctx, row, pattern)
+    return RowHammerRowResult(
+        module=ctx.module_name,
+        bank=ctx.bank,
+        row=row,
+        vpp=vpp,
+        wcdp_index=pattern.index,
+        hcfirst=hcfirst,
+        ber=ber,
+        ber_iterations=iterations_values,
+    )

@@ -1,0 +1,116 @@
+"""Study sizing.
+
+The paper tests 4K rows per module, ten iterations per measurement, and
+all thirty modules -- months of wall-clock on real hardware, and still
+hours in simulation. Every experiment in this library therefore takes a
+:class:`StudyScale` that sets the sampling knobs; three presets cover the
+common cases:
+
+* :meth:`StudyScale.paper` -- the paper's parameters (full runs).
+* :meth:`StudyScale.bench` -- reduced sampling used by ``benchmarks/``;
+  preserves every trend at a few seconds per module.
+* :meth:`StudyScale.tiny` -- minimal; integration tests.
+
+Scaling caveat (documented in EXPERIMENTS.md): module-level *minimum*
+HC_first is an extreme-value statistic, so studies sampling fewer rows
+than the paper measure a somewhat higher minimum (~1.7x at bench scale).
+Normalized per-row quantities -- everything Figures 3-6 plot -- are
+unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.dram import constants
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.units import ms, ns
+
+#: Activation latency used by every test that is *not* measuring tRCD.
+#: The paper isolates its variables (Section 4.1, "Disabling Sources of
+#: Interference"): RowHammer and retention measurements must not be
+#: contaminated by activation-latency failures, and the tRCD-weak
+#: modules (A0-A2 need 24 ns at reduced V_PP) operate reliably with a
+#: relaxed latency. 36 ns covers every module at every V_PP level.
+SAFE_TRCD = ns(36.0)
+
+
+def safe_timings() -> TimingParameters:
+    """Controller timings with the relaxed activation latency."""
+    return TimingParameters.nominal().with_trcd(SAFE_TRCD)
+
+
+def _retention_windows() -> Tuple[float, ...]:
+    """16 ms to 16 s in increasing powers of two (Section 4.4)."""
+    windows = []
+    window = constants.RETENTION_TREFW_MIN
+    while window <= constants.RETENTION_TREFW_MAX + 1e-9:
+        windows.append(window)
+        window *= 2.0
+    return tuple(windows)
+
+
+@dataclass(frozen=True)
+class StudyScale:
+    """Sampling parameters of one characterization campaign."""
+
+    rows_per_module: int = 64
+    row_chunks: int = constants.PAPER_ROW_CHUNKS
+    iterations: int = 3
+    vpp_step: float = constants.VPP_STEP
+    ber_hammer_count: int = constants.BER_HAMMER_COUNT
+    hcfirst_initial: int = constants.HCFIRST_INITIAL_HC
+    hcfirst_step: int = constants.HCFIRST_INITIAL_STEP
+    hcfirst_min_step: int = 2000
+    retention_windows: Tuple[float, ...] = field(default_factory=_retention_windows)
+    geometry: ModuleGeometry = field(
+        default_factory=lambda: ModuleGeometry(
+            rows_per_bank=4096, banks=2, row_bits=8192
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.rows_per_module < 1:
+            raise ConfigurationError("rows_per_module must be >= 1")
+        if self.row_chunks < 1 or self.row_chunks > self.rows_per_module:
+            raise ConfigurationError(
+                "row_chunks must be in [1, rows_per_module]"
+            )
+        if self.iterations < 1:
+            raise ConfigurationError("iterations must be >= 1")
+        if not 0.0 < self.vpp_step <= 0.5:
+            raise ConfigurationError(f"vpp_step out of range: {self.vpp_step}")
+        if self.hcfirst_min_step < 1:
+            raise ConfigurationError("hcfirst_min_step must be >= 1")
+        if not self.retention_windows:
+            raise ConfigurationError("retention_windows must not be empty")
+
+    @classmethod
+    def paper(cls) -> "StudyScale":
+        """The paper's full sampling (Sections 4.2-4.4)."""
+        return cls(
+            rows_per_module=constants.PAPER_ROWS_PER_MODULE,
+            iterations=constants.PAPER_NUM_ITERATIONS,
+            hcfirst_min_step=constants.HCFIRST_MIN_STEP,
+            geometry=ModuleGeometry(),
+        )
+
+    @classmethod
+    def bench(cls) -> "StudyScale":
+        """Benchmark-harness sampling: every trend, seconds per module."""
+        return cls(rows_per_module=96, iterations=3, hcfirst_min_step=2000)
+
+    @classmethod
+    def tiny(cls) -> "StudyScale":
+        """Minimal sampling for integration tests."""
+        return cls(
+            rows_per_module=12,
+            row_chunks=2,
+            iterations=2,
+            hcfirst_min_step=8000,
+            retention_windows=(ms(64.0), ms(256.0), 1.024, 4.096),
+            geometry=ModuleGeometry(rows_per_bank=512, banks=1, row_bits=2048),
+        )

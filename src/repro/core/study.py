@@ -1,0 +1,196 @@
+"""The full characterization campaign (Section 4's experimental flow).
+
+For each module:
+
+1. build the bench (Fig. 2), find V_PPmin empirically, derive the V_PP
+   grid (nominal 2.5 V down to V_PPmin in 0.1 V steps);
+2. sample the test rows (four chunks spread over a bank);
+3. determine each row's WCDP per test type at nominal V_PP;
+4. at every V_PP level, run Alg. 1 (RowHammer) and Alg. 2 (tRCD) at
+   50 degC, and Alg. 3 (retention) at 80 degC.
+
+The study is deterministic for a given (scale, seed): modules are
+rebuilt per run and all device randomness derives from the seed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core import retention as retention_test
+from repro.core import rowhammer as rowhammer_test
+from repro.core import trcd as trcd_test
+from repro.core.adjacency import ReverseEngineeredAdjacency
+from repro.core.context import TestContext
+from repro.core.results import ModuleResult
+from repro.core.sampling import sample_rows
+from repro.core.scale import StudyScale
+from repro.core.wcdp import retention_wcdp, rowhammer_wcdp, trcd_wcdp
+from repro.dram import constants
+from repro.dram.profiles import MODULE_PROFILES, module_profile
+from repro.errors import ConfigurationError
+from repro.softmc.infrastructure import TestInfrastructure
+
+#: The three test types a study can run.
+TEST_TYPES = ("rowhammer", "trcd", "retention")
+
+
+@dataclass
+class StudyResult:
+    """Results of a campaign, keyed by module name."""
+
+    scale: StudyScale
+    seed: int
+    modules: Dict[str, ModuleResult] = field(default_factory=dict)
+
+    def module(self, name: str) -> ModuleResult:
+        """One module's results."""
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"module {name!r} not part of this study; have "
+                f"{sorted(self.modules)}"
+            ) from None
+
+    def by_vendor(self, vendor: str) -> List[ModuleResult]:
+        """Results of all modules of one vendor letter (``"A"``...)."""
+        return [m for m in self.modules.values() if m.vendor == vendor]
+
+
+class CharacterizationStudy:
+    """Orchestrates the paper's experiments over modules and V_PP levels.
+
+    Parameters
+    ----------
+    scale:
+        Sampling parameters; defaults to bench scale.
+    seed:
+        Root seed of all simulated-device randomness.
+    reverse_engineer_adjacency:
+        Use the hammering-based adjacency discovery experiment instead of
+        the mapping oracle (slower; the oracle is validated against the
+        experiment in the test suite).
+    progress:
+        Optional callback ``(message: str) -> None`` for long runs.
+    """
+
+    def __init__(
+        self,
+        scale: StudyScale = None,
+        seed: int = 0,
+        reverse_engineer_adjacency: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.scale = scale or StudyScale.bench()
+        self.seed = seed
+        self._reverse_engineer = reverse_engineer_adjacency
+        self._progress = progress or (lambda message: None)
+
+    # -- module-level runs --------------------------------------------------------
+
+    def build_context(self, name: str) -> TestContext:
+        """Assemble the bench and context for one module."""
+        infra = TestInfrastructure.for_module(
+            name, geometry=self.scale.geometry, seed=self.seed
+        )
+        ctx = TestContext(infra, self.scale)
+        if self._reverse_engineer:
+            ctx.adjacency = ReverseEngineeredAdjacency(infra)
+        return ctx
+
+    def run_module(
+        self, name: str, tests: Sequence[str] = TEST_TYPES,
+        vpp_levels: Sequence[float] = None,
+    ) -> ModuleResult:
+        """Characterize one module across its V_PP grid."""
+        for test in tests:
+            if test not in TEST_TYPES:
+                raise ConfigurationError(f"unknown test type {test!r}")
+        profile = module_profile(name)
+        ctx = self.build_context(name)
+        infra = ctx.infra
+        if vpp_levels is None:
+            vpp_levels = infra.vpp_levels(self.scale.vpp_step)
+        result = ModuleResult(
+            module=name,
+            vendor=profile.vendor.value,
+            vppmin=min(vpp_levels),
+            vpp_levels=list(vpp_levels),
+        )
+        rows = sample_rows(
+            infra.module.geometry.rows_per_bank,
+            self.scale.rows_per_module,
+            self.scale.row_chunks,
+        )
+
+        # WCDP determination at nominal V_PP (Section 4.1).
+        infra.set_vpp(constants.NOMINAL_VPP)
+        infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+        wcdp_rh = {}
+        wcdp_act = {}
+        if "rowhammer" in tests:
+            self._progress(f"{name}: determining RowHammer WCDPs")
+            wcdp_rh = {row: rowhammer_wcdp(ctx, row) for row in rows}
+        if "trcd" in tests:
+            self._progress(f"{name}: determining tRCD WCDPs")
+            wcdp_act = {row: trcd_wcdp(ctx, row) for row in rows}
+        wcdp_ret = {}
+        if "retention" in tests:
+            infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+            self._progress(f"{name}: determining retention WCDPs")
+            wcdp_ret = {row: retention_wcdp(ctx, row) for row in rows}
+
+        # RowHammer and tRCD at 50 degC across the V_PP grid.
+        if "rowhammer" in tests or "trcd" in tests:
+            infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+            for vpp in vpp_levels:
+                infra.set_vpp(vpp)
+                self._progress(f"{name}: V_PP={vpp:.1f} V (50 degC tests)")
+                for row in rows:
+                    if "rowhammer" in tests:
+                        result.rowhammer.append(
+                            rowhammer_test.characterize_row(
+                                ctx, row, wcdp_rh[row], vpp
+                            )
+                        )
+                    if "trcd" in tests:
+                        result.trcd.append(
+                            trcd_test.characterize_row(
+                                ctx, row, wcdp_act[row], vpp
+                            )
+                        )
+
+        # Retention at 80 degC across the V_PP grid.
+        if "retention" in tests:
+            infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+            for vpp in vpp_levels:
+                infra.set_vpp(vpp)
+                self._progress(f"{name}: V_PP={vpp:.1f} V (retention)")
+                for row in rows:
+                    result.retention.extend(
+                        retention_test.characterize_row(
+                            ctx, row, wcdp_ret[row], vpp
+                        )
+                    )
+        return result
+
+    # -- campaign-level runs ---------------------------------------------------------
+
+    def run(
+        self,
+        modules: Iterable[str] = None,
+        tests: Sequence[str] = TEST_TYPES,
+    ) -> StudyResult:
+        """Run the campaign over ``modules`` (default: all of Table 3)."""
+        names = list(modules) if modules is not None else sorted(MODULE_PROFILES)
+        result = StudyResult(scale=self.scale, seed=self.seed)
+        for name in names:
+            started = time.monotonic()
+            result.modules[name] = self.run_module(name, tests=tests)
+            self._progress(
+                f"{name}: done in {time.monotonic() - started:.1f}s"
+            )
+        return result

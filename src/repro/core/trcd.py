@@ -1,0 +1,114 @@
+"""Alg. 2: row activation latency (tRCD_min) measurement.
+
+The sweep starts at the 13.5 ns nominal and moves in 1.5 ns steps (the
+SoftMC command-clock granularity, footnote 10): down while the row reads
+back clean, up while it is faulty, until both a faulty and a reliable
+latency have been seen; ``tRCD_min`` is the smallest reliable one.
+
+The inner probe activates the row with the trial tRCD and reads it back
+against its worst-case pattern. The device model evaluates activation
+corruption per cell at activation time, so reading the full row under
+one activation is exactly equivalent to Alg. 2's per-column loop (each
+column of the paper's loop re-initializes and re-activates; our fused
+read observes the same per-cell pass/fail set) while being ~128x
+cheaper. A per-column mode is kept for fidelity checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import TestContext
+from repro.core.results import TrcdRowResult
+from repro.dram.constants import NOMINAL_TRCD, SOFTMC_COMMAND_CLOCK
+from repro.dram.patterns import DataPattern
+from repro.dram.timing import TimingParameters
+from repro.errors import AnalysisError
+from repro.softmc.program import Program
+from repro.units import ns
+
+#: Upper bound of the sweep; a row needing more than this is recorded at
+#: the bound (the paper's offenders top out at 24 ns).
+TRCD_SWEEP_MAX = ns(36.0)
+#: Lower bound of the sweep (one command slot).
+TRCD_SWEEP_MIN = SOFTMC_COMMAND_CLOCK
+
+
+def _row_is_faulty(
+    ctx: TestContext, row: int, pattern: DataPattern, trcd: float,
+    per_column: bool,
+) -> bool:
+    """Initialize with WCDP, access with the trial tRCD, check flips."""
+    timings = TimingParameters.nominal().with_trcd(trcd)
+    expected = pattern.row_bits(ctx.row_bits)
+    if per_column:
+        columns = ctx.infra.module.geometry.columns
+        for column in range(columns):
+            program = Program(timings)
+            program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
+            read_index = program.read_column_of_row(ctx.bank, row, column)
+            result = ctx.infra.host.execute(program)
+            lo = column * 64
+            if np.any(result.data(read_index) != expected[lo : lo + 64]):
+                return True
+        return False
+    program = Program(timings)
+    program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
+    read_index = program.read_row(ctx.bank, row)
+    result = ctx.infra.host.execute(program)
+    return bool(np.any(result.data(read_index) != expected))
+
+
+def find_trcd_min(
+    ctx: TestContext, row: int, pattern: DataPattern,
+    iterations: int = None, per_column: bool = False,
+) -> float:
+    """Alg. 2's search for the minimum reliable activation latency.
+
+    A latency counts as faulty if *any* of the ``iterations`` repetitions
+    shows *any* flipped bit in the row.
+    """
+    iterations = iterations or ctx.scale.iterations
+    step = SOFTMC_COMMAND_CLOCK
+
+    def faulty(trcd: float) -> bool:
+        return any(
+            _row_is_faulty(ctx, row, pattern, trcd, per_column)
+            for _ in range(iterations)
+        )
+
+    trcd = NOMINAL_TRCD
+    found_faulty = False
+    found_reliable = False
+    trcd_min = None
+    while not (found_faulty and found_reliable):
+        if faulty(trcd):
+            found_faulty = True
+            trcd += step
+            if trcd > TRCD_SWEEP_MAX:
+                # Even the sweep ceiling fails: record the ceiling.
+                return TRCD_SWEEP_MAX
+        else:
+            found_reliable = True
+            trcd_min = trcd
+            trcd -= step
+            if trcd < TRCD_SWEEP_MIN:
+                break
+    if trcd_min is None:
+        raise AnalysisError(f"tRCD sweep failed to converge for row {row}")
+    return trcd_min
+
+
+def characterize_row(
+    ctx: TestContext, row: int, pattern: DataPattern, vpp: float,
+) -> TrcdRowResult:
+    """Full Alg. 2 characterization of one row at the current V_PP."""
+    trcd_min = find_trcd_min(ctx, row, pattern)
+    return TrcdRowResult(
+        module=ctx.module_name,
+        bank=ctx.bank,
+        row=row,
+        vpp=vpp,
+        wcdp_index=pattern.index,
+        trcd_min=trcd_min,
+    )

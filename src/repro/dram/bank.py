@@ -1,0 +1,534 @@
+"""One DRAM bank: command state machine plus fault physics.
+
+The bank is where the paper's three error mechanisms materialize:
+
+* **RowHammer flips** -- aggressor activations accumulate damage on
+  physically-neighboring rows (scaled by the V_PP-dependent disturbance
+  model); a charged cell flips once the damage exceeds its tolerance.
+* **Retention flips** -- a charged cell decays once the time since its
+  last restoration exceeds its (V_PP- and temperature-scaled) retention
+  time.
+* **Activation flips** -- activating with a tRCD below a cell's
+  V_PP-dependent requirement corrupts the sensed value of that cell.
+
+Pending decay/hammer flips are evaluated lazily and *persisted* when a
+row is next sensed (activated or refreshed) -- matching real DRAM, where
+the sense amplifier latches whatever charge remains and restores it.
+Activation-latency corruption, by contrast, is a sensing failure and only
+affects the data read while the row is open.
+
+Hammering is applied analytically (one vectorized update per hammer
+session, never per-activation), which is what makes 300K-hammer
+experiments tractable; the SoftMC layer documents this as the semantic
+equivalent of its unrolled ACT/PRE loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.calibration import ModuleCalibration
+from repro.dram.cell import (
+    OTHER_PATTERN_INDEX,
+    CellParameterGenerator,
+    RowState,
+)
+from repro.dram.environment import ModuleEnvironment
+from repro.dram.mapping import RowMapping
+from repro.dram.patterns import classify_row_bits
+from repro.errors import DramAddressError, DramCommandError
+from repro.rng import RngHub
+
+#: Damage weight per aggressor activation on a distance-1 victim. With
+#: 0.5 per side, a double-sided attack of HC activations per aggressor
+#: deposits exactly HC units -- the unit in which tolerances are
+#: calibrated (HC_first is defined per-aggressor for double-sided
+#: attacks, Section 4.2).
+_DISTANCE1_WEIGHT = 0.5
+
+
+class Bank:
+    """A single DRAM bank of a simulated module."""
+
+    def __init__(
+        self,
+        index: int,
+        calibration: ModuleCalibration,
+        mapping: RowMapping,
+        hub: RngHub,
+        env: ModuleEnvironment,
+        trr=None,
+    ):
+        self._index = index
+        self._cal = calibration
+        self._mapping = mapping
+        self._env = env
+        self._cells = CellParameterGenerator(calibration, hub, index)
+        self._geometry = calibration.geometry
+        self._rows: Dict[int, RowState] = {}
+        self._open_row: Optional[int] = None  # logical address
+        self._open_corrupt: Optional[np.ndarray] = None
+        self._written_columns: set = set()
+        self._trr = trr
+        self._refresh_cursor = 0
+        self._scale_cache = {}
+        self.total_activations = 0
+
+    # -- helpers ---------------------------------------------------------------
+
+    @property
+    def index(self) -> int:
+        """Bank index within the module."""
+        return self._index
+
+    @property
+    def mapping(self) -> RowMapping:
+        """The bank's logical-to-physical row mapping."""
+        return self._mapping
+
+    @property
+    def open_row(self) -> Optional[int]:
+        """Currently open logical row, if any."""
+        return self._open_row
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._geometry.rows_per_bank:
+            raise DramAddressError(
+                f"row {row} out of range [0, {self._geometry.rows_per_bank})"
+            )
+
+    def _check_column(self, column: int) -> None:
+        if not 0 <= column < self._geometry.columns:
+            raise DramAddressError(
+                f"column {column} out of range [0, {self._geometry.columns})"
+            )
+
+    def _state(self, physical_row: int) -> RowState:
+        state = self._rows.get(physical_row)
+        if state is None:
+            state = RowState(
+                data=self._cells.powerup_bits(physical_row),
+                last_restore_time=self._env.now,
+                vpp_at_restore=self._env.vpp,
+            )
+            self._rows[physical_row] = state
+        return state
+
+    def _cached(self, state: RowState, physical_row: int, fieldname: str) -> np.ndarray:
+        vector = state.cache.get(fieldname)
+        if vector is None:
+            vector = getattr(self._cells, fieldname)(physical_row)
+            state.cache[fieldname] = vector
+        return vector
+
+    # -- fault evaluation --------------------------------------------------------
+
+    def _charged_mask(self, physical_row: int, bits: np.ndarray) -> np.ndarray:
+        charged_value = 0 if self._cells.is_anti_row(physical_row) else 1
+        return bits == charged_value
+
+    def _discharged_value(self, physical_row: int) -> int:
+        return 1 if self._cells.is_anti_row(physical_row) else 0
+
+    def _persist_pending_flips(self, physical_row: int, state: RowState) -> None:
+        """Materialize retention and RowHammer flips into the stored bits.
+
+        A per-session *flip guard* caches the smallest damage and the
+        shortest elapsed time that could flip any still-charged cell;
+        while the accumulated damage and elapsed time stay below those
+        thresholds, the (vectorized) evaluation is skipped entirely.
+        This is what keeps per-access system simulation -- one activate
+        per read, each disturbing its neighbors -- O(1) per access.
+        """
+        elapsed = self._env.now - state.last_restore_time
+        guard = state.cache.get("_flip_guard")
+        if (
+            guard is not None
+            and guard["pattern"] == state.pattern_index
+            and guard["temperature"] == self._env.temperature
+            and guard["vpp_at_restore"] == state.vpp_at_restore
+            and state.damage_bulk < guard["min_bulk"]
+            and state.damage_outlier < guard["min_outlier"]
+            and elapsed < guard["min_retention"]
+        ):
+            return
+
+        bits = state.data
+        charged = self._charged_mask(physical_row, bits)
+        if not charged.any():
+            state.cache["_flip_guard"] = {
+                "pattern": state.pattern_index,
+                "temperature": self._env.temperature,
+                "vpp_at_restore": state.vpp_at_restore,
+                "min_bulk": np.inf,
+                "min_outlier": np.inf,
+                "min_retention": np.inf,
+            }
+            return
+        flips = np.zeros_like(charged)
+
+        # Retention decay since the last restoration. The margin factor
+        # is exponentiated by the per-cell V_PP sensitivity: weak-tier
+        # cells degrade much faster with reduced V_PP (Observation 13).
+        retention = self._cached(state, physical_row, "cell_retention_times")
+        sensitivity = self._cached(
+            state, physical_row, "cell_retention_vpp_sensitivity"
+        )
+        retention_pattern = self._cached(
+            state, physical_row, "retention_pattern_factors"
+        )[state.pattern_index]
+        model = self._cal.retention
+        margin = model.margin_factor(state.vpp_at_restore)
+        thermal = model.temperature_factor(self._env.temperature)
+        effective_retention = (
+            retention * thermal * np.power(margin, sensitivity)
+        ) * retention_pattern
+        if elapsed > 0:
+            flips |= charged & (effective_retention < elapsed)
+
+        # Accumulated RowHammer damage: bulk and outlier cell populations
+        # carry independent V_PP responses (see calibration.py).
+        tolerance = self._cached(state, physical_row, "cell_tolerances")
+        outlier_mask = self._cached(state, physical_row, "cell_outlier_mask")
+        hammer_pattern = self._cached(state, physical_row, "pattern_factors")[
+            state.pattern_index
+        ]
+        jitter = self._cells.measurement_jitter(physical_row, state.session)
+        effective_tolerance = tolerance * (hammer_pattern * jitter)
+        damage = np.where(
+            outlier_mask, state.damage_outlier, state.damage_bulk
+        )
+        flips |= charged & (damage >= effective_tolerance)
+
+        if flips.any():
+            bits[flips] = self._discharged_value(physical_row)
+            charged = charged & ~flips
+
+        # Rebuild the guard over the cells that can still flip. The
+        # guard outlives the restore session, so its thresholds carry a
+        # conservative margin covering the per-session measurement jitter
+        # (sigma ~2%; 0.9 is > 4 sigma of headroom): within the band the
+        # full evaluation re-runs, outside it the skip is always safe.
+        def _min_over(mask: np.ndarray, values: np.ndarray) -> float:
+            return float(values[mask].min()) if mask.any() else np.inf
+
+        state.cache["_flip_guard"] = {
+            "pattern": state.pattern_index,
+            "temperature": self._env.temperature,
+            "vpp_at_restore": state.vpp_at_restore,
+            "min_bulk": 0.9 * _min_over(
+                charged & ~outlier_mask, effective_tolerance
+            ),
+            "min_outlier": 0.9 * _min_over(
+                charged & outlier_mask, effective_tolerance
+            ),
+            "min_retention": 0.9 * _min_over(charged, effective_retention),
+        }
+
+    def _disturbance_scales(self, physical_row: int) -> "tuple[float, float]":
+        """Per-row (bulk, outlier) tolerance scales at the current V_PP,
+        cached per operating point: every activation consults them, so
+        the gamma draws and power evaluations must not repeat."""
+        key = (physical_row, self._env.vpp, self._env.temperature)
+        cached = self._scale_cache.get(key)
+        if cached is None:
+            model = self._cal.disturbance
+            gamma_bulk, gamma_outlier = self._cells.row_gammas(physical_row)
+            cached = (
+                float(model.tolerance_scale(
+                    self._env.vpp, gamma_bulk, self._env.temperature
+                )),
+                float(model.tolerance_scale(
+                    self._env.vpp, gamma_outlier, self._env.temperature
+                )),
+            )
+            if len(self._scale_cache) > 100_000:
+                self._scale_cache.clear()
+            self._scale_cache[key] = cached
+        return cached
+
+    def _damage_neighbors(self, physical_row: int, count: int) -> None:
+        """Deposit ``count`` activations' worth of disturbance on the
+        physical neighbors of ``physical_row`` (distance 1 and 2)."""
+        attenuation = self._cal.disturbance.distance2_attenuation
+        for distance, weight in (
+            (1, _DISTANCE1_WEIGHT),
+            (2, _DISTANCE1_WEIGHT * attenuation),
+        ):
+            for victim_physical in (
+                physical_row - distance, physical_row + distance
+            ):
+                if not 0 <= victim_physical < self._geometry.rows_per_bank:
+                    continue
+                victim = self._state(victim_physical)
+                scale_bulk, scale_outlier = self._disturbance_scales(
+                    victim_physical
+                )
+                victim.damage_bulk += count * weight / scale_bulk
+                victim.damage_outlier += count * weight / scale_outlier
+
+    def _restore(self, physical_row: int, state: RowState) -> None:
+        """Full charge restoration: reset damage and the retention clock."""
+        state.last_restore_time = self._env.now
+        state.vpp_at_restore = self._env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        state.session += 1
+
+    def _activation_corruption(
+        self, physical_row: int, state: RowState, trcd_used: float
+    ) -> Optional[np.ndarray]:
+        """Cells mis-sensed because ``trcd_used`` undercuts their
+        requirement at the current V_PP (Alg. 2's failure mode).
+
+        Hot path: the analytic base requirement is cached per V_PP and
+        the row's worst-case requirement is cached per row, so the
+        common case (ample tRCD) costs two lookups and a compare.
+        """
+        base_key = ("_trcd_base", self._env.vpp)
+        requirement_base = state.cache.get(base_key)
+        if requirement_base is None:
+            requirement_base = self._cal.activation.trcd_min(self._env.vpp)
+            state.cache[base_key] = requirement_base
+        if math.isinf(requirement_base):
+            # Below the conduction floor nothing senses correctly.
+            return self._charged_mask(physical_row, state.data)
+
+        row_factor = state.cache.get("_trcd_row_factor")
+        if row_factor is None:
+            row_factor = self._cells.trcd_row_factor(physical_row)
+            state.cache["_trcd_row_factor"] = row_factor
+        pattern_factor = self._cached(state, physical_row, "trcd_pattern_factors")[
+            state.pattern_index
+        ]
+        cell_factors = self._cached(state, physical_row, "cell_trcd_factors")
+        cell_max = state.cache.get("_trcd_cell_max")
+        if cell_max is None:
+            cell_max = float(cell_factors.max())
+            state.cache["_trcd_cell_max"] = cell_max
+        if requirement_base * row_factor * pattern_factor * cell_max <= trcd_used:
+            return None  # even the slowest cell is covered
+
+        requirement = requirement_base * row_factor * pattern_factor * cell_factors
+        corrupt = (requirement > trcd_used) & self._charged_mask(
+            physical_row, state.data
+        )
+        return corrupt if corrupt.any() else None
+
+    # -- commands -----------------------------------------------------------------
+
+    def activate(self, logical_row: int, trcd: float = None) -> None:
+        """ACT: open ``logical_row``, persisting its pending flips.
+
+        ``trcd`` is the activation latency the controller will respect
+        before the first read; if it undercuts cell requirements at the
+        current V_PP, those cells read corrupted until the row is closed.
+        ``None`` means "ample" (no activation corruption).
+        """
+        if self._open_row is not None:
+            raise DramCommandError(
+                f"bank {self._index}: ACT while row {self._open_row} is open"
+            )
+        self._check_row(logical_row)
+        physical = self._mapping.to_physical(logical_row)
+        state = self._state(physical)
+        self._persist_pending_flips(physical, state)
+        self._restore(physical, state)
+        # Every activation disturbs the physical neighbors -- RowHammer
+        # through the regular command path (system-level attacks issue
+        # plain reads; the disturbance must not depend on which API
+        # hammered the row).
+        self._damage_neighbors(physical, 1)
+        self._open_corrupt = (
+            None
+            if trcd is None
+            else self._activation_corruption(physical, state, trcd)
+        )
+        self._open_row = logical_row
+        self._written_columns = set()
+        self.total_activations += 1
+        if self._trr is not None:
+            self._trr.observe_activation(logical_row)
+
+    def precharge(self) -> None:
+        """PRE: close the open row (idempotent, like real PRE)."""
+        if self._open_row is None:
+            return
+        physical = self._mapping.to_physical(self._open_row)
+        state = self._rows[physical]
+        if len(self._written_columns) == self._geometry.columns:
+            # A full-row write establishes fresh charge and a known pattern.
+            pattern = classify_row_bits(state.data)
+            state.pattern_index = (
+                pattern.index if pattern is not None else OTHER_PATTERN_INDEX
+            )
+            self._restore(physical, state)
+        self._open_row = None
+        self._open_corrupt = None
+        self._written_columns = set()
+
+    def read_column(self, column: int) -> np.ndarray:
+        """RD: return the 64 bits of ``column`` from the open row."""
+        if self._open_row is None:
+            raise DramCommandError(f"bank {self._index}: RD with no open row")
+        self._check_column(column)
+        physical = self._mapping.to_physical(self._open_row)
+        state = self._rows[physical]
+        lo, hi = column * 64, (column + 1) * 64
+        bits = state.data[lo:hi].copy()
+        if self._open_corrupt is not None:
+            mask = self._open_corrupt[lo:hi]
+            bits[mask] = self._discharged_value(physical)
+        return bits
+
+    def write_column(self, column: int, bits: np.ndarray) -> None:
+        """WR: store 64 bits into ``column`` of the open row."""
+        if self._open_row is None:
+            raise DramCommandError(f"bank {self._index}: WR with no open row")
+        self._check_column(column)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (64,):
+            raise DramCommandError(
+                f"WR payload must be 64 bits, got shape {bits.shape}"
+            )
+        physical = self._mapping.to_physical(self._open_row)
+        state = self._rows[physical]
+        state.data[column * 64 : (column + 1) * 64] = bits
+        # Data changed: previously-flipped cells may be re-charged, so
+        # the cached flip guard (computed over the old charged set) is
+        # stale.
+        state.cache.pop("_flip_guard", None)
+        self._written_columns.add(column)
+
+    def read_row(self) -> np.ndarray:
+        """Convenience: all bits of the open row (column reads fused)."""
+        if self._open_row is None:
+            raise DramCommandError(f"bank {self._index}: read with no open row")
+        physical = self._mapping.to_physical(self._open_row)
+        state = self._rows[physical]
+        bits = state.data.copy()
+        if self._open_corrupt is not None:
+            bits[self._open_corrupt] = self._discharged_value(physical)
+        return bits
+
+    def write_row(self, bits: np.ndarray) -> None:
+        """Convenience: fill the open row (column writes fused)."""
+        if self._open_row is None:
+            raise DramCommandError(f"bank {self._index}: write with no open row")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self._geometry.row_bits,):
+            raise DramCommandError(
+                f"row payload must be {self._geometry.row_bits} bits"
+            )
+        physical = self._mapping.to_physical(self._open_row)
+        state = self._rows[physical]
+        state.data = bits.copy()
+        state.cache.pop("_flip_guard", None)  # see write_column
+        self._written_columns = set(range(self._geometry.columns))
+
+    # -- hammering -------------------------------------------------------------------
+
+    def hammer(self, aggressor_rows: Sequence[int], count: int) -> None:
+        """Apply ``count`` ACT/PRE cycles to each aggressor (logical) row.
+
+        The analytic equivalent of the unrolled activation loop: damage is
+        deposited on physical neighbors at distance 1 and 2, scaled by the
+        V_PP-dependent disturbance model evaluated at the *current*
+        operating point. Aggressor rows themselves end fully restored (each
+        activation restores them).
+        """
+        if self._open_row is not None:
+            raise DramCommandError(
+                f"bank {self._index}: hammer while row {self._open_row} is open"
+            )
+        if count < 0:
+            raise DramCommandError(f"hammer count must be >= 0: {count}")
+        for logical in aggressor_rows:
+            self._check_row(logical)
+            physical = self._mapping.to_physical(logical)
+            agg_state = self._state(physical)
+            self._persist_pending_flips(physical, agg_state)
+            self._restore(physical, agg_state)
+            self._damage_neighbors(physical, count)
+            self.total_activations += count
+            if self._trr is not None:
+                self._trr.observe_activation(logical, count=count)
+
+    # -- refresh ----------------------------------------------------------------------
+
+    def refresh(self) -> List[int]:
+        """REF: refresh the next chunk of rows (8192 REFs cover the bank).
+
+        Returns the logical rows refreshed, including any victims the TRR
+        defense chose to refresh alongside (Section 4.1's disabled-by-
+        withholding-REF behaviour: no REF, no TRR).
+        """
+        if self._open_row is not None:
+            raise DramCommandError(
+                f"bank {self._index}: REF while row {self._open_row} is open"
+            )
+        chunk = max(1, self._geometry.rows_per_bank // 8192)
+        start = self._refresh_cursor
+        refreshed: List[int] = []
+        for physical in range(start, min(start + chunk, self._geometry.rows_per_bank)):
+            if physical in self._rows:
+                state = self._rows[physical]
+                self._persist_pending_flips(physical, state)
+                self._restore(physical, state)
+            refreshed.append(self._mapping.to_logical(physical))
+        self._refresh_cursor = (start + chunk) % self._geometry.rows_per_bank
+        if self._trr is not None:
+            for victim_logical in self._trr.victims_to_refresh():
+                physical = self._mapping.to_physical(victim_logical)
+                if physical in self._rows:
+                    state = self._rows[physical]
+                    self._persist_pending_flips(physical, state)
+                    self._restore(physical, state)
+                refreshed.append(victim_logical)
+        return refreshed
+
+    def refresh_all(self) -> int:
+        """Refresh every materialized row in one pass (the controller's
+        per-tREFW sweep); returns the number of rows refreshed.
+
+        Equivalent to cycling REF through the whole bank, without paying
+        for the empty refresh slots of untouched rows.
+        """
+        if self._open_row is not None:
+            raise DramCommandError(
+                f"bank {self._index}: refresh while row {self._open_row} is open"
+            )
+        refreshed = 0
+        for physical, state in self._rows.items():
+            self._persist_pending_flips(physical, state)
+            self._restore(physical, state)
+            refreshed += 1
+        return refreshed
+
+    def refresh_rows(self, logical_rows: Sequence[int]) -> None:
+        """Refresh specific rows (selective double-rate refresh)."""
+        for logical in logical_rows:
+            self._check_row(logical)
+            physical = self._mapping.to_physical(logical)
+            state = self._rows.get(physical)
+            if state is None:
+                continue
+            self._persist_pending_flips(physical, state)
+            self._restore(physical, state)
+
+    # -- introspection (testing / reverse-engineering support) --------------------------
+
+    def materialized_rows(self) -> Iterable[int]:
+        """Physical rows that currently hold state."""
+        return self._rows.keys()
+
+    def row_hammer_damage(self, logical_row: int) -> float:
+        """Accumulated bulk-population damage on a row, in nominal-hammer
+        units (the outlier accumulator tracks separately)."""
+        self._check_row(logical_row)
+        physical = self._mapping.to_physical(logical_row)
+        state = self._rows.get(physical)
+        return 0.0 if state is None else state.damage_bulk

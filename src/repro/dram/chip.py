@@ -1,0 +1,67 @@
+"""Chip-level view of a module.
+
+DDR4 chips in a rank operate in lock-step: each chip serves a slice of
+every 64-bit beat (Section 2.1). The simulation therefore keeps array
+state at module level (one shared set of banks) and exposes chips as
+*views* that slice the shared row data -- which is exactly how the paper
+counts chips (e.g. "208 out of 272 tested DRAM chips"): a module-level
+behaviour statement covers all of its chips at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Chip:
+    """One DRAM chip of a lock-step rank.
+
+    Attributes
+    ----------
+    index:
+        Position of the chip in the rank.
+    width:
+        Device width in bits (x4 -> 4, x8 -> 8).
+    rank_width:
+        Total data-bus width of the rank (64 for non-ECC DDR4).
+    """
+
+    index: int
+    width: int
+    rank_width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.width not in (4, 8, 16):
+            raise ConfigurationError(f"unsupported device width: x{self.width}")
+        if self.rank_width % self.width:
+            raise ConfigurationError(
+                f"rank width {self.rank_width} not divisible by x{self.width}"
+            )
+        chips = self.rank_width // self.width
+        if not 0 <= self.index < chips:
+            raise ConfigurationError(
+                f"chip index {self.index} out of range for {chips} chips"
+            )
+
+    def bit_positions(self, row_bits: int) -> np.ndarray:
+        """Indices of this chip's cells within a module row.
+
+        Beat ``k`` of a row maps bits ``[64k, 64(k+1))`` across the rank;
+        this chip owns ``width`` consecutive bits of each beat.
+        """
+        if row_bits % self.rank_width:
+            raise ConfigurationError(
+                f"row_bits {row_bits} not divisible by rank width"
+            )
+        beats = row_bits // self.rank_width
+        base = np.arange(beats) * self.rank_width + self.index * self.width
+        return (base[:, None] + np.arange(self.width)[None, :]).ravel()
+
+    def slice_row(self, row_bits_vector: np.ndarray) -> np.ndarray:
+        """This chip's share of a module row's bits."""
+        return row_bits_vector[self.bit_positions(row_bits_vector.size)]

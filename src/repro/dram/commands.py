@@ -1,0 +1,102 @@
+"""DDR4 command vocabulary.
+
+The device model consumes a stream of :class:`Command` records. Only the
+commands the paper's tests exercise are modeled: ACT, PRE, RD, WR, REF,
+plus NOP for explicit waits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class CommandKind(enum.Enum):
+    """The DDR4 command types relevant to the paper's experiments."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    NOP = "NOP"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A single DRAM command with its operands.
+
+    Attributes
+    ----------
+    kind:
+        The command type.
+    bank:
+        Target bank index; required for ACT/PRE/RD/WR.
+    row:
+        Target row address; required for ACT.
+    column:
+        Target column address; required for RD/WR.
+    data:
+        Write payload for WR commands: a uint8 numpy array of the column's
+        byte width.
+    """
+
+    kind: CommandKind
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    column: Optional[int] = None
+    data: Optional[np.ndarray] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        needs_bank = self.kind in (
+            CommandKind.ACT,
+            CommandKind.PRE,
+            CommandKind.RD,
+            CommandKind.WR,
+        )
+        if needs_bank and self.bank is None:
+            raise ConfigurationError(f"{self.kind.value} requires a bank operand")
+        if self.kind is CommandKind.ACT and self.row is None:
+            raise ConfigurationError("ACT requires a row operand")
+        if self.kind in (CommandKind.RD, CommandKind.WR) and self.column is None:
+            raise ConfigurationError(f"{self.kind.value} requires a column operand")
+        if self.kind is CommandKind.WR and self.data is None:
+            raise ConfigurationError("WR requires a data payload")
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def act(cls, bank: int, row: int) -> "Command":
+        """Activate ``row`` in ``bank``."""
+        return cls(CommandKind.ACT, bank=bank, row=row)
+
+    @classmethod
+    def pre(cls, bank: int) -> "Command":
+        """Precharge ``bank``."""
+        return cls(CommandKind.PRE, bank=bank)
+
+    @classmethod
+    def rd(cls, bank: int, column: int) -> "Command":
+        """Read ``column`` from the open row of ``bank``."""
+        return cls(CommandKind.RD, bank=bank, column=column)
+
+    @classmethod
+    def wr(cls, bank: int, column: int, data: np.ndarray) -> "Command":
+        """Write ``data`` to ``column`` of the open row of ``bank``."""
+        return cls(CommandKind.WR, bank=bank, column=column, data=data)
+
+    @classmethod
+    def ref(cls) -> "Command":
+        """Refresh command (advances the device's internal refresh state
+        and feeds TRR trackers, when present)."""
+        return cls(CommandKind.REF)
+
+    @classmethod
+    def nop(cls) -> "Command":
+        """No-operation; used to encode explicit waits."""
+        return cls(CommandKind.NOP)

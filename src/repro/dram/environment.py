@@ -1,0 +1,45 @@
+"""Shared operating environment of a simulated module.
+
+The wordline voltage, device temperature and simulated wall-clock are
+set by the infrastructure (power supply, temperature controller, host)
+and read by every bank when it evaluates fault physics. Keeping them in
+one mutable object mirrors the physical reality that all banks of a
+module share the same rails and thermal state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram import constants
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ModuleEnvironment:
+    """Mutable operating conditions shared across a module's banks."""
+
+    vpp: float = constants.NOMINAL_VPP
+    vdd: float = constants.NOMINAL_VDD
+    temperature: float = constants.ROWHAMMER_TEST_TEMPERATURE
+    now: float = 0.0  # simulated time [s]
+
+    def advance(self, dt: float) -> None:
+        """Advance the simulated clock by ``dt`` seconds."""
+        if dt < 0:
+            raise ConfigurationError(f"cannot advance time backwards: {dt}")
+        self.now += dt
+
+    def set_vpp(self, vpp: float) -> None:
+        """Drive the wordline-voltage rail."""
+        if vpp <= 0:
+            raise ConfigurationError(f"vpp must be positive: {vpp}")
+        self.vpp = vpp
+
+    def set_temperature(self, temperature: float) -> None:
+        """Set the device temperature [degC]."""
+        if not -50.0 <= temperature <= 150.0:
+            raise ConfigurationError(
+                f"temperature out of supported range: {temperature}"
+            )
+        self.temperature = temperature

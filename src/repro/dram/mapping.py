@@ -1,0 +1,197 @@
+"""DRAM-internal logical-to-physical row address mapping.
+
+DRAM manufacturers remap the row addresses exposed on the interface to
+physical row locations -- for post-manufacturing repair and cost-optimized
+internal organization (Section 4.2, "Finding Physically Adjacent Rows").
+Double-sided hammering therefore cannot simply use ``row +- 1``: the test
+pipeline must first reverse-engineer the physical neighbors of each
+victim, as the paper does following [11, 12].
+
+Three mapping families cover the schemes documented for the three major
+manufacturers in the reverse-engineering literature:
+
+* :class:`DirectMapping` -- identity (logical order == physical order).
+* :class:`MirroredMapping` -- alternate pairs are swapped
+  (physical order 0, 1, 3, 2, 4, 5, 7, 6, ... ), the well-known
+  "mirrored even/odd" layout.
+* :class:`ScrambledMapping` -- a low-order bit-permutation XOR scramble,
+  parameterized per module.
+
+All mappings are bijections on ``range(num_rows)`` and expose both
+directions plus the physical-neighbor query the RowHammer tests need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, DramAddressError
+
+
+class RowMapping:
+    """Base class: a bijection between logical and physical row addresses."""
+
+    def __init__(self, num_rows: int):
+        if num_rows < 2:
+            raise ConfigurationError(f"num_rows must be >= 2: {num_rows}")
+        self._num_rows = num_rows
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the bank."""
+        return self._num_rows
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self._num_rows:
+            raise DramAddressError(
+                f"row {row} out of range [0, {self._num_rows})"
+            )
+
+    def to_physical(self, logical_row: int) -> int:
+        """Physical location of a logical (interface) row address."""
+        raise NotImplementedError
+
+    def to_logical(self, physical_row: int) -> int:
+        """Interface address of a physical row location."""
+        raise NotImplementedError
+
+    def physical_neighbors(self, logical_row: int, distance: int = 1) -> List[int]:
+        """Logical addresses of the rows at physical distance ``distance``.
+
+        These are the aggressor rows a double-sided attack on
+        ``logical_row`` must activate (for ``distance == 1``). Rows at the
+        edge of the bank have only one neighbor.
+        """
+        if distance < 1:
+            raise ConfigurationError(f"distance must be >= 1: {distance}")
+        self._check(logical_row)
+        phys = self.to_physical(logical_row)
+        neighbors = []
+        for candidate in (phys - distance, phys + distance):
+            if 0 <= candidate < self._num_rows:
+                neighbors.append(self.to_logical(candidate))
+        return neighbors
+
+
+class DirectMapping(RowMapping):
+    """Identity mapping: logical row N is physical row N."""
+
+    def to_physical(self, logical_row: int) -> int:
+        self._check(logical_row)
+        return logical_row
+
+    def to_logical(self, physical_row: int) -> int:
+        self._check(physical_row)
+        return physical_row
+
+
+class MirroredMapping(RowMapping):
+    """Mirrored even/odd pair layout.
+
+    Physical order of logical addresses: 0, 1, 3, 2, 4, 5, 7, 6, ...
+    i.e. within each group of four, the last two logical rows are swapped.
+    This mapping is an involution (it is its own inverse).
+    """
+
+    @staticmethod
+    def _swap(row: int) -> int:
+        if row % 4 in (2, 3):
+            return row ^ 0x1
+        return row
+
+    def to_physical(self, logical_row: int) -> int:
+        self._check(logical_row)
+        mapped = self._swap(logical_row)
+        if mapped >= self._num_rows:  # odd-sized tail: leave unmapped
+            return logical_row
+        return mapped
+
+    def to_logical(self, physical_row: int) -> int:
+        self._check(physical_row)
+        mapped = self._swap(physical_row)
+        if mapped >= self._num_rows:
+            return physical_row
+        return mapped
+
+
+@dataclass(frozen=True)
+class ScrambleSpec:
+    """Parameters of a :class:`ScrambledMapping`.
+
+    ``xor_mask`` is XORed into the low bits of the address; ``bit_swaps``
+    is a sequence of (i, j) bit-position pairs exchanged afterwards. Both
+    operations are involutions, so the composite applied in reverse order
+    inverts the mapping.
+    """
+
+    xor_mask: int = 0
+    bit_swaps: Sequence = ()
+
+
+class ScrambledMapping(RowMapping):
+    """Bit-level XOR + bit-swap address scramble.
+
+    Only masks/swaps confined to the address width are valid; the mapping
+    is checked to be a bijection at construction time for small banks and
+    by algebra (XOR and bit swaps are bijective) in general.
+    """
+
+    def __init__(self, num_rows: int, spec: ScrambleSpec):
+        super().__init__(num_rows)
+        if num_rows & (num_rows - 1):
+            raise ConfigurationError(
+                f"ScrambledMapping requires a power-of-two row count: {num_rows}"
+            )
+        width = num_rows.bit_length() - 1
+        if spec.xor_mask < 0 or spec.xor_mask >= num_rows:
+            raise ConfigurationError(
+                f"xor_mask {spec.xor_mask:#x} exceeds address width {width}"
+            )
+        for i, j in spec.bit_swaps:
+            if not (0 <= i < width and 0 <= j < width):
+                raise ConfigurationError(
+                    f"bit swap ({i}, {j}) exceeds address width {width}"
+                )
+        self._spec = spec
+
+    @property
+    def spec(self) -> ScrambleSpec:
+        """The scramble parameters."""
+        return self._spec
+
+    @staticmethod
+    def _swap_bits(value: int, i: int, j: int) -> int:
+        bit_i = (value >> i) & 1
+        bit_j = (value >> j) & 1
+        if bit_i != bit_j:
+            value ^= (1 << i) | (1 << j)
+        return value
+
+    def to_physical(self, logical_row: int) -> int:
+        self._check(logical_row)
+        value = logical_row ^ self._spec.xor_mask
+        for i, j in self._spec.bit_swaps:
+            value = self._swap_bits(value, i, j)
+        return value
+
+    def to_logical(self, physical_row: int) -> int:
+        self._check(physical_row)
+        value = physical_row
+        for i, j in reversed(tuple(self._spec.bit_swaps)):
+            value = self._swap_bits(value, i, j)
+        return value ^ self._spec.xor_mask
+
+
+def make_mapping(kind: str, num_rows: int, spec: ScrambleSpec = None) -> RowMapping:
+    """Factory used by vendor profiles.
+
+    ``kind`` is one of ``"direct"``, ``"mirrored"``, ``"scrambled"``.
+    """
+    if kind == "direct":
+        return DirectMapping(num_rows)
+    if kind == "mirrored":
+        return MirroredMapping(num_rows)
+    if kind == "scrambled":
+        return ScrambledMapping(num_rows, spec or ScrambleSpec(xor_mask=0b110))
+    raise ConfigurationError(f"unknown mapping kind: {kind!r}")

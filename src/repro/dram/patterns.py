@@ -1,0 +1,91 @@
+"""The six standard test data patterns (Section 4.1).
+
+The paper uses row stripe (0xFF/0x00), checkerboard (0xAA/0x55) and
+thick checker (0xCC/0x33): six victim-row fill bytes, each hammered with
+aggressor rows holding the bitwise inverse. A :class:`DataPattern` knows
+its fill byte, its inverse, and its slot in the per-row coupling-factor
+tables of :mod:`repro.dram.cell`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DataPattern:
+    """One victim-row test data pattern."""
+
+    name: str
+    fill_byte: int
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.fill_byte <= 0xFF:
+            raise ConfigurationError(f"fill_byte out of range: {self.fill_byte}")
+
+    @property
+    def inverse_byte(self) -> int:
+        """Aggressor-row fill byte (bitwise inverse of the victim's)."""
+        return self.fill_byte ^ 0xFF
+
+    def row_bits(self, row_bits: int) -> np.ndarray:
+        """The victim-row content as a bit vector (LSB-first per byte)."""
+        return np.unpackbits(
+            np.full(row_bits // 8, self.fill_byte, dtype=np.uint8),
+            bitorder="little",
+        )
+
+    def inverse_bits(self, row_bits: int) -> np.ndarray:
+        """The aggressor-row content as a bit vector."""
+        return np.unpackbits(
+            np.full(row_bits // 8, self.inverse_byte, dtype=np.uint8),
+            bitorder="little",
+        )
+
+
+#: The six patterns of Section 4.1, in a fixed slot order.
+STANDARD_PATTERNS: List[DataPattern] = [
+    DataPattern("rowstripe-1", 0xFF, 0),
+    DataPattern("rowstripe-0", 0x00, 1),
+    DataPattern("checkerboard-a", 0xAA, 2),
+    DataPattern("checkerboard-5", 0x55, 3),
+    DataPattern("thickchecker-c", 0xCC, 4),
+    DataPattern("thickchecker-3", 0x33, 5),
+]
+
+_BYTE_TO_PATTERN = {p.fill_byte: p for p in STANDARD_PATTERNS}
+
+
+def pattern_by_name(name: str) -> DataPattern:
+    """Look up a standard pattern by name."""
+    for pattern in STANDARD_PATTERNS:
+        if pattern.name == name:
+            return pattern
+    raise ConfigurationError(
+        f"unknown pattern {name!r}; available: "
+        f"{[p.name for p in STANDARD_PATTERNS]}"
+    )
+
+
+def classify_row_bits(bits: np.ndarray) -> Optional[DataPattern]:
+    """Identify which standard pattern (if any) a row's content matches.
+
+    Returns None for content that is not a uniform fill with one of the
+    six standard bytes. The device model uses this to index its per-row
+    pattern coupling factors.
+    """
+    if bits.size % 8:
+        return None
+    row_bytes = np.packbits(bits.astype(np.uint8), bitorder="little")
+    first = int(row_bytes[0])
+    if first not in _BYTE_TO_PATTERN:
+        return None
+    if not np.all(row_bytes == first):
+        return None
+    return _BYTE_TO_PATTERN[first]

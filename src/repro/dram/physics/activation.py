@@ -1,0 +1,129 @@
+"""Row-activation latency model (Section 6.1 of the paper).
+
+Activation has two phases:
+
+1. **Charge sharing** -- the cell dumps its charge onto the bitline
+   through the access transistor; its duration grows as the channel
+   overdrive shrinks.
+2. **Sensing** -- the sense amplifier amplifies the bitline perturbation
+   to a reliably readable level; its duration grows when the initial
+   perturbation is smaller, which happens when the cell was restored only
+   to the reduced saturation voltage (Observation 8's "two reasons").
+
+Calibration: with the SPICE threshold (V_TH = 0.72 V) and default
+coefficients, ``trcd_min`` is 11.6 ns at V_PP = 2.5 V and ~13.6 ns at
+1.7 V, matching the Monte-Carlo means of Observation 8, and crosses the
+13.5 ns nominal just below 1.7 V, consistent with footnote 13 (SPICE
+predicts unreliability for V_PP <= 1.6 V). The behavioral chip model
+reuses this shape with per-module effective thresholds and scale factors
+to produce the Figure 7 fan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram.physics.restoration import RestorationModel
+from repro.dram.physics.transistor import AccessTransistorModel
+from repro.errors import ConfigurationError
+from repro.units import ns
+
+
+@dataclass(frozen=True)
+class ActivationModel:
+    """Analytic tRCD_min(V_PP) model.
+
+    Parameters
+    ----------
+    restoration:
+        Restoration model; supplies the saturation voltage that sets the
+        charge-sharing perturbation magnitude.
+    t_wordline:
+        Fixed wordline rise / decoder delay [s].
+    k_share:
+        Charge-sharing duration at nominal overdrive [s].
+    p_share:
+        Exponent of the overdrive dependence of charge sharing. The
+        effective dependence is sub-linear because the channel overdrive
+        recovers as the cell discharges onto the bitline.
+    k_sense:
+        Sensing duration at full perturbation [s].
+    p_sense:
+        Exponent of the perturbation dependence of sensing (logarithmic
+        amplification makes this weak).
+    v_bitline_ref:
+        Source-side reference voltage used for the overdrive during charge
+        sharing [V]; the bitline starts precharged to V_DD/2 but the
+        relevant average is lower because sharing completes early.
+    """
+
+    restoration: RestorationModel = RestorationModel()
+    t_wordline: float = ns(2.0)
+    k_share: float = ns(2.0)
+    p_share: float = 0.5
+    k_sense: float = ns(7.6)
+    p_sense: float = 0.3
+    v_bitline_ref: float = 0.3
+
+    def __post_init__(self) -> None:
+        for name in ("t_wordline", "k_share", "k_sense"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        for name in ("p_share", "p_sense"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+
+    @property
+    def transistor(self) -> AccessTransistorModel:
+        """The underlying access transistor model."""
+        return self.restoration.transistor
+
+    def _overdrive(self, vpp: float) -> float:
+        return self.transistor.overdrive(vpp, self.v_bitline_ref)
+
+    def charge_sharing_time(self, vpp: float) -> float:
+        """Duration of the charge-sharing phase at ``vpp`` [s]."""
+        od = self._overdrive(vpp)
+        od_nom = self._overdrive(self.restoration.nominal_vpp)
+        if od <= 1e-6:
+            return math.inf
+        return self.k_share * (od_nom / od) ** self.p_share
+
+    def perturbation_ratio(self, vpp: float) -> float:
+        """Bitline swing relative to the fully-charged nominal case.
+
+        A cell restored only to the saturation voltage perturbs the
+        bitline proportionally less (the second mechanism of
+        Observation 8).
+        """
+        v_ref = 0.5 * self.restoration.vdd
+        swing = max(1e-3, self.restoration.saturation_voltage(vpp) - v_ref)
+        swing_nom = max(
+            1e-3,
+            self.restoration.saturation_voltage(self.restoration.nominal_vpp) - v_ref,
+        )
+        return swing / swing_nom
+
+    def sensing_time(self, vpp: float) -> float:
+        """Duration of the sensing phase at ``vpp`` [s]."""
+        return self.k_sense / self.perturbation_ratio(vpp) ** self.p_sense
+
+    def trcd_min(self, vpp: float) -> float:
+        """Minimum reliable activation latency at ``vpp`` [s].
+
+        ``inf`` when the access transistor cannot conduct (below the
+        device's hard V_PP floor).
+        """
+        share = self.charge_sharing_time(vpp)
+        if math.isinf(share):
+            return math.inf
+        return self.t_wordline + share + self.sensing_time(vpp)
+
+    def trcd_ratio(self, vpp: float) -> float:
+        """tRCD_min at ``vpp`` relative to nominal V_PP (>= 1 for lower V_PP)."""
+        nominal = self.trcd_min(self.restoration.nominal_vpp)
+        value = self.trcd_min(vpp)
+        if math.isinf(value):
+            return math.inf
+        return value / nominal

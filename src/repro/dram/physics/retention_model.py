@@ -1,0 +1,130 @@
+"""Data-retention model (Section 6.3 of the paper).
+
+A DRAM cell leaks charge and loses its data after its *retention time*.
+Two V_PP effects matter for the paper:
+
+* A cell restored only to the reduced saturation voltage starts with less
+  charge, so it crosses the sensing threshold sooner -- retention time
+  scales with the charge margin (Observation 12).
+* Temperature accelerates leakage; the paper tests retention at 80 degC
+  and cites the standard rule of roughly halving retention per +10 degC.
+
+The model scales a cell's *nominal* retention time (sampled per cell at
+80 degC and nominal V_PP by the vendor profile) by a margin factor and a
+temperature factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.dram.physics.restoration import RestorationModel
+from repro.errors import ConfigurationError
+from repro.units import ns
+
+ArrayLike = Union[float, np.ndarray]
+
+#: Time the sense amplifier restores a cell during a normal access or
+#: refresh (the nominal tRAS).
+NOMINAL_RESTORE_TIME = ns(32.0)
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """V_PP- and temperature-dependent retention-time scaling.
+
+    Parameters
+    ----------
+    restoration:
+        Restoration model providing the charge-margin ratio.
+    beta_retention:
+        Exponent of the margin dependence. Leakage current is roughly
+        constant near the stored level, so retention falls about linearly
+        with the initial margin; ``1.0`` by default.
+    reference_temperature:
+        Temperature [degC] at which nominal retention times are defined
+        (the paper's retention tests run at 80 degC).
+    halving_per_degc:
+        Retention halves every this-many degC of temperature increase
+        (about 10 degC for modern DRAM; see the paper's Section 4.1
+        citations [74, 77, 120]).
+    """
+
+    restoration: RestorationModel = RestorationModel()
+    beta_retention: float = 1.0
+    reference_temperature: float = 80.0
+    halving_per_degc: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.beta_retention <= 0:
+            raise ConfigurationError(
+                f"beta_retention must be > 0: {self.beta_retention}"
+            )
+        if self.halving_per_degc <= 0:
+            raise ConfigurationError(
+                f"halving_per_degc must be > 0: {self.halving_per_degc}"
+            )
+
+    def margin_factor(self, vpp: float) -> float:
+        """Retention multiplier from the restored charge margin at ``vpp``.
+
+        Uses the charge actually restored within the nominal tRAS rather
+        than the asymptotic saturation level: the restoration slowdown at
+        reduced V_PP (Observation 11) erodes the stored charge *gradually*
+        across the whole V_PP range, which is what makes the Figure 10a
+        curves separate level by level rather than only below the
+        saturation knee.
+        """
+        v_read = 0.6
+        restored = self.restoration.restored_voltage(
+            vpp, NOMINAL_RESTORE_TIME
+        )
+        restored_nominal = self.restoration.restored_voltage(
+            self.restoration.nominal_vpp, NOMINAL_RESTORE_TIME
+        )
+        margin = max(1e-3, restored - v_read)
+        margin_nominal = max(1e-3, restored_nominal - v_read)
+        return (margin / margin_nominal) ** self.beta_retention
+
+    def temperature_factor(self, temperature: float) -> float:
+        """Retention multiplier at ``temperature`` relative to reference."""
+        return 2.0 ** (
+            (self.reference_temperature - temperature) / self.halving_per_degc
+        )
+
+    def retention_time(
+        self,
+        nominal_retention: ArrayLike,
+        vpp: float,
+        temperature: float = 80.0,
+        restored_fraction: float = 1.0,
+    ) -> ArrayLike:
+        """Effective retention time(s) under the given conditions.
+
+        Parameters
+        ----------
+        nominal_retention:
+            Per-cell retention time(s) at nominal V_PP and the reference
+            temperature [s].
+        vpp:
+            Wordline voltage during the last restoration of the cell.
+        temperature:
+            Device temperature [degC].
+        restored_fraction:
+            Fraction of the full restoration achieved (1.0 when the row
+            was held open for at least tRAS_min; lower if restoration was
+            cut short). Scales the margin linearly.
+        """
+        if not 0.0 < restored_fraction <= 1.0:
+            raise ConfigurationError(
+                f"restored_fraction must be in (0, 1]: {restored_fraction}"
+            )
+        factor = (
+            self.margin_factor(vpp)
+            * self.temperature_factor(temperature)
+            * restored_fraction**self.beta_retention
+        )
+        return np.asarray(nominal_retention) * factor

@@ -1,0 +1,44 @@
+"""Serial Presence Detect (SPD) metadata emulation.
+
+Real DIMMs carry an SPD EEPROM describing the module; the paper reads
+die revisions and organization from it (Appendix A, footnote 15 -- and
+notes that some DIMM vendors blank those fields, which we reproduce:
+profiles with ``"-"`` markings surface as ``None`` here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.profiles import ModuleProfile
+
+
+@dataclass(frozen=True)
+class SpdRecord:
+    """Decoded SPD contents of a simulated DIMM."""
+
+    dimm_model: str
+    manufacturer: str
+    die_density: str
+    frequency_mts: int
+    chip_org: str
+    die_revision: Optional[str]
+    manufacturing_date: Optional[str]
+
+    @classmethod
+    def from_profile(cls, profile: ModuleProfile) -> "SpdRecord":
+        """Build the SPD view of a Table 3 module profile."""
+
+        def _or_none(value: str) -> Optional[str]:
+            return None if value in ("-", "") else value
+
+        return cls(
+            dimm_model=profile.dimm_model,
+            manufacturer=profile.vendor.display_name,
+            die_density=profile.die_density,
+            frequency_mts=profile.frequency_mts,
+            chip_org=profile.chip_org,
+            die_revision=_or_none(profile.die_revision),
+            manufacturing_date=_or_none(profile.mfr_date),
+        )

@@ -1,0 +1,87 @@
+"""DRAM timing parameter sets.
+
+A :class:`TimingParameters` instance describes the timings the *memory
+controller* uses when driving a module. The device model compares these
+against the per-row physical requirements (which depend on V_PP) to decide
+whether an access completes reliably: e.g. activating with a ``trcd``
+shorter than the row's physical ``tRCDmin`` yields activation bit flips,
+exactly as in the paper's Alg. 2 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dram import constants
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Controller-side DRAM timing parameters, in seconds.
+
+    Attributes
+    ----------
+    trcd:
+        Row activation latency: ACT to first RD/WR.
+    tras:
+        Charge restoration latency: ACT to PRE.
+    trp:
+        Precharge latency: PRE to next ACT.
+    trefw:
+        Refresh window: the guaranteed maximum interval between refreshes
+        of any given row.
+    """
+
+    trcd: float = constants.NOMINAL_TRCD
+    tras: float = constants.NOMINAL_TRAS
+    trp: float = constants.NOMINAL_TRP
+    trefw: float = constants.NOMINAL_TREFW
+
+    def __post_init__(self) -> None:
+        for name in ("trcd", "tras", "trp", "trefw"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.tras < self.trcd:
+            raise ConfigurationError(
+                f"tras ({self.tras}) must be >= trcd ({self.trcd}): a row "
+                "cannot finish restoration before its activation completes"
+            )
+
+    @property
+    def trc(self) -> float:
+        """Minimum ACT-to-ACT interval for one bank (tRAS + tRP)."""
+        return self.tras + self.trp
+
+    def with_trcd(self, trcd: float) -> "TimingParameters":
+        """Return a copy with a different activation latency.
+
+        ``tras`` is stretched if needed so the invariant tRAS >= tRCD holds;
+        this mirrors how a real controller would program a longer tRCD.
+        """
+        return replace(self, trcd=trcd, tras=max(self.tras, trcd))
+
+    def with_trefw(self, trefw: float) -> "TimingParameters":
+        """Return a copy with a different refresh window."""
+        return replace(self, trefw=trefw)
+
+    @classmethod
+    def nominal(cls) -> "TimingParameters":
+        """The JEDEC nominal DDR4 timing set used by the paper."""
+        return cls()
+
+
+def quantize_to_command_clock(
+    value: float, clock: float = constants.SOFTMC_COMMAND_CLOCK
+) -> float:
+    """Round ``value`` up to the next SoftMC command-clock edge.
+
+    The paper's infrastructure can only issue commands on a 1.5 ns grid
+    (footnote 10); every programmed timing is therefore a multiple of the
+    command clock.
+    """
+    if value <= 0:
+        raise ConfigurationError(f"timing value must be positive, got {value}")
+    cycles = int(round(value / clock + 0.5 - 1e-12))
+    return max(1, cycles) * clock

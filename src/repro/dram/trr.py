@@ -1,0 +1,110 @@
+"""In-DRAM Target Row Refresh (TRR) defense model.
+
+Modern DDR4 chips ship with proprietary on-die RowHammer defenses that
+track aggressor activations and refresh likely victims *during REF
+commands* (Section 4.1, references [36, 43]). The paper disables TRR by
+simply never issuing REF -- every TRR implementation needs REF windows to
+act -- and our model reproduces exactly that property: the tracker
+observes activations continuously but can only refresh victims when
+:meth:`victims_to_refresh` is invoked from a REF.
+
+The tracker is a Misra-Gries style frequent-item counter table, the
+mechanism reverse-engineered for several vendor TRRs by U-TRR [43].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dram.mapping import RowMapping
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrrConfig:
+    """Tuning of the TRR tracker.
+
+    Attributes
+    ----------
+    table_size:
+        Number of aggressor counters the tracker maintains.
+    action_threshold:
+        Activation count above which a tracked row's neighbors are
+        refreshed at the next REF.
+    neighbor_distance:
+        How far around an aggressor the victim refresh reaches.
+    """
+
+    table_size: int = 16
+    action_threshold: int = 4096
+    neighbor_distance: int = 1
+
+    def __post_init__(self) -> None:
+        if self.table_size < 1:
+            raise ConfigurationError(f"table_size must be >= 1: {self.table_size}")
+        if self.action_threshold < 1:
+            raise ConfigurationError(
+                f"action_threshold must be >= 1: {self.action_threshold}"
+            )
+
+
+class TargetRowRefresh:
+    """Counter-table TRR tracker for one bank."""
+
+    def __init__(self, mapping: RowMapping, config: TrrConfig = None):
+        self._mapping = mapping
+        self._config = config or TrrConfig()
+        self._counters: Dict[int, int] = {}
+
+    @property
+    def config(self) -> TrrConfig:
+        """The tracker's configuration."""
+        return self._config
+
+    def observe_activation(self, logical_row: int, count: int = 1) -> None:
+        """Record ``count`` activations of ``logical_row``.
+
+        Misra-Gries update: increment if tracked; insert if space;
+        otherwise decrement every counter (evicting zeros), which keeps
+        heavy hitters tracked without per-row state.
+        """
+        if count < 1:
+            return
+        counters = self._counters
+        if logical_row in counters:
+            counters[logical_row] += count
+            return
+        if len(counters) < self._config.table_size:
+            counters[logical_row] = count
+            return
+        decrement = min(count, min(counters.values()))
+        for row in list(counters):
+            counters[row] -= decrement
+            if counters[row] <= 0:
+                del counters[row]
+        remaining = count - decrement
+        if remaining > 0 and len(counters) < self._config.table_size:
+            counters[logical_row] = remaining
+
+    def victims_to_refresh(self) -> List[int]:
+        """Rows to refresh during this REF (called by the bank).
+
+        Selects the hottest tracked aggressor above the action threshold,
+        resets its counter, and returns its physical neighbors' logical
+        addresses.
+        """
+        if not self._counters:
+            return []
+        hottest = max(self._counters, key=self._counters.get)
+        if self._counters[hottest] < self._config.action_threshold:
+            return []
+        self._counters[hottest] = 0
+        victims: List[int] = []
+        for distance in range(1, self._config.neighbor_distance + 1):
+            victims.extend(self._mapping.physical_neighbors(hottest, distance))
+        return victims
+
+    def tracked_rows(self) -> Dict[int, int]:
+        """Snapshot of the counter table (for tests and demos)."""
+        return dict(self._counters)

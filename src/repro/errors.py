@@ -1,0 +1,81 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class DramError(ReproError):
+    """Base class for errors raised by the DRAM device model."""
+
+
+class DramCommandError(DramError):
+    """A DRAM command was issued in an illegal state.
+
+    For example: activating a row in a bank that already has an open row,
+    or reading from a precharged bank.
+    """
+
+
+class DramTimingError(DramError):
+    """A DRAM command violated a timing constraint of the device model."""
+
+
+class DramAddressError(DramError):
+    """An address (row, column, bank) is out of range for the device."""
+
+
+class SoftMCError(ReproError):
+    """Base class for errors raised by the SoftMC infrastructure model."""
+
+
+class ProgramError(SoftMCError):
+    """A SoftMC program is malformed (bad operands, missing labels, ...)."""
+
+
+class CommunicationError(SoftMCError):
+    """The DRAM module cannot communicate with the FPGA.
+
+    Raised when the module is operated below its minimum wordline voltage
+    (``V_PPmin``) -- the condition that defines ``V_PPmin`` in the paper's
+    methodology (Section 4.1).
+    """
+
+
+class PowerSupplyError(SoftMCError):
+    """The external power supply was driven outside its supported range."""
+
+
+class SpiceError(ReproError):
+    """Base class for errors raised by the SPICE-class circuit simulator."""
+
+
+class NetlistError(SpiceError):
+    """A circuit netlist is malformed (dangling node, duplicate name, ...)."""
+
+
+class ConvergenceError(SpiceError):
+    """The Newton iteration of the transient solver failed to converge."""
+
+
+class AnalysisError(ReproError):
+    """An analysis step received inconsistent or insufficient result data."""
+
+
+class EccError(ReproError):
+    """Base class for ECC codec errors."""
+
+
+class UncorrectableError(EccError):
+    """A codeword contained more errors than the code can correct."""

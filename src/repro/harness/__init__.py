@@ -1,0 +1,21 @@
+"""Experiment harness: one runnable target per paper artifact.
+
+Every table and figure of the paper's evaluation maps to an experiment
+module under :mod:`repro.harness.experiments`, registered by id
+(``"table3"``, ``"fig8"``, ...) in :mod:`repro.harness.registry`. Each
+experiment returns an :class:`~repro.harness.output.ExperimentOutput`
+holding the regenerated rows/series, printable tables, and
+paper-vs-measured notes; :mod:`repro.harness.runner` executes them and
+:mod:`repro.harness.export` serializes results.
+"""
+
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.registry import EXPERIMENT_IDS, get_experiment, run_experiment
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentOutput",
+    "ExperimentTable",
+    "get_experiment",
+    "run_experiment",
+]

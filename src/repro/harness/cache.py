@@ -1,0 +1,78 @@
+"""In-process study cache.
+
+Several figures share one underlying campaign (Figures 3-6 all consume
+the RowHammer study; Figures 10-11 the retention study). Experiments
+fetch studies through this cache so that running ``fig3`` and ``fig5``
+in one process performs the campaign once. Keys include the scale, the
+seed and the module tuple, so differently-scoped runs never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.core.scale import StudyScale
+from repro.core.study import CharacterizationStudy, StudyResult
+
+#: Default module subset used by the benchmark harness: two per vendor,
+#: chosen to cover the paper's interesting behaviours (strong V_PP
+#: responders B3/C5, reversal module B9, tRCD offenders A0/B2, the
+#: near-insensitive A4).
+BENCH_MODULES = ("A0", "A4", "B3", "B9", "C5", "C9")
+
+_CACHE: Dict[Tuple, StudyResult] = {}
+
+
+def _key(tests, modules, scale, seed) -> Tuple:
+    return (tuple(sorted(tests)), tuple(modules), scale, seed)
+
+
+def get_study(
+    tests: Sequence[str],
+    modules: Sequence[str] = BENCH_MODULES,
+    scale: StudyScale = None,
+    seed: int = 0,
+) -> StudyResult:
+    """Run (or reuse) a campaign for the given tests and modules."""
+    scale = scale or StudyScale.bench()
+    key = _key(tests, modules, scale, seed)
+    if key not in _CACHE:
+        study = CharacterizationStudy(scale=scale, seed=seed)
+        _CACHE[key] = study.run(modules=modules, tests=tuple(tests))
+    return _CACHE[key]
+
+
+def preload_study(
+    study: StudyResult,
+    tests: Sequence[str],
+    modules: Sequence[str],
+    seed: int = 0,
+) -> None:
+    """Install an externally-produced study (parallel campaign, loaded
+    from disk) so subsequent ``get_study`` calls reuse it."""
+    _CACHE[_key(tests, modules, study.scale, seed)] = study
+
+
+def preload_parallel(
+    tests_list: Sequence[Sequence[str]],
+    modules: Sequence[str] = BENCH_MODULES,
+    scale: StudyScale = None,
+    seed: int = 0,
+    max_workers: int = None,
+) -> None:
+    """Run the campaigns the figure experiments will need, with one
+    worker process per module, and install them in the cache."""
+    from repro.core.campaign import run_parallel
+
+    scale = scale or StudyScale.bench()
+    for tests in tests_list:
+        study = run_parallel(
+            modules, scale=scale, seed=seed, tests=tuple(tests),
+            max_workers=max_workers,
+        )
+        preload_study(study, tests, modules, seed=seed)
+
+
+def clear_cache() -> None:
+    """Drop all cached studies (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,1 @@
+"""One experiment module per paper artifact (see DESIGN.md's index)."""

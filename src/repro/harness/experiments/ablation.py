@@ -1,0 +1,89 @@
+"""Ablation of the disturbance model's design choices (DESIGN.md sec. 6).
+
+Two ablations on the mechanism behind Observations 2/5 (rows whose
+RowHammer metrics *worsen* under reduced V_PP):
+
+1. **Per-row coupling heterogeneity** -- with the calibrated per-row
+   gamma spread, a population of rows ends up with negative net V_PP
+   response; forcing the spread to zero makes every row follow the
+   module mean and the reversal population vanishes.
+2. **Charge-margin term strength** -- raising ``beta_margin`` from its
+   weak default to 1.5 shows the explicit restoration-weakening
+   mechanism the paper suspects: at V_PP levels below V_DD + V_TH the
+   margin term alone pushes tolerance scales below 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.dram.calibration import calibrate
+from repro.dram.profiles import module_profile
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.rng import RngHub
+
+
+def run(modules=("B3", "B9"), scale=None, seed: int = 0,
+        rows: int = 4000) -> ExperimentOutput:
+    """Run both ablations on the given modules' calibrations."""
+    output = ExperimentOutput(
+        experiment_id="ablation",
+        title="Disturbance-model ablations (reversal mechanism)",
+        description=(
+            "Fraction of rows whose HC_first would *decrease* at V_PPmin "
+            "(the Observation 5 reversal) under the full model, without "
+            "per-row gamma spread, and with a strong charge-margin term."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "Reversal fractions at V_PPmin",
+            ["Module", "variant", "fraction of rows reversing",
+             "median tolerance scale"],
+        )
+    )
+    results = {}
+    for name in modules:
+        profile = module_profile(name)
+        calibration = calibrate(profile)
+        hub = RngHub(seed).spawn(f"ablation/{name}")
+        rng = hub.generator("gamma")
+        sigma = calibration.vendor.gamma_sigma
+        gammas_full = rng.normal(calibration.gamma_outlier_mean, sigma, rows)
+        insensitive = rng.random(rows) < (
+            calibration.vendor.gamma_insensitive_fraction
+        )
+        gammas_full[insensitive] = np.abs(rng.normal(0, 0.05, insensitive.sum()))
+        gammas_flat = np.full(rows, calibration.gamma_outlier_mean)
+
+        variants = {
+            "full model": (calibration.disturbance, gammas_full),
+            "no gamma spread": (calibration.disturbance, gammas_flat),
+            "strong margin (beta=1.5)": (
+                replace(calibration.disturbance, beta_margin=1.5),
+                gammas_full,
+            ),
+        }
+        results[name] = {}
+        for variant, (model, gammas) in variants.items():
+            scales = np.asarray(
+                model.tolerance_scale(profile.vppmin, gammas)
+            )
+            reversing = float(np.mean(scales < 1.0))
+            results[name][variant] = {
+                "reversing_fraction": reversing,
+                "median_scale": float(np.median(scales)),
+            }
+            table.add_row(
+                name, variant, reversing, float(np.median(scales))
+            )
+    output.data["results"] = results
+    output.note(
+        "paper (Obsv. 5): 14.2% of rows show reduced HC_first at V_PPmin; "
+        "the ablation shows the reversal population comes from per-row "
+        "response heterogeneity and strengthens when the restoration-"
+        "weakening (margin) term is amplified"
+    )
+    return output

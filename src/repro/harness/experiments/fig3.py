@@ -1,0 +1,95 @@
+"""Figure 3: normalized RowHammer BER across V_PP levels.
+
+One curve per module: the row-normalized BER at a fixed 300K hammer
+count, with 90 % confidence bands across rows -- plus the Observation 1/2
+summary statistics (fractions of rows decreasing/increasing, average and
+maximum change).
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis import normalized_curves, trend_summary
+from repro.harness.figures import line_plot
+from repro.core.scale import StudyScale
+from repro.harness.cache import BENCH_MODULES, get_study
+from repro.harness.output import ExperimentOutput, ExperimentTable
+
+
+def run(
+    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
+) -> ExperimentOutput:
+    """Regenerate the Figure 3 series."""
+    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    curves = normalized_curves(study, "ber")
+    summary = trend_summary(study, "ber")
+
+    output = ExperimentOutput(
+        experiment_id="fig3",
+        title="Normalized BER across V_PP levels (Figure 3)",
+        description=(
+            "Per-module mean normalized BER (row-wise, relative to "
+            "nominal V_PP) with 90% confidence bands."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "Normalized BER curves",
+            ["Module", "V_PP", "mean", "band_low", "band_high"],
+        )
+    )
+    for name, curve in sorted(curves.items()):
+        for vpp, mean, low, high in zip(
+            curve.vpp_levels, curve.mean, curve.band_low, curve.band_high
+        ):
+            table.add_row(name, vpp, mean, low, high)
+
+    stats = output.add_table(
+        ExperimentTable(
+            "Observation 1/2 statistics (at V_PPmin)",
+            ["statistic", "measured", "paper"],
+        )
+    )
+    stats.add_row("fraction of rows with BER decrease",
+                  summary.fraction_decreasing, "0.812")
+    stats.add_row("fraction of rows with BER increase",
+                  summary.fraction_increasing, "0.154")
+    stats.add_row("average BER change", summary.mean_change, "-0.152")
+    stats.add_row("maximum BER reduction", summary.max_decrease, "0.669")
+    stats.add_row("maximum BER increase", summary.max_increase, "0.117")
+
+    output.data["curves"] = {
+        name: {
+            "vpp": list(curve.vpp_levels),
+            "mean": list(curve.mean),
+            "band_low": list(curve.band_low),
+            "band_high": list(curve.band_high),
+        }
+        for name, curve in curves.items()
+    }
+    # ASCII rendering of the module curves on the common V_PP grid.
+    if curves:
+        common = sorted(
+            set.intersection(
+                *(set(curve.vpp_levels) for curve in curves.values())
+            ),
+            reverse=True,
+        )
+        if len(common) >= 2:
+            series = {
+                name: [curve.at(vpp) for vpp in common]
+                for name, curve in sorted(curves.items())
+            }
+            output.add_chart(
+                line_plot(
+                    common, series,
+                    title="normalized BER vs V_PP (module means)",
+                    x_label="V_PP [V]", y_label="normalized BER",
+                )
+            )
+    output.data["summary"] = summary.__dict__
+    output.note(
+        "paper (Obsv. 1/2): BER decreases for 81.2% of rows, average "
+        "reduction 15.2%, max 66.9% (module B3 at 1.6 V); increases for "
+        "15.4% of rows by up to 11.7%"
+    )
+    return output

@@ -1,0 +1,105 @@
+"""Figure 8: SPICE row-activation study.
+
+(a) bitline voltage waveforms during activation at several V_PP levels;
+(b) Monte-Carlo distribution of tRCD_min per V_PP, with the worst-case
+values the paper annotates (12.9 / 13.3 / 14.2 / 16.9 ns at 2.5 / 1.9 /
+1.8 / 1.7 V) and the mean shift 11.6 -> 13.6 ns from 2.5 to 1.7 V
+(Observations 8/9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness.figures import line_plot
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.spice.experiments import activation_waveforms, trcd_distribution
+from repro.units import seconds_to_ns
+
+#: V_PP grid of the paper's SPICE sweep (subset used for waveforms).
+WAVEFORM_LEVELS = (2.5, 2.1, 1.9, 1.8, 1.7, 1.6)
+DISTRIBUTION_LEVELS = (2.5, 1.9, 1.8, 1.7)
+PAPER_WORST_CASE = {2.5: 12.9, 1.9: 13.3, 1.8: 14.2, 1.7: 16.9}
+
+
+def run(
+    modules=None, scale=None, seed: int = 0, samples: int = 400
+) -> ExperimentOutput:
+    """Regenerate the Figure 8 waveforms and distributions."""
+    output = ExperimentOutput(
+        experiment_id="fig8",
+        title="SPICE: bitline waveforms and tRCD_min distribution (Figure 8)",
+        description=(
+            "Transient simulation of the Table 2 circuit: activation "
+            "waveforms per V_PP and the Monte-Carlo tRCD_min distribution "
+            "(parameters varied up to 5%)."
+        ),
+    )
+
+    waveforms = activation_waveforms(WAVEFORM_LEVELS)
+    wave_table = output.add_table(
+        ExperimentTable(
+            "Bitline waveform samples (Fig. 8a)",
+            ["V_PP", "t [ns]", "bitline [V]"],
+        )
+    )
+    for vpp, wave in waveforms.items():
+        stride = max(1, wave.times.size // 24)
+        for t, v in zip(wave.times[::stride], wave.bitline[::stride]):
+            wave_table.add_row(vpp, seconds_to_ns(t), float(v))
+
+    dist_table = output.add_table(
+        ExperimentTable(
+            "tRCD_min distribution (Fig. 8b)",
+            [
+                "V_PP", "mean [ns]", "std [ns]", "worst [ns]",
+                "paper worst [ns]", "incomplete",
+            ],
+        )
+    )
+    distributions = {}
+    for vpp in DISTRIBUTION_LEVELS:
+        values = trcd_distribution(vpp, samples=samples, seed=seed)
+        valid = values[~np.isnan(values)]
+        distributions[vpp] = values
+        dist_table.add_row(
+            vpp,
+            seconds_to_ns(float(valid.mean())) if valid.size else float("nan"),
+            seconds_to_ns(float(valid.std())) if valid.size else float("nan"),
+            seconds_to_ns(float(valid.max())) if valid.size else float("nan"),
+            PAPER_WORST_CASE.get(vpp),
+            int(np.isnan(values).sum()),
+        )
+
+    chart_levels = [v for v in (2.5, 1.9, 1.7) if v in waveforms]
+    if chart_levels:
+        reference = waveforms[chart_levels[0]]
+        stride = max(1, reference.times.size // 64)
+        output.add_chart(
+            line_plot(
+                reference.times[::stride] * 1e9,
+                {
+                    f"{vpp}V": waveforms[vpp].bitline[::stride]
+                    for vpp in chart_levels
+                },
+                title="bitline voltage during activation (Fig. 8a)",
+                x_label="t [ns]", y_label="V",
+            )
+        )
+    output.data["waveforms"] = {
+        str(vpp): {
+            "t_ns": (wave.times * 1e9).tolist(),
+            "bitline": wave.bitline.tolist(),
+        }
+        for vpp, wave in waveforms.items()
+    }
+    output.data["trcd_ns"] = {
+        str(vpp): (values * 1e9).tolist()
+        for vpp, values in distributions.items()
+    }
+    output.note(
+        "paper (Obsv. 8/9): mean tRCD_min grows 11.6 -> 13.6 ns from "
+        "2.5 -> 1.7 V; worst case 12.9 -> 13.3 / 14.2 / 16.9 ns at "
+        "1.9 / 1.8 / 1.7 V; distribution shifts right and widens"
+    )
+    return output

@@ -1,0 +1,160 @@
+"""End-to-end system mitigation study (Section 8's takeaway).
+
+Runs an application-level workload through the V_PP-aware memory
+controller on a retention-offender module (B6) at its V_PPmin, under
+four operating configurations:
+
+1. nominal V_PP (reference: no flips expected),
+2. V_PPmin, no mitigation (the weak-tier rows corrupt data between
+   base-rate refreshes),
+3. V_PPmin + rank-level SECDED (Observation 14: every failing word has
+   a single flip, so the application sees clean data),
+4. V_PPmin + selective double-rate refresh of the profiled weak rows
+   (Observation 15: refreshing ~16 % of rows twice as often removes the
+   flips at the source).
+
+The weak-row list for configuration 4 comes from a profiling pass --
+exactly how a deployment would obtain it (cf. the paper's references to
+retention profiling [74, 77]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.scale import StudyScale
+from repro.dram import constants
+from repro.dram.module import DramModule
+from repro.dram.profiles import module_profile
+from repro.errors import UncorrectableError
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.system import ControllerPolicy, MemoryController
+
+#: How many refresh windows the workload spans.
+EPOCHS = 4
+
+
+def _row_payload(module: DramModule, bank: int, row: int) -> bytes:
+    """The all-charged payload for a row (polarity-aware)."""
+    physical = module.bank(bank).mapping.to_physical(row)
+    fill = 0x00 if physical % 2 else 0xFF
+    return bytes([fill]) * (module.geometry.row_bits // 8)
+
+
+def _run_workload(
+    name: str, policy: ControllerPolicy, rows: List[int], scale: StudyScale,
+    seed: int,
+) -> Dict[str, int]:
+    """Write, idle across refresh windows, verify. Returns counters."""
+    module = DramModule(
+        module_profile(name), geometry=scale.geometry, seed=seed
+    )
+    module.env.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+    controller = MemoryController(module, policy)
+    payloads = {}
+    for row in rows:
+        address = controller.mapping.row_base_address(0, row)
+        payload = _row_payload(module, 0, row)
+        controller.write(address, payload)
+        payloads[row] = payload
+    controller.flush()
+
+    corrupted_words = 0
+    uncorrectable_words = 0
+    for _ in range(EPOCHS):
+        controller.idle(policy.refresh_window)
+        for row in rows:
+            address = controller.mapping.row_base_address(0, row)
+            payload = payloads[row]
+            for offset in range(0, len(payload), 8):
+                try:
+                    word = controller.read(address + offset, 8)
+                except UncorrectableError:
+                    uncorrectable_words += 1
+                    continue
+                if word != payload[offset : offset + 8]:
+                    corrupted_words += 1
+    return {
+        "corrupted_words": corrupted_words,
+        "uncorrectable_words": uncorrectable_words,
+        "ecc_corrected": controller.stats.ecc_corrected,
+        "refresh_sweeps": controller.stats.refresh_sweeps,
+        "selective_refreshes": controller.stats.selective_refreshes,
+    }
+
+
+def _profile_weak_rows(
+    name: str, rows: List[int], scale: StudyScale, seed: int
+) -> Set[Tuple[int, int]]:
+    """REAPER-style profiling pass at V_PPmin (see
+    :mod:`repro.core.profiling`)."""
+    from repro.core.context import TestContext
+    from repro.core.profiling import profile_for_policy
+    from repro.softmc.infrastructure import TestInfrastructure
+
+    infra = TestInfrastructure.for_module(
+        name, geometry=scale.geometry, seed=seed
+    )
+    ctx = TestContext(infra, scale)
+    return set(profile_for_policy(ctx, rows))
+
+
+def run(
+    modules=("B6",), scale: StudyScale = None, seed: int = 0,
+    row_count: int = 32,
+) -> ExperimentOutput:
+    """Run the four-configuration mitigation study."""
+    scale = scale or StudyScale.bench()
+    name = modules[0]
+    profile = module_profile(name)
+    rows = list(range(4, 4 + row_count))
+
+    weak_rows = _profile_weak_rows(name, rows, scale, seed)
+
+    configurations = {
+        "nominal V_PP": ControllerPolicy.nominal(),
+        "V_PPmin, no mitigation": ControllerPolicy.nominal().at_vpp(
+            profile.vppmin
+        ),
+        "V_PPmin + SECDED": ControllerPolicy.nominal()
+        .at_vpp(profile.vppmin)
+        .with_mitigations(ecc=True),
+        "V_PPmin + selective refresh": ControllerPolicy.nominal()
+        .at_vpp(profile.vppmin)
+        .with_mitigations(selective_refresh_rows=weak_rows),
+    }
+
+    output = ExperimentOutput(
+        experiment_id="system_mitigations",
+        title="End-to-end mitigations at reduced V_PP (Section 8)",
+        description=(
+            f"Application workload over {EPOCHS} refresh windows on "
+            f"module {name} at 80 degC: corrupted 64-bit words seen by "
+            "the application under each operating configuration."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "Mitigation outcomes",
+            ["configuration", "corrupted words", "uncorrectable words",
+             "ECC corrections", "selective refreshes"],
+        )
+    )
+    results = {}
+    for label, policy in configurations.items():
+        counters = _run_workload(name, policy, rows, scale, seed)
+        results[label] = counters
+        table.add_row(
+            label, counters["corrupted_words"],
+            counters["uncorrectable_words"], counters["ecc_corrected"],
+            counters["selective_refreshes"],
+        )
+    output.data["results"] = results
+    output.data["weak_row_fraction"] = len(weak_rows) / len(rows)
+    output.note(
+        f"profiling found {len(weak_rows)}/{len(rows)} weak rows "
+        f"({len(weak_rows) / len(rows):.1%}; paper's Obsv. 15: 16.4% at "
+        "64 ms) -- refreshing only those at double rate removes the "
+        "corruption, as does SECDED (Obsv. 14)"
+    )
+    return output

@@ -1,0 +1,87 @@
+"""tRCD_min stability over time (footnote 11).
+
+The paper re-measures tRCD_min on 24 chips after a week of RowHammer
+testing and finds only 2.1 % of rows varying, each by less than one
+1.5 ns step. This experiment reproduces the protocol: measure tRCD_min,
+subject the module to a week of simulated time and heavy hammering,
+re-measure, and report the per-row deltas.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import TestContext
+from repro.core.sampling import sample_rows
+from repro.core.scale import StudyScale
+from repro.core.trcd import find_trcd_min
+from repro.core.wcdp import trcd_wcdp
+from repro.dram import constants
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.softmc.infrastructure import TestInfrastructure
+from repro.softmc.program import Program
+from repro.units import seconds_to_ns
+
+#: One week, the paper's re-test interval.
+ONE_WEEK = 7 * 24 * 3600.0
+
+
+def run(
+    modules=("B3",), scale: StudyScale = None, seed: int = 0
+) -> ExperimentOutput:
+    """Measure, age for a week under hammering, re-measure."""
+    scale = scale or StudyScale.bench()
+    name = modules[0]
+    infra = TestInfrastructure.for_module(
+        name, geometry=scale.geometry, seed=seed
+    )
+    ctx = TestContext(infra, scale)
+    infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+    rows = sample_rows(
+        infra.module.geometry.rows_per_bank,
+        min(scale.rows_per_module, 24),
+        scale.row_chunks,
+    )
+    wcdp = {row: trcd_wcdp(ctx, row) for row in rows}
+
+    before = {row: find_trcd_min(ctx, row, wcdp[row]) for row in rows}
+
+    # A week of RowHammer characterization in between (footnote 11: the
+    # chips "are tested for RowHammer vulnerability" during the week).
+    aging = Program()
+    for row in rows:
+        aggressors = ctx.adjacency.neighbors(ctx.bank, row)
+        aging.hammer_doublesided(ctx.bank, aggressors, 100_000)
+    infra.host.execute(aging)
+    infra.module.env.advance(ONE_WEEK)
+
+    after = {row: find_trcd_min(ctx, row, wcdp[row]) for row in rows}
+
+    output = ExperimentOutput(
+        experiment_id="trcd_stability",
+        title="tRCD_min stability after one week (footnote 11)",
+        description=(
+            "Per-row tRCD_min before and after a week of simulated time "
+            "and heavy hammering."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "Stability", ["Module", "rows", "rows changed",
+                          "max |delta| [ns]"],
+        )
+    )
+    changed = [row for row in rows if after[row] != before[row]]
+    max_delta = max(
+        (abs(after[row] - before[row]) for row in rows), default=0.0
+    )
+    table.add_row(
+        name, len(rows), len(changed), seconds_to_ns(max_delta)
+    )
+    output.data["rows"] = len(rows)
+    output.data["changed"] = len(changed)
+    output.data["max_delta_ns"] = seconds_to_ns(max_delta)
+    output.note(
+        "paper (footnote 11): only 2.1% of rows vary, each by < 1.5 ns -- "
+        "activation latency is a stable per-row property, which the "
+        "deterministic per-cell parameters of the device model reproduce"
+    )
+    return output

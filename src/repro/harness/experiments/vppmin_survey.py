@@ -1,0 +1,75 @@
+"""V_PPmin survey across all thirty modules (Section 4.1 / Section 7).
+
+The paper's first experimental step per module is the V_PPmin search:
+lower V_PP in 0.1 V steps until the module stops communicating. This
+survey runs that discovery for the full Table 3 population -- it needs
+no hammering, so covering all 30 modules is cheap -- and checks the
+Section 7 extremes (lowest 1.4 V at A0, highest 2.4 V at A5).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.scale import StudyScale
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.profiles import MODULE_PROFILES
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.softmc.infrastructure import TestInfrastructure
+
+
+def run(
+    modules=None, scale: StudyScale = None, seed: int = 0
+) -> ExperimentOutput:
+    """Discover V_PPmin for every module (default: all of Table 3)."""
+    names = list(modules) if modules else sorted(MODULE_PROFILES)
+    geometry = (
+        scale.geometry if scale is not None
+        else ModuleGeometry(rows_per_bank=256, banks=1, row_bits=1024)
+    )
+    output = ExperimentOutput(
+        experiment_id="vppmin_survey",
+        title="V_PPmin discovery across the module population",
+        description=(
+            "Empirical V_PPmin (0.1 V steps down from nominal until the "
+            "module stops communicating) for every surveyed module, with "
+            "the resulting V_PP grid size."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "Discovered V_PPmin",
+            ["Module", "V_PPmin [V]", "Table 3 [V]", "match",
+             "V_PP levels"],
+        )
+    )
+    discovered = {}
+    for name in names:
+        infra = TestInfrastructure.for_module(
+            name, geometry=geometry, seed=seed
+        )
+        levels = infra.vpp_levels()
+        vppmin = min(levels)
+        expected = MODULE_PROFILES[name].vppmin
+        discovered[name] = vppmin
+        table.add_row(
+            name, vppmin, expected, abs(vppmin - expected) < 1e-9,
+            len(levels),
+        )
+    histogram = Counter(discovered.values())
+    output.data["discovered"] = discovered
+    output.data["histogram"] = {
+        f"{vpp:.1f}": count for vpp, count in sorted(histogram.items())
+    }
+    output.data["all_match"] = all(
+        abs(discovered[name] - MODULE_PROFILES[name].vppmin) < 1e-9
+        for name in names
+    )
+    lowest = min(discovered, key=discovered.get)
+    highest = max(discovered, key=discovered.get)
+    output.note(
+        f"extremes: {lowest} at {discovered[lowest]} V and {highest} at "
+        f"{discovered[highest]} V (paper, Section 7: lowest 1.4 V for A0, "
+        "highest 2.4 V for A5)"
+    )
+    return output

@@ -1,0 +1,89 @@
+"""Worst-case data-pattern distribution (Section 4.1's data patterns).
+
+The paper determines a WCDP per row per test type but never reports
+which of the six patterns wins how often. This experiment fills that
+gap on the simulated modules: per vendor, the histogram of winning
+patterns for the RowHammer, tRCD and retention tests.
+
+On this substrate the *retention* WCDP concentrates on the row-stripe
+pair (a stripe charges every cell of a row -- true rows 0xFF, anti rows
+0x00 -- so it always exposes the weakest cell), while the *RowHammer*
+WCDP spreads across patterns: it is decided by whichever pattern both
+charges the row's weakest (outlier) cell and carries the lowest per-row
+coupling factor, a data-dependent coin the real-device literature also
+reports (Section 4.1's six-pattern sweep exists precisely because no
+single pattern always wins).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.core.context import TestContext
+from repro.core.sampling import sample_rows
+from repro.core.scale import StudyScale
+from repro.core.wcdp import retention_wcdp, rowhammer_wcdp, trcd_wcdp
+from repro.dram import constants
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.softmc.infrastructure import TestInfrastructure
+
+
+def run(
+    modules=("A4", "B3", "C5"), scale: StudyScale = None, seed: int = 0,
+    rows_per_module: int = 16,
+) -> ExperimentOutput:
+    """Histogram the winning WCDP per test type per module."""
+    scale = scale or StudyScale.bench()
+    output = ExperimentOutput(
+        experiment_id="wcdp_distribution",
+        title="Worst-case data-pattern distribution (Section 4.1)",
+        description=(
+            "Which of the six standard patterns wins the per-row WCDP "
+            "determination, per test type."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "WCDP winners",
+            ["Module", "test", "pattern", "rows won", "fraction"],
+        )
+    )
+    data: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for name in modules:
+        infra = TestInfrastructure.for_module(
+            name, geometry=scale.geometry, seed=seed
+        )
+        ctx = TestContext(infra, scale)
+        rows = sample_rows(
+            infra.module.geometry.rows_per_bank, rows_per_module,
+            scale.row_chunks,
+        )
+        determinations = {}
+        infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+        determinations["rowhammer"] = Counter(
+            rowhammer_wcdp(ctx, row).name for row in rows
+        )
+        determinations["trcd"] = Counter(
+            trcd_wcdp(ctx, row).name for row in rows
+        )
+        infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+        determinations["retention"] = Counter(
+            retention_wcdp(ctx, row).name for row in rows
+        )
+        data[name] = {
+            test: dict(counter) for test, counter in determinations.items()
+        }
+        for test, counter in determinations.items():
+            for pattern, count in counter.most_common():
+                table.add_row(
+                    name, test, pattern, count, count / len(rows)
+                )
+    output.data["distributions"] = data
+    output.note(
+        "retention WCDPs concentrate on the stripes (they charge every "
+        "cell); RowHammer/tRCD WCDPs spread across patterns via the "
+        "per-row coupling factors -- the reason Section 4.1 sweeps all "
+        "six patterns per row instead of fixing one"
+    )
+    return output

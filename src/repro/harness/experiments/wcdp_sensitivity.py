@@ -1,0 +1,86 @@
+"""WCDP sensitivity to V_PP (footnote 9).
+
+The paper re-determines worst-case data patterns at reduced V_PP for 16
+chips and finds the WCDP changes for only ~2.4 % of rows, with < 9 %
+HC_first deviation for 90 % of the affected rows -- justifying the
+methodology's reuse of nominal-V_PP WCDPs across the sweep. This
+experiment repeats that check on simulated modules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import TestContext
+from repro.core.rowhammer import find_hcfirst
+from repro.core.sampling import sample_rows
+from repro.core.scale import StudyScale
+from repro.core.wcdp import rowhammer_wcdp
+from repro.dram import constants
+from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.softmc.infrastructure import TestInfrastructure
+
+
+def run(
+    modules=("B3", "C5"), scale: StudyScale = None, seed: int = 0
+) -> ExperimentOutput:
+    """Re-determine WCDPs at V_PPmin and compare against nominal."""
+    scale = scale or StudyScale.bench()
+    output = ExperimentOutput(
+        experiment_id="wcdp_sensitivity",
+        title="WCDP sensitivity to V_PP (footnote 9)",
+        description=(
+            "Fraction of rows whose RowHammer WCDP differs between "
+            "nominal V_PP and V_PPmin, and the HC_first deviation the "
+            "difference causes."
+        ),
+    )
+    table = output.add_table(
+        ExperimentTable(
+            "WCDP stability",
+            ["Module", "rows", "WCDP changed", "fraction",
+             "median |HC_first deviation|"],
+        )
+    )
+    data = {}
+    for name in modules:
+        infra = TestInfrastructure.for_module(
+            name, geometry=scale.geometry, seed=seed
+        )
+        ctx = TestContext(infra, scale)
+        infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+        rows = sample_rows(
+            infra.module.geometry.rows_per_bank,
+            min(scale.rows_per_module, 32),
+            scale.row_chunks,
+        )
+        infra.set_vpp(constants.NOMINAL_VPP)
+        nominal_wcdp = {row: rowhammer_wcdp(ctx, row) for row in rows}
+        infra.set_vpp(infra.module.vppmin)
+        reduced_wcdp = {row: rowhammer_wcdp(ctx, row) for row in rows}
+
+        changed = [
+            row for row in rows
+            if nominal_wcdp[row].index != reduced_wcdp[row].index
+        ]
+        deviations = []
+        for row in changed:
+            hc_old = find_hcfirst(ctx, row, nominal_wcdp[row], iterations=1)
+            hc_new = find_hcfirst(ctx, row, reduced_wcdp[row], iterations=1)
+            if hc_old and hc_new:
+                deviations.append(abs(hc_new - hc_old) / hc_old)
+        median_dev = float(np.median(deviations)) if deviations else 0.0
+        fraction = len(changed) / len(rows)
+        data[name] = {
+            "rows": len(rows),
+            "changed": len(changed),
+            "fraction": fraction,
+            "median_deviation": median_dev,
+        }
+        table.add_row(name, len(rows), len(changed), fraction, median_dev)
+    output.data["modules"] = data
+    output.note(
+        "paper (footnote 9): WCDP changes for only ~2.4% of rows, causing "
+        "<9% HC_first deviation for 90% of affected rows"
+    )
+    return output

@@ -1,0 +1,62 @@
+"""Serialization of experiment outputs (CSV per table, JSON summary)."""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+import re
+from typing import Any
+
+import numpy as np
+
+from repro.harness.output import ExperimentOutput
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_") or "table"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def export_output(output: ExperimentOutput, directory: str) -> list:
+    """Write an experiment's tables as CSV and its data as JSON.
+
+    Returns the list of file paths written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for table in output.tables:
+        path = os.path.join(
+            directory, f"{output.experiment_id}_{_slug(table.title)}.csv"
+        )
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+        written.append(path)
+    summary_path = os.path.join(directory, f"{output.experiment_id}.json")
+    with open(summary_path, "w") as handle:
+        json.dump(
+            {
+                "experiment_id": output.experiment_id,
+                "title": output.title,
+                "description": output.description,
+                "notes": output.notes,
+                "data": _jsonable(output.data),
+            },
+            handle,
+            indent=2,
+        )
+    written.append(summary_path)
+    return written

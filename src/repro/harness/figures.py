@@ -1,0 +1,119 @@
+"""ASCII figure rendering.
+
+The harness is terminal-first: figures are emitted as data tables (for
+exact comparison against the paper) plus, where a quick visual check
+helps, compact ASCII charts. These helpers render line plots and
+sparklines without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+#: Eight-level block characters for sparklines.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar rendering of a series (min-max normalized)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot render an empty series")
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return "·" * arr.size
+    low, high = finite.min(), finite.max()
+    span = high - low
+    characters = []
+    for value in arr:
+        if not np.isfinite(value):
+            characters.append("·")
+            continue
+        level = 0 if span == 0 else int(
+            round((value - low) / span * (len(_SPARK_LEVELS) - 2))
+        )
+        characters.append(_SPARK_LEVELS[1 + level])
+    return "".join(characters)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 14,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line plot.
+
+    Each series gets a distinct marker; the y-axis is annotated with the
+    value range and the x-axis with its endpoints.
+    """
+    if not series:
+        raise AnalysisError("line_plot needs at least one series")
+    x = np.asarray(x, dtype=float)
+    markers = "#*+ox%@&"
+    arrays = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != x.shape:
+            raise AnalysisError(
+                f"series {name!r} length {arr.size} != x length {x.size}"
+            )
+        arrays[name] = arr
+
+    stacked = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if stacked.size == 0:
+        raise AnalysisError("all series are empty or non-finite")
+    y_low, y_high = float(stacked.min()), float(stacked.max())
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = float(x.min()), float(x.max())
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, arr) in enumerate(arrays.items()):
+        marker = markers[index % len(markers)]
+        for xv, yv in zip(x, arr):
+            if not np.isfinite(yv):
+                continue
+            column = int(round((xv - x_low) / (x_high - x_low) * (width - 1)))
+            row = int(
+                round((yv - y_low) / (y_high - y_low) * (height - 1))
+            )
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = 9
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:8.3g} "
+        elif row_index == height - 1:
+            label = f"{y_low:8.3g} "
+        else:
+            label = " " * label_width
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * label_width + "+" + "-" * width)
+    x_axis = f"{x_low:<10.3g}{'':<{max(0, width - 20)}}{x_high:>10.3g}"
+    lines.append(" " * (label_width + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(
+            " " * (label_width + 1)
+            + (f"x: {x_label}" if x_label else "")
+            + ("   " if x_label and y_label else "")
+            + (f"y: {y_label}" if y_label else "")
+        )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}"
+        for i, name in enumerate(arrays)
+    )
+    lines.append(" " * (label_width + 1) + legend)
+    return "\n".join(lines)

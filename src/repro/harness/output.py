@@ -1,0 +1,93 @@
+"""Experiment output containers and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_value(value: Any) -> str:
+    """Consistent cell formatting: scientific for small floats, fixed
+    otherwise, pass-through for everything else."""
+    if isinstance(value, bool) or value is None:
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-2 or abs(value) >= 1e6:
+            return f"{value:.2e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One printable table of an experiment's output."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (must match the header width)."""
+        if len(values) != len(self.headers):
+            raise ConfigurationError(
+                f"row width {len(values)} != header width {len(self.headers)}"
+            )
+        self.rows.append(values)
+
+    def render(self) -> str:
+        """ASCII rendering with aligned columns."""
+        cells = [[format_value(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentOutput:
+    """Everything one experiment produced."""
+
+    experiment_id: str
+    title: str
+    description: str
+    tables: List[ExperimentTable] = field(default_factory=list)
+    charts: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def add_table(self, table: ExperimentTable) -> ExperimentTable:
+        """Attach a table and return it for chained row-adding."""
+        self.tables.append(table)
+        return table
+
+    def add_chart(self, rendered: str) -> None:
+        """Attach a pre-rendered ASCII chart."""
+        self.charts.append(rendered)
+
+    def note(self, text: str) -> None:
+        """Attach a paper-vs-measured note."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Full text report of the experiment."""
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.description, ""]
+        for table in self.tables:
+            parts.append(table.render())
+            parts.append("")
+        for chart in self.charts:
+            parts.append(chart)
+            parts.append("")
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts)

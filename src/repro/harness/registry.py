@@ -1,0 +1,105 @@
+"""Experiment registry: paper-artifact id -> runnable experiment.
+
+Ids follow the paper's numbering (``table1``-``table3``, ``fig3``-
+``fig11``) plus ``significance`` (Section 4.6) and the extension
+experiments documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.harness.output import ExperimentOutput
+
+
+def _load() -> Dict[str, Callable[..., ExperimentOutput]]:
+    from repro.harness.experiments import (
+        ablation,
+        attack_comparison,
+        blast_radius,
+        defense_synergy,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+        finer_refresh,
+        pareto,
+        power,
+        significance,
+        system_mitigations,
+        table1,
+        table2,
+        table3,
+        temperature_sweep,
+        trcd_stability,
+        trr_demo,
+        vppmin_survey,
+        wcdp_distribution,
+        wcdp_sensitivity,
+    )
+
+    return {
+        "table1": table1.run,
+        "table2": table2.run,
+        "table3": table3.run,
+        "fig3": fig3.run,
+        "fig4": fig4.run,
+        "fig5": fig5.run,
+        "fig6": fig6.run,
+        "fig7": fig7.run,
+        "fig8": fig8.run,
+        "fig9": fig9.run,
+        "fig10": fig10.run,
+        "fig11": fig11.run,
+        "significance": significance.run,
+        # Extensions beyond the paper's artifacts (DESIGN.md section 6).
+        "ablation": ablation.run,
+        "wcdp_sensitivity": wcdp_sensitivity.run,
+        "trr_demo": trr_demo.run,
+        "pareto": pareto.run,
+        "attack_comparison": attack_comparison.run,
+        "temperature_sweep": temperature_sweep.run,
+        "finer_refresh": finer_refresh.run,
+        "trcd_stability": trcd_stability.run,
+        "power": power.run,
+        "system_mitigations": system_mitigations.run,
+        "defense_synergy": defense_synergy.run,
+        "vppmin_survey": vppmin_survey.run,
+        "blast_radius": blast_radius.run,
+        "wcdp_distribution": wcdp_distribution.run,
+    }
+
+
+#: Public list of experiment ids.
+EXPERIMENT_IDS: List[str] = [
+    "table1", "table2", "table3",
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "significance",
+    "ablation", "wcdp_sensitivity", "trr_demo", "pareto",
+    "attack_comparison", "temperature_sweep", "finer_refresh",
+    "trcd_stability", "power", "system_mitigations", "defense_synergy",
+    "vppmin_survey", "blast_radius", "wcdp_distribution",
+]
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentOutput]:
+    """Resolve an experiment id to its ``run`` callable."""
+    registry = _load()
+    try:
+        return registry[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(registry)}"
+        ) from None
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentOutput:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)

@@ -1,0 +1,89 @@
+"""Experiment runner CLI.
+
+Run any registered experiment (or all of them) and optionally export
+CSV/JSON to a results directory::
+
+    python -m repro.harness.runner fig3 fig5 --out results/
+    python -m repro.harness.runner --all --modules A0 B3 C5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.export import export_output
+from repro.harness.registry import EXPERIMENT_IDS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The runner's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*", metavar="ID",
+        help=f"experiment ids to run; known: {', '.join(EXPERIMENT_IDS)}",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
+    )
+    parser.add_argument(
+        "--modules", nargs="*", default=None,
+        help="module subset (default: the benchmark subset)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root seed (default 0)"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="export CSV/JSON results into DIR",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help=(
+            "pre-run the underlying characterization campaigns with N "
+            "worker processes (one module per worker) before dispatching "
+            "the experiments"
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    ids = EXPERIMENT_IDS if args.all else args.experiments
+    if not ids:
+        build_parser().print_help()
+        return 2
+    kwargs = {"seed": args.seed}
+    if args.modules:
+        kwargs["modules"] = tuple(args.modules)
+    if args.parallel:
+        from repro.harness.cache import BENCH_MODULES, preload_parallel
+
+        modules = kwargs.get("modules", BENCH_MODULES)
+        print(f"pre-running campaigns over {len(modules)} modules with "
+              f"{args.parallel} workers...")
+        preload_parallel(
+            [("rowhammer",), ("trcd",), ("retention",)],
+            modules=modules, seed=args.seed, max_workers=args.parallel,
+        )
+    for experiment_id in ids:
+        started = time.monotonic()
+        output = run_experiment(experiment_id, **kwargs)
+        print(output.render())
+        print(f"[{experiment_id} completed in "
+              f"{time.monotonic() - started:.1f}s]\n")
+        if args.out:
+            written = export_output(output, args.out)
+            print("exported: " + ", ".join(written) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

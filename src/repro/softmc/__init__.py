@@ -1,0 +1,39 @@
+"""SoftMC-style DRAM testing infrastructure model (Section 4.1, Fig. 2).
+
+The paper drives its DDR4 modules with a heavily modified SoftMC [64] on
+a Xilinx Alveo U200 FPGA, an Adexelec interposer whose V_PP shunt is
+replaced by an external TTi PL068-P supply, and MaxWell FT200 heater
+control. This subpackage models that bench at the level the experiments
+observe it:
+
+* :mod:`repro.softmc.isa` / :mod:`repro.softmc.program` -- the
+  instruction set and test-program builder (Algorithms 1-3 compile to
+  these programs).
+* :mod:`repro.softmc.fpga` -- the FPGA's command clock (1.5 ns
+  granularity, footnote 10).
+* :mod:`repro.softmc.host` -- program execution against a simulated
+  module, advancing simulated time per command.
+* :mod:`repro.softmc.power_supply` -- the +-1 mV V_PP rail.
+* :mod:`repro.softmc.temperature` -- the +-0.1 degC PID controller.
+* :mod:`repro.softmc.interposer` -- shunt removal and current metering.
+* :mod:`repro.softmc.infrastructure` -- the assembled bench, including
+  the paper's empirical V_PPmin search.
+"""
+
+from repro.softmc.host import ExecutionResult, SoftMCHost
+from repro.softmc.infrastructure import TestInfrastructure
+from repro.softmc.isa import Instruction, Opcode
+from repro.softmc.program import Program
+from repro.softmc.power_supply import PowerSupply
+from repro.softmc.temperature import TemperatureController
+
+__all__ = [
+    "ExecutionResult",
+    "Instruction",
+    "Opcode",
+    "PowerSupply",
+    "Program",
+    "SoftMCHost",
+    "TemperatureController",
+    "TestInfrastructure",
+]

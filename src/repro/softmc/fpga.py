@@ -1,0 +1,51 @@
+"""FPGA board model (Xilinx Alveo U200).
+
+The only FPGA property the paper's methodology depends on is the command
+clock: the modified SoftMC can issue a DRAM command every 1.5 ns
+(footnote 10), which quantizes every timing sweep -- most visibly the
+tRCD steps of Alg. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.constants import SOFTMC_COMMAND_CLOCK
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FpgaBoard:
+    """Command-clock source of the test bench.
+
+    Attributes
+    ----------
+    command_clock:
+        Seconds between consecutive command slots (default 1.5 ns).
+    name:
+        Board identification string (cosmetic; appears in reports).
+    """
+
+    command_clock: float = SOFTMC_COMMAND_CLOCK
+    name: str = "Xilinx Alveo U200 (simulated)"
+
+    def __post_init__(self) -> None:
+        if self.command_clock <= 0:
+            raise ConfigurationError(
+                f"command_clock must be positive: {self.command_clock}"
+            )
+
+    def quantize(self, duration: float) -> float:
+        """Round ``duration`` up to a whole number of command slots."""
+        if duration < 0:
+            raise ConfigurationError(f"duration must be >= 0: {duration}")
+        if duration == 0:
+            return 0.0
+        slots = int(duration / self.command_clock)
+        if slots * self.command_clock < duration - 1e-18:
+            slots += 1
+        return max(1, slots) * self.command_clock
+
+    def slots(self, duration: float) -> int:
+        """Number of command slots covering ``duration``."""
+        return int(round(self.quantize(duration) / self.command_clock))

@@ -1,0 +1,157 @@
+"""Program execution: the host side of the SoftMC bench.
+
+The host streams a :class:`~repro.softmc.program.Program` to the
+(simulated) FPGA, which issues the commands to the module under test.
+Every instruction advances simulated time by its command-clock-quantized
+latency, so retention waits, hammer loops and refresh cadences all move
+the same clock the device physics read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.dram.module import DramModule
+from repro.errors import ProgramError
+from repro.softmc.fpga import FpgaBoard
+from repro.softmc.isa import Opcode
+from repro.softmc.program import Program
+from repro.units import ns
+
+#: Column access latency charged per RD/WR (tCL + burst, coarse).
+_COLUMN_LATENCY = ns(15.0)
+#: Refresh command latency (tRFC for 8 Gb-class parts).
+_REFRESH_LATENCY = ns(350.0)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one program.
+
+    Attributes
+    ----------
+    reads:
+        Read data keyed by instruction index: 64-bit vectors for RD,
+        full-row bit vectors for READ_ROW.
+    duration:
+        Simulated seconds the program took.
+    commands_issued:
+        DRAM command count, with HAMMER expanded to its unrolled length.
+    """
+
+    reads: Dict[int, np.ndarray] = field(default_factory=dict)
+    duration: float = 0.0
+    commands_issued: int = 0
+
+    def data(self, index: int) -> np.ndarray:
+        """Read data produced by the instruction at ``index``."""
+        try:
+            return self.reads[index]
+        except KeyError:
+            raise ProgramError(
+                f"instruction {index} produced no read data"
+            ) from None
+
+
+class SoftMCHost:
+    """Executes test programs against one module."""
+
+    def __init__(self, module: DramModule, fpga: FpgaBoard = None):
+        self._module = module
+        self._fpga = fpga or FpgaBoard()
+
+    @property
+    def module(self) -> DramModule:
+        """The module under test."""
+        return self._module
+
+    @property
+    def fpga(self) -> FpgaBoard:
+        """The FPGA board model."""
+        return self._fpga
+
+    def execute(self, program: Program) -> ExecutionResult:
+        """Run ``program`` to completion.
+
+        Raises
+        ------
+        CommunicationError
+            If the module is operated below its V_PPmin (checked per
+            command, as a real bench discovers it).
+        """
+        env = self._module.env
+        timings = program.timings
+        result = ExecutionResult()
+        start = env.now
+        quantize = self._fpga.quantize
+
+        for index, instruction in enumerate(program):
+            self._module.check_communication()
+            op = instruction.opcode
+            if op is Opcode.ACT:
+                trcd = quantize(timings.trcd)
+                self._module.bank(instruction.bank).activate(
+                    instruction.row, trcd=trcd
+                )
+                env.advance(trcd)
+                result.commands_issued += 1
+            elif op is Opcode.PRE:
+                self._module.bank(instruction.bank).precharge()
+                env.advance(quantize(timings.trp))
+                result.commands_issued += 1
+            elif op is Opcode.RD:
+                result.reads[index] = self._module.bank(
+                    instruction.bank
+                ).read_column(instruction.column)
+                env.advance(quantize(_COLUMN_LATENCY))
+                result.commands_issued += 1
+            elif op is Opcode.WR:
+                self._module.bank(instruction.bank).write_column(
+                    instruction.column, instruction.data
+                )
+                env.advance(quantize(_COLUMN_LATENCY))
+                result.commands_issued += 1
+            elif op is Opcode.REF:
+                for bank in self._module.banks:
+                    bank.refresh()
+                env.advance(quantize(_REFRESH_LATENCY))
+                result.commands_issued += 1
+            elif op is Opcode.WAIT:
+                env.advance(instruction.duration)
+            elif op is Opcode.HAMMER:
+                bank = self._module.bank(instruction.bank)
+                bank.hammer(instruction.rows, instruction.count)
+                cycles = instruction.count * len(instruction.rows)
+                env.advance(cycles * quantize(timings.trc))
+                result.commands_issued += 2 * cycles  # ACT + PRE each
+            elif op is Opcode.WRITE_ROW:
+                bank = self._module.bank(instruction.bank)
+                bank.activate(instruction.row)
+                env.advance(quantize(timings.trcd))
+                bank.write_row(instruction.data)
+                env.advance(
+                    self._module.geometry.columns * quantize(_COLUMN_LATENCY)
+                )
+                bank.precharge()
+                env.advance(quantize(timings.trp))
+                result.commands_issued += 2 + self._module.geometry.columns
+            elif op is Opcode.READ_ROW:
+                bank = self._module.bank(instruction.bank)
+                trcd = quantize(timings.trcd)
+                bank.activate(instruction.row, trcd=trcd)
+                env.advance(trcd)
+                result.reads[index] = bank.read_row()
+                env.advance(
+                    self._module.geometry.columns * quantize(_COLUMN_LATENCY)
+                )
+                bank.precharge()
+                env.advance(quantize(timings.trp))
+                result.commands_issued += 2 + self._module.geometry.columns
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise ProgramError(f"unhandled opcode {op}")
+
+        result.duration = env.now - start
+        return result

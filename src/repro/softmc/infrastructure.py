@@ -1,0 +1,124 @@
+"""The assembled test bench of Figure 2.
+
+:class:`TestInfrastructure` wires a simulated module into the full
+apparatus -- FPGA + host, interposer with the shunt removed, external
+V_PP supply, temperature controller -- and implements the bench-level
+procedures of Section 4.1:
+
+* setting V_PP with millivolt precision,
+* clamping temperature,
+* the empirical V_PPmin search: step V_PP down from nominal in 0.1 V
+  steps until the module stops communicating.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram import constants
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.module import DramModule
+from repro.dram.profiles import module_profile
+from repro.errors import CommunicationError
+from repro.softmc.fpga import FpgaBoard
+from repro.softmc.host import SoftMCHost
+from repro.softmc.interposer import Interposer
+from repro.softmc.power_supply import PowerSupply
+from repro.softmc.program import Program
+from repro.softmc.temperature import TemperatureController
+
+
+class TestInfrastructure:
+    """Fully wired DRAM characterization bench for one module."""
+
+    #: Not a pytest test class, despite the (paper-accurate) name.
+    __test__ = False
+
+    def __init__(self, module: DramModule):
+        self.module = module
+        self.fpga = FpgaBoard()
+        self.host = SoftMCHost(module, self.fpga)
+        self.interposer = Interposer(module)
+        self.supply = PowerSupply(module.env)
+        self.thermal = TemperatureController(module.env)
+        # Perform the paper's rework before the supply drives the rail.
+        self.interposer.remove_shunt()
+        self.interposer.require_isolated_vpp()
+        self.supply.set_voltage(constants.NOMINAL_VPP)
+
+    @classmethod
+    def for_module(
+        cls,
+        name: str,
+        geometry: ModuleGeometry = None,
+        seed: int = 0,
+        trr_enabled: bool = False,
+    ) -> "TestInfrastructure":
+        """Build a bench around a Table 3 module profile."""
+        module = DramModule(
+            module_profile(name), geometry=geometry, seed=seed,
+            trr_enabled=trr_enabled,
+        )
+        return cls(module)
+
+    # -- bench procedures ----------------------------------------------------------
+
+    def set_vpp(self, vpp: float) -> float:
+        """Drive the module's wordline voltage; returns the setpoint."""
+        return self.supply.set_voltage(vpp)
+
+    def set_temperature(self, temperature: float) -> float:
+        """Clamp the chips to ``temperature`` degC."""
+        return self.thermal.set_target(temperature)
+
+    def communicates(self) -> bool:
+        """Probe whether the module responds at the current V_PP.
+
+        Issues a trivial read program, the bench equivalent of a link
+        check.
+        """
+        probe = Program()
+        probe.read_row(bank=0, row=0)
+        try:
+            self.host.execute(probe)
+        except CommunicationError:
+            return False
+        return True
+
+    def find_vppmin(
+        self,
+        start: float = constants.NOMINAL_VPP,
+        step: float = constants.VPP_STEP,
+        floor: float = 0.5,
+    ) -> float:
+        """Empirically find V_PPmin (Section 4.1).
+
+        Steps V_PP down from ``start`` in ``step`` decrements until the
+        module stops communicating; returns the last working voltage and
+        leaves the supply there.
+        """
+        last_working: Optional[float] = None
+        vpp = start
+        while vpp >= floor - 1e-9:
+            self.set_vpp(vpp)
+            if not self.communicates():
+                break
+            last_working = vpp
+            vpp = round(vpp - step, 10)
+        if last_working is None:
+            raise CommunicationError(
+                f"module {self.module.name} does not communicate even at "
+                f"{start} V"
+            )
+        self.set_vpp(last_working)
+        return last_working
+
+    def vpp_levels(self, step: float = constants.VPP_STEP) -> list:
+        """The experiment's V_PP grid: nominal down to V_PPmin."""
+        vppmin = self.find_vppmin(step=step)
+        levels = []
+        vpp = constants.NOMINAL_VPP
+        while vpp >= vppmin - 1e-9:
+            levels.append(round(vpp, 10))
+            vpp = round(vpp - step, 10)
+        return levels

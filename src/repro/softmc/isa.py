@@ -1,0 +1,104 @@
+"""SoftMC instruction set.
+
+Real SoftMC exposes raw DDR commands plus loop/wait constructs; test
+programs are compiled on the host and streamed to the FPGA. Our ISA
+keeps the raw commands and encodes the two idioms every experiment in
+the paper uses as macro-instructions with documented expansions:
+
+* ``HAMMER`` -- the unrolled ``count x (ACT aggressor_i, PRE)`` loop of a
+  (double-sided) RowHammer attack. The device model applies its effect
+  analytically, which is the only way 300K-activation experiments stay
+  tractable in simulation; the timing cost (count * rows * tRC) is
+  charged exactly as the unrolled loop would take.
+* ``WRITE_ROW`` / ``READ_ROW`` -- ACT + per-column WR/RD + PRE.
+
+Programs are pure data; validation happens at construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ProgramError
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    WAIT = "WAIT"
+    HAMMER = "HAMMER"
+    WRITE_ROW = "WRITE_ROW"
+    READ_ROW = "READ_ROW"
+
+
+#: Opcodes that produce read data in the execution result.
+READ_OPCODES = (Opcode.RD, Opcode.READ_ROW)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SoftMC instruction.
+
+    Operand usage by opcode:
+
+    ====== ===============================================================
+    ACT    bank, row
+    PRE    bank
+    RD     bank, column
+    WR     bank, column, data (64 bits)
+    REF    (none)
+    WAIT   duration [s]
+    HAMMER bank, rows (aggressors), count
+    WRITE_ROW bank, row, data (full row bits)
+    READ_ROW  bank, row
+    ====== ===============================================================
+    """
+
+    opcode: Opcode
+    bank: Optional[int] = None
+    row: Optional[int] = None
+    column: Optional[int] = None
+    rows: Optional[Tuple[int, ...]] = None
+    count: Optional[int] = None
+    duration: Optional[float] = None
+    data: Optional[np.ndarray] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        op = self.opcode
+        requirements = {
+            Opcode.ACT: ("bank", "row"),
+            Opcode.PRE: ("bank",),
+            Opcode.RD: ("bank", "column"),
+            Opcode.WR: ("bank", "column", "data"),
+            Opcode.REF: (),
+            Opcode.WAIT: ("duration",),
+            Opcode.HAMMER: ("bank", "rows", "count"),
+            Opcode.WRITE_ROW: ("bank", "row", "data"),
+            Opcode.READ_ROW: ("bank", "row"),
+        }
+        for name in requirements[op]:
+            if getattr(self, name) is None:
+                raise ProgramError(f"{op.value} requires operand {name!r}")
+        if op is Opcode.WAIT and self.duration < 0:
+            raise ProgramError(f"WAIT duration must be >= 0: {self.duration}")
+        if op is Opcode.HAMMER:
+            if self.count < 0:
+                raise ProgramError(f"HAMMER count must be >= 0: {self.count}")
+            if len(self.rows) == 0:
+                raise ProgramError("HAMMER requires at least one aggressor row")
+        if op is Opcode.WR and np.asarray(self.data).shape != (64,):
+            raise ProgramError("WR data must be a 64-bit vector")
+
+    @property
+    def produces_data(self) -> bool:
+        """Whether executing this instruction yields read data."""
+        return self.opcode in READ_OPCODES

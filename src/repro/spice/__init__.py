@@ -1,0 +1,40 @@
+"""SPICE-class nonlinear transient circuit simulator (Section 4.5).
+
+The paper verifies its real-device observations with LTspice simulations
+of a DRAM cell / bitline / sense-amplifier circuit (Table 2, adapted
+from [60], 22 nm PTM transistors, 10K Monte-Carlo runs with up to 5 %
+parameter variation). This subpackage implements the pieces that study
+needs, from scratch:
+
+* :mod:`repro.spice.components` -- resistors, capacitors, piecewise-
+  linear sources, level-1 MOSFETs.
+* :mod:`repro.spice.netlist` -- circuit construction and validation.
+* :mod:`repro.spice.transient` -- batched Newton + backward-Euler
+  transient analysis (Monte-Carlo batches solved vectorized).
+* :mod:`repro.spice.dram_cell` -- the Table 2 DRAM circuit.
+* :mod:`repro.spice.experiments` -- the activation and charge-restoration
+  experiments behind Figures 8 and 9.
+* :mod:`repro.spice.montecarlo` -- parameter-variation machinery.
+"""
+
+from repro.spice.components import (
+    Capacitor,
+    Mosfet,
+    MosType,
+    PiecewiseLinearSource,
+    Resistor,
+)
+from repro.spice.netlist import Circuit, GROUND
+from repro.spice.transient import TransientResult, TransientSolver
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "GROUND",
+    "Mosfet",
+    "MosType",
+    "PiecewiseLinearSource",
+    "Resistor",
+    "TransientResult",
+    "TransientSolver",
+]

@@ -1,0 +1,176 @@
+"""Circuit components.
+
+All component values may be scalars or numpy arrays of a common batch
+shape ``(B,)`` -- the transient solver runs every Monte-Carlo sample of a
+batch simultaneously through vectorized stamps, which is what makes the
+paper's 10K-run Monte-Carlo analyses (Section 4.5) tractable in Python.
+
+The MOSFET is a level-1 (Shichman-Hodges) model: adequate for the
+charge-sharing / sensing / restoration dynamics the paper's Figures 8-9
+study, and honest about being a behavioral stand-in for the 22 nm PTM
+cards (which would require a full BSIM implementation). The solver
+differentiates device currents numerically, so component models only
+need to provide ``current()``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+Value = Union[float, np.ndarray]
+
+#: Small conductance to ground added to every node for Newton robustness
+#: (SPICE's gmin).
+GMIN = 1e-12
+
+
+@dataclass
+class Resistor:
+    """Linear resistor between two nodes."""
+
+    node_a: str
+    node_b: str
+    resistance: Value
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if np.any(np.asarray(self.resistance) <= 0):
+            raise NetlistError(f"resistor {self.name!r}: non-positive resistance")
+
+
+@dataclass
+class Capacitor:
+    """Linear capacitor between two nodes."""
+
+    node_a: str
+    node_b: str
+    capacitance: Value
+    name: str = ""
+    initial_voltage: Value = 0.0  # v(node_a) - v(node_b) at t = 0
+
+    def __post_init__(self) -> None:
+        if np.any(np.asarray(self.capacitance) <= 0):
+            raise NetlistError(f"capacitor {self.name!r}: non-positive capacitance")
+
+
+@dataclass
+class PiecewiseLinearSource:
+    """Ideal voltage source with a piecewise-linear waveform.
+
+    Drives ``node`` (relative to ground) through the time points
+    ``(t_i, v_i)``; the voltage holds at the last value after the final
+    point. Dirichlet-handled by the solver: the node is a known, not an
+    unknown.
+    """
+
+    node: str
+    points: Sequence[Tuple[float, Value]]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.points) == 0:
+            raise NetlistError(f"source {self.name!r}: empty waveform")
+        times = [p[0] for p in self.points]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise NetlistError(
+                f"source {self.name!r}: waveform times must increase"
+            )
+
+    def voltage(self, t: float) -> Value:
+        """Waveform value at time ``t``."""
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            if t <= t1:
+                frac = (t - t0) / (t1 - t0)
+                return np.asarray(v0) + (np.asarray(v1) - np.asarray(v0)) * frac
+        return points[-1][1]
+
+
+class MosType(enum.Enum):
+    """MOSFET polarity."""
+
+    NMOS = "nmos"
+    PMOS = "pmos"
+
+
+@dataclass
+class Mosfet:
+    """Level-1 MOSFET (body tied to source; body effect neglected).
+
+    Parameters
+    ----------
+    gate, drain, source:
+        Node names.
+    mos_type:
+        NMOS or PMOS.
+    width / length:
+        Device geometry [m]; transconductance scales with W/L.
+    kp:
+        Process transconductance (mobility * Cox) [A/V^2].
+    vth:
+        Threshold voltage magnitude [V].
+    lambda_:
+        Channel-length modulation [1/V].
+    """
+
+    gate: str
+    drain: str
+    source: str
+    mos_type: MosType
+    width: Value
+    length: Value
+    kp: Value = 3.0e-4
+    vth: Value = 0.5
+    lambda_: Value = 0.05
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for attr in ("width", "length", "kp"):
+            if np.any(np.asarray(getattr(self, attr)) <= 0):
+                raise NetlistError(f"mosfet {self.name!r}: non-positive {attr}")
+
+    def beta(self) -> Value:
+        """Device transconductance k = kp * W / L."""
+        return self.kp * self.width / self.length
+
+    def current(self, v_g: Value, v_d: Value, v_s: Value) -> np.ndarray:
+        """Channel current flowing from the drain terminal to the source
+        terminal, at the given node voltages.
+
+        Conduction is bidirectional: when the nominal drain sits below
+        the nominal source (for NMOS), the terminals swap roles and the
+        current sign flips, exactly as in a physical symmetric device.
+        """
+        v_g = np.asarray(v_g, dtype=float)
+        v_d = np.asarray(v_d, dtype=float)
+        v_s = np.asarray(v_s, dtype=float)
+        if self.mos_type is MosType.PMOS:
+            v_g, v_d, v_s = -v_g, -v_d, -v_s
+            polarity = -1.0
+        else:
+            polarity = 1.0
+
+        swap = v_d < v_s
+        d_eff = np.where(swap, v_s, v_d)
+        s_eff = np.where(swap, v_d, v_s)
+        v_gs = v_g - s_eff
+        v_ds = d_eff - s_eff
+        v_ov = v_gs - self.vth
+
+        beta = self.beta()
+        clm = 1.0 + self.lambda_ * v_ds
+        triode = v_ds < v_ov
+        i_triode = beta * (v_ov - 0.5 * v_ds) * v_ds * clm
+        i_sat = 0.5 * beta * v_ov * v_ov * clm
+        i = np.where(v_ov <= 0, 0.0, np.where(triode, i_triode, i_sat))
+        # Undo the terminal swap (current direction flips), then the
+        # polarity mirror (PMOS currents flow the other way).
+        return polarity * np.where(swap, -i, i)

@@ -1,0 +1,132 @@
+"""DC operating-point analysis.
+
+Solves the circuit's steady state with capacitors open (zero current):
+the asymptote a transient run only approaches. Used by the restoration
+experiments to measure the *exact* saturation voltage of Observation 10
+instead of a finite-window estimate -- at reduced V_PP the cell's final
+approach through the cutting-off access transistor is asymptotically
+slow, so transient endpoints systematically under-read the level.
+
+Nodes isolated behind a cut-off transistor would make the DC system
+singular; the solver's per-node ``gmin`` to ground (as in SPICE) keeps
+the Jacobian invertible and parks such nodes exactly where the device
+current balances the leak -- i.e. at the cut-off boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConvergenceError
+from repro.spice.components import GMIN
+from repro.spice.netlist import GROUND, Circuit
+
+#: Finite-difference step for the DC Jacobian [V].
+_FD_EPS = 1e-6
+
+
+def solve_dc(
+    circuit: Circuit,
+    at_time: float = 1.0,
+    initial: Optional[Dict[str, float]] = None,
+    max_newton: int = 200,
+    tolerance: float = 1e-12,
+) -> Dict[str, np.ndarray]:
+    """Solve the DC operating point.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist; sources are evaluated at ``at_time`` (use a time
+        past every waveform's final breakpoint).
+    initial:
+        Starting guesses for unknown nodes (important for circuits with
+        multiple stable states, e.g. a latched sense amplifier).
+
+    Returns
+    -------
+    Node-voltage mapping covering unknown and source nodes. Values are
+    arrays of the circuit's batch size (scalars squeeze to 0-d-like
+    1-element arrays).
+    """
+    circuit.validate()
+    unknowns = circuit.unknown_nodes()
+    sources = circuit.source_nodes()
+    index = {node: i for i, node in enumerate(unknowns)}
+
+    # Batch size from any batched component value.
+    batch = 1
+    for m in circuit.mosfets:
+        for value in (m.width, m.length, m.kp, m.vth):
+            if np.shape(value):
+                batch = max(batch, np.shape(value)[0])
+    for r in circuit.resistors:
+        if np.shape(r.resistance):
+            batch = max(batch, np.shape(r.resistance)[0])
+
+    pinned = {
+        node: np.broadcast_to(
+            np.asarray(source.voltage(at_time), dtype=float), (batch,)
+        ).copy()
+        for node, source in sources.items()
+    }
+
+    def voltage(node: str, x: np.ndarray) -> np.ndarray:
+        if node == GROUND:
+            return np.zeros(batch)
+        if node in index:
+            return x[:, index[node]]
+        return pinned[node]
+
+    def residual(x: np.ndarray) -> np.ndarray:
+        f = np.zeros_like(x)
+
+        def add(node: str, current: np.ndarray) -> None:
+            i = index.get(node)
+            if i is not None:
+                f[:, i] += current
+
+        for r in circuit.resistors:
+            i = (voltage(r.node_a, x) - voltage(r.node_b, x)) / r.resistance
+            add(r.node_a, i)
+            add(r.node_b, -i)
+        # Capacitors are open at DC: no stamp.
+        for m in circuit.mosfets:
+            i = m.current(
+                voltage(m.gate, x), voltage(m.drain, x), voltage(m.source, x)
+            )
+            add(m.drain, i)
+            add(m.source, -i)
+        return f + GMIN * x
+
+    n = len(unknowns)
+    x = np.zeros((batch, n))
+    for node, value in (initial or {}).items():
+        if node in index:
+            x[:, index[node]] = np.broadcast_to(value, (batch,))
+
+    for _ in range(max_newton):
+        f = residual(x)
+        if np.abs(f).max() < tolerance:
+            break
+        jacobian = np.empty((batch, n, n))
+        for j in range(n):
+            perturbed = x.copy()
+            perturbed[:, j] += _FD_EPS
+            jacobian[:, :, j] = (residual(perturbed) - f) / _FD_EPS
+        try:
+            delta = np.linalg.solve(jacobian, f[:, :, None])[:, :, 0]
+        except np.linalg.LinAlgError as error:
+            raise ConvergenceError(f"singular DC Jacobian: {error}") from error
+        x = x - np.clip(delta, -0.3, 0.3)
+    else:
+        raise ConvergenceError(
+            f"DC analysis failed to converge (residual "
+            f"{np.abs(residual(x)).max():.2e} A)"
+        )
+
+    solution = {node: x[:, i].copy() for node, i in index.items()}
+    solution.update({node: value.copy() for node, value in pinned.items()})
+    return solution

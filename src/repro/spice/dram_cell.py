@@ -1,0 +1,161 @@
+"""The Table 2 DRAM circuit: cell + bitline + sense amplifier.
+
+Topology (adapted, like the paper, from the reduced-voltage DRAM study
+[60]):
+
+* storage capacitor ``C_cell`` behind its series resistance ``R_cell``;
+* access NMOS between the cell and the local bitline, gate on the
+  wordline (driven to V_PP);
+* bitline RC (``C_BL``, ``R_BL``) between the cell and the sense
+  amplifier; a matched reference bitline on the other side;
+* a standard cross-coupled sense amplifier (two NMOS to the SAN rail,
+  two PMOS to the SAP rail); the rails split from V_DD/2 to 0 / V_DD
+  when sensing is enabled.
+
+Component values follow Table 2; the transistor gain/threshold constants
+are calibrated so the nominal-V_PP activation completes in ~11.6 ns, the
+paper's Monte-Carlo mean (Observation 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.spice.components import Mosfet, MosType
+from repro.spice.netlist import Circuit
+from repro.units import ff, ns
+
+Value = Union[float, np.ndarray]
+
+#: The paper's SPICE-level access-transistor threshold (matches
+#: Observation 10's saturation numbers).
+ACCESS_VTH = 0.72
+
+
+@dataclass(frozen=True)
+class DramCircuitParams:
+    """Electrical parameters of the simulated DRAM column (Table 2)."""
+
+    # Table 2 values.
+    c_cell: Value = ff(16.8)
+    r_cell: Value = 698.0
+    c_bitline: Value = ff(100.5)
+    r_bitline: Value = 6980.0
+    w_access: Value = 55e-9
+    l_access: Value = 85e-9
+    w_sense_n: Value = 1.3e-6
+    l_sense_n: Value = 0.1e-6
+    w_sense_p: Value = 0.9e-6
+    l_sense_p: Value = 0.1e-6
+    # Operating point.
+    vdd: float = 1.2
+    vpp: Value = 2.5
+    # Calibrated transistor constants (22 nm-class behavioral stand-ins).
+    kp_access: Value = 6.0e-6
+    vth_access: Value = ACCESS_VTH
+    kp_sense_n: Value = 3.0e-5
+    kp_sense_p: Value = 1.5e-5
+    vth_sense: Value = 0.45
+    # Timing of the activation sequence.
+    wordline_rise: float = ns(1.0)
+    sense_enable_time: float = ns(5.5)
+    sense_ramp: float = ns(1.0)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigurationError(f"vdd must be positive: {self.vdd}")
+        if np.any(np.asarray(self.vpp) <= 0):
+            raise ConfigurationError("vpp must be positive")
+
+    def with_vpp(self, vpp: Value) -> "DramCircuitParams":
+        """Copy with a different wordline voltage."""
+        return replace(self, vpp=vpp)
+
+    def restored_cell_voltage(self) -> Value:
+        """Steady-state cell voltage after a full restoration at ``vpp``
+        (the access transistor cuts off at ``vpp - vth``)."""
+        return np.minimum(self.vdd, np.asarray(self.vpp) - self.vth_access)
+
+
+def build_activation_circuit(
+    params: DramCircuitParams, cell_charged: bool = True
+) -> Circuit:
+    """Circuit for the row-activation experiment (Figure 8).
+
+    The cell starts at its restored level (for a charged cell) or 0 V;
+    bitlines start precharged to V_DD/2; the wordline ramps to V_PP at
+    t = 0 and the sense amplifier turns on at ``sense_enable_time``.
+    Initial conditions are applied by the experiment driver via the
+    solver's ``initial`` argument using :func:`initial_conditions`.
+    """
+    c = Circuit("dram-activation")
+    half = params.vdd / 2.0
+
+    # Wordline.
+    c.add_source("wl", [(0.0, 0.0), (params.wordline_rise, params.vpp)],
+                 name="Vwl")
+    # Sense-amplifier rails: split from VDD/2 when sensing starts.
+    t0, t1 = params.sense_enable_time, params.sense_enable_time + params.sense_ramp
+    c.add_source("san", [(0.0, half), (t0, half), (t1, 0.0)], name="Vsan")
+    c.add_source("sap", [(0.0, half), (t0, half), (t1, params.vdd)], name="Vsap")
+
+    # Cell: access NMOS, series cell resistance, storage capacitor.
+    c.add_mosfet(Mosfet(
+        gate="wl", drain="bl", source="cell", mos_type=MosType.NMOS,
+        width=params.w_access, length=params.l_access,
+        kp=params.kp_access, vth=params.vth_access, name="Maccess",
+    ))
+    c.add_resistor("cell", "cap", params.r_cell, name="Rcell")
+    c.add_capacitor("cap", "0", params.c_cell, name="Ccell")
+
+    # Bitline RC to the sense amplifier. The sense amplifier sits on the
+    # bitline, so most of the line capacitance loads the SA nodes (which
+    # also keeps their dynamics well-posed for the solver); the series
+    # resistance models the distributed line between the cell's segment
+    # and the amplifier. The reference bitline is matched.
+    c.add_capacitor("bl", "0", 0.15 * np.asarray(params.c_bitline), name="Cbl")
+    c.add_resistor("bl", "sbl", params.r_bitline, name="Rbl")
+    c.add_capacitor("sbl", "0", 0.85 * np.asarray(params.c_bitline), name="Csbl")
+    c.add_capacitor("sblb", "0", params.c_bitline, name="Csblb")
+
+    # Cross-coupled sense amplifier.
+    c.add_mosfet(Mosfet(
+        gate="sblb", drain="sbl", source="san", mos_type=MosType.NMOS,
+        width=params.w_sense_n, length=params.l_sense_n,
+        kp=params.kp_sense_n, vth=params.vth_sense, name="Mn1",
+    ))
+    c.add_mosfet(Mosfet(
+        gate="sbl", drain="sblb", source="san", mos_type=MosType.NMOS,
+        width=params.w_sense_n, length=params.l_sense_n,
+        kp=params.kp_sense_n, vth=params.vth_sense, name="Mn2",
+    ))
+    c.add_mosfet(Mosfet(
+        gate="sblb", drain="sbl", source="sap", mos_type=MosType.PMOS,
+        width=params.w_sense_p, length=params.l_sense_p,
+        kp=params.kp_sense_p, vth=params.vth_sense, name="Mp1",
+    ))
+    c.add_mosfet(Mosfet(
+        gate="sbl", drain="sblb", source="sap", mos_type=MosType.PMOS,
+        width=params.w_sense_p, length=params.l_sense_p,
+        kp=params.kp_sense_p, vth=params.vth_sense, name="Mp2",
+    ))
+    return c
+
+
+def initial_conditions(
+    params: DramCircuitParams, cell_charged: bool = True
+) -> dict:
+    """Initial node voltages for the activation circuit."""
+    half = params.vdd / 2.0
+    cell = params.restored_cell_voltage() if cell_charged else 0.0
+    return {
+        "cell": cell,
+        "cap": cell,
+        "bl": half,
+        "sbl": half,
+        "sblb": half,
+    }

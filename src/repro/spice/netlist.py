@@ -1,0 +1,125 @@
+"""Circuit (netlist) construction.
+
+A :class:`Circuit` collects components and node names and validates the
+topology before simulation: every node must be reachable, source nodes
+must not collide, and names must be unique. Node ``"0"`` (alias
+:data:`GROUND`) is the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.errors import NetlistError
+from repro.spice.components import (
+    Capacitor,
+    Mosfet,
+    PiecewiseLinearSource,
+    Resistor,
+)
+
+#: The reference node.
+GROUND = "0"
+
+
+class Circuit:
+    """A flat netlist of resistors, capacitors, sources and MOSFETs."""
+
+    def __init__(self, title: str = ""):
+        self.title = title
+        self.resistors: List[Resistor] = []
+        self.capacitors: List[Capacitor] = []
+        self.sources: List[PiecewiseLinearSource] = []
+        self.mosfets: List[Mosfet] = []
+        self._names: Set[str] = set()
+
+    # -- construction ------------------------------------------------------------
+
+    def _register(self, name: str, kind: str) -> str:
+        if not name:
+            name = f"{kind}{len(self._names)}"
+        if name in self._names:
+            raise NetlistError(f"duplicate component name {name!r}")
+        self._names.add(name)
+        return name
+
+    def add_resistor(
+        self, node_a: str, node_b: str, resistance, name: str = ""
+    ) -> Resistor:
+        """Add a resistor; returns the component."""
+        component = Resistor(node_a, node_b, resistance,
+                             self._register(name, "R"))
+        self.resistors.append(component)
+        return component
+
+    def add_capacitor(
+        self, node_a: str, node_b: str, capacitance, name: str = "",
+        initial_voltage=0.0,
+    ) -> Capacitor:
+        """Add a capacitor with an optional initial voltage."""
+        component = Capacitor(
+            node_a, node_b, capacitance, self._register(name, "C"),
+            initial_voltage,
+        )
+        self.capacitors.append(component)
+        return component
+
+    def add_source(
+        self, node: str, points: Sequence, name: str = ""
+    ) -> PiecewiseLinearSource:
+        """Add a piecewise-linear voltage source driving ``node``."""
+        component = PiecewiseLinearSource(node, tuple(points),
+                                          self._register(name, "V"))
+        self.sources.append(component)
+        return component
+
+    def add_mosfet(self, mosfet: Mosfet) -> Mosfet:
+        """Add a MOSFET (constructed by the caller)."""
+        mosfet.name = self._register(mosfet.name, "M")
+        self.mosfets.append(mosfet)
+        return mosfet
+
+    # -- topology ----------------------------------------------------------------
+
+    def all_nodes(self) -> List[str]:
+        """Every node name referenced by any component (sorted)."""
+        nodes: Set[str] = set()
+        for r in self.resistors:
+            nodes.update((r.node_a, r.node_b))
+        for c in self.capacitors:
+            nodes.update((c.node_a, c.node_b))
+        for s in self.sources:
+            nodes.add(s.node)
+        for m in self.mosfets:
+            nodes.update((m.gate, m.drain, m.source))
+        return sorted(nodes)
+
+    def source_nodes(self) -> Dict[str, PiecewiseLinearSource]:
+        """Nodes pinned by voltage sources."""
+        pinned: Dict[str, PiecewiseLinearSource] = {}
+        for source in self.sources:
+            if source.node in pinned:
+                raise NetlistError(
+                    f"node {source.node!r} driven by two sources"
+                )
+            if source.node == GROUND:
+                raise NetlistError("cannot drive the ground node")
+            pinned[source.node] = source
+        return pinned
+
+    def unknown_nodes(self) -> List[str]:
+        """Nodes whose voltages the solver must find."""
+        pinned = set(self.source_nodes())
+        return [
+            node
+            for node in self.all_nodes()
+            if node != GROUND and node not in pinned
+        ]
+
+    def validate(self) -> None:
+        """Check the netlist is simulatable."""
+        nodes = self.all_nodes()
+        if GROUND not in nodes:
+            raise NetlistError("circuit has no ground reference")
+        if not self.unknown_nodes():
+            raise NetlistError("circuit has no unknown nodes to solve for")

@@ -1,0 +1,149 @@
+"""Statistical helpers used across the library.
+
+Thin, well-named wrappers so that experiment code reads like the paper's
+methodology section: coefficients of variation (Section 4.6), confidence
+intervals (Figures 3, 5, 10a), population densities (Figures 4, 6, 10b),
+and the lognormal order-statistics used to calibrate module profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from repro.errors import AnalysisError
+
+
+def normal_ppf(q: float) -> float:
+    """Inverse standard-normal CDF."""
+    if not 0.0 < q < 1.0:
+        raise AnalysisError(f"quantile must be in (0, 1): {q}")
+    return float(_scipy_stats.norm.ppf(q))
+
+
+def normal_cdf(x):
+    """Standard-normal CDF (vectorized)."""
+    return _scipy_stats.norm.cdf(x)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """CV = standard deviation over mean (Section 4.6).
+
+    Returns 0 for a constant series; raises for an empty or zero-mean one.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot compute CV of an empty series")
+    mean = arr.mean()
+    if mean == 0:
+        if np.all(arr == 0):
+            return 0.0
+        raise AnalysisError("CV undefined: mean is zero but values vary")
+    return float(arr.std(ddof=0) / abs(mean))
+
+
+@dataclass(frozen=True)
+class ConfidenceBand:
+    """A central confidence band of a sample (e.g. the 90 % bands shading
+    the curves of Figures 3 and 5)."""
+
+    low: float
+    high: float
+    level: float
+
+    @property
+    def width(self) -> float:
+        """Band width (high - low)."""
+        return self.high - self.low
+
+
+def confidence_band(values: Sequence[float], level: float = 0.90) -> ConfidenceBand:
+    """Central quantile band containing ``level`` of the sample."""
+    if not 0.0 < level < 1.0:
+        raise AnalysisError(f"level must be in (0, 1): {level}")
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot compute a confidence band of an empty series")
+    alpha = (1.0 - level) / 2.0
+    low, high = np.quantile(arr, [alpha, 1.0 - alpha])
+    return ConfidenceBand(low=float(low), high=float(high), level=level)
+
+
+@dataclass(frozen=True)
+class DensityEstimate:
+    """A normalized histogram density (the population-density plots of
+    Figures 4, 6 and 10b)."""
+
+    centers: np.ndarray
+    density: np.ndarray
+    bin_width: float
+
+    def mode(self) -> float:
+        """Location of the highest-density bin."""
+        return float(self.centers[int(np.argmax(self.density))])
+
+
+def population_density(
+    values: Sequence[float], bins: int = 40, value_range: tuple = None
+) -> DensityEstimate:
+    """Histogram-based population density estimate."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot estimate density of an empty series")
+    counts, edges = np.histogram(arr, bins=bins, range=value_range, density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return DensityEstimate(
+        centers=centers, density=counts, bin_width=float(edges[1] - edges[0])
+    )
+
+
+def lognormal_minimum_location(
+    target_minimum: float, sigma: float, count: int
+) -> float:
+    """Median of a lognormal whose expected minimum over ``count`` draws
+    is ``target_minimum``.
+
+    Used to calibrate per-row weakness distributions so that the *minimum*
+    HC_first across a module's tested rows lands on the Table 3 anchor.
+    The expected minimum of ``count`` lognormal draws is approximated by
+    the ``1/(count+1)`` quantile.
+    """
+    if target_minimum <= 0:
+        raise AnalysisError(f"target_minimum must be positive: {target_minimum}")
+    if count < 1:
+        raise AnalysisError(f"count must be >= 1: {count}")
+    z = normal_ppf(1.0 / (count + 1.0))
+    # ln(min) ~= mu + sigma * z  =>  median = exp(mu)
+    return target_minimum / float(np.exp(sigma * z))
+
+
+def lognormal_sigma_for_tail(
+    tail_probability: float, ratio_to_median: float
+) -> float:
+    """Sigma of a lognormal such that ``P(X < median * ratio) = tail``.
+
+    Used to size per-cell tolerance spreads from a (HC_first, BER) anchor
+    pair: the BER at a fixed hammer count is the lognormal tail mass below
+    that count.
+    """
+    if not 0.0 < tail_probability < 0.5:
+        raise AnalysisError(
+            f"tail_probability must be in (0, 0.5): {tail_probability}"
+        )
+    if not 0.0 < ratio_to_median < 1.0:
+        raise AnalysisError(f"ratio_to_median must be in (0, 1): {ratio_to_median}")
+    z = normal_ppf(tail_probability)
+    return float(np.log(ratio_to_median) / z)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot compute geometric mean of an empty series")
+    if np.any(arr <= 0):
+        raise AnalysisError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,31 @@
+"""System-level memory controller with V_PP-aware policies.
+
+Section 8 of the paper argues that "DRAM designs and systems that are
+informed about the trade-offs between V_PP, access latency, and
+retention time can ... employ better-informed memory controller
+policies (e.g., using longer tRCD, employing SECDED ECC, or doubling
+the refresh rate only for a small fraction of rows when the chip
+operates at reduced V_PP)". This subpackage implements exactly that
+controller:
+
+* :mod:`repro.system.address` -- physical-address to (bank, row, column)
+  translation.
+* :mod:`repro.system.policy` -- the V_PP operating policy: wordline
+  voltage, activation latency, rank-level SECDED, selective refresh.
+* :mod:`repro.system.controller` -- an open-page memory controller that
+  drives a simulated module access by access, schedules refresh, applies
+  the policy's mitigations, and accounts row hits/misses, refreshes and
+  ECC corrections.
+"""
+
+from repro.system.address import AddressMapping, DecodedAddress
+from repro.system.controller import ControllerStats, MemoryController
+from repro.system.policy import ControllerPolicy
+
+__all__ = [
+    "AddressMapping",
+    "ControllerPolicy",
+    "ControllerStats",
+    "DecodedAddress",
+    "MemoryController",
+]

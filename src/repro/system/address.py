@@ -1,0 +1,87 @@
+"""Physical-address translation.
+
+The controller exposes a flat byte-addressable physical address space
+and splits addresses into (bank, row, column) coordinates. The default
+layout is row : bank : column (from most to least significant) -- the
+common open-page-friendly interleaving where consecutive cache lines
+stay in one row and consecutive rows rotate across banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.calibration import ModuleGeometry
+from repro.errors import ConfigurationError, DramAddressError
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """One physical address, decoded."""
+
+    bank: int
+    row: int
+    column: int  # 64-bit column word index
+    byte_offset: int  # within the 8-byte column word
+
+
+class AddressMapping:
+    """Bijective flat-address <-> (bank, row, column) translation."""
+
+    COLUMN_BYTES = 8  # one 64-bit beat
+
+    def __init__(self, geometry: ModuleGeometry):
+        self._geometry = geometry
+        self._row_bytes = geometry.columns * self.COLUMN_BYTES
+        self._bank_span = self._row_bytes  # bytes per (bank, row) stripe
+        self._capacity = (
+            geometry.banks * geometry.rows_per_bank * self._row_bytes
+        )
+
+    @property
+    def capacity(self) -> int:
+        """Total module capacity in bytes."""
+        return self._capacity
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per row."""
+        return self._row_bytes
+
+    def decode(self, address: int) -> DecodedAddress:
+        """Split a flat byte address into DRAM coordinates."""
+        if not 0 <= address < self._capacity:
+            raise DramAddressError(
+                f"address {address:#x} outside capacity {self._capacity:#x}"
+            )
+        byte_offset = address % self.COLUMN_BYTES
+        column = (address // self.COLUMN_BYTES) % self._geometry.columns
+        stripe = address // self._row_bytes
+        bank = stripe % self._geometry.banks
+        row = stripe // self._geometry.banks
+        return DecodedAddress(
+            bank=bank, row=row, column=column, byte_offset=byte_offset
+        )
+
+    def encode(self, bank: int, row: int, column: int = 0,
+               byte_offset: int = 0) -> int:
+        """Inverse of :meth:`decode`."""
+        geometry = self._geometry
+        if not 0 <= bank < geometry.banks:
+            raise DramAddressError(f"bank {bank} out of range")
+        if not 0 <= row < geometry.rows_per_bank:
+            raise DramAddressError(f"row {row} out of range")
+        if not 0 <= column < geometry.columns:
+            raise DramAddressError(f"column {column} out of range")
+        if not 0 <= byte_offset < self.COLUMN_BYTES:
+            raise ConfigurationError(f"byte offset {byte_offset} out of range")
+        stripe = row * geometry.banks + bank
+        return (
+            stripe * self._row_bytes
+            + column * self.COLUMN_BYTES
+            + byte_offset
+        )
+
+    def row_base_address(self, bank: int, row: int) -> int:
+        """Flat address of the first byte of (bank, row)."""
+        return self.encode(bank, row, 0, 0)

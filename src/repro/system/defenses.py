@@ -1,0 +1,145 @@
+"""RowHammer defense cost models (Section 3's synergy claim).
+
+The paper motivates V_PP scaling as *complementary* to architectural
+RowHammer mitigations: "V_PP scaling can be used alongside these
+mechanisms to increase their effectiveness and/or reduce their
+overheads". Every major defense family parameterizes on the chip's
+HC_first, so a higher HC_first (from reduced V_PP) directly shrinks the
+defense's cost. This module implements the standard cost models of
+three representative defenses:
+
+* :class:`ParaDefense` -- PARA [Kim+ ISCA'14]: on every activation,
+  refresh a neighbor with probability ``p``. The per-window failure
+  probability of a victim hammered HC_first times is ``(1-p)^HC_first``;
+  solving for a target failure probability gives the required ``p``,
+  whose value *is* the activation-bandwidth overhead.
+* :class:`GrapheneDefense` -- Graphene [Park+ MICRO'20]: Misra-Gries
+  counters with threshold ``HC_first / 2``; the table needs
+  ``ceil(W / T)`` entries for ``W`` activations per refresh window, so
+  CAM area shrinks linearly as HC_first grows.
+* :class:`BlockHammerThrottle` -- BlockHammer [Yaglikci+ HPCA'21]:
+  blacklists rows activated faster than the RowHammer-safe rate
+  ``HC_first / tREFW``; the throttle threshold (max safe per-row
+  activation rate) rises linearly with HC_first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dram import constants
+from repro.errors import ConfigurationError
+from repro.units import ns
+
+#: Activations that fit in one refresh window at back-to-back tRC.
+def activations_per_window(
+    trefw: float = constants.NOMINAL_TREFW, trc: float = ns(45.0)
+) -> int:
+    """Maximum single-bank activations within one refresh window."""
+    if trefw <= 0 or trc <= 0:
+        raise ConfigurationError("trefw and trc must be positive")
+    return int(trefw / trc)
+
+
+@dataclass(frozen=True)
+class ParaDefense:
+    """PARA's probabilistic neighbor refresh.
+
+    Attributes
+    ----------
+    target_failure_probability:
+        Acceptable probability that a victim survives un-refreshed
+        through a full HC_first-activation attack (per attack window).
+    """
+
+    target_failure_probability: float = 1e-15
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_failure_probability < 1.0:
+            raise ConfigurationError(
+                "target_failure_probability must be in (0, 1)"
+            )
+
+    def required_probability(self, hcfirst: int) -> float:
+        """Smallest refresh probability meeting the failure target.
+
+        Solves ``(1 - p)^hcfirst <= target``.
+        """
+        if hcfirst < 1:
+            raise ConfigurationError(f"hcfirst must be >= 1: {hcfirst}")
+        return 1.0 - math.exp(
+            math.log(self.target_failure_probability) / hcfirst
+        )
+
+    def bandwidth_overhead(self, hcfirst: int) -> float:
+        """Fraction of activation bandwidth spent on neighbor refreshes
+        (each triggered refresh costs one extra activation)."""
+        return self.required_probability(hcfirst)
+
+
+@dataclass(frozen=True)
+class GrapheneDefense:
+    """Graphene's counter table sizing.
+
+    Attributes
+    ----------
+    trefw / trc:
+        Refresh window and activation cycle time used to bound the
+        per-window activation count.
+    """
+
+    trefw: float = constants.NOMINAL_TREFW
+    trc: float = ns(45.0)
+
+    def counter_threshold(self, hcfirst: int) -> int:
+        """Counter value at which the tracked row's neighbors are
+        refreshed: half the flip threshold (the row can be hammered again
+        after its refresh)."""
+        if hcfirst < 2:
+            raise ConfigurationError(f"hcfirst must be >= 2: {hcfirst}")
+        return max(1, hcfirst // 2)
+
+    def table_entries(self, hcfirst: int) -> int:
+        """Misra-Gries table size guaranteeing no row exceeds the
+        threshold untracked: ``ceil(W / T)`` entries."""
+        window = activations_per_window(self.trefw, self.trc)
+        return math.ceil(window / self.counter_threshold(hcfirst))
+
+
+@dataclass(frozen=True)
+class BlockHammerThrottle:
+    """BlockHammer's safe-rate throttling.
+
+    Attributes
+    ----------
+    trefw:
+        Refresh window bounding how long an attack can accumulate.
+    safety_margin:
+        Fraction of HC_first treated as the safe budget (<1 leaves
+        headroom for blast-radius effects).
+    """
+
+    trefw: float = constants.NOMINAL_TREFW
+    safety_margin: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.safety_margin <= 1.0:
+            raise ConfigurationError("safety_margin must be in (0, 1]")
+
+    def max_safe_rate(self, hcfirst: int) -> float:
+        """Maximum allowed per-row activation rate [1/s]: rows above it
+        get throttled. A larger HC_first throttles less traffic."""
+        if hcfirst < 1:
+            raise ConfigurationError(f"hcfirst must be >= 1: {hcfirst}")
+        return self.safety_margin * hcfirst / self.trefw
+
+    def throttled_fraction(self, hcfirst: int, row_activation_rate: float) -> float:
+        """Fraction of a row's activations delayed at the given demand
+        rate (0 when the demand is under the safe rate)."""
+        if row_activation_rate <= 0:
+            raise ConfigurationError("row_activation_rate must be positive")
+        safe = self.max_safe_rate(hcfirst)
+        if row_activation_rate <= safe:
+            return 0.0
+        return 1.0 - safe / row_activation_rate

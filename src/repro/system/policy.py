@@ -1,0 +1,96 @@
+"""Controller operating policies (Section 8's design space).
+
+A :class:`ControllerPolicy` captures one point in the paper's
+Pareto space: how low to drive V_PP and which of the three compensating
+mitigations to enable -- a longer activation latency (for the
+Observation 7 offenders), rank-level SECDED (Observation 14), and
+selective double-rate refresh for the weak rows (Observation 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from repro.dram import constants
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ControllerPolicy:
+    """One V_PP operating point with its mitigations.
+
+    Attributes
+    ----------
+    vpp:
+        Wordline voltage the system runs the module at.
+    trcd:
+        Activation latency the controller programs [s]. The paper's
+        offender modules need 24 ns / 15 ns at reduced V_PP.
+    ecc_enabled:
+        Rank-level SECDED(72,64): corrects single-bit flips per 64-bit
+        word on every read (Observation 14's mitigation).
+    selective_refresh_rows:
+        (bank, row) pairs refreshed at double rate (Observation 15's
+        mitigation); typically the output of a retention profiling pass.
+    refresh_window:
+        Base refresh window tREFW [s] (nominal 64 ms).
+    page_policy:
+        ``"open"`` keeps the last row active per bank (row-buffer hits
+        for streaming workloads); ``"closed"`` precharges after every
+        access (lower conflict latency for random workloads).
+    """
+
+    vpp: float = constants.NOMINAL_VPP
+    trcd: float = constants.NOMINAL_TRCD
+    ecc_enabled: bool = False
+    selective_refresh_rows: FrozenSet[Tuple[int, int]] = field(
+        default_factory=frozenset
+    )
+    refresh_window: float = constants.NOMINAL_TREFW
+    page_policy: str = "open"
+
+    def __post_init__(self) -> None:
+        if self.vpp <= 0:
+            raise ConfigurationError(f"vpp must be positive: {self.vpp}")
+        if self.trcd <= 0:
+            raise ConfigurationError(f"trcd must be positive: {self.trcd}")
+        if self.refresh_window <= 0:
+            raise ConfigurationError(
+                f"refresh_window must be positive: {self.refresh_window}"
+            )
+        if self.page_policy not in ("open", "closed"):
+            raise ConfigurationError(
+                f"page_policy must be 'open' or 'closed': {self.page_policy}"
+            )
+
+    @classmethod
+    def nominal(cls) -> "ControllerPolicy":
+        """Stock JEDEC operation at nominal V_PP."""
+        return cls()
+
+    def at_vpp(self, vpp: float) -> "ControllerPolicy":
+        """Copy of this policy at a different wordline voltage."""
+        from dataclasses import replace
+
+        return replace(self, vpp=vpp)
+
+    def with_mitigations(
+        self,
+        trcd: float = None,
+        ecc: bool = None,
+        selective_refresh_rows=None,
+    ) -> "ControllerPolicy":
+        """Copy with some mitigations changed."""
+        from dataclasses import replace
+
+        updates = {}
+        if trcd is not None:
+            updates["trcd"] = trcd
+        if ecc is not None:
+            updates["ecc_enabled"] = ecc
+        if selective_refresh_rows is not None:
+            updates["selective_refresh_rows"] = frozenset(
+                selective_refresh_rows
+            )
+        return replace(self, **updates)

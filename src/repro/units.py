@@ -1,0 +1,80 @@
+"""Unit helpers.
+
+The library stores all physical quantities in SI base units:
+
+* time in **seconds**
+* voltage in **volts**
+* capacitance in **farads**
+* resistance in **ohms**
+* temperature in **degrees Celsius** (DRAM datasheets use Celsius)
+
+These helpers exist so that call sites can say ``ns(13.5)`` instead of
+``13.5e-9`` -- the paper quotes timings in nanoseconds and milliseconds and
+voltages in volts and millivolts, and keeping the paper's notation visible
+at call sites makes cross-checking against the paper trivial.
+"""
+
+from __future__ import annotations
+
+# -- time -------------------------------------------------------------------
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * 1e-9
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def seconds_to_ns(value: float) -> float:
+    """Seconds to nanoseconds."""
+    return value * 1e9
+
+
+def seconds_to_ms(value: float) -> float:
+    """Seconds to milliseconds."""
+    return value * 1e3
+
+
+# -- voltage ----------------------------------------------------------------
+
+
+def mv(value: float) -> float:
+    """Millivolts to volts."""
+    return value * 1e-3
+
+
+# -- capacitance / resistance ------------------------------------------------
+
+
+def ff(value: float) -> float:
+    """Femtofarads to farads."""
+    return value * 1e-15
+
+
+def pf(value: float) -> float:
+    """Picofarads to farads."""
+    return value * 1e-12
+
+
+def kohm(value: float) -> float:
+    """Kiloohms to ohms."""
+    return value * 1e3
+
+
+# -- convenience ------------------------------------------------------------
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the inclusive range [low, high]."""
+    if low > high:
+        raise ValueError(f"clamp range is empty: [{low}, {high}]")
+    return max(low, min(high, value))

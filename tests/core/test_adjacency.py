@@ -1,0 +1,47 @@
+"""Physical-adjacency discovery."""
+
+import pytest
+
+from repro.core.adjacency import MappingAdjacency, ReverseEngineeredAdjacency
+from repro.dram.calibration import ModuleGeometry
+from repro.errors import AnalysisError
+from repro.softmc.infrastructure import TestInfrastructure
+
+GEOMETRY = ModuleGeometry(rows_per_bank=512, banks=1, row_bits=2048)
+
+#: One module per vendor => one module per mapping family.
+MODULES = ("A4", "B3", "C5")
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_reverse_engineering_matches_oracle(name):
+    """The hammering experiment must discover the same neighbors the
+    internal mapping defines -- for every vendor's mapping family."""
+    infra = TestInfrastructure.for_module(name, geometry=GEOMETRY, seed=4)
+    oracle = MappingAdjacency(infra)
+    discovered = ReverseEngineeredAdjacency(infra, hammer_count=2_000_000)
+    for row in (16, 17, 50, 101):
+        assert sorted(discovered.neighbors(0, row)) == sorted(
+            oracle.neighbors(0, row)
+        )
+
+
+def test_reverse_engineering_caches(b3_infra):
+    engineered = ReverseEngineeredAdjacency(b3_infra, hammer_count=2_000_000)
+    first = engineered.neighbors(0, 30)
+    # Second call must not re-run the experiment: same object, instant.
+    activations_before = b3_infra.module.activation_count()
+    second = engineered.neighbors(0, 30)
+    assert first == second
+    assert b3_infra.module.activation_count() == activations_before
+
+
+def test_search_radius_validated(b3_infra):
+    with pytest.raises(AnalysisError):
+        ReverseEngineeredAdjacency(b3_infra, scan_radius=0)
+
+
+def test_mapping_adjacency_delegates(b3_infra):
+    oracle = MappingAdjacency(b3_infra)
+    mapping = b3_infra.module.bank(0).mapping
+    assert oracle.neighbors(0, 40) == mapping.physical_neighbors(40)

@@ -1,0 +1,118 @@
+"""Study scale, row sampling, and measurement metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    bit_error_rate,
+    cv_percentiles,
+    flipped_word_counts,
+)
+from repro.core.sampling import EDGE_MARGIN, sample_rows
+from repro.core.scale import SAFE_TRCD, StudyScale, safe_timings
+from repro.errors import AnalysisError, ConfigurationError
+from repro.units import ns
+
+
+class TestStudyScale:
+    def test_paper_preset_matches_methodology(self):
+        scale = StudyScale.paper()
+        assert scale.rows_per_module == 4096
+        assert scale.iterations == 10
+        assert scale.hcfirst_min_step == 100
+        assert scale.ber_hammer_count == 300_000
+
+    def test_retention_windows_are_powers_of_two(self):
+        windows = StudyScale.bench().retention_windows
+        assert windows[0] == pytest.approx(0.016)
+        assert windows[-1] == pytest.approx(16.384)
+        ratios = [b / a for a, b in zip(windows, windows[1:])]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StudyScale(rows_per_module=0)
+        with pytest.raises(ConfigurationError):
+            StudyScale(rows_per_module=4, row_chunks=8)
+        with pytest.raises(ConfigurationError):
+            StudyScale(iterations=0)
+        with pytest.raises(ConfigurationError):
+            StudyScale(vpp_step=0.0)
+
+    def test_safe_timings_relaxed(self):
+        timings = safe_timings()
+        assert timings.trcd == SAFE_TRCD
+        assert timings.trcd > ns(24.0)  # covers the worst offender (A0)
+
+
+class TestSampling:
+    def test_paper_layout(self):
+        rows = sample_rows(32768, 4096, 4)
+        assert len(rows) == 4096
+        assert rows == sorted(set(rows))
+
+    def test_chunks_are_spread(self):
+        rows = sample_rows(1024, 40, 4)
+        gaps = np.diff(rows)
+        assert (gaps > 1).sum() == 3  # three inter-chunk gaps
+
+    def test_edge_margin_respected(self):
+        rows = sample_rows(256, 32, 4)
+        assert min(rows) >= EDGE_MARGIN
+        assert max(rows) < 256 - EDGE_MARGIN
+
+    def test_overfull_request_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_rows(64, 100, 4)
+
+    @given(
+        st.integers(min_value=6, max_value=12),  # log2 of bank size
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_sampling_properties(self, log_rows, count, chunks):
+        rows_per_bank = 2**log_rows
+        count = min(count, rows_per_bank - 2 * EDGE_MARGIN)
+        chunks = min(chunks, count)
+        rows = sample_rows(rows_per_bank, count, chunks)
+        assert len(rows) == count
+        assert len(set(rows)) == count
+        assert all(
+            EDGE_MARGIN <= r < rows_per_bank - EDGE_MARGIN for r in rows
+        )
+
+
+class TestMetrics:
+    def test_ber(self):
+        a = np.array([0, 1, 0, 1])
+        b = np.array([0, 1, 1, 1])
+        assert bit_error_rate(a, b) == 0.25
+        assert bit_error_rate(a, a) == 0.0
+
+    def test_ber_shape_mismatch(self):
+        with pytest.raises(AnalysisError):
+            bit_error_rate(np.zeros(4), np.zeros(5))
+
+    def test_flipped_word_counts(self):
+        expected = np.zeros(128, dtype=np.uint8)
+        read = expected.copy()
+        read[3] = 1  # word 0: one flip
+        read[64] = 1  # word 1: two flips
+        read[70] = 1
+        counts = flipped_word_counts(expected, read)
+        assert counts.tolist() == [1, 2]
+
+    def test_flipped_word_counts_divisibility(self):
+        with pytest.raises(AnalysisError):
+            flipped_word_counts(np.zeros(100), np.zeros(100))
+
+    def test_cv_percentiles(self):
+        series = [[1.0, 1.0], [1.0, 2.0], [0.0, 0.0]]
+        percentiles = cv_percentiles(series, percentiles=(50.0,))
+        assert 0.0 <= percentiles[50.0] <= 0.5
+
+    def test_cv_percentiles_empty(self):
+        with pytest.raises(AnalysisError):
+            cv_percentiles([])

@@ -1,0 +1,87 @@
+"""Study persistence and the parallel campaign runner."""
+
+import pytest
+
+from repro.core.campaign import run_parallel
+from repro.core.scale import StudyScale
+from repro.core.serialization import (
+    SCHEMA_VERSION,
+    load_study,
+    save_study,
+    study_from_dict,
+    study_to_dict,
+)
+from repro.core.study import CharacterizationStudy
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    study = CharacterizationStudy(scale=StudyScale.tiny(), seed=4)
+    return study.run(modules=["C5"], tests=("rowhammer", "retention"))
+
+
+def _records(study):
+    module = study.module("C5")
+    return (
+        [(r.row, r.vpp, r.hcfirst, r.ber, r.ber_iterations)
+         for r in module.rowhammer],
+        [(r.row, r.vpp, r.trefw, r.ber, tuple(sorted(r.word_flip_histogram.items())))
+         for r in module.retention],
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_lossless(self, small_study):
+        restored = study_from_dict(study_to_dict(small_study))
+        assert _records(restored) == _records(small_study)
+        assert restored.seed == small_study.seed
+        assert restored.scale == small_study.scale
+
+    def test_file_roundtrip(self, small_study, tmp_path):
+        path = str(tmp_path / "study.json")
+        save_study(small_study, path)
+        restored = load_study(path)
+        assert _records(restored) == _records(small_study)
+
+    def test_schema_version_checked(self, small_study):
+        payload = study_to_dict(small_study)
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(AnalysisError):
+            study_from_dict(payload)
+
+    def test_analyses_work_on_restored_study(self, small_study):
+        from repro.core.analysis import normalized_curves
+
+        restored = study_from_dict(study_to_dict(small_study))
+        curves = normalized_curves(restored, "ber")
+        assert "C5" in curves
+
+
+class TestParallelCampaign:
+    def test_matches_sequential(self):
+        scale = StudyScale.tiny()
+        sequential = CharacterizationStudy(scale=scale, seed=6).run(
+            modules=["B3", "C5"], tests=("rowhammer",)
+        )
+        parallel = run_parallel(
+            ["B3", "C5"], scale=scale, seed=6, tests=("rowhammer",),
+            max_workers=2,
+        )
+        for name in ("B3", "C5"):
+            seq = [
+                (r.row, r.vpp, r.hcfirst, r.ber)
+                for r in sequential.module(name).rowhammer
+            ]
+            par = [
+                (r.row, r.vpp, r.hcfirst, r.ber)
+                for r in parallel.module(name).rowhammer
+            ]
+            assert seq == par
+
+    def test_single_worker_fallback(self):
+        scale = StudyScale.tiny()
+        result = run_parallel(
+            ["C5"], scale=scale, seed=6, tests=("rowhammer",), max_workers=1
+        )
+        assert "C5" in result.modules

@@ -1,0 +1,111 @@
+"""Property-based robustness tests on the bank state machine.
+
+Random command sequences must never corrupt the bank's invariants:
+legal-state errors are raised cleanly, stored data only changes through
+writes or physical fault mechanisms, and the open-row bookkeeping stays
+consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.module import DramModule
+from repro.dram.profiles import module_profile
+from repro.errors import DramCommandError
+
+GEOMETRY = ModuleGeometry(rows_per_bank=64, banks=1, row_bits=512)
+
+# Command alphabet: (kind, operand)
+commands = st.lists(
+    st.one_of(
+        st.tuples(st.just("act"), st.integers(0, 63)),
+        st.tuples(st.just("pre"), st.just(0)),
+        st.tuples(st.just("read"), st.integers(0, 7)),
+        st.tuples(st.just("write"), st.integers(0, 7)),
+        st.tuples(st.just("hammer"), st.integers(0, 63)),
+        st.tuples(st.just("refresh"), st.just(0)),
+        st.tuples(st.just("advance"), st.integers(1, 50)),  # microseconds
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(commands)
+def test_random_command_sequences_preserve_invariants(sequence):
+    module = DramModule(module_profile("C5"), geometry=GEOMETRY, seed=1)
+    bank = module.bank(0)
+    payload = np.ones(64, dtype=np.uint8)
+    for kind, operand in sequence:
+        try:
+            if kind == "act":
+                bank.activate(operand)
+            elif kind == "pre":
+                bank.precharge()
+            elif kind == "read":
+                data = bank.read_column(operand)
+                assert data.shape == (64,)
+                assert set(np.unique(data)) <= {0, 1}
+            elif kind == "write":
+                bank.write_column(operand, payload)
+            elif kind == "hammer":
+                bank.hammer([operand], 100)
+            elif kind == "refresh":
+                bank.refresh()
+            elif kind == "advance":
+                module.env.advance(operand * 1e-6)
+        except DramCommandError:
+            # Illegal-state commands must fail cleanly, leaving the bank
+            # usable.
+            pass
+        # Invariant: the open row, when set, is in range.
+        if bank.open_row is not None:
+            assert 0 <= bank.open_row < GEOMETRY.rows_per_bank
+    # The bank must still be fully operational afterwards.
+    bank.precharge()
+    bank.activate(5)
+    bank.write_column(0, payload)
+    assert np.array_equal(bank.read_column(0), payload)
+    bank.precharge()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(2, 61),
+    st.integers(0, 2**31),
+)
+def test_write_then_immediate_read_is_identity(row, content_seed):
+    """Whatever is written reads back verbatim when no time passes and no
+    hammering occurred (no physical mechanism may corrupt it)."""
+    module = DramModule(module_profile("A4"), geometry=GEOMETRY, seed=2)
+    bank = module.bank(0)
+    rng = np.random.default_rng(content_seed)
+    bits = rng.integers(0, 2, GEOMETRY.row_bits).astype(np.uint8)
+    bank.activate(row)
+    bank.write_row(bits)
+    bank.precharge()
+    bank.activate(row)
+    assert np.array_equal(bank.read_row(), bits)
+    bank.precharge()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 61), st.integers(1, 3))
+def test_refresh_idempotent_on_fresh_rows(row, sweeps):
+    """Refreshing a freshly-written row any number of times changes
+    nothing."""
+    module = DramModule(module_profile("A4"), geometry=GEOMETRY, seed=3)
+    bank = module.bank(0)
+    bits = np.zeros(GEOMETRY.row_bits, dtype=np.uint8)
+    bank.activate(row)
+    bank.write_row(bits)
+    bank.precharge()
+    for _ in range(sweeps):
+        bank.refresh_all()
+    bank.activate(row)
+    assert np.array_equal(bank.read_row(), bits)
+    bank.precharge()

@@ -1,0 +1,93 @@
+"""Population-wide calibration invariants: every one of the thirty
+module profiles must produce a physically coherent device."""
+
+import math
+
+import pytest
+
+from repro.dram.calibration import calibrate
+from repro.dram.profiles import MODULE_PROFILES, module_profile
+from repro.units import ns
+
+ALL_MODULES = sorted(MODULE_PROFILES)
+
+
+@pytest.fixture(scope="module")
+def calibrations():
+    return {name: calibrate(module_profile(name)) for name in ALL_MODULES}
+
+
+def test_activation_monotone_for_every_module(calibrations):
+    for name, calibration in calibrations.items():
+        values = [
+            calibration.activation.trcd_min(vpp)
+            for vpp in (2.5, 2.2, 1.9, 1.6)
+        ]
+        finite = [v for v in values if math.isfinite(v)]
+        assert finite == sorted(finite), name
+
+
+def test_retention_margin_monotone_for_every_module(calibrations):
+    for name, calibration in calibrations.items():
+        factors = [
+            calibration.retention.margin_factor(vpp)
+            for vpp in (2.5, 2.2, 1.9, 1.6)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(factors, factors[1:])), name
+        assert factors[0] == pytest.approx(1.0)
+
+
+def test_outlier_gamma_reproduces_every_hc_anchor(calibrations):
+    for name, calibration in calibrations.items():
+        profile = calibration.profile
+        scale = float(
+            calibration.disturbance.tolerance_scale(
+                profile.vppmin, calibration.gamma_outlier_mean
+            )
+        )
+        assert scale == pytest.approx(
+            profile.hcfirst_at_vppmin / profile.hcfirst_nominal, rel=1e-6
+        ), name
+
+
+def test_trcd_anchor_recovered_for_every_module(calibrations):
+    from repro.stats import normal_ppf
+
+    for name, calibration in calibrations.items():
+        profile = calibration.profile
+        worst = math.exp(
+            calibration.trcd_row_sigma * normal_ppf(4096 / 4097)
+        )
+        measured = calibration.activation.trcd_min(profile.vppmin) * worst
+        assert measured == pytest.approx(
+            ns(profile.trcd_at_vppmin_ns), rel=0.10
+        ), name
+
+
+def test_operating_floor_below_vppmin_for_every_module(calibrations):
+    """The behavioral transistor must still conduct at the module's
+    V_PPmin (the communication limit, not a physics cliff)."""
+    for name, calibration in calibrations.items():
+        profile = calibration.profile
+        assert math.isfinite(
+            calibration.activation.trcd_min(profile.vppmin)
+        ), name
+        assert calibration.restoration.saturation_voltage(
+            profile.vppmin
+        ) > 0.6, name
+
+
+def test_bulk_population_below_300k_matches_ber_order(calibrations):
+    """Modules with larger BER anchors must have weaker bulk populations
+    (lower log-weakness), vendor by vendor."""
+    from collections import defaultdict
+
+    by_vendor = defaultdict(list)
+    for name, calibration in calibrations.items():
+        by_vendor[calibration.profile.vendor].append(
+            (calibration.profile.ber_nominal, calibration.bulk_log_weakness)
+        )
+    for vendor, pairs in by_vendor.items():
+        pairs.sort()
+        weaknesses = [w for _, w in pairs]
+        assert weaknesses == sorted(weaknesses, reverse=True), vendor.value

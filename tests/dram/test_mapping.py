@@ -1,0 +1,112 @@
+"""Logical-to-physical row mapping schemes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.mapping import (
+    DirectMapping,
+    MirroredMapping,
+    ScrambledMapping,
+    ScrambleSpec,
+    make_mapping,
+)
+from repro.errors import ConfigurationError, DramAddressError
+
+ALL_KINDS = ("direct", "mirrored", "scrambled")
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_mapping_is_a_bijection(kind):
+    mapping = make_mapping(kind, 256)
+    physical = {mapping.to_physical(r) for r in range(256)}
+    assert physical == set(range(256))
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_roundtrip(kind):
+    mapping = make_mapping(kind, 128)
+    for row in range(128):
+        assert mapping.to_logical(mapping.to_physical(row)) == row
+        assert mapping.to_physical(mapping.to_logical(row)) == row
+
+
+def test_direct_is_identity():
+    mapping = DirectMapping(64)
+    assert all(mapping.to_physical(r) == r for r in range(64))
+
+
+def test_mirrored_swaps_expected_pairs():
+    mapping = MirroredMapping(16)
+    assert mapping.to_physical(0) == 0
+    assert mapping.to_physical(1) == 1
+    assert mapping.to_physical(2) == 3
+    assert mapping.to_physical(3) == 2
+    assert mapping.to_physical(6) == 7
+
+
+def test_scrambled_applies_xor_and_swaps():
+    mapping = ScrambledMapping(64, ScrambleSpec(xor_mask=0b1, bit_swaps=((0, 2),)))
+    # 0b000 -> xor -> 0b001 -> swap bits 0,2 -> 0b100
+    assert mapping.to_physical(0) == 4
+    assert mapping.to_logical(4) == 0
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_physical_neighbors_are_physically_adjacent(kind):
+    mapping = make_mapping(kind, 128)
+    for row in range(128):
+        neighbors = mapping.physical_neighbors(row)
+        physical = mapping.to_physical(row)
+        expected = [
+            p for p in (physical - 1, physical + 1) if 0 <= p < 128
+        ]
+        assert sorted(mapping.to_physical(n) for n in neighbors) == expected
+
+
+def test_edge_rows_have_one_neighbor():
+    mapping = DirectMapping(64)
+    assert mapping.physical_neighbors(0) == [1]
+    assert mapping.physical_neighbors(63) == [62]
+
+
+def test_distance_two_neighbors():
+    mapping = DirectMapping(64)
+    assert mapping.physical_neighbors(10, distance=2) == [8, 12]
+
+
+def test_address_range_checked():
+    mapping = DirectMapping(64)
+    with pytest.raises(DramAddressError):
+        mapping.to_physical(64)
+    with pytest.raises(DramAddressError):
+        mapping.physical_neighbors(-1)
+
+
+def test_scrambled_requires_power_of_two():
+    with pytest.raises(ConfigurationError):
+        ScrambledMapping(100, ScrambleSpec())
+
+
+def test_scramble_mask_must_fit_width():
+    with pytest.raises(ConfigurationError):
+        ScrambledMapping(64, ScrambleSpec(xor_mask=64))
+    with pytest.raises(ConfigurationError):
+        ScrambledMapping(64, ScrambleSpec(bit_swaps=((0, 6),)))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigurationError):
+        make_mapping("zigzag", 64)
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7),
+)
+def test_scramble_roundtrip_property(row, bit_a, bit_b):
+    mapping = ScrambledMapping(
+        256, ScrambleSpec(xor_mask=0b101, bit_swaps=((bit_a, bit_b),))
+    )
+    assert mapping.to_logical(mapping.to_physical(row)) == row

@@ -1,0 +1,60 @@
+"""The six standard data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.dram.patterns import (
+    STANDARD_PATTERNS,
+    classify_row_bits,
+    pattern_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+def test_six_patterns_with_paper_bytes():
+    # Section 4.1: row stripe (0xFF/0x00), checkerboard (0xAA/0x55),
+    # thick checker (0xCC/0x33).
+    fills = [p.fill_byte for p in STANDARD_PATTERNS]
+    assert fills == [0xFF, 0x00, 0xAA, 0x55, 0xCC, 0x33]
+    assert [p.index for p in STANDARD_PATTERNS] == list(range(6))
+
+
+def test_inverse_bytes():
+    for pattern in STANDARD_PATTERNS:
+        assert pattern.inverse_byte == pattern.fill_byte ^ 0xFF
+
+
+def test_row_bits_expand_fill():
+    pattern = pattern_by_name("checkerboard-a")
+    bits = pattern.row_bits(64)
+    packed = np.packbits(bits, bitorder="little")
+    assert np.all(packed == 0xAA)
+
+
+def test_inverse_bits_complement():
+    pattern = STANDARD_PATTERNS[0]
+    assert np.all(pattern.row_bits(128) + pattern.inverse_bits(128) == 1)
+
+
+def test_classification_roundtrip():
+    for pattern in STANDARD_PATTERNS:
+        found = classify_row_bits(pattern.row_bits(256))
+        assert found is pattern
+
+
+def test_classification_rejects_mixed_content():
+    bits = STANDARD_PATTERNS[0].row_bits(256)
+    bits[3] ^= 1
+    assert classify_row_bits(bits) is None
+
+
+def test_classification_rejects_unknown_fill():
+    bits = np.unpackbits(
+        np.full(32, 0x0F, dtype=np.uint8), bitorder="little"
+    )
+    assert classify_row_bits(bits) is None
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ConfigurationError):
+        pattern_by_name("zebra")

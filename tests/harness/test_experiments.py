@@ -1,0 +1,138 @@
+"""Experiment modules produce well-formed, paper-shaped output.
+
+Study-based experiments run at tiny scale on a one-per-vendor module
+subset; the shared-cache fixture keeps the campaign to one run per test
+session scope.
+"""
+
+import pytest
+
+from repro.core.scale import StudyScale
+from repro.harness.registry import run_experiment
+
+MODULES = ("A4", "B3", "C5")
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return StudyScale.tiny()
+
+
+class TestStaticExperiments:
+    def test_table1_population(self):
+        output = run_experiment("table1")
+        assert output.data["total_chips"] == 272
+        assert output.data["total_dimms"] == 30
+
+    def test_table2_parameters(self):
+        output = run_experiment("table2")
+        assert output.data["parameters"]["c_cell_fF"] == pytest.approx(16.8)
+        assert output.data["parameters"]["r_bitline_ohm"] == pytest.approx(6980)
+
+    def test_ablation_reversals(self):
+        output = run_experiment("ablation", modules=("B3", "B9"))
+        b3 = output.data["results"]["B3"]
+        # Removing per-row heterogeneity kills B3's reversal population.
+        assert b3["no gamma spread"]["reversing_fraction"] == 0.0
+        assert b3["full model"]["reversing_fraction"] > 0.0
+        # Amplifying the margin term strengthens reversals.
+        assert (
+            b3["strong margin (beta=1.5)"]["reversing_fraction"]
+            >= b3["full model"]["reversing_fraction"]
+        )
+
+    def test_trr_demo_contrast(self, tiny):
+        output = run_experiment("trr_demo", scale=tiny, modules=("B3",))
+        flips = output.data["flips"]
+        assert flips["withheld"] > 0
+        assert flips["interleaved"] == 0
+
+
+class TestStudyExperiments:
+    def test_fig3_curves_and_stats(self, tiny):
+        output = run_experiment("fig3", scale=tiny, modules=MODULES)
+        assert set(output.data["curves"]) == set(MODULES)
+        for curve in output.data["curves"].values():
+            assert curve["vpp"][0] == 2.5
+            assert curve["mean"][0] == pytest.approx(1.0)
+        summary = output.data["summary"]
+        assert 0.0 <= summary["fraction_decreasing"] <= 1.0
+
+    def test_fig4_vendor_ranges(self, tiny):
+        output = run_experiment("fig4", scale=tiny, modules=MODULES)
+        densities = output.data["densities"]
+        assert set(densities) == {"A", "B", "C"}
+        for info in densities.values():
+            assert info["min"] <= info["max"]
+
+    def test_fig5_hcfirst_direction(self, tiny):
+        output = run_experiment("fig5", scale=tiny, modules=MODULES)
+        # B3's curve must end above 1 (the paper's strongest riser).
+        curve = output.data["curves"]["B3"]
+        assert curve["mean"][-1] > 0.95
+
+    def test_fig6_densities(self, tiny):
+        output = run_experiment("fig6", scale=tiny, modules=MODULES)
+        assert set(output.data["densities"]) == {"A", "B", "C"}
+
+    def test_fig7_guardband(self, tiny):
+        output = run_experiment(
+            "fig7", scale=tiny, modules=("A0", "A4", "B2", "C5")
+        )
+        assert set(output.data["failing_modules"]) == {"A0", "B2"}
+        assert set(output.data["passing_modules"]) == {"A4", "C5"}
+        for curve in output.data["curves"].values():
+            # tRCD_min never improves as V_PP drops.
+            values = curve["trcd_min_ns"]
+            assert values[-1] >= values[0]
+
+    def test_fig10_retention(self, tiny):
+        output = run_experiment("fig10", scale=tiny, modules=MODULES)
+        curves = output.data["curves"]
+        assert curves
+        for curve in curves:
+            bers = curve["mean_ber"]
+            assert bers == sorted(bers)  # BER grows with the window
+        assert "A4" in output.data["clean_at_64ms"]
+
+    def test_fig11_ecc(self, tiny):
+        output = run_experiment("fig11", scale=tiny, modules=("B6", "A4"))
+        verdicts = output.data["ecc_all_correctable"]
+        assert verdicts.get("B6") is True  # tier flips: single per word
+
+    def test_significance_cv(self, tiny):
+        output = run_experiment("significance", scale=tiny, modules=MODULES)
+        percentiles = output.data["cv_percentiles"]
+        assert percentiles[90.0] <= percentiles[95.0] <= percentiles[99.0]
+        assert percentiles[90.0] < 0.3  # paper: 0.08
+
+    def test_pareto_frontier(self, tiny):
+        output = run_experiment("pareto", scale=tiny, modules=("B3",))
+        frontier = output.data["frontiers"]["B3"]
+        assert frontier
+        # Frontier points sorted by V_PP trade HC gain against guardband.
+        gains = [p["hcfirst_gain"] for p in frontier]
+        guardbands = [p["guardband"] for p in frontier]
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+        assert all(a <= b for a, b in zip(guardbands, guardbands[1:]))
+
+    def test_table3_anchors_direction(self, tiny):
+        output = run_experiment("table3", scale=tiny, modules=("B3", "C5"))
+        b3 = output.data["modules"]["B3"]
+        assert b3["vppmin"] == pytest.approx(1.6)
+        assert b3["vpp_rec"] <= 2.5
+        assert b3["hcfirst_nominal"] > 0
+
+    def test_wcdp_sensitivity_small(self):
+        scale = StudyScale(
+            rows_per_module=8, row_chunks=2, iterations=1,
+            hcfirst_min_step=16_000,
+            geometry=StudyScale.tiny().geometry,
+            retention_windows=StudyScale.tiny().retention_windows,
+        )
+        output = run_experiment(
+            "wcdp_sensitivity", scale=scale, modules=("B3",)
+        )
+        info = output.data["modules"]["B3"]
+        # Footnote 9: the WCDP rarely changes with V_PP.
+        assert info["fraction"] <= 0.5

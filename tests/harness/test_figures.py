@@ -1,0 +1,60 @@
+"""ASCII figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.harness.figures import line_plot, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_series_uses_rising_blocks(self):
+        text = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert text[0] < text[-1]
+
+    def test_constant_series(self):
+        text = sparkline([5.0, 5.0, 5.0])
+        assert len(set(text)) == 1
+
+    def test_nan_marked(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == "·"
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            sparkline([])
+
+
+class TestLinePlot:
+    def test_renders_axes_and_legend(self):
+        x = np.linspace(0, 10, 20)
+        text = line_plot(
+            x, {"rising": x, "falling": 10 - x},
+            title="Demo", x_label="t", y_label="v",
+        )
+        assert "Demo" in text
+        assert "rising" in text and "falling" in text
+        assert "x: t" in text and "y: v" in text
+        assert "+" + "-" * 10 in text  # axis line
+
+    def test_marker_placement_extremes(self):
+        x = [0.0, 1.0]
+        text = line_plot(x, {"s": [0.0, 1.0]}, width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        # Highest value renders in the top grid row, lowest in the bottom.
+        assert "#" in rows[0]
+        assert "#" in rows[-1]
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            line_plot([1, 2, 3], {"s": [1, 2]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(AnalysisError):
+            line_plot([1, 2], {})
+
+    def test_nan_values_skipped(self):
+        text = line_plot([0, 1, 2], {"s": [1.0, float("nan"), 3.0]})
+        assert text  # renders without error

@@ -1,0 +1,77 @@
+"""Output containers, rendering, and export."""
+
+import csv
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.export import export_output
+from repro.harness.output import ExperimentOutput, ExperimentTable, format_value
+
+
+class TestFormatting:
+    def test_small_floats_scientific(self):
+        assert format_value(1.24e-3) == "1.24e-03"
+
+    def test_medium_floats_fixed(self):
+        assert format_value(13.5) == "13.5"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_passthrough(self):
+        assert format_value("B3") == "B3"
+        assert format_value(42) == "42"
+        assert format_value(None) == "None"
+        assert format_value(True) == "True"
+
+
+class TestTable:
+    def test_row_width_enforced(self):
+        table = ExperimentTable("t", ["a", "b"])
+        with pytest.raises(ConfigurationError):
+            table.add_row(1)
+
+    def test_render_aligns_columns(self):
+        table = ExperimentTable("Demo", ["Module", "BER"])
+        table.add_row("B3", 2.73e-3)
+        text = table.render()
+        assert "Demo" in text
+        assert "Module" in text
+        assert "2.73e-03" in text
+
+
+class TestOutput:
+    def test_render_includes_notes(self):
+        output = ExperimentOutput("fig0", "Title", "Description")
+        output.note("paper vs measured")
+        table = output.add_table(ExperimentTable("t", ["x"]))
+        table.add_row(1)
+        text = output.render()
+        assert "fig0" in text and "paper vs measured" in text
+
+    def test_export_writes_csv_and_json(self, tmp_path):
+        output = ExperimentOutput("figX", "T", "D")
+        table = output.add_table(ExperimentTable("My Table", ["a", "b"]))
+        table.add_row(1, 2.5)
+        output.data["series"] = {"x": np.array([1.0, 2.0])}
+        written = export_output(output, str(tmp_path))
+        csv_files = [p for p in written if p.endswith(".csv")]
+        json_files = [p for p in written if p.endswith(".json")]
+        assert len(csv_files) == 1 and len(json_files) == 1
+        with open(csv_files[0]) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a", "b"]
+        with open(json_files[0]) as handle:
+            payload = json.load(handle)
+        assert payload["data"]["series"]["x"] == [1.0, 2.0]
+        assert payload["experiment_id"] == "figX"
+
+    def test_export_creates_directory(self, tmp_path):
+        output = ExperimentOutput("figY", "T", "D")
+        target = os.path.join(str(tmp_path), "nested", "dir")
+        export_output(output, target)
+        assert os.path.isdir(target)

@@ -1,0 +1,109 @@
+"""FPGA clock, power supply, temperature controller, interposer."""
+
+import pytest
+
+from repro.dram.environment import ModuleEnvironment
+from repro.errors import ConfigurationError, PowerSupplyError
+from repro.softmc.fpga import FpgaBoard
+from repro.softmc.interposer import Interposer
+from repro.softmc.power_supply import PowerSupply
+from repro.softmc.temperature import TemperatureController
+from repro.units import ns
+
+
+class TestFpga:
+    def test_quantize_rounds_up_to_slots(self):
+        fpga = FpgaBoard()
+        assert fpga.quantize(ns(13.5)) == pytest.approx(ns(13.5))
+        assert fpga.quantize(ns(13.6)) == pytest.approx(ns(15.0))
+        assert fpga.quantize(ns(0.2)) == pytest.approx(ns(1.5))
+        assert fpga.quantize(0.0) == 0.0
+
+    def test_slots(self):
+        fpga = FpgaBoard()
+        assert fpga.slots(ns(13.5)) == 9
+        assert fpga.slots(ns(1.5)) == 1
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FpgaBoard().quantize(-1.0)
+
+    def test_clock_validated(self):
+        with pytest.raises(ConfigurationError):
+            FpgaBoard(command_clock=0.0)
+
+
+class TestPowerSupply:
+    def test_millivolt_precision(self):
+        env = ModuleEnvironment()
+        supply = PowerSupply(env)
+        applied = supply.set_voltage(1.7004)
+        assert applied == pytest.approx(1.700)
+        assert env.vpp == pytest.approx(1.700)
+
+    def test_range_enforced(self):
+        supply = PowerSupply(ModuleEnvironment())
+        with pytest.raises(PowerSupplyError):
+            supply.set_voltage(7.0)
+        with pytest.raises(PowerSupplyError):
+            supply.set_voltage(-0.1)
+
+    def test_output_disable_drops_rail(self):
+        env = ModuleEnvironment()
+        supply = PowerSupply(env)
+        supply.set_voltage(2.5)
+        supply.disable_output()
+        assert env.vpp < 0.1
+        supply.enable_output()
+        assert env.vpp == pytest.approx(2.5)
+
+    def test_setpoint_kept_while_disabled(self):
+        env = ModuleEnvironment()
+        supply = PowerSupply(env)
+        supply.disable_output()
+        supply.set_voltage(1.8)
+        assert env.vpp < 0.1  # rail still off
+        assert supply.setpoint == pytest.approx(1.8)
+
+
+class TestTemperatureController:
+    def test_precision_quantization(self):
+        env = ModuleEnvironment()
+        controller = TemperatureController(env)
+        settled = controller.set_target(80.04)
+        assert settled == pytest.approx(80.0)
+        assert env.temperature == pytest.approx(80.0)
+
+    def test_settling_advances_time(self):
+        env = ModuleEnvironment()
+        controller = TemperatureController(env)
+        before = env.now
+        controller.set_target(80.0)  # +30 degC step
+        assert env.now > before
+
+    def test_range_enforced(self):
+        controller = TemperatureController(ModuleEnvironment())
+        with pytest.raises(ConfigurationError):
+            controller.set_target(20.0)  # below the bench's 50 degC floor
+        with pytest.raises(ConfigurationError):
+            controller.set_target(200.0)
+
+
+class TestInterposer:
+    def test_shunt_must_be_removed(self, b3_module):
+        interposer = Interposer(b3_module)
+        with pytest.raises(ConfigurationError):
+            interposer.require_isolated_vpp()
+        interposer.remove_shunt()
+        interposer.require_isolated_vpp()
+
+    def test_current_tracks_activations(self, b3_module):
+        interposer = Interposer(b3_module)
+        interposer.measure_vpp_current()  # reset baseline
+        b3_module.bank(0).hammer([10], 100_000)
+        b3_module.env.advance(0.01)
+        current = interposer.measure_vpp_current()
+        assert current > 0
+        # Second call with no new activity reads ~0.
+        b3_module.env.advance(0.01)
+        assert interposer.measure_vpp_current() == pytest.approx(0.0)

@@ -1,0 +1,153 @@
+"""SoftMC ISA, program builder, and host execution."""
+
+import numpy as np
+import pytest
+
+from repro.dram.patterns import STANDARD_PATTERNS
+from repro.dram.timing import TimingParameters
+from repro.errors import CommunicationError, ProgramError
+from repro.softmc.host import SoftMCHost
+from repro.softmc.isa import Instruction, Opcode
+from repro.softmc.program import Program
+from repro.units import ms, ns
+
+PATTERN = STANDARD_PATTERNS[0]
+
+
+class TestIsa:
+    def test_operand_requirements(self):
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.ACT, bank=0)  # no row
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.HAMMER, bank=0, rows=(), count=10)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.HAMMER, bank=0, rows=(1,), count=-1)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.WAIT, duration=-1.0)
+        with pytest.raises(ProgramError):
+            Instruction(Opcode.WR, bank=0, column=0, data=np.zeros(8))
+
+    def test_produces_data_flag(self):
+        read = Instruction(Opcode.RD, bank=0, column=0)
+        assert read.produces_data
+        assert not Instruction(Opcode.PRE, bank=0).produces_data
+
+
+class TestProgram:
+    def test_builder_records_instructions(self):
+        program = Program()
+        program.act(0, 5)
+        program.rd(0, 1)
+        program.pre(0)
+        program.ref()
+        program.wait(ms(1.0))
+        assert len(program) == 5
+        kinds = [i.opcode for i in program]
+        assert kinds == [
+            Opcode.ACT, Opcode.RD, Opcode.PRE, Opcode.REF, Opcode.WAIT,
+        ]
+
+    def test_initialize_row_inverse_flag(self):
+        program = Program()
+        program.initialize_row(0, 5, PATTERN, 128, inverse=True)
+        instruction = program.instructions[0]
+        assert np.array_equal(instruction.data, PATTERN.inverse_bits(128))
+
+    def test_hammer_requires_aggressors(self):
+        with pytest.raises(ProgramError):
+            Program().hammer_doublesided(0, [], 100)
+
+    def test_read_column_of_row_returns_rd_index(self):
+        program = Program()
+        index = program.read_column_of_row(0, 5, 2)
+        assert program.instructions[index].opcode is Opcode.RD
+
+
+class TestHost:
+    def test_write_then_read_roundtrip(self, b3_infra, small_geometry):
+        program = Program()
+        program.initialize_row(0, 7, PATTERN, small_geometry.row_bits)
+        index = program.read_row(0, 7)
+        result = b3_infra.host.execute(program)
+        assert np.array_equal(
+            result.data(index), PATTERN.row_bits(small_geometry.row_bits)
+        )
+
+    def test_single_column_read(self, b3_infra, small_geometry):
+        program = Program()
+        program.initialize_row(0, 7, PATTERN, small_geometry.row_bits)
+        program.act(0, 7)
+        index = program.rd(0, 3)
+        program.pre(0)
+        result = b3_infra.host.execute(program)
+        assert np.array_equal(
+            result.data(index), PATTERN.row_bits(small_geometry.row_bits)[192:256]
+        )
+
+    def test_time_advances_with_waits(self, b3_infra):
+        env = b3_infra.module.env
+        before = env.now
+        program = Program()
+        program.wait(ms(64.0))
+        result = b3_infra.host.execute(program)
+        assert env.now - before == pytest.approx(ms(64.0))
+        assert result.duration == pytest.approx(ms(64.0))
+
+    def test_hammer_duration_matches_unrolled_loop(self, b3_infra):
+        """The paper keeps each experiment under 30 ms (Section 4.1);
+        a 300K double-sided hammer program must land there."""
+        program = Program()
+        program.hammer_doublesided(0, [10, 12], 300_000)
+        result = b3_infra.host.execute(program)
+        assert ms(20.0) < result.duration < ms(30.0)
+        assert result.commands_issued == 2 * 2 * 300_000
+
+    def test_trcd_quantized_to_command_clock(self, b3_infra):
+        timings = TimingParameters.nominal().with_trcd(ns(13.6))
+        program = Program(timings)
+        program.act(0, 5)
+        program.pre(0)
+        start = b3_infra.module.env.now
+        b3_infra.host.execute(program)
+        elapsed = b3_infra.module.env.now - start
+        # 13.6 ns quantizes up to 15 ns; + quantized tRP.
+        assert elapsed == pytest.approx(ns(15.0) + ns(13.5), rel=1e-6)
+
+    def test_mute_module_raises(self, b3_infra):
+        b3_infra.supply.set_voltage(1.0)  # below B3's V_PPmin of 1.6
+        program = Program()
+        program.read_row(0, 0)
+        with pytest.raises(CommunicationError):
+            b3_infra.host.execute(program)
+
+    def test_missing_read_data_raises(self, b3_infra):
+        program = Program()
+        program.act(0, 5)
+        result = b3_infra.host.execute(program)
+        with pytest.raises(ProgramError):
+            result.data(0)
+
+
+class TestInfrastructure:
+    def test_finds_paper_vppmin(self, b3_infra):
+        assert b3_infra.find_vppmin() == pytest.approx(1.6)
+
+    def test_vpp_levels_grid(self, b3_infra):
+        levels = b3_infra.vpp_levels()
+        assert levels[0] == 2.5
+        assert levels[-1] == pytest.approx(1.6)
+        assert len(levels) == 10
+
+    def test_communicates_probe(self, b3_infra):
+        assert b3_infra.communicates()
+        b3_infra.set_vpp(1.2)
+        assert not b3_infra.communicates()
+
+    def test_for_module_builder(self, small_geometry):
+        from repro.softmc.infrastructure import TestInfrastructure
+
+        infra = TestInfrastructure.for_module(
+            "A5", geometry=small_geometry, seed=2
+        )
+        assert infra.module.name == "A5"
+        assert infra.find_vppmin() == pytest.approx(2.4)

@@ -1,0 +1,97 @@
+"""Circuit components: PWL sources and the level-1 MOSFET."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.spice.components import (
+    Capacitor,
+    Mosfet,
+    MosType,
+    PiecewiseLinearSource,
+    Resistor,
+)
+
+
+class TestPassives:
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Resistor("a", "b", 0.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(NetlistError):
+            Capacitor("a", "b", -1e-15)
+
+
+class TestPwlSource:
+    def test_interpolation(self):
+        source = PiecewiseLinearSource("n", [(0.0, 0.0), (1.0, 2.0)])
+        assert source.voltage(-1.0) == 0.0
+        assert source.voltage(0.5) == pytest.approx(1.0)
+        assert source.voltage(5.0) == 2.0
+
+    def test_multi_segment(self):
+        source = PiecewiseLinearSource(
+            "n", [(0.0, 0.6), (1.0, 0.6), (2.0, 0.0)]
+        )
+        assert source.voltage(0.9) == pytest.approx(0.6)
+        assert source.voltage(1.5) == pytest.approx(0.3)
+
+    def test_times_must_increase(self):
+        with pytest.raises(NetlistError):
+            PiecewiseLinearSource("n", [(1.0, 0.0), (0.5, 1.0)])
+
+    def test_empty_waveform_rejected(self):
+        with pytest.raises(NetlistError):
+            PiecewiseLinearSource("n", [])
+
+
+class TestMosfet:
+    nmos = Mosfet(
+        gate="g", drain="d", source="s", mos_type=MosType.NMOS,
+        width=1e-6, length=1e-7, kp=1e-4, vth=0.5,
+    )
+
+    def test_cutoff(self):
+        assert float(self.nmos.current(0.4, 1.0, 0.0)) == 0.0
+
+    def test_saturation_quadratic_in_overdrive(self):
+        i1 = float(self.nmos.current(1.0, 2.0, 0.0))
+        i2 = float(self.nmos.current(1.5, 2.0, 0.0))
+        # lambda adds a small CLM correction, so compare loosely.
+        assert i2 / i1 == pytest.approx((1.0 / 0.5) ** 2, rel=0.05)
+
+    def test_triode_linear_at_small_vds(self):
+        i1 = float(self.nmos.current(1.5, 0.01, 0.0))
+        i2 = float(self.nmos.current(1.5, 0.02, 0.0))
+        assert i2 / i1 == pytest.approx(2.0, rel=0.02)
+
+    def test_bidirectional_conduction(self):
+        forward = float(self.nmos.current(1.5, 1.0, 0.0))
+        backward = float(self.nmos.current(2.5, 0.0, 1.0))
+        assert forward > 0
+        assert backward < 0  # current flows source->drain
+
+    def test_pmos_mirror(self):
+        pmos = Mosfet(
+            gate="g", drain="d", source="s", mos_type=MosType.PMOS,
+            width=1e-6, length=1e-7, kp=1e-4, vth=0.5,
+        )
+        # Source at 1.2 V, gate low: PMOS conducts, current flows INTO
+        # the drain node (negative drain->source current).
+        i = float(pmos.current(0.0, 0.6, 1.2))
+        assert i < 0
+
+    def test_batched_values(self):
+        batched = Mosfet(
+            gate="g", drain="d", source="s", mos_type=MosType.NMOS,
+            width=np.array([1e-6, 2e-6]), length=1e-7, kp=1e-4, vth=0.5,
+        )
+        i = batched.current(1.5, 1.0, 0.0)
+        assert i.shape == (2,)
+        assert i[1] == pytest.approx(2 * i[0])
+
+    def test_geometry_validated(self):
+        with pytest.raises(NetlistError):
+            Mosfet(gate="g", drain="d", source="s", mos_type=MosType.NMOS,
+                   width=0.0, length=1e-7)

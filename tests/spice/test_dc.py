@@ -1,0 +1,81 @@
+"""DC operating-point analysis."""
+
+import numpy as np
+import pytest
+
+from repro.spice.components import Mosfet, MosType
+from repro.spice.dc import solve_dc
+from repro.spice.dram_cell import (
+    DramCircuitParams,
+    build_activation_circuit,
+)
+from repro.spice.netlist import Circuit
+
+
+def test_resistive_divider_exact():
+    circuit = Circuit()
+    circuit.add_source("in", [(0.0, 3.0)])
+    circuit.add_resistor("in", "mid", 1e3)
+    circuit.add_resistor("mid", "0", 2e3)
+    solution = solve_dc(circuit)
+    assert float(solution["mid"][0]) == pytest.approx(2.0, abs=1e-6)
+
+
+def test_capacitors_are_open_at_dc():
+    circuit = Circuit()
+    circuit.add_source("in", [(0.0, 1.0)])
+    circuit.add_resistor("in", "out", 1e3)
+    circuit.add_capacitor("out", "0", 1e-9)
+    solution = solve_dc(circuit)
+    # No DC path to ground except gmin: the node sits at the source.
+    assert float(solution["out"][0]) == pytest.approx(1.0, abs=1e-3)
+
+
+def test_source_follower_cutoff_voltage():
+    """The DC solution of an NMOS follower charging a floating node is
+    the cutoff boundary Vg - Vth (Observation 10's mechanism, exact)."""
+    circuit = Circuit()
+    circuit.add_source("g", [(0.0, 1.7)])
+    circuit.add_source("d", [(0.0, 1.2)])
+    circuit.add_mosfet(Mosfet(
+        gate="g", drain="d", source="cell", mos_type=MosType.NMOS,
+        width=55e-9, length=85e-9, kp=6e-6, vth=0.72,
+    ))
+    circuit.add_capacitor("cell", "0", 16.8e-15)
+    solution = solve_dc(circuit, initial={"cell": 0.9})
+    assert float(solution["cell"][0]) == pytest.approx(0.98, abs=0.005)
+
+
+def test_sources_evaluated_at_time():
+    circuit = Circuit()
+    circuit.add_source("in", [(0.0, 0.0), (1.0, 2.0)])
+    circuit.add_resistor("in", "out", 1e3)
+    circuit.add_resistor("out", "0", 1e3)
+    early = solve_dc(circuit, at_time=0.0)
+    late = solve_dc(circuit, at_time=5.0)
+    assert float(early["out"][0]) == pytest.approx(0.0, abs=1e-6)
+    assert float(late["out"][0]) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_activation_circuit_saturation_matches_theory():
+    """DC on the full Table 2 circuit reproduces V_sat = min(V_DD,
+    V_PP - V_TH) exactly (Observation 10)."""
+    latched = {"cell": 1.0, "cap": 1.0, "bl": 1.1, "sbl": 1.2, "sblb": 0.0}
+    for vpp in (2.5, 1.8, 1.7):
+        params = DramCircuitParams(vpp=vpp)
+        solution = solve_dc(
+            build_activation_circuit(params), at_time=1.0, initial=latched
+        )
+        expected = min(1.2, vpp - 0.72)
+        assert float(solution["cap"][0]) == pytest.approx(expected, abs=0.01)
+
+
+def test_batched_dc():
+    circuit = Circuit()
+    circuit.add_source("in", [(0.0, 2.0)])
+    circuit.add_resistor("in", "mid", np.array([1e3, 3e3]))
+    circuit.add_resistor("mid", "0", 1e3)
+    solution = solve_dc(circuit)
+    assert solution["mid"].shape == (2,)
+    assert solution["mid"][0] == pytest.approx(1.0, abs=1e-6)
+    assert solution["mid"][1] == pytest.approx(0.5, abs=1e-6)

@@ -1,0 +1,132 @@
+"""The Table 2 DRAM circuit and the Figure 8/9 experiments."""
+
+import numpy as np
+import pytest
+
+from repro.spice.dram_cell import (
+    DramCircuitParams,
+    build_activation_circuit,
+    initial_conditions,
+)
+from repro.spice.experiments import (
+    activation_waveforms,
+    restoration_saturation,
+    tras_distribution,
+    trcd_distribution,
+)
+from repro.spice.montecarlo import VARIED_FIELDS, vary_params
+from repro.spice.transient import TransientSolver
+from repro.errors import ConfigurationError
+from repro.units import ns
+
+
+class TestDramCircuit:
+    def test_table2_values(self):
+        params = DramCircuitParams()
+        assert params.c_cell == pytest.approx(16.8e-15)
+        assert params.r_cell == pytest.approx(698.0)
+        assert params.c_bitline == pytest.approx(100.5e-15)
+        assert params.r_bitline == pytest.approx(6980.0)
+        assert params.w_access == pytest.approx(55e-9)
+        assert params.l_access == pytest.approx(85e-9)
+        assert params.w_sense_n == pytest.approx(1.3e-6)
+        assert params.w_sense_p == pytest.approx(0.9e-6)
+
+    def test_restored_voltage_knee(self):
+        params = DramCircuitParams()
+        assert float(params.with_vpp(2.5).restored_cell_voltage()) == 1.2
+        assert float(
+            params.with_vpp(1.7).restored_cell_voltage()
+        ) == pytest.approx(0.98)
+
+    def test_sense_amp_latches_charged_cell(self):
+        params = DramCircuitParams()
+        circuit = build_activation_circuit(params)
+        result = TransientSolver(circuit).solve(
+            t_stop=ns(30), dt=ns(0.1), initial=initial_conditions(params)
+        )
+        assert float(result.final("sbl")) == pytest.approx(1.2, abs=0.02)
+        assert float(result.final("sblb")) == pytest.approx(0.0, abs=0.02)
+
+    def test_sense_amp_latches_discharged_cell_low(self):
+        params = DramCircuitParams()
+        circuit = build_activation_circuit(params)
+        result = TransientSolver(circuit).solve(
+            t_stop=ns(30), dt=ns(0.1),
+            initial=initial_conditions(params, cell_charged=False),
+        )
+        assert float(result.final("sbl")) == pytest.approx(0.0, abs=0.02)
+        assert float(result.final("sblb")) == pytest.approx(1.2, abs=0.02)
+
+    def test_vpp_validated(self):
+        with pytest.raises(ConfigurationError):
+            DramCircuitParams(vpp=-1.0)
+
+
+class TestMonteCarlo:
+    def test_variation_within_bounds(self):
+        base = DramCircuitParams()
+        varied = vary_params(base, samples=500, seed=1, fraction=0.05)
+        for field_name in VARIED_FIELDS:
+            values = np.asarray(getattr(varied, field_name))
+            nominal = np.asarray(getattr(base, field_name))
+            ratios = values / nominal
+            assert ratios.shape == (500,)
+            assert np.all((ratios >= 0.95) & (ratios <= 1.05))
+
+    def test_deterministic_per_seed(self):
+        base = DramCircuitParams()
+        a = vary_params(base, 16, seed=9)
+        b = vary_params(base, 16, seed=9)
+        assert np.array_equal(np.asarray(a.c_cell), np.asarray(b.c_cell))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            vary_params(DramCircuitParams(), samples=0)
+        with pytest.raises(ConfigurationError):
+            vary_params(DramCircuitParams(), samples=10, fraction=0.9)
+
+
+class TestExperiments:
+    def test_observation_8_mean_shift(self):
+        """Mean tRCD_min grows ~11.6 -> ~13.6 ns from 2.5 to 1.7 V."""
+        nominal = trcd_distribution(2.5, samples=60, seed=3)
+        reduced = trcd_distribution(1.7, samples=60, seed=3)
+        assert np.nanmean(nominal) == pytest.approx(ns(11.6), rel=0.05)
+        assert np.nanmean(reduced) == pytest.approx(ns(13.6), rel=0.05)
+
+    def test_observation_9_distribution_widens(self):
+        nominal = trcd_distribution(2.5, samples=80, seed=3)
+        reduced = trcd_distribution(1.8, samples=80, seed=3)
+        assert np.nanstd(reduced) > np.nanstd(nominal)
+        assert np.nanmax(reduced) > np.nanmax(nominal)
+
+    def test_observation_10_saturation(self):
+        saturation = restoration_saturation((2.5, 1.9, 1.8, 1.7))
+        assert saturation[2.5]["deficit_fraction"] == pytest.approx(0.0, abs=0.01)
+        deficits = [
+            saturation[v]["deficit_fraction"] for v in (1.9, 1.8, 1.7)
+        ]
+        assert deficits == sorted(deficits)
+        # Paper: 4.1% / 11.0% / 18.1%; ours tracks within a few points.
+        assert deficits[0] == pytest.approx(0.041, abs=0.06)
+        assert deficits[2] == pytest.approx(0.181, abs=0.08)
+
+    def test_observation_11_tras_shifts_and_widens(self):
+        nominal = tras_distribution(2.5, samples=30, seed=3, dt=ns(0.2))
+        reduced = tras_distribution(1.9, samples=30, seed=3, dt=ns(0.2))
+        assert np.nanmean(reduced) > np.nanmean(nominal)
+        assert np.nanstd(reduced) > np.nanstd(nominal)
+
+    def test_footnote_13_restoration_fails_at_1_6(self):
+        values = tras_distribution(1.6, samples=10, seed=3, dt=ns(0.4))
+        assert np.isnan(values).all()
+
+    def test_waveforms_have_expected_shape(self):
+        waves = activation_waveforms((2.5, 1.8), t_stop=ns(30))
+        assert set(waves) == {2.5, 1.8}
+        wave = waves[2.5]
+        assert wave.times.shape == wave.bitline.shape == wave.cell.shape
+        # Bitline starts precharged at VDD/2 and ends latched high.
+        assert wave.bitline[0] == pytest.approx(0.6, abs=0.01)
+        assert wave.bitline[-1] == pytest.approx(1.2, abs=0.02)

@@ -1,0 +1,63 @@
+"""Physical-address translation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.calibration import ModuleGeometry
+from repro.errors import DramAddressError
+from repro.system.address import AddressMapping
+
+GEOMETRY = ModuleGeometry(rows_per_bank=256, banks=4, row_bits=1024)
+MAPPING = AddressMapping(GEOMETRY)
+
+
+def test_capacity():
+    assert MAPPING.capacity == 4 * 256 * (1024 // 8)
+    assert MAPPING.row_bytes == 128
+
+
+def test_decode_layout():
+    # First row stripe: bank 0, row 0.
+    first = MAPPING.decode(0)
+    assert (first.bank, first.row, first.column, first.byte_offset) == (
+        0, 0, 0, 0,
+    )
+    # Next stripe rotates banks before rows (open-page interleaving).
+    next_stripe = MAPPING.decode(MAPPING.row_bytes)
+    assert (next_stripe.bank, next_stripe.row) == (1, 0)
+    wrapped = MAPPING.decode(MAPPING.row_bytes * GEOMETRY.banks)
+    assert (wrapped.bank, wrapped.row) == (0, 1)
+
+
+def test_encode_decode_roundtrip_exhaustive_corners():
+    for bank in (0, 3):
+        for row in (0, 255):
+            for column in (0, 15):
+                address = MAPPING.encode(bank, row, column, 5)
+                decoded = MAPPING.decode(address)
+                assert (decoded.bank, decoded.row, decoded.column,
+                        decoded.byte_offset) == (bank, row, column, 5)
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(DramAddressError):
+        MAPPING.decode(MAPPING.capacity)
+    with pytest.raises(DramAddressError):
+        MAPPING.encode(4, 0)
+    with pytest.raises(DramAddressError):
+        MAPPING.encode(0, 256)
+
+
+def test_row_base_address():
+    base = MAPPING.row_base_address(2, 10)
+    decoded = MAPPING.decode(base)
+    assert (decoded.bank, decoded.row, decoded.column) == (2, 10, 0)
+
+
+@given(st.integers(min_value=0, max_value=MAPPING.capacity - 1))
+def test_roundtrip_property(address):
+    decoded = MAPPING.decode(address)
+    assert MAPPING.encode(
+        decoded.bank, decoded.row, decoded.column, decoded.byte_offset
+    ) == address

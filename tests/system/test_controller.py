@@ -1,0 +1,213 @@
+"""The V_PP-aware memory controller."""
+
+import numpy as np
+import pytest
+
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.module import DramModule
+from repro.dram.profiles import module_profile
+from repro.errors import CommunicationError, ConfigurationError
+from repro.system import ControllerPolicy, MemoryController
+from repro.units import ms, ns
+
+GEOMETRY = ModuleGeometry(rows_per_bank=512, banks=2, row_bits=2048)
+
+
+def make_controller(name="B3", policy=None, seed=3):
+    module = DramModule(module_profile(name), geometry=GEOMETRY, seed=seed)
+    return MemoryController(module, policy or ControllerPolicy.nominal())
+
+
+class TestPolicy:
+    def test_nominal(self):
+        policy = ControllerPolicy.nominal()
+        assert policy.vpp == 2.5
+        assert not policy.ecc_enabled
+
+    def test_builders(self):
+        policy = (
+            ControllerPolicy.nominal()
+            .at_vpp(1.7)
+            .with_mitigations(trcd=ns(24.0), ecc=True,
+                              selective_refresh_rows=[(0, 5)])
+        )
+        assert policy.vpp == 1.7
+        assert policy.trcd == ns(24.0)
+        assert policy.ecc_enabled
+        assert (0, 5) in policy.selective_refresh_rows
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(vpp=0.0)
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(trcd=-1.0)
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self):
+        controller = make_controller()
+        payload = bytes(range(64)) * 2
+        controller.write(0x1000, payload)
+        assert controller.read(0x1000, len(payload)) == payload
+
+    def test_alignment_enforced(self):
+        controller = make_controller()
+        with pytest.raises(ConfigurationError):
+            controller.read(3, 8)
+        with pytest.raises(ConfigurationError):
+            controller.write(0, b"abc")
+
+    def test_row_buffer_hits(self):
+        controller = make_controller()
+        controller.write(0, b"\x11" * 8)
+        controller.read(0, 8)
+        controller.read(8, 8)  # same row
+        assert controller.stats.row_hits >= 2
+        assert controller.stats.row_misses == 1
+
+    def test_bank_interleaving_misses(self):
+        controller = make_controller()
+        row_bytes = controller.mapping.row_bytes
+        controller.write(0, b"\x11" * 8)            # bank 0, row 0
+        controller.write(row_bytes, b"\x22" * 8)    # bank 1, row 0
+        assert controller.stats.row_misses == 2
+        # Both rows stay open: next touches are hits.
+        controller.read(0, 8)
+        controller.read(row_bytes, 8)
+        assert controller.stats.row_hits == 2
+
+    def test_below_vppmin_rejected(self):
+        with pytest.raises(CommunicationError):
+            make_controller("B3", ControllerPolicy.nominal().at_vpp(1.4))
+
+
+class TestEcc:
+    def test_single_flip_corrected(self):
+        controller = make_controller(
+            policy=ControllerPolicy.nominal().with_mitigations(ecc=True)
+        )
+        controller.write(0x800, b"\xa5" * 8)
+        # Corrupt one stored bit behind the controller's back.
+        decoded = controller.mapping.decode(0x800)
+        bank = controller.module.bank(decoded.bank)
+        physical = bank.mapping.to_physical(decoded.row)
+        bank._rows[physical].data[decoded.column * 64 + 7] ^= 1
+        data = controller.read(0x800, 8)
+        assert data == b"\xa5" * 8
+        assert controller.stats.ecc_corrected == 1
+
+    def test_double_flip_detected(self):
+        controller = make_controller(
+            policy=ControllerPolicy.nominal().with_mitigations(ecc=True)
+        )
+        controller.write(0x800, b"\xa5" * 8)
+        decoded = controller.mapping.decode(0x800)
+        bank = controller.module.bank(decoded.bank)
+        physical = bank.mapping.to_physical(decoded.row)
+        bank._rows[physical].data[decoded.column * 64 + 7] ^= 1
+        bank._rows[physical].data[decoded.column * 64 + 23] ^= 1
+        from repro.errors import UncorrectableError
+
+        with pytest.raises(UncorrectableError):
+            controller.read(0x800, 8)
+        assert controller.stats.ecc_uncorrectable == 1
+
+    def test_unprotected_word_passes_through(self):
+        controller = make_controller(
+            policy=ControllerPolicy.nominal().with_mitigations(ecc=True)
+        )
+        # Read a never-written (powerup) word: no parity, no crash.
+        controller.read(0x0, 8)
+        assert controller.stats.ecc_corrected == 0
+
+
+class TestRefresh:
+    def test_sweep_runs_when_window_passes(self):
+        controller = make_controller()
+        controller.write(0, b"\x0f" * 8)
+        controller.module.env.advance(ms(70.0))
+        controller.read(0, 8)
+        assert controller.stats.refresh_sweeps >= 1
+
+    def test_refresh_preserves_data_across_long_idle(self):
+        """With refresh catch-up, data survives seconds of idle time that
+        would decay an unrefreshed row."""
+        controller = make_controller()
+        controller.module.env.set_temperature(80.0)
+        payload = b"\xff" * controller.mapping.row_bytes
+        controller.write(0, payload)
+        controller.flush()
+        for _ in range(8):
+            controller.module.env.advance(0.5)
+            controller.flush()  # catch-up refresh keeps charge topped up
+        assert controller.read(0, len(payload)) == payload
+
+    def test_idle_is_deadline_accurate(self):
+        """idle() performs refresh AT the deadline, not after the jump:
+        weak-tier data on an offender module survives only this way."""
+        policy = ControllerPolicy.nominal()
+        controller = make_controller("B3", policy)
+        env = controller.module.env
+        start = env.now
+        controller.idle(ms(200.0))
+        assert env.now - start == pytest.approx(
+            ms(200.0), rel=0.05
+        )  # sweeps charge some extra simulated time
+        assert controller.stats.refresh_sweeps >= 3
+
+    def test_idle_rejects_negative(self):
+        controller = make_controller()
+        with pytest.raises(ConfigurationError):
+            controller.idle(-1.0)
+
+    def test_selective_refresh_counts(self):
+        policy = ControllerPolicy.nominal().with_mitigations(
+            selective_refresh_rows=[(0, 0)]
+        )
+        controller = make_controller(policy=policy)
+        controller.write(0, b"\x33" * 8)
+        controller.module.env.advance(ms(40.0))  # past the half window
+        controller.read(0, 8)
+        assert controller.stats.selective_refreshes >= 1
+
+
+class TestPagePolicy:
+    def test_closed_page_never_hits(self):
+        policy = ControllerPolicy(page_policy="closed")
+        controller = make_controller(policy=policy)
+        controller.write(0, b"\x11" * 8)
+        controller.read(0, 8)
+        controller.read(0, 8)
+        assert controller.stats.row_hits == 0
+        assert controller.stats.row_misses == 3
+
+    def test_closed_page_data_intact(self):
+        policy = ControllerPolicy(page_policy="closed")
+        controller = make_controller(policy=policy)
+        payload = bytes(range(32))
+        controller.write(0x40, payload)
+        assert controller.read(0x40, len(payload)) == payload
+
+    def test_policy_validated(self):
+        with pytest.raises(ConfigurationError):
+            ControllerPolicy(page_policy="half-open")
+
+
+class TestBankIsolation:
+    def test_hammering_one_bank_never_touches_another(self):
+        controller = make_controller()
+        module = controller.module
+        bank0, bank1 = module.bank(0), module.bank(1)
+        victim = 40
+        pattern_bits = np.ones(GEOMETRY.row_bits, dtype=np.uint8)
+        for bank in (bank0, bank1):
+            bank.activate(victim)
+            bank.write_row(pattern_bits)
+            bank.precharge()
+        aggressors = bank0.mapping.physical_neighbors(victim)
+        bank0.hammer(aggressors, 5_000_000)
+        # Bank 1's row is untouched: no damage, no flips.
+        assert bank1.row_hammer_damage(victim) == 0.0
+        bank1.activate(victim)
+        assert np.array_equal(bank1.read_row(), pattern_bits)
+        bank1.precharge()

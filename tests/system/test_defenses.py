@@ -1,0 +1,107 @@
+"""Defense cost models."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.system.defenses import (
+    BlockHammerThrottle,
+    GrapheneDefense,
+    ParaDefense,
+    activations_per_window,
+)
+
+
+class TestPara:
+    para = ParaDefense(target_failure_probability=1e-15)
+
+    def test_probability_meets_target(self):
+        for hcfirst in (4_800, 16_600, 140_700):
+            p = self.para.required_probability(hcfirst)
+            failure = hcfirst * math.log(1.0 - p)
+            assert math.exp(failure) <= 1e-15 * (1 + 1e-9)
+
+    def test_overhead_shrinks_with_hcfirst(self):
+        """Section 3's synergy: a higher HC_first (reduced V_PP) needs a
+        lower refresh probability."""
+        low = self.para.bandwidth_overhead(16_600)
+        high = self.para.bandwidth_overhead(21_100)  # B3 at V_PPmin
+        assert high < low
+        # +27% HC_first -> ~21% overhead reduction (1/HC_first scaling).
+        assert high / low == pytest.approx(16_600 / 21_100, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParaDefense(target_failure_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            self.para.required_probability(0)
+
+
+class TestGraphene:
+    graphene = GrapheneDefense()
+
+    def test_threshold_is_half_hcfirst(self):
+        assert self.graphene.counter_threshold(16_600) == 8_300
+
+    def test_table_shrinks_with_hcfirst(self):
+        small = self.graphene.table_entries(40_000)
+        large = self.graphene.table_entries(10_000)
+        assert small < large
+
+    def test_table_covers_window(self):
+        entries = self.graphene.table_entries(16_600)
+        window = activations_per_window()
+        assert entries * self.graphene.counter_threshold(16_600) >= window
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.graphene.counter_threshold(1)
+
+
+class TestBlockHammer:
+    throttle = BlockHammerThrottle()
+
+    def test_safe_rate_scales_with_hcfirst(self):
+        assert self.throttle.max_safe_rate(20_000) == pytest.approx(
+            2 * self.throttle.max_safe_rate(10_000)
+        )
+
+    def test_throttled_fraction(self):
+        safe = self.throttle.max_safe_rate(16_600)
+        assert self.throttle.throttled_fraction(16_600, safe / 2) == 0.0
+        assert self.throttle.throttled_fraction(16_600, safe * 2) == (
+            pytest.approx(0.5)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockHammerThrottle(safety_margin=0.0)
+        with pytest.raises(ConfigurationError):
+            self.throttle.throttled_fraction(1000, 0.0)
+
+
+def test_activations_per_window_positive():
+    assert activations_per_window() > 1_000_000  # 64 ms / 45 ns
+    with pytest.raises(ConfigurationError):
+        activations_per_window(trefw=0.0)
+
+
+def test_defense_synergy_experiment(tiny_scale):
+    from repro.harness.registry import run_experiment
+
+    output = run_experiment(
+        "defense_synergy", scale=tiny_scale, modules=("B3",)
+    )
+    costs = output.data["costs"]["B3"]
+    vpps = sorted(costs)
+    # Overheads never grow as HC_first grows; at any two levels the PARA
+    # probability scales inversely with HC_first.
+    for vpp in vpps:
+        row = costs[vpp]
+        assert row["para_probability"] > 0
+        assert row["graphene_entries"] >= 1
+        assert row["blockhammer_safe_rate"] > 0
+    lowest, highest = costs[vpps[0]], costs[vpps[-1]]
+    if lowest["hcfirst"] > highest["hcfirst"]:
+        assert lowest["para_probability"] < highest["para_probability"]

@@ -1,0 +1,29 @@
+"""Smoke tests for the runnable examples.
+
+Each example is a user-facing entry point; it must run to completion
+and print its headline claim. Only the fast examples run here (the
+full-figure drivers are exercised by the benchmark harness).
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+FAST_EXAMPLES = {
+    "examples/reduced_vpp_system.py": "safe with either mitigation",
+    "examples/system_level_attack.py": "without a single write",
+    "examples/ecc_selective_refresh.py": "corrected at codeword position",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(FAST_EXAMPLES.items()))
+def test_example_runs(script, marker):
+    completed = subprocess.run(
+        [sys.executable, script],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert marker in completed.stdout

@@ -1,0 +1,44 @@
+"""Golden-file determinism test.
+
+The simulated substrate must be bit-stable: the same (seed, scale,
+module) always yields the same measurements, across refactors. This
+test replays a small campaign and compares it field-by-field against a
+committed golden file.
+
+If a change *intentionally* alters device behaviour (model fix,
+recalibration), regenerate the golden file and say so in the commit:
+
+    python -c "
+    import json
+    from repro.core.scale import StudyScale
+    from repro.core.serialization import study_to_dict
+    from repro.core.study import CharacterizationStudy
+    study = CharacterizationStudy(scale=StudyScale.tiny(), seed=12).run(
+        modules=['C5'], tests=('rowhammer', 'trcd'))
+    json.dump(study_to_dict(study),
+              open('tests/golden/c5_tiny_study.json', 'w'),
+              indent=1, sort_keys=True)
+    "
+"""
+
+import json
+import pathlib
+
+from repro.core.scale import StudyScale
+from repro.core.serialization import study_to_dict
+from repro.core.study import CharacterizationStudy
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "c5_tiny_study.json"
+
+
+def test_study_matches_golden_file():
+    study = CharacterizationStudy(scale=StudyScale.tiny(), seed=12).run(
+        modules=["C5"], tests=("rowhammer", "trcd")
+    )
+    produced = json.loads(json.dumps(study_to_dict(study), sort_keys=True))
+    golden = json.loads(GOLDEN.read_text())
+    assert produced == golden, (
+        "simulated behaviour drifted from the golden file; if the change "
+        "is intentional, regenerate tests/golden/c5_tiny_study.json (see "
+        "module docstring)"
+    )

@@ -1,0 +1,60 @@
+"""Deterministic RNG stream properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import RngHub, derive_seed
+
+
+def test_same_key_same_stream():
+    hub = RngHub(42)
+    a = hub.generator("x/y").random(16)
+    b = hub.generator("x/y").random(16)
+    assert np.array_equal(a, b)
+
+
+def test_different_keys_differ():
+    hub = RngHub(42)
+    a = hub.generator("x/y").random(16)
+    b = hub.generator("x/z").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_different_root_seeds_differ():
+    a = RngHub(1).generator("k").random(16)
+    b = RngHub(2).generator("k").random(16)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_creates_namespaced_child():
+    hub = RngHub(7)
+    child = hub.spawn("module/B3")
+    direct = RngHub(derive_seed(7, "module/B3"))
+    assert np.array_equal(
+        child.generator("row/1").random(8), direct.generator("row/1").random(8)
+    )
+
+
+def test_root_seed_type_checked():
+    with pytest.raises(TypeError):
+        RngHub("not-an-int")
+
+
+def test_repr_mentions_seed():
+    assert "42" in repr(RngHub(42))
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(max_size=50))
+def test_derive_seed_is_64_bit(seed, key):
+    value = derive_seed(seed, key)
+    assert 0 <= value < 2**64
+
+
+@given(st.text(max_size=30), st.text(max_size=30))
+def test_derive_seed_key_sensitivity(key_a, key_b):
+    if key_a != key_b:
+        # Not a guarantee (hash collisions exist) but astronomically
+        # likely; a failure here indicates broken key derivation.
+        assert derive_seed(0, key_a) != derive_seed(0, key_b)

@@ -1,0 +1,103 @@
+"""Statistical helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import stats
+from repro.errors import AnalysisError
+
+
+def test_normal_ppf_median():
+    assert stats.normal_ppf(0.5) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_normal_ppf_symmetry():
+    assert stats.normal_ppf(0.1) == pytest.approx(-stats.normal_ppf(0.9))
+
+
+def test_normal_ppf_rejects_bad_quantiles():
+    for q in (0.0, 1.0, -0.5, 2.0):
+        with pytest.raises(AnalysisError):
+            stats.normal_ppf(q)
+
+
+def test_normal_cdf_inverse_of_ppf():
+    for q in (0.01, 0.3, 0.77, 0.999):
+        assert stats.normal_cdf(stats.normal_ppf(q)) == pytest.approx(q)
+
+
+def test_cv_of_constant_series_is_zero():
+    assert stats.coefficient_of_variation([3.0, 3.0, 3.0]) == 0.0
+
+
+def test_cv_matches_definition():
+    values = np.array([1.0, 2.0, 3.0])
+    expected = values.std() / values.mean()
+    assert stats.coefficient_of_variation(values) == pytest.approx(expected)
+
+
+def test_cv_rejects_empty():
+    with pytest.raises(AnalysisError):
+        stats.coefficient_of_variation([])
+
+
+def test_cv_all_zero_series():
+    assert stats.coefficient_of_variation([0.0, 0.0]) == 0.0
+
+
+def test_confidence_band_contains_mass():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=10_000)
+    band = stats.confidence_band(values, 0.90)
+    inside = np.mean((values >= band.low) & (values <= band.high))
+    assert inside == pytest.approx(0.90, abs=0.02)
+    assert band.width > 0
+
+
+def test_confidence_band_validates_level():
+    with pytest.raises(AnalysisError):
+        stats.confidence_band([1.0], level=1.5)
+
+
+def test_population_density_normalized():
+    rng = np.random.default_rng(1)
+    estimate = stats.population_density(rng.normal(size=5000), bins=50)
+    mass = np.sum(estimate.density) * estimate.bin_width
+    assert mass == pytest.approx(1.0, abs=1e-6)
+    assert abs(estimate.mode()) < 0.5
+
+
+def test_lognormal_minimum_location():
+    sigma, count = 0.5, 1000
+    median = stats.lognormal_minimum_location(100.0, sigma, count)
+    rng = np.random.default_rng(2)
+    minima = [
+        np.min(median * np.exp(sigma * rng.standard_normal(count)))
+        for _ in range(200)
+    ]
+    # The expected minimum should land near the requested target.
+    assert np.median(minima) == pytest.approx(100.0, rel=0.15)
+
+
+def test_lognormal_sigma_for_tail_roundtrip():
+    sigma = stats.lognormal_sigma_for_tail(0.01, 0.5)
+    # P(X < median * 0.5) should be ~1% under that sigma.
+    z = np.log(0.5) / sigma
+    assert stats.normal_cdf(z) == pytest.approx(0.01, rel=1e-6)
+
+
+def test_geometric_mean():
+    assert stats.geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    with pytest.raises(AnalysisError):
+        stats.geometric_mean([1.0, -1.0])
+    with pytest.raises(AnalysisError):
+        stats.geometric_mean([])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=50))
+def test_cv_is_scale_invariant(values):
+    cv1 = stats.coefficient_of_variation(values)
+    cv2 = stats.coefficient_of_variation([v * 7.5 for v in values])
+    assert cv1 == pytest.approx(cv2, rel=1e-6, abs=1e-9)

@@ -1,0 +1,34 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.ns(13.5) == pytest.approx(13.5e-9)
+    assert units.seconds_to_ns(units.ns(13.5)) == pytest.approx(13.5)
+    assert units.ms(64.0) == pytest.approx(0.064)
+    assert units.seconds_to_ms(units.ms(64.0)) == pytest.approx(64.0)
+    assert units.us(1.5) == pytest.approx(1.5e-6)
+
+
+def test_voltage_and_passives():
+    assert units.mv(1.0) == pytest.approx(1e-3)
+    assert units.ff(16.8) == pytest.approx(16.8e-15)
+    assert units.pf(1.0) == pytest.approx(1e-12)
+    assert units.kohm(6.98) == pytest.approx(6980.0)
+
+
+def test_clamp_within_range():
+    assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+
+def test_clamp_at_bounds():
+    assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+    assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+
+def test_clamp_rejects_empty_range():
+    with pytest.raises(ValueError):
+        units.clamp(0.5, 1.0, 0.0)
