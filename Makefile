@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench artifacts examples clean
+.PHONY: install test bench bench-all artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -10,7 +10,15 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Perf trajectory: hot-primitive micro-benchmarks plus the probe-kernel
+# benchmark, which writes benchmarks/BENCH_probe.json (probes/sec and
+# campaign wall-clock for the batched and command engines).
 bench:
+	$(PYTHON) -m pytest benchmarks/test_microbenchmarks.py --benchmark-only
+	$(PYTHON) benchmarks/bench_probe.py
+
+# Every artifact-regeneration benchmark (slow).
+bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper table/figure into results/ (parallel campaigns).

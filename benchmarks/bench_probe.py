@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Probe-kernel and campaign benchmark -> BENCH_probe.json.
+
+Measures, with both cache layers disabled:
+
+* single-probe throughput (probes/sec) of the batched kernel and the
+  command-level reference path, for the Alg. 1 hammer probe and the
+  Alg. 3 retention probe;
+* wall-clock of a bench-scale one-module RowHammer campaign
+  (``get_study(("rowhammer",))``) on each engine, the acceptance metric
+  of the probe-kernel optimization (target: fast >= 3x command).
+
+The JSON is written next to this script (override with ``--out``) so
+future PRs have a perf trajectory to compare against.
+
+Run:  PYTHONPATH=src python benchmarks/bench_probe.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.core.context import TestContext
+from repro.core.rowhammer import measure_ber
+from repro.core.retention import measure_retention
+from repro.core.scale import StudyScale
+from repro.dram import constants
+from repro.dram.calibration import ModuleGeometry
+from repro.dram.patterns import STANDARD_PATTERNS
+from repro.harness.cache import clear_cache, get_study, set_study_cache_dir
+from repro.softmc.infrastructure import TestInfrastructure
+
+GEOMETRY = ModuleGeometry(rows_per_bank=4096, banks=1, row_bits=8192)
+MODULE = "B3"
+CAMPAIGN_MODULE = "A0"
+
+
+def _context(probe_engine):
+    scale = StudyScale(rows_per_module=8, iterations=1,
+                       hcfirst_min_step=8000, geometry=GEOMETRY)
+    infra = TestInfrastructure.for_module(MODULE, geometry=GEOMETRY, seed=1)
+    infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+    return TestContext(infra, scale, probe_engine=probe_engine)
+
+
+def _probe_rate(probe, warmup=3, seconds=1.0):
+    """Steady-state probes/sec of a zero-argument probe callable."""
+    for _ in range(warmup):
+        probe()
+    count = 0
+    started = time.monotonic()
+    while True:
+        probe()
+        count += 1
+        elapsed = time.monotonic() - started
+        if elapsed >= seconds:
+            return count / elapsed
+
+
+def bench_probe_rates():
+    rates = {}
+    hammer_pattern = STANDARD_PATTERNS[0]
+    retention_pattern = STANDARD_PATTERNS[2]
+    for engine in ("fast", "command"):
+        ctx = _context(engine)
+        rates[f"hammer_probes_per_sec_{engine}"] = _probe_rate(
+            lambda: measure_ber(ctx, 100, hammer_pattern, 300_000)
+        )
+        ctx = _context(engine)
+        rates[f"retention_probes_per_sec_{engine}"] = _probe_rate(
+            lambda: measure_retention(ctx, 100, retention_pattern, 0.256)
+        )
+    rates["hammer_probe_speedup"] = (
+        rates["hammer_probes_per_sec_fast"]
+        / rates["hammer_probes_per_sec_command"]
+    )
+    rates["retention_probe_speedup"] = (
+        rates["retention_probes_per_sec_fast"]
+        / rates["retention_probes_per_sec_command"]
+    )
+    return rates
+
+
+def bench_campaign():
+    results = {}
+    for engine in ("fast", "command"):
+        os.environ["REPRO_PROBE_ENGINE"] = engine
+        clear_cache()
+        started = time.monotonic()
+        get_study(("rowhammer",), modules=(CAMPAIGN_MODULE,))
+        results[f"campaign_seconds_{engine}"] = time.monotonic() - started
+    os.environ.pop("REPRO_PROBE_ENGINE", None)
+    clear_cache()
+    results["campaign_speedup"] = (
+        results["campaign_seconds_command"] / results["campaign_seconds_fast"]
+    )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_out = os.path.join(os.path.dirname(__file__), "BENCH_probe.json")
+    parser.add_argument("--out", default=default_out)
+    args = parser.parse_args(argv)
+
+    set_study_cache_dir(None)
+    print("measuring single-probe throughput...")
+    payload = {"scope": {
+        "probe_module": MODULE,
+        "campaign_module": CAMPAIGN_MODULE,
+        "campaign": "bench-scale get_study(('rowhammer',))",
+    }}
+    payload.update(bench_probe_rates())
+    print("measuring one-module bench campaigns (both engines)...")
+    payload.update(bench_campaign())
+
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    for key in ("hammer_probes_per_sec_fast", "hammer_probes_per_sec_command",
+                "hammer_probe_speedup", "retention_probe_speedup",
+                "campaign_seconds_fast", "campaign_seconds_command",
+                "campaign_speedup"):
+        print(f"{key:>34}: {payload[key]:.2f}")
+    print(f"wrote {args.out}")
+    if payload["campaign_speedup"] < 3.0:
+        print("WARNING: campaign speedup below the 3x acceptance target",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

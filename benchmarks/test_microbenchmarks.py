@@ -33,21 +33,51 @@ from repro.units import ns
 GEOMETRY = ModuleGeometry(rows_per_bank=4096, banks=1, row_bits=8192)
 
 
-@pytest.fixture(scope="module")
-def ctx():
+def _make_ctx(probe_engine=None):
     scale = StudyScale(rows_per_module=8, iterations=1,
                        hcfirst_min_step=8000, geometry=GEOMETRY)
     infra = TestInfrastructure.for_module("B3", geometry=GEOMETRY, seed=1)
     infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
-    return TestContext(infra, scale)
+    return TestContext(infra, scale, probe_engine=probe_engine)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return _make_ctx()
+
+
+@pytest.fixture(scope="module")
+def command_ctx():
+    return _make_ctx(probe_engine="command")
 
 
 def test_ber_measurement_throughput(benchmark, ctx):
     """One complete Alg. 1 BER probe (init 3 rows, 300K double-sided
-    hammers, read + compare)."""
+    hammers, read + compare) on the default batched kernel."""
     pattern = STANDARD_PATTERNS[0]
     result = benchmark(lambda: measure_ber(ctx, 100, pattern, 300_000))
     assert 0.0 <= result <= 1.0
+
+
+def test_ber_measurement_throughput_command(benchmark, command_ctx):
+    """The same Alg. 1 BER probe through the command-level reference
+    path (the perf trajectory's baseline)."""
+    pattern = STANDARD_PATTERNS[0]
+    result = benchmark(
+        lambda: measure_ber(command_ctx, 100, pattern, 300_000)
+    )
+    assert 0.0 <= result <= 1.0
+
+
+def test_retention_probe_throughput(benchmark, ctx):
+    """One Alg. 3 write-wait-read probe on the batched kernel."""
+    from repro.core.retention import measure_retention
+
+    pattern = STANDARD_PATTERNS[2]
+    ber, _ = benchmark(
+        lambda: measure_retention(ctx, 100, pattern, 0.256)
+    )
+    assert 0.0 <= ber <= 1.0
 
 
 def test_hammer_session_throughput(benchmark, ctx):

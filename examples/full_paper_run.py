@@ -13,7 +13,11 @@ Run:  python examples/full_paper_run.py [--out results/]
 import argparse
 
 from repro.harness.export import export_output
-from repro.harness.registry import EXPERIMENT_IDS, run_experiment
+from repro.harness.registry import (
+    EXPERIMENT_IDS,
+    campaign_tests,
+    run_experiment,
+)
 
 
 def main() -> None:
@@ -34,7 +38,7 @@ def main() -> None:
         from repro.harness.cache import BENCH_MODULES, preload_parallel
 
         preload_parallel(
-            [("rowhammer",), ("trcd",), ("retention",)],
+            campaign_tests(EXPERIMENT_IDS),
             modules=kwargs.get("modules", BENCH_MODULES),
             seed=args.seed,
             max_workers=args.parallel,

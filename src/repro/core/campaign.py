@@ -2,20 +2,101 @@
 
 Modules are characterized independently (separate simulated devices,
 separate RNG namespaces), so a multi-module campaign parallelizes
-trivially across processes. :func:`run_parallel` fans the module list
-out over a process pool and merges the per-module results into one
-:class:`~repro.core.study.StudyResult` -- bit-identical to a sequential
-run with the same seed, since all randomness is keyed by
-``(seed, module, row)``.
+trivially across processes. :func:`run_parallel` fans work out over a
+process pool and merges the per-worker results into one
+:class:`~repro.core.study.StudyResult`.
+
+Two granularities are supported:
+
+* ``"module"`` -- one work unit per module (the original scheme). A
+  6-module bench run can use at most 6 cores.
+* ``"chunk"`` (default) -- one work unit per *(module, row-chunk)*. The
+  sampled rows of each module are partitioned into groups that are
+  independent under the device model's coupling rules (see
+  :func:`plan_row_chunks`), so a 6-module run saturates far more than
+  6 cores and even a single-module campaign parallelizes.
+
+Determinism: all device randomness is keyed by ``(seed, module, row)``
+or by per-row restore-session counters, and chunk boundaries are placed
+so no probe in one chunk touches the session state of a row in another
+(double-sided probes reach one physical row beyond the victim). The
+merge step reassembles records in the exact order a sequential
+``run_module`` emits them, so chunked, module-parallel and sequential
+campaigns agree record-for-record (asserted by the differential tests
+in ``tests/core/test_serialization_campaign.py``).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.results import ModuleResult
+from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
 from repro.core.study import TEST_TYPES, CharacterizationStudy, StudyResult
+from repro.dram.calibration import calibrate
+from repro.dram.mapping import RowMapping, make_mapping
+from repro.dram.profiles import module_profile
+from repro.errors import AnalysisError, ConfigurationError
+
+#: Minimum physical-address separation between rows of different chunks.
+#: A double-sided probe of victim v restores rows v-1 .. v+1, so probes
+#: of victims three or more physical rows apart share no session state;
+#: 4 adds one row of slack on top of that bound.
+CHUNK_GAP = 4
+
+
+def _module_mapping(name: str, scale: StudyScale) -> RowMapping:
+    """The logical->physical row mapping a module will be built with
+    (needed to plan chunk boundaries without building the module)."""
+    calibration = calibrate(module_profile(name), scale.geometry)
+    return make_mapping(
+        calibration.vendor.mapping_kind, calibration.geometry.rows_per_bank
+    )
+
+
+def plan_row_chunks(
+    rows: Sequence[int], mapping: RowMapping, max_chunks: int
+) -> List[List[int]]:
+    """Partition sampled rows into independent, balanced chunks.
+
+    Rows are grouped by physical adjacency: two rows closer than
+    :data:`CHUNK_GAP` physical addresses must share a chunk (their
+    probes couple through aggressor restore sessions). Groups are then
+    packed, in physical order, into at most ``max_chunks`` chunks of
+    roughly equal size. Each chunk lists its rows in ascending logical
+    order -- the order the sequential study would visit them in.
+    """
+    if not rows:
+        return []
+    if max_chunks < 1:
+        raise ConfigurationError(f"max_chunks must be >= 1: {max_chunks}")
+    ordered = sorted(rows, key=mapping.to_physical)
+    groups: List[List[int]] = [[ordered[0]]]
+    for row in ordered[1:]:
+        gap = mapping.to_physical(row) - mapping.to_physical(groups[-1][-1])
+        if gap >= CHUNK_GAP:
+            groups.append([row])
+        else:
+            groups[-1].append(row)
+    # Pack contiguous groups into at most max_chunks balanced chunks.
+    chunks: List[List[int]] = []
+    remaining_rows = len(rows)
+    remaining_slots = min(max_chunks, len(groups))
+    current: List[int] = []
+    for index, group in enumerate(groups):
+        target = remaining_rows / remaining_slots
+        if current and len(current) + len(group) / 2.0 > target and (
+            remaining_slots > 1
+        ):
+            chunks.append(current)
+            remaining_rows -= len(current)
+            remaining_slots -= 1
+            current = []
+        current.extend(group)
+    chunks.append(current)
+    return [sorted(chunk) for chunk in chunks]
 
 
 def _run_one_module(args) -> tuple:
@@ -26,34 +107,131 @@ def _run_one_module(args) -> tuple:
     return name, study.run_module(name, tests=tests)
 
 
+def _run_one_chunk(args) -> tuple:
+    """Worker: characterize one (module, row-chunk) unit."""
+    name, scale, seed, tests, rows, chunk_index = args
+    study = CharacterizationStudy(scale=scale, seed=seed)
+    return name, chunk_index, study.run_module(name, tests=tests, rows=rows)
+
+
+def _merge_module_chunks(
+    name: str, parts: List[ModuleResult], scale: StudyScale
+) -> ModuleResult:
+    """Reassemble chunk results in sequential record order."""
+    reference = parts[0]
+    for part in parts[1:]:
+        if (
+            part.vppmin != reference.vppmin
+            or part.vpp_levels != reference.vpp_levels
+        ):
+            raise AnalysisError(
+                f"module {name}: chunk workers disagree on the V_PP grid"
+            )
+    merged = ModuleResult(
+        module=name,
+        vendor=reference.vendor,
+        vppmin=reference.vppmin,
+        vpp_levels=list(reference.vpp_levels),
+    )
+    rowhammer: Dict[Tuple[float, int], object] = {}
+    trcd: Dict[Tuple[float, int], object] = {}
+    retention: Dict[Tuple[float, int], list] = {}
+    for part in parts:
+        for record in part.rowhammer:
+            rowhammer[(record.vpp, record.row)] = record
+        for record in part.trcd:
+            trcd[(record.vpp, record.row)] = record
+        for record in part.retention:
+            retention.setdefault((record.vpp, record.row), []).append(record)
+    all_rows = sorted(
+        {key[1] for key in rowhammer}
+        | {key[1] for key in trcd}
+        | {key[1] for key in retention}
+    )
+    for vpp in merged.vpp_levels:
+        for row in all_rows:
+            if (vpp, row) in rowhammer:
+                merged.rowhammer.append(rowhammer[(vpp, row)])
+            if (vpp, row) in trcd:
+                merged.trcd.append(trcd[(vpp, row)])
+    for vpp in merged.vpp_levels:
+        for row in all_rows:
+            merged.retention.extend(retention.get((vpp, row), []))
+    return merged
+
+
 def run_parallel(
     modules: Iterable[str],
     scale: StudyScale = None,
     seed: int = 0,
     tests: Sequence[str] = TEST_TYPES,
     max_workers: Optional[int] = None,
+    granularity: str = "chunk",
+    chunks_per_module: int = None,
 ) -> StudyResult:
-    """Run a campaign with one worker process per module.
+    """Run a campaign over a process pool.
 
     Equivalent to ``CharacterizationStudy(scale, seed).run(modules,
-    tests)`` -- determinism is preserved because module results are
-    independent -- but wall-clock scales with core count.
+    tests)`` -- see the module docstring for why determinism is
+    preserved -- but wall-clock scales with core count.
+
+    Parameters
+    ----------
+    granularity:
+        ``"chunk"`` (default) fans out (module, row-chunk) units;
+        ``"module"`` fans out whole modules.
+    chunks_per_module:
+        Target chunk count per module at chunk granularity; defaults to
+        the scale's ``row_chunks`` (the sample is naturally split into
+        that many disjoint runs).
     """
     scale = scale or StudyScale.bench()
     names = list(modules)
+    if granularity not in ("chunk", "module"):
+        raise ConfigurationError(
+            f"unknown granularity {granularity!r}; expected 'chunk' or "
+            f"'module'"
+        )
     result = StudyResult(scale=scale, seed=seed)
-    if len(names) <= 1 or max_workers == 1:
+    if len(names) <= 1 and granularity == "module" or max_workers == 1:
         study = CharacterizationStudy(scale=scale, seed=seed)
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)
         return result
 
-    jobs = [(name, scale, seed, tuple(tests)) for name in names]
-    collected: Dict[str, object] = {}
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for name, module_result in pool.map(_run_one_module, jobs):
-            collected[name] = module_result
-    # Preserve the caller's module order.
+    if granularity == "module":
+        jobs = [(name, scale, seed, tuple(tests)) for name in names]
+        collected: Dict[str, object] = {}
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for name, module_result in pool.map(_run_one_module, jobs):
+                collected[name] = module_result
+        for name in names:
+            result.modules[name] = collected[name]
+        return result
+
+    chunk_jobs = []
     for name in names:
-        result.modules[name] = collected[name]
+        mapping = _module_mapping(name, scale)
+        rows = sample_rows(
+            mapping.num_rows, scale.rows_per_module, scale.row_chunks
+        )
+        chunks = plan_row_chunks(
+            rows, mapping, chunks_per_module or scale.row_chunks
+        )
+        for index, chunk in enumerate(chunks):
+            chunk_jobs.append(
+                (name, scale, seed, tuple(tests), chunk, index)
+            )
+    if len(chunk_jobs) <= 1:
+        study = CharacterizationStudy(scale=scale, seed=seed)
+        for name in names:
+            result.modules[name] = study.run_module(name, tests=tests)
+        return result
+    parts: Dict[str, Dict[int, ModuleResult]] = {name: {} for name in names}
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for name, index, module_result in pool.map(_run_one_chunk, chunk_jobs):
+            parts[name][index] = module_result
+    for name in names:
+        ordered = [parts[name][i] for i in sorted(parts[name])]
+        result.modules[name] = _merge_module_chunks(name, ordered, scale)
     return result

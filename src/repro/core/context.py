@@ -25,10 +25,18 @@ class TestContext:
     scale: StudyScale
     bank: int = 0
     adjacency: AdjacencyOracle = None
+    #: Probe-engine selection: None (default policy), "fast" or "command".
+    probe_engine: str = None
+    #: The resolved :class:`repro.core.probe.ProbeEngine` instance.
+    engine: object = None
 
     def __post_init__(self) -> None:
         if self.adjacency is None:
             self.adjacency = MappingAdjacency(self.infra)
+        if self.engine is None:
+            from repro.core.probe import make_engine  # local: avoid cycle
+
+            self.engine = make_engine(self, kind=self.probe_engine)
 
     @property
     def row_bits(self) -> int:

@@ -1,0 +1,159 @@
+"""Campaign performance instrumentation.
+
+A process-global :data:`PROFILER` collects per-phase wall-clock (WCDP
+determination, the per-V_PP probe loops, result export) and probe
+counters (:class:`ProbeCounters`, mirroring the command counters of
+:class:`~repro.softmc.host.ExecutionResult`). Everything is disabled by
+default and costs one attribute check per phase; the runner's
+``--profile`` flag turns it on.
+
+Not to be confused with :mod:`repro.core.profiling`, which implements
+the paper-domain REAPER-style *retention* profiling.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ProbeCounters:
+    """Counts of the probes an engine executed (ExecutionResult-style).
+
+    ``commands_issued`` follows the SoftMC host's convention: HAMMER
+    counts as its unrolled ACT/PRE length, WRITE_ROW/READ_ROW as
+    ACT + per-column access + PRE.
+    """
+
+    hammer_probes: int = 0
+    retention_probes: int = 0
+    commands_issued: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (JSON exports, reports)."""
+        return {
+            "hammer_probes": self.hammer_probes,
+            "retention_probes": self.retention_probes,
+            "commands_issued": self.commands_issued,
+        }
+
+    def merge(self, other: "ProbeCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.hammer_probes += other.hammer_probes
+        self.retention_probes += other.retention_probes
+        self.commands_issued += other.commands_issued
+
+
+class _NullPhase:
+    """No-op context manager handed out while profiling is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Accumulates one timed section into the profiler."""
+
+    __slots__ = ("_profiler", "_name", "_start")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._profiler._record(self._name, time.monotonic() - self._start)
+
+
+@dataclass
+class PhaseProfiler:
+    """Per-phase wall-clock and probe-count aggregation.
+
+    Disabled by default so the hot paths pay one boolean check. Phase
+    times from worker processes (``run_parallel``) stay in the workers;
+    the report covers the in-process portion of a run.
+    """
+
+    enabled: bool = False
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    phase_calls: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def enable(self) -> None:
+        """Turn profiling on (phases and counters start recording)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn profiling off."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded phases and counters."""
+        self.phase_seconds.clear()
+        self.phase_calls.clear()
+        self.counters.clear()
+
+    def phase(self, name: str):
+        """Context manager timing one section under ``name``."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return _Phase(self, name)
+
+    def _record(self, name: str, seconds: float) -> None:
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+        self.phase_calls[name] = self.phase_calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a named counter (no-op while disabled)."""
+        if self.enabled:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def record_probes(self, probe_counters: ProbeCounters) -> None:
+        """Fold an engine's counters into the global tallies."""
+        if self.enabled:
+            for name, value in probe_counters.as_dict().items():
+                if value:
+                    self.counters[name] = self.counters.get(name, 0) + value
+
+    def report(self) -> str:
+        """Human-readable breakdown of phases and counters."""
+        lines = ["-- profile ------------------------------------------"]
+        if self.phase_seconds:
+            total = sum(self.phase_seconds.values())
+            width = max(len(name) for name in self.phase_seconds)
+            for name in sorted(
+                self.phase_seconds, key=self.phase_seconds.get, reverse=True
+            ):
+                seconds = self.phase_seconds[name]
+                share = 100.0 * seconds / total if total else 0.0
+                lines.append(
+                    f"{name:<{width}}  {seconds:9.3f}s  {share:5.1f}%  "
+                    f"({self.phase_calls[name]} calls)"
+                )
+            lines.append(f"{'total':<{width}}  {total:9.3f}s")
+        else:
+            lines.append("no phases recorded")
+        if self.counters:
+            lines.append("-- counters --")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(f"{name:<{width}}  {self.counters[name]}")
+        return "\n".join(lines)
+
+
+#: Process-global profiler used by the study loops and the runner.
+PROFILER = PhaseProfiler()

@@ -1,0 +1,331 @@
+"""Probe engines: how Algorithms 1 and 3 touch the device.
+
+The paper's measurement loops reduce to two probe shapes, repeated tens
+of thousands of times per module:
+
+* the double-sided RowHammer probe of Alg. 1 (initialize victim and
+  aggressors, hammer, read back), and
+* the write-wait-read retention probe of Alg. 3.
+
+:class:`CommandProbeEngine` runs each probe as a full SoftMC
+:class:`~repro.softmc.program.Program` through the host -- the validated
+reference path. :class:`FastProbeEngine` produces bit-identical results
+without building programs: it advances simulated time, restore sessions
+and activation counters through the exact command schedule, but
+evaluates the flips through the Bank's batched
+:class:`~repro.dram.bank.HammerSweep` / RetentionSweep kernels, which
+compute the per-cell effective thresholds once per operating point
+instead of once per probe.
+
+Bit-identity rests on three properties of the device model (verified by
+the differential tests in ``tests/core/test_probe_equivalence.py``):
+
+1. all randomness is drawn from stateless generators keyed by
+   ``(bank, row, field)`` or ``(bank, row, session)``, so skipping the
+   command path's incidental evaluations (aggressor persists, guard
+   rebuilds, neighbor damage on rows whose data is rewritten before the
+   next read) consumes no shared RNG state;
+2. the only stochastic cross-probe coupling is the session-keyed
+   measurement jitter, so replicating the command path's restore-session
+   schedule (+3 per probe for the victim and each aggressor) replays the
+   same draws;
+3. flip thresholds are pure functions of cached per-row vectors and the
+   operating point, and the fast path evaluates them through the very
+   same Bank expressions (same operand order, same dtypes) at the same
+   simulated-time offsets (same ``env.advance`` sequence).
+
+Engine selection: ``TestContext`` defaults to the fast engine; set
+``REPRO_PROBE_ENGINE=command`` (or pass ``probe_engine="command"``) to
+force the reference path. Banks with the TRR defense installed always
+use the command path, which feeds TRR its per-activation stream.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter, OrderedDict
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+from repro.core.metrics import bit_error_rate, flipped_word_counts
+from repro.core.perf import PROFILER, ProbeCounters
+from repro.core.scale import safe_timings
+from repro.dram.patterns import DataPattern
+from repro.errors import AnalysisError, ConfigurationError
+from repro.softmc.host import _COLUMN_LATENCY
+from repro.softmc.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import TestContext
+
+#: Environment variable overriding the default engine choice.
+ENGINE_ENV_VAR = "REPRO_PROBE_ENGINE"
+
+#: Per-engine cap on cached (row, pattern) sweeps. The study loops touch
+#: at most the six standard patterns of one row before moving on, so a
+#: small LRU keeps memory flat at paper scale (a sweep holds ~100 KB of
+#: per-cell vectors at 8 Kb rows).
+_SWEEP_CACHE_SIZE = 48
+
+
+class ProbeEngine:
+    """Interface of the Alg. 1 / Alg. 3 probe primitives."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.counters = ProbeCounters()
+
+    def hammer_ber(
+        self, ctx: "TestContext", row: int, pattern: DataPattern,
+        hammer_count: int,
+    ) -> float:
+        """One double-sided probe; returns the victim's BER."""
+        raise NotImplementedError
+
+    def retention_probe(
+        self, ctx: "TestContext", row: int, pattern: DataPattern, trefw: float,
+    ) -> Tuple[float, Dict[int, int]]:
+        """One write-wait-read probe; returns (BER, word-flip histogram)."""
+        raise NotImplementedError
+
+    def retention_ber(
+        self, ctx: "TestContext", row: int, pattern: DataPattern, trefw: float,
+    ) -> float:
+        """One write-wait-read probe; BER only (WCDP ranking)."""
+        raise NotImplementedError
+
+
+class CommandProbeEngine(ProbeEngine):
+    """Reference engine: every probe is a SoftMC program execution."""
+
+    name = "command"
+
+    def __init__(self, ctx: "TestContext" = None):
+        super().__init__()
+
+    def hammer_ber(self, ctx, row, pattern, hammer_count):
+        aggressors = ctx.adjacency.neighbors(ctx.bank, row)
+        if not aggressors:
+            raise AnalysisError(f"row {row} has no physical neighbors")
+        program = Program(safe_timings())
+        program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
+        for aggressor in aggressors:
+            program.initialize_row(
+                ctx.bank, aggressor, pattern, ctx.row_bits, inverse=True
+            )
+        program.hammer_doublesided(ctx.bank, aggressors, hammer_count)
+        read_index = program.read_row(ctx.bank, row)
+        result = ctx.infra.host.execute(program)
+        self.counters.hammer_probes += 1
+        self.counters.commands_issued += result.commands_issued
+        PROFILER.count("hammer_probes")
+        return bit_error_rate(
+            pattern.row_bits(ctx.row_bits), result.data(read_index)
+        )
+
+    def _retention_read(self, ctx, row, pattern, trefw):
+        program = Program(safe_timings())
+        program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
+        program.wait(trefw)
+        read_index = program.read_row(ctx.bank, row)
+        result = ctx.infra.host.execute(program)
+        self.counters.retention_probes += 1
+        self.counters.commands_issued += result.commands_issued
+        PROFILER.count("retention_probes")
+        return result.data(read_index)
+
+    def retention_probe(self, ctx, row, pattern, trefw):
+        expected = pattern.row_bits(ctx.row_bits)
+        read = self._retention_read(ctx, row, pattern, trefw)
+        ber = bit_error_rate(expected, read)
+        counts = flipped_word_counts(expected, read)
+        histogram = Counter(int(c) for c in counts if c > 0)
+        return ber, dict(histogram)
+
+    def retention_ber(self, ctx, row, pattern, trefw):
+        expected = pattern.row_bits(ctx.row_bits)
+        read = self._retention_read(ctx, row, pattern, trefw)
+        return bit_error_rate(expected, read)
+
+
+class FastProbeEngine(ProbeEngine):
+    """Batched engine: same schedule, kernelized flip evaluation."""
+
+    name = "fast"
+
+    def __init__(self, ctx: "TestContext"):
+        super().__init__()
+        infra = ctx.infra
+        self._module = infra.module
+        self._env = self._module.env
+        quantize = infra.fpga.quantize
+        timings = safe_timings()
+        self._trcd_q = quantize(timings.trcd)
+        self._trp_q = quantize(timings.trp)
+        self._trc_q = quantize(timings.trc)
+        # The host advances columns * quantize(tCL) per full-row access.
+        self._row_io = self._module.geometry.columns * quantize(
+            _COLUMN_LATENCY
+        )
+        self._columns = self._module.geometry.columns
+        self._sweeps: "OrderedDict" = OrderedDict()
+
+    def _sweep(self, ctx, kind, row, pattern):
+        key = (kind, ctx.bank, row, pattern.fill_byte)
+        sweep = self._sweeps.get(key)
+        if sweep is not None:
+            self._sweeps.move_to_end(key)
+            return sweep
+        bank = self._module.bank(ctx.bank)
+        if kind == "hammer":
+            aggressors = ctx.adjacency.neighbors(ctx.bank, row)
+            if not aggressors:
+                raise AnalysisError(f"row {row} has no physical neighbors")
+            sweep = bank.hammer_sweep(row, aggressors, pattern)
+        else:
+            sweep = bank.retention_sweep(row, pattern)
+        self._sweeps[key] = sweep
+        if len(self._sweeps) > _SWEEP_CACHE_SIZE:
+            self._sweeps.popitem(last=False)
+        return sweep
+
+    def hammer_ber(self, ctx, row, pattern, hammer_count):
+        # The command path checks communication before every instruction;
+        # one up-front check is equivalent because V_PP cannot change
+        # mid-probe.
+        self._module.check_communication()
+        sweep = self._sweep(ctx, "hammer", row, pattern)
+        bank = self._module.bank(ctx.bank)
+        env = self._env
+        state = sweep.state
+
+        # WRITE_ROW victim: ACT restores, full-row WR, PRE restores.
+        state.session += 2
+        bank.total_activations += 1
+        env.advance(self._trcd_q)
+        env.advance(self._row_io)
+        restore_time = env.now
+        env.advance(self._trp_q)
+
+        # WRITE_ROW per aggressor (each deposits one activation's damage
+        # on the victim, accounted for in sweep.victim_damage).
+        for aggressor_state in sweep.aggressor_states:
+            aggressor_state.session += 2
+            bank.total_activations += 1
+            env.advance(self._trcd_q)
+            env.advance(self._row_io)
+            env.advance(self._trp_q)
+
+        # HAMMER: one restore per aggressor, damage applied analytically.
+        for aggressor_state in sweep.aggressor_states:
+            aggressor_state.session += 1
+            bank.total_activations += hammer_count
+        cycles = hammer_count * len(sweep.aggressor_states)
+        env.advance(cycles * self._trc_q)
+
+        # READ_ROW: evaluate the pending flips exactly as the persist
+        # path would at the read's ACT, then restore.
+        elapsed = env.now - restore_time
+        damage_bulk, damage_outlier = sweep.victim_damage(hammer_count)
+        flips = sweep.flip_mask(
+            damage_bulk, damage_outlier, state.session, elapsed
+        )
+        data = sweep.bits.copy()
+        if flips.any():
+            data[flips] = sweep.discharged_value
+        state.data = data
+        state.pattern_index = sweep.pattern_index
+        state.cache.pop("_flip_guard", None)
+        state.last_restore_time = env.now
+        state.vpp_at_restore = env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        state.session += 1
+        bank.total_activations += 1
+        corrupt = bank.sensing_corruption(sweep.row, self._trcd_q)
+        env.advance(self._trcd_q)
+        env.advance(self._row_io)
+        env.advance(self._trp_q)
+
+        mismatches = flips if corrupt is None else (flips | corrupt)
+        self.counters.hammer_probes += 1
+        self.counters.commands_issued += (
+            3 * (2 + self._columns) + 2 * cycles + (2 + self._columns)
+        )
+        PROFILER.count("hammer_probes")
+        return float(np.count_nonzero(mismatches) / mismatches.size)
+
+    def _retention_mismatches(self, ctx, sweep, trefw):
+        self._module.check_communication()
+        bank = self._module.bank(ctx.bank)
+        env = self._env
+        state = sweep.state
+
+        # WRITE_ROW victim, then the unrefreshed WAIT.
+        state.session += 2
+        bank.total_activations += 1
+        env.advance(self._trcd_q)
+        env.advance(self._row_io)
+        restore_time = env.now
+        env.advance(self._trp_q)
+        env.advance(trefw)
+
+        # READ_ROW: the decayed cells materialize at the ACT.
+        elapsed = env.now - restore_time
+        flips = sweep.flip_mask(elapsed)
+        data = sweep.bits.copy()
+        if flips.any():
+            data[flips] = sweep.discharged_value
+        state.data = data
+        state.pattern_index = sweep.pattern_index
+        state.cache.pop("_flip_guard", None)
+        state.last_restore_time = env.now
+        state.vpp_at_restore = env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        state.session += 1
+        bank.total_activations += 1
+        corrupt = bank.sensing_corruption(sweep.row, self._trcd_q)
+        env.advance(self._trcd_q)
+        env.advance(self._row_io)
+        env.advance(self._trp_q)
+
+        self.counters.retention_probes += 1
+        self.counters.commands_issued += 2 * (2 + self._columns)
+        PROFILER.count("retention_probes")
+        return flips if corrupt is None else (flips | corrupt)
+
+    def retention_probe(self, ctx, row, pattern, trefw):
+        sweep = self._sweep(ctx, "retention", row, pattern)
+        mismatches = self._retention_mismatches(ctx, sweep, trefw)
+        ber = float(np.count_nonzero(mismatches) / mismatches.size)
+        counts = mismatches.astype(np.int64).reshape(-1, 64).sum(axis=1)
+        histogram = Counter(int(c) for c in counts if c > 0)
+        return ber, dict(histogram)
+
+    def retention_ber(self, ctx, row, pattern, trefw):
+        sweep = self._sweep(ctx, "retention", row, pattern)
+        mismatches = self._retention_mismatches(ctx, sweep, trefw)
+        return float(np.count_nonzero(mismatches) / mismatches.size)
+
+
+def make_engine(ctx: "TestContext", kind: str = None) -> ProbeEngine:
+    """Build the probe engine for a context.
+
+    ``kind`` (or the ``REPRO_PROBE_ENGINE`` environment variable) picks
+    ``"fast"`` or ``"command"``; default is fast. TRR-enabled modules
+    always get the command engine, whose per-activation stream drives
+    the defense model.
+    """
+    kind = kind or os.environ.get(ENGINE_ENV_VAR) or "fast"
+    if kind == "command":
+        return CommandProbeEngine(ctx)
+    if kind != "fast":
+        raise ConfigurationError(
+            f"unknown probe engine {kind!r}; expected 'fast' or 'command'"
+        )
+    if any(bank.trr is not None for bank in ctx.infra.module.banks):
+        return CommandProbeEngine(ctx)
+    return FastProbeEngine(ctx)

@@ -13,14 +13,11 @@ with the paper's methodology.
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Dict, List, Tuple
 
-from repro.core.context import TestContext, safe_timings
-from repro.core.metrics import bit_error_rate, flipped_word_counts
+from repro.core.context import TestContext
 from repro.core.results import RetentionRowResult
 from repro.dram.patterns import DataPattern
-from repro.softmc.program import Program
 
 
 def measure_retention(
@@ -30,19 +27,9 @@ def measure_retention(
 
     Returns (BER, word-flip histogram) where the histogram maps
     flips-per-64-bit-word to the number of such words (zero-flip words
-    omitted).
+    omitted). Runs on the context's probe engine.
     """
-    program = Program(safe_timings())
-    program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
-    program.wait(trefw)
-    read_index = program.read_row(ctx.bank, row)
-    result = ctx.infra.host.execute(program)
-    expected = pattern.row_bits(ctx.row_bits)
-    read = result.data(read_index)
-    ber = bit_error_rate(expected, read)
-    counts = flipped_word_counts(expected, read)
-    histogram = Counter(int(c) for c in counts if c > 0)
-    return ber, dict(histogram)
+    return ctx.engine.retention_probe(ctx, row, pattern, trefw)
 
 
 def characterize_row(

@@ -14,12 +14,9 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
-from repro.core.context import TestContext, safe_timings
-from repro.core.metrics import bit_error_rate
+from repro.core.context import TestContext
 from repro.core.results import RowHammerRowResult
 from repro.dram.patterns import DataPattern
-from repro.errors import AnalysisError
-from repro.softmc.program import Program
 
 
 def measure_ber(
@@ -27,20 +24,11 @@ def measure_ber(
 ) -> float:
     """One double-sided RowHammer measurement (Alg. 1's ``measure_BER``).
 
-    Returns the fraction of the victim row's cells that flipped.
+    Returns the fraction of the victim row's cells that flipped. The
+    probe runs on the context's engine (the batched kernel by default,
+    the SoftMC command path as the validated reference).
     """
-    aggressors = ctx.adjacency.neighbors(ctx.bank, row)
-    if not aggressors:
-        raise AnalysisError(f"row {row} has no physical neighbors")
-    program = Program(safe_timings())
-    program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
-    for aggressor in aggressors:
-        program.initialize_row(ctx.bank, aggressor, pattern, ctx.row_bits,
-                               inverse=True)
-    program.hammer_doublesided(ctx.bank, aggressors, hammer_count)
-    read_index = program.read_row(ctx.bank, row)
-    result = ctx.infra.host.execute(program)
-    return bit_error_rate(pattern.row_bits(ctx.row_bits), result.data(read_index))
+    return ctx.engine.hammer_ber(ctx, row, pattern, hammer_count)
 
 
 def measure_worst_ber(

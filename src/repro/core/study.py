@@ -24,6 +24,7 @@ from repro.core import rowhammer as rowhammer_test
 from repro.core import trcd as trcd_test
 from repro.core.adjacency import ReverseEngineeredAdjacency
 from repro.core.context import TestContext
+from repro.core.perf import PROFILER
 from repro.core.results import ModuleResult
 from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
@@ -75,6 +76,9 @@ class CharacterizationStudy:
         experiment in the test suite).
     progress:
         Optional callback ``(message: str) -> None`` for long runs.
+    probe_engine:
+        Probe-engine override (``"fast"`` / ``"command"``); None selects
+        the default policy of :func:`repro.core.probe.make_engine`.
     """
 
     def __init__(
@@ -83,11 +87,13 @@ class CharacterizationStudy:
         seed: int = 0,
         reverse_engineer_adjacency: bool = False,
         progress: Optional[Callable[[str], None]] = None,
+        probe_engine: str = None,
     ):
         self.scale = scale or StudyScale.bench()
         self.seed = seed
         self._reverse_engineer = reverse_engineer_adjacency
         self._progress = progress or (lambda message: None)
+        self.probe_engine = probe_engine
 
     # -- module-level runs --------------------------------------------------------
 
@@ -96,7 +102,7 @@ class CharacterizationStudy:
         infra = TestInfrastructure.for_module(
             name, geometry=self.scale.geometry, seed=self.seed
         )
-        ctx = TestContext(infra, self.scale)
+        ctx = TestContext(infra, self.scale, probe_engine=self.probe_engine)
         if self._reverse_engineer:
             ctx.adjacency = ReverseEngineeredAdjacency(infra)
         return ctx
@@ -104,8 +110,14 @@ class CharacterizationStudy:
     def run_module(
         self, name: str, tests: Sequence[str] = TEST_TYPES,
         vpp_levels: Sequence[float] = None,
+        rows: Sequence[int] = None,
     ) -> ModuleResult:
-        """Characterize one module across its V_PP grid."""
+        """Characterize one module across its V_PP grid.
+
+        ``rows`` restricts the characterization to an explicit row subset
+        (the chunk-parallel campaign uses this); the default is the
+        scale's full :func:`~repro.core.sampling.sample_rows` sample.
+        """
         for test in tests:
             if test not in TEST_TYPES:
                 raise ConfigurationError(f"unknown test type {test!r}")
@@ -120,28 +132,30 @@ class CharacterizationStudy:
             vppmin=min(vpp_levels),
             vpp_levels=list(vpp_levels),
         )
-        rows = sample_rows(
-            infra.module.geometry.rows_per_bank,
-            self.scale.rows_per_module,
-            self.scale.row_chunks,
-        )
+        if rows is None:
+            rows = sample_rows(
+                infra.module.geometry.rows_per_bank,
+                self.scale.rows_per_module,
+                self.scale.row_chunks,
+            )
 
         # WCDP determination at nominal V_PP (Section 4.1).
-        infra.set_vpp(constants.NOMINAL_VPP)
-        infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
-        wcdp_rh = {}
-        wcdp_act = {}
-        if "rowhammer" in tests:
-            self._progress(f"{name}: determining RowHammer WCDPs")
-            wcdp_rh = {row: rowhammer_wcdp(ctx, row) for row in rows}
-        if "trcd" in tests:
-            self._progress(f"{name}: determining tRCD WCDPs")
-            wcdp_act = {row: trcd_wcdp(ctx, row) for row in rows}
-        wcdp_ret = {}
-        if "retention" in tests:
-            infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
-            self._progress(f"{name}: determining retention WCDPs")
-            wcdp_ret = {row: retention_wcdp(ctx, row) for row in rows}
+        with PROFILER.phase("wcdp"):
+            infra.set_vpp(constants.NOMINAL_VPP)
+            infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+            wcdp_rh = {}
+            wcdp_act = {}
+            if "rowhammer" in tests:
+                self._progress(f"{name}: determining RowHammer WCDPs")
+                wcdp_rh = {row: rowhammer_wcdp(ctx, row) for row in rows}
+            if "trcd" in tests:
+                self._progress(f"{name}: determining tRCD WCDPs")
+                wcdp_act = {row: trcd_wcdp(ctx, row) for row in rows}
+            wcdp_ret = {}
+            if "retention" in tests:
+                infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+                self._progress(f"{name}: determining retention WCDPs")
+                wcdp_ret = {row: retention_wcdp(ctx, row) for row in rows}
 
         # RowHammer and tRCD at 50 degC across the V_PP grid.
         if "rowhammer" in tests or "trcd" in tests:
@@ -151,17 +165,19 @@ class CharacterizationStudy:
                 self._progress(f"{name}: V_PP={vpp:.1f} V (50 degC tests)")
                 for row in rows:
                     if "rowhammer" in tests:
-                        result.rowhammer.append(
-                            rowhammer_test.characterize_row(
-                                ctx, row, wcdp_rh[row], vpp
+                        with PROFILER.phase("rowhammer"):
+                            result.rowhammer.append(
+                                rowhammer_test.characterize_row(
+                                    ctx, row, wcdp_rh[row], vpp
+                                )
                             )
-                        )
                     if "trcd" in tests:
-                        result.trcd.append(
-                            trcd_test.characterize_row(
-                                ctx, row, wcdp_act[row], vpp
+                        with PROFILER.phase("trcd"):
+                            result.trcd.append(
+                                trcd_test.characterize_row(
+                                    ctx, row, wcdp_act[row], vpp
+                                )
                             )
-                        )
 
         # Retention at 80 degC across the V_PP grid.
         if "retention" in tests:
@@ -170,11 +186,13 @@ class CharacterizationStudy:
                 infra.set_vpp(vpp)
                 self._progress(f"{name}: V_PP={vpp:.1f} V (retention)")
                 for row in rows:
-                    result.retention.extend(
-                        retention_test.characterize_row(
-                            ctx, row, wcdp_ret[row], vpp
+                    with PROFILER.phase("retention"):
+                        result.retention.extend(
+                            retention_test.characterize_row(
+                                ctx, row, wcdp_ret[row], vpp
+                            )
                         )
-                    )
+        PROFILER.record_probes(ctx.engine.counters)
         return result
 
     # -- campaign-level runs ---------------------------------------------------------

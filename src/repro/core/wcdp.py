@@ -19,10 +19,8 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
-from repro.core.context import TestContext, safe_timings
-from repro.core.metrics import bit_error_rate
+from repro.core.context import TestContext
 from repro.dram.patterns import STANDARD_PATTERNS, DataPattern
-from repro.softmc.program import Program
 
 
 def _coarse_hcfirst(
@@ -108,12 +106,5 @@ def retention_wcdp(ctx: TestContext, row: int) -> DataPattern:
 def _retention_ber(
     ctx: TestContext, row: int, pattern: DataPattern, window: float
 ) -> float:
-    """One write-wait-read retention probe."""
-    program = Program(safe_timings())
-    program.initialize_row(ctx.bank, row, pattern, ctx.row_bits)
-    program.wait(window)
-    read_index = program.read_row(ctx.bank, row)
-    result = ctx.infra.host.execute(program)
-    return bit_error_rate(
-        pattern.row_bits(ctx.row_bits), result.data(read_index)
-    )
+    """One write-wait-read retention probe (BER only)."""
+    return ctx.engine.retention_ber(ctx, row, pattern, window)

@@ -38,7 +38,7 @@ from repro.dram.cell import (
 )
 from repro.dram.environment import ModuleEnvironment
 from repro.dram.mapping import RowMapping
-from repro.dram.patterns import classify_row_bits
+from repro.dram.patterns import DataPattern, classify_row_bits
 from repro.errors import DramAddressError, DramCommandError
 from repro.rng import RngHub
 
@@ -94,6 +94,11 @@ class Bank:
         """Currently open logical row, if any."""
         return self._open_row
 
+    @property
+    def trr(self):
+        """The bank's TRR defense model, if installed (None otherwise)."""
+        return self._trr
+
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self._geometry.rows_per_bank:
             raise DramAddressError(
@@ -133,6 +138,55 @@ class Bank:
     def _discharged_value(self, physical_row: int) -> int:
         return 1 if self._cells.is_anti_row(physical_row) else 0
 
+    def _effective_retention_times(
+        self,
+        physical_row: int,
+        state: RowState,
+        pattern_index: int,
+        vpp_at_restore: float,
+    ) -> np.ndarray:
+        """Per-cell retention thresholds at the current temperature.
+
+        The margin factor is exponentiated by the per-cell V_PP
+        sensitivity: weak-tier cells degrade much faster with reduced
+        V_PP (Observation 13). Shared between the lazy persist path and
+        the batched probe sweeps so both evaluate the exact same
+        expression.
+        """
+        retention = self._cached(state, physical_row, "cell_retention_times")
+        sensitivity = self._cached(
+            state, physical_row, "cell_retention_vpp_sensitivity"
+        )
+        retention_pattern = self._cached(
+            state, physical_row, "retention_pattern_factors"
+        )[pattern_index]
+        model = self._cal.retention
+        margin = model.margin_factor(vpp_at_restore)
+        thermal = model.temperature_factor(self._env.temperature)
+        return (
+            retention * thermal * np.power(margin, sensitivity)
+        ) * retention_pattern
+
+    def _effective_tolerances(
+        self,
+        physical_row: int,
+        state: RowState,
+        pattern_index: int,
+        session: int,
+    ) -> np.ndarray:
+        """Per-cell hammer tolerances for one restore session.
+
+        Bulk and outlier cell populations carry independent V_PP
+        responses (see calibration.py); the session-keyed jitter models
+        the paper's iteration-to-iteration variation (Section 4.6).
+        """
+        tolerance = self._cached(state, physical_row, "cell_tolerances")
+        hammer_pattern = self._cached(state, physical_row, "pattern_factors")[
+            pattern_index
+        ]
+        jitter = self._cells.measurement_jitter(physical_row, session)
+        return tolerance * (hammer_pattern * jitter)
+
     def _persist_pending_flips(self, physical_row: int, state: RowState) -> None:
         """Materialize retention and RowHammer flips into the stored bits.
 
@@ -170,34 +224,16 @@ class Bank:
             return
         flips = np.zeros_like(charged)
 
-        # Retention decay since the last restoration. The margin factor
-        # is exponentiated by the per-cell V_PP sensitivity: weak-tier
-        # cells degrade much faster with reduced V_PP (Observation 13).
-        retention = self._cached(state, physical_row, "cell_retention_times")
-        sensitivity = self._cached(
-            state, physical_row, "cell_retention_vpp_sensitivity"
+        effective_retention = self._effective_retention_times(
+            physical_row, state, state.pattern_index, state.vpp_at_restore
         )
-        retention_pattern = self._cached(
-            state, physical_row, "retention_pattern_factors"
-        )[state.pattern_index]
-        model = self._cal.retention
-        margin = model.margin_factor(state.vpp_at_restore)
-        thermal = model.temperature_factor(self._env.temperature)
-        effective_retention = (
-            retention * thermal * np.power(margin, sensitivity)
-        ) * retention_pattern
         if elapsed > 0:
             flips |= charged & (effective_retention < elapsed)
 
-        # Accumulated RowHammer damage: bulk and outlier cell populations
-        # carry independent V_PP responses (see calibration.py).
-        tolerance = self._cached(state, physical_row, "cell_tolerances")
         outlier_mask = self._cached(state, physical_row, "cell_outlier_mask")
-        hammer_pattern = self._cached(state, physical_row, "pattern_factors")[
-            state.pattern_index
-        ]
-        jitter = self._cells.measurement_jitter(physical_row, state.session)
-        effective_tolerance = tolerance * (hammer_pattern * jitter)
+        effective_tolerance = self._effective_tolerances(
+            physical_row, state, state.pattern_index, state.session
+        )
         damage = np.where(
             outlier_mask, state.damage_outlier, state.damage_bulk
         )
@@ -519,6 +555,49 @@ class Bank:
             self._persist_pending_flips(physical, state)
             self._restore(physical, state)
 
+    # -- batched probe sweeps -----------------------------------------------------------
+
+    def hammer_sweep(
+        self,
+        victim_row: int,
+        aggressor_rows: Sequence[int],
+        pattern: DataPattern,
+    ) -> "HammerSweep":
+        """Precompute the flip evaluation of repeated double-sided probes.
+
+        Returns a :class:`HammerSweep` that computes the victim's
+        per-cell effective thresholds once per operating point and then
+        evaluates any number of hammer counts against them -- the kernel
+        behind the fast probe engine and Alg. 1's bisection.
+        """
+        return HammerSweep(self, victim_row, aggressor_rows, pattern)
+
+    def retention_sweep(
+        self, victim_row: int, pattern: DataPattern
+    ) -> "RetentionSweep":
+        """Precompute the flip evaluation of repeated retention probes
+        (all of Alg. 3's refresh windows share one threshold vector)."""
+        return RetentionSweep(self, victim_row, pattern)
+
+    def probe_state(self, logical_row: int) -> RowState:
+        """Materialize (if needed) and return a row's mutable state.
+
+        Probe engines use this to keep restore-session bookkeeping
+        aligned with the command path.
+        """
+        self._check_row(logical_row)
+        return self._state(self._mapping.to_physical(logical_row))
+
+    def sensing_corruption(
+        self, logical_row: int, trcd: float
+    ) -> Optional[np.ndarray]:
+        """Activation-corruption mask an ACT with ``trcd`` would apply to
+        the row's current content (None when every cell senses cleanly).
+        """
+        self._check_row(logical_row)
+        physical = self._mapping.to_physical(logical_row)
+        return self._activation_corruption(physical, self._state(physical), trcd)
+
     # -- introspection (testing / reverse-engineering support) --------------------------
 
     def materialized_rows(self) -> Iterable[int]:
@@ -532,3 +611,173 @@ class Bank:
         physical = self._mapping.to_physical(logical_row)
         state = self._rows.get(physical)
         return 0.0 if state is None else state.damage_bulk
+
+
+class ProbeSweep:
+    """Shared precomputation of one (victim row, data pattern) probe.
+
+    Holds the victim's pattern bits, charged-cell mask and -- cached per
+    (V_PP, temperature) operating point -- the per-cell effective
+    retention thresholds, so repeated probes of the same row skip the
+    per-probe parameter rederivation of the command path. The flip
+    evaluation reuses the Bank's own threshold expressions, which is
+    what keeps the sweep bit-identical to
+    :meth:`Bank._persist_pending_flips`.
+    """
+
+    def __init__(self, bank: Bank, victim_row: int, pattern: DataPattern):
+        bank._check_row(victim_row)
+        self._bank = bank
+        self.row = victim_row
+        self.pattern = pattern
+        self.physical = bank._mapping.to_physical(victim_row)
+        self.state = bank._state(self.physical)
+        self.bits = pattern.row_bits(bank._geometry.row_bits)
+        classified = classify_row_bits(self.bits)
+        self.pattern_index = (
+            classified.index if classified is not None else OTHER_PATTERN_INDEX
+        )
+        self.charged = bank._charged_mask(self.physical, self.bits)
+        self.discharged_value = bank._discharged_value(self.physical)
+        self._outlier_mask = bank._cached(
+            self.state, self.physical, "cell_outlier_mask"
+        )
+        self._op_key = None
+        self._retention_thresholds = None
+
+    def effective_retention_times(self) -> np.ndarray:
+        """Per-cell retention thresholds at the current operating point
+        (recomputed only when V_PP or temperature change)."""
+        env = self._bank._env
+        key = (env.vpp, env.temperature)
+        if key != self._op_key:
+            self._retention_thresholds = self._bank._effective_retention_times(
+                self.physical, self.state, self.pattern_index, env.vpp
+            )
+            self._op_key = key
+        return self._retention_thresholds
+
+
+class HammerSweep(ProbeSweep):
+    """Batched double-sided RowHammer probe evaluation for one victim.
+
+    ``victim_damage`` replicates, deposit by deposit, the damage the
+    command path accumulates on the victim over one Alg. 1 probe (one
+    activation per aggressor initialization plus the hammer sessions),
+    and ``flip_mask`` evaluates it against the Bank's effective
+    thresholds -- so a whole bisection reuses one threshold computation
+    per operating point.
+    """
+
+    def __init__(
+        self,
+        bank: Bank,
+        victim_row: int,
+        aggressor_rows: Sequence[int],
+        pattern: DataPattern,
+    ):
+        super().__init__(bank, victim_row, pattern)
+        self.aggressors = list(aggressor_rows)
+        self.aggressor_states = []
+        self._weights = []
+        attenuation = bank._cal.disturbance.distance2_attenuation
+        for logical in self.aggressors:
+            bank._check_row(logical)
+            physical = bank._mapping.to_physical(logical)
+            distance = abs(physical - self.physical)
+            if distance == 1:
+                weight = _DISTANCE1_WEIGHT
+            elif distance == 2:
+                weight = _DISTANCE1_WEIGHT * attenuation
+            else:
+                weight = 0.0  # beyond the disturbance radius
+            self._weights.append(weight)
+            self.aggressor_states.append(bank._state(physical))
+
+    def victim_damage(self, count: int) -> "tuple[float, float]":
+        """(bulk, outlier) damage one probe deposits on the victim.
+
+        Accumulated in the command path's order -- one activation per
+        aggressor initialization, then ``count`` hammers per aggressor --
+        with the same scalar expressions, so the floating-point result is
+        bit-identical to ``RowState.damage_*`` after the real commands.
+        """
+        scale_bulk, scale_outlier = self._bank._disturbance_scales(
+            self.physical
+        )
+        damage_bulk = 0.0
+        damage_outlier = 0.0
+        for weight in self._weights:
+            damage_bulk += 1 * weight / scale_bulk
+            damage_outlier += 1 * weight / scale_outlier
+        for weight in self._weights:
+            damage_bulk += count * weight / scale_bulk
+            damage_outlier += count * weight / scale_outlier
+        return damage_bulk, damage_outlier
+
+    def flip_mask(
+        self,
+        damage_bulk: float,
+        damage_outlier: float,
+        session: int,
+        elapsed: float,
+    ) -> np.ndarray:
+        """Cells the probe flips, exactly as the persist path evaluates
+        them at the read-back activation."""
+        charged = self.charged
+        flips = np.zeros_like(charged)
+        effective_retention = self.effective_retention_times()
+        if elapsed > 0:
+            flips |= charged & (effective_retention < elapsed)
+        effective_tolerance = self._bank._effective_tolerances(
+            self.physical, self.state, self.pattern_index, session
+        )
+        damage = np.where(self._outlier_mask, damage_outlier, damage_bulk)
+        flips |= charged & (damage >= effective_tolerance)
+        return flips
+
+    def flip_counts(
+        self, counts: Sequence[int], session: int, elapsed: float
+    ) -> np.ndarray:
+        """Flipped-cell counts for a whole vector of hammer counts.
+
+        One threshold computation covers every count -- the batched form
+        of a bisection's probe ladder (analysis/benchmark use; the probe
+        engine evaluates counts one session at a time to preserve the
+        per-probe jitter schedule).
+        """
+        charged = self.charged
+        base = np.zeros_like(charged)
+        effective_retention = self.effective_retention_times()
+        if elapsed > 0:
+            base |= charged & (effective_retention < elapsed)
+        effective_tolerance = self._bank._effective_tolerances(
+            self.physical, self.state, self.pattern_index, session
+        )
+        results = []
+        for count in counts:
+            damage_bulk, damage_outlier = self.victim_damage(count)
+            damage = np.where(self._outlier_mask, damage_outlier, damage_bulk)
+            flips = base | (charged & (damage >= effective_tolerance))
+            results.append(int(np.count_nonzero(flips)))
+        return np.asarray(results)
+
+
+class RetentionSweep(ProbeSweep):
+    """Batched retention probe evaluation for one victim row.
+
+    A retention probe leaves the victim's accumulated damage at zero
+    (the full-row write restores it and nothing activates nearby during
+    the wait) and effective tolerances are strictly positive, so the
+    command path's damage term can never fire; the sweep therefore only
+    evaluates the retention thresholds. Skipping the jitter draw is
+    exact because the RNG is stateless (keyed by row and session).
+    """
+
+    def flip_mask(self, elapsed: float) -> np.ndarray:
+        """Cells that decay within ``elapsed`` seconds of the restore."""
+        charged = self.charged
+        flips = np.zeros_like(charged)
+        if elapsed > 0:
+            flips |= charged & (self.effective_retention_times() < elapsed)
+        return flips

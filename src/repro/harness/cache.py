@@ -1,17 +1,38 @@
-"""In-process study cache.
+"""Study cache: in-process memoization plus a persistent disk layer.
 
 Several figures share one underlying campaign (Figures 3-6 all consume
 the RowHammer study; Figures 10-11 the retention study). Experiments
 fetch studies through this cache so that running ``fig3`` and ``fig5``
 in one process performs the campaign once. Keys include the scale, the
-seed and the module tuple, so differently-scoped runs never collide.
+seed and the (order-normalized) module tuple, so differently-scoped
+runs never collide.
+
+On top of the in-process dictionary sits an optional disk layer: when a
+cache directory is configured (:func:`set_study_cache_dir` or the
+``REPRO_STUDY_CACHE_DIR`` environment variable), completed campaigns
+are serialized through :mod:`repro.core.serialization` under a content
+fingerprint of ``(schema, tests, modules, scale, seed)``, and later
+runner or benchmark invocations -- including across processes -- load
+them instead of recomputing. The library default is *off* (imports have
+no filesystem side effects); the runner enables it by default and
+exposes ``--no-cache`` / ``--cache-dir``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scale import StudyScale
+from repro.core.serialization import (
+    SCHEMA_VERSION,
+    _scale_to_dict,
+    load_study,
+    save_study,
+)
 from repro.core.study import CharacterizationStudy, StudyResult
 
 #: Default module subset used by the benchmark harness: two per vendor,
@@ -20,11 +41,110 @@ from repro.core.study import CharacterizationStudy, StudyResult
 #: near-insensitive A4).
 BENCH_MODULES = ("A0", "A4", "B3", "B9", "C5", "C9")
 
+#: Environment variable configuring the disk cache directory.
+CACHE_DIR_ENV_VAR = "REPRO_STUDY_CACHE_DIR"
+
+#: Directory the runner uses when caching is on but no dir was given.
+DEFAULT_CACHE_DIR = ".study-cache"
+
 _CACHE: Dict[Tuple, StudyResult] = {}
+
+_UNSET = object()
+_disk_dir = _UNSET
 
 
 def _key(tests, modules, scale, seed) -> Tuple:
-    return (tuple(sorted(tests)), tuple(modules), scale, seed)
+    # Both tuples are order-normalized: ("A0", "B3") and ("B3", "A0")
+    # request the same campaign.
+    return (tuple(sorted(tests)), tuple(sorted(modules)), scale, seed)
+
+
+# -- disk layer -------------------------------------------------------------------
+
+
+def study_cache_dir() -> Optional[str]:
+    """The active disk-cache directory, or None when disabled.
+
+    An explicit :func:`set_study_cache_dir` wins; otherwise the
+    ``REPRO_STUDY_CACHE_DIR`` environment variable applies.
+    """
+    if _disk_dir is not _UNSET:
+        return _disk_dir
+    return os.environ.get(CACHE_DIR_ENV_VAR) or None
+
+
+def set_study_cache_dir(path: Optional[str]):
+    """Set (or, with None, disable) the disk cache; returns the previous
+    setting so callers can restore it."""
+    global _disk_dir
+    previous = _disk_dir
+    _disk_dir = path
+    return None if previous is _UNSET else previous
+
+
+def study_fingerprint(
+    tests: Sequence[str], modules: Sequence[str], scale: StudyScale, seed: int
+) -> str:
+    """Content fingerprint of a campaign request.
+
+    Hashes the serialization schema version together with the normalized
+    request, so cache entries are automatically invalidated when either
+    the request or the on-disk format changes.
+    """
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "tests": sorted(tests),
+        "modules": sorted(modules),
+        "scale": _scale_to_dict(scale),
+        "seed": seed,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def _disk_path(tests, modules, scale, seed) -> Optional[str]:
+    directory = study_cache_dir()
+    if not directory:
+        return None
+    fingerprint = study_fingerprint(tests, modules, scale, seed)
+    return os.path.join(directory, f"study-{fingerprint}.json")
+
+
+def _disk_load(path: str) -> Optional[StudyResult]:
+    if not os.path.isfile(path):
+        return None
+    try:
+        return load_study(path)
+    except (OSError, ValueError, KeyError, TypeError):
+        # Corrupt or stale entry: drop it and recompute.
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+
+def _disk_store(study: StudyResult, path: str) -> None:
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    # Atomic publish: concurrent writers (parallel benchmark shards)
+    # never expose a half-written entry.
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".tmp-", suffix=".json"
+    )
+    try:
+        os.close(fd)
+        save_study(study, tmp_path)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# -- lookup -----------------------------------------------------------------------
 
 
 def get_study(
@@ -32,14 +152,40 @@ def get_study(
     modules: Sequence[str] = BENCH_MODULES,
     scale: StudyScale = None,
     seed: int = 0,
+    use_disk: bool = None,
 ) -> StudyResult:
-    """Run (or reuse) a campaign for the given tests and modules."""
+    """Run (or reuse) a campaign for the given tests and modules.
+
+    Lookup order: in-process cache, then the disk cache (when a cache
+    directory is active), then a fresh run -- which is written through
+    to both layers. ``use_disk=False`` bypasses the disk layer for this
+    call; ``use_disk=True`` forces it on, defaulting the directory to
+    :data:`DEFAULT_CACHE_DIR` when none is configured.
+    """
     scale = scale or StudyScale.bench()
     key = _key(tests, modules, scale, seed)
-    if key not in _CACHE:
-        study = CharacterizationStudy(scale=scale, seed=seed)
-        _CACHE[key] = study.run(modules=modules, tests=tuple(tests))
-    return _CACHE[key]
+    if key in _CACHE:
+        return _CACHE[key]
+    if use_disk is False:
+        path = None
+    else:
+        path = _disk_path(tests, modules, scale, seed)
+        if path is None and use_disk:
+            path = os.path.join(
+                DEFAULT_CACHE_DIR,
+                f"study-{study_fingerprint(tests, modules, scale, seed)}.json",
+            )
+    if path is not None:
+        study = _disk_load(path)
+        if study is not None:
+            _CACHE[key] = study
+            return study
+    study = CharacterizationStudy(scale=scale, seed=seed)
+    result = study.run(modules=modules, tests=tuple(tests))
+    _CACHE[key] = result
+    if path is not None:
+        _disk_store(result, path)
+    return result
 
 
 def preload_study(
@@ -47,10 +193,15 @@ def preload_study(
     tests: Sequence[str],
     modules: Sequence[str],
     seed: int = 0,
+    write_disk: bool = True,
 ) -> None:
     """Install an externally-produced study (parallel campaign, loaded
     from disk) so subsequent ``get_study`` calls reuse it."""
     _CACHE[_key(tests, modules, study.scale, seed)] = study
+    if write_disk:
+        path = _disk_path(tests, modules, study.scale, seed)
+        if path is not None:
+            _disk_store(study, path)
 
 
 def preload_parallel(
@@ -60,12 +211,23 @@ def preload_parallel(
     seed: int = 0,
     max_workers: int = None,
 ) -> None:
-    """Run the campaigns the figure experiments will need, with one
-    worker process per module, and install them in the cache."""
+    """Run the campaigns the figure experiments will need, with work
+    fanned out over (module, row-chunk) units, and install them in the
+    cache. Campaigns already present in either cache layer are skipped.
+    """
     from repro.core.campaign import run_parallel
 
     scale = scale or StudyScale.bench()
     for tests in tests_list:
+        key = _key(tests, modules, scale, seed)
+        if key in _CACHE:
+            continue
+        path = _disk_path(tests, modules, scale, seed)
+        if path is not None:
+            study = _disk_load(path)
+            if study is not None:
+                _CACHE[key] = study
+                continue
         study = run_parallel(
             modules, scale=scale, seed=seed, tests=tuple(tests),
             max_workers=max_workers,
@@ -73,6 +235,43 @@ def preload_parallel(
         preload_study(study, tests, modules, seed=seed)
 
 
+# -- invalidation -----------------------------------------------------------------
+
+
+def invalidate_study(
+    tests: Sequence[str],
+    modules: Sequence[str] = BENCH_MODULES,
+    scale: StudyScale = None,
+    seed: int = 0,
+) -> bool:
+    """Drop one campaign from both cache layers. Returns True when
+    anything was actually removed."""
+    scale = scale or StudyScale.bench()
+    removed = _CACHE.pop(_key(tests, modules, scale, seed), None) is not None
+    path = _disk_path(tests, modules, scale, seed)
+    if path is not None and os.path.isfile(path):
+        os.unlink(path)
+        removed = True
+    return removed
+
+
 def clear_cache() -> None:
-    """Drop all cached studies (tests use this for isolation)."""
+    """Drop all in-process cached studies (tests use this for
+    isolation). The disk layer is left untouched; see
+    :func:`clear_disk_cache`."""
     _CACHE.clear()
+
+
+def clear_disk_cache() -> List[str]:
+    """Delete every entry in the active disk-cache directory; returns
+    the removed paths."""
+    directory = study_cache_dir()
+    removed: List[str] = []
+    if not directory or not os.path.isdir(directory):
+        return removed
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("study-") and entry.endswith(".json"):
+            path = os.path.join(directory, entry)
+            os.unlink(path)
+            removed.append(path)
+    return removed

@@ -7,7 +7,7 @@ experiments documented in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.harness.output import ExperimentOutput
@@ -86,6 +86,35 @@ EXPERIMENT_IDS: List[str] = [
     "trcd_stability", "power", "system_mitigations", "defense_synergy",
     "vppmin_survey", "blast_radius", "wcdp_distribution",
 ]
+
+
+#: Which shared campaigns (``get_study`` test tuples) each experiment
+#: consumes. Experiments absent from this map build their own bespoke
+#: studies and gain nothing from pre-running the shared campaigns.
+CAMPAIGN_TESTS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
+    "table3": (("rowhammer",),),
+    "fig3": (("rowhammer",),),
+    "fig4": (("rowhammer",),),
+    "fig5": (("rowhammer",),),
+    "fig6": (("rowhammer",),),
+    "fig7": (("trcd",),),
+    "fig10": (("retention",),),
+    "fig11": (("retention",),),
+    "significance": (("rowhammer",),),
+    "defense_synergy": (("rowhammer",),),
+    "pareto": (("rowhammer", "trcd"),),
+}
+
+
+def campaign_tests(experiment_ids: Iterable[str]) -> List[Tuple[str, ...]]:
+    """The deduplicated campaign test tuples a set of experiments needs,
+    in first-use order (what ``--parallel`` should pre-run)."""
+    needed: List[Tuple[str, ...]] = []
+    for experiment_id in experiment_ids:
+        for tests in CAMPAIGN_TESTS.get(experiment_id, ()):
+            if tests not in needed:
+                needed.append(tests)
+    return needed
 
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentOutput]:

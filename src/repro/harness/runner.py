@@ -5,6 +5,12 @@ CSV/JSON to a results directory::
 
     python -m repro.harness.runner fig3 fig5 --out results/
     python -m repro.harness.runner --all --modules A0 B3 C5
+
+Completed campaigns persist in a disk cache (``.study-cache/`` by
+default) keyed by scale/seed/modules/tests, so repeated invocations
+skip straight to the analysis; ``--no-cache`` opts out and
+``--cache-dir`` relocates it. ``--profile`` prints a per-phase timing
+breakdown (WCDP / probe loops / export) and probe counters at the end.
 """
 
 from __future__ import annotations
@@ -14,8 +20,14 @@ import sys
 import time
 from typing import List, Optional
 
+from repro.core.perf import PROFILER
+from repro.harness.cache import DEFAULT_CACHE_DIR, set_study_cache_dir
 from repro.harness.export import export_output
-from repro.harness.registry import EXPERIMENT_IDS, run_experiment
+from repro.harness.registry import (
+    EXPERIMENT_IDS,
+    campaign_tests,
+    run_experiment,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,10 +57,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--parallel", type=int, default=None, metavar="N",
         help=(
-            "pre-run the underlying characterization campaigns with N "
-            "worker processes (one module per worker) before dispatching "
-            "the experiments"
+            "pre-run the characterization campaigns the requested "
+            "experiments actually need with N worker processes "
+            "((module, row-chunk) granularity) before dispatching the "
+            "experiments"
         ),
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
+        help=(
+            "directory of the persistent study cache "
+            f"(default: {DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent study cache for this run",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print a per-phase timing breakdown and probe counters",
     )
     return parser
 
@@ -60,19 +88,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not ids:
         build_parser().print_help()
         return 2
+    set_study_cache_dir(None if args.no_cache else args.cache_dir)
+    if args.profile:
+        PROFILER.enable()
+        PROFILER.reset()
     kwargs = {"seed": args.seed}
     if args.modules:
         kwargs["modules"] = tuple(args.modules)
     if args.parallel:
         from repro.harness.cache import BENCH_MODULES, preload_parallel
 
-        modules = kwargs.get("modules", BENCH_MODULES)
-        print(f"pre-running campaigns over {len(modules)} modules with "
-              f"{args.parallel} workers...")
-        preload_parallel(
-            [("rowhammer",), ("trcd",), ("retention",)],
-            modules=modules, seed=args.seed, max_workers=args.parallel,
-        )
+        needed = campaign_tests(ids)
+        if not needed:
+            print("no shared campaigns needed; skipping pre-run")
+        else:
+            modules = kwargs.get("modules", BENCH_MODULES)
+            labels = ", ".join("+".join(tests) for tests in needed)
+            print(f"pre-running {labels} campaigns over {len(modules)} "
+                  f"modules with {args.parallel} workers...")
+            preload_parallel(
+                needed, modules=modules, seed=args.seed,
+                max_workers=args.parallel,
+            )
     for experiment_id in ids:
         started = time.monotonic()
         output = run_experiment(experiment_id, **kwargs)
@@ -80,8 +117,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[{experiment_id} completed in "
               f"{time.monotonic() - started:.1f}s]\n")
         if args.out:
-            written = export_output(output, args.out)
+            with PROFILER.phase("export"):
+                written = export_output(output, args.out)
             print("exported: " + ", ".join(written) + "\n")
+    if args.profile:
+        # Phases timed inside --parallel worker processes stay in the
+        # workers; the report covers this process's share.
+        print(PROFILER.report())
     return 0
 
 

@@ -13,7 +13,7 @@ from repro.core.scale import StudyScale
 from repro.dram.calibration import ModuleGeometry
 from repro.dram.module import DramModule
 from repro.dram.profiles import module_profile
-from repro.harness.cache import clear_cache
+from repro.harness.cache import clear_cache, set_study_cache_dir
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.units import ms
 
@@ -44,7 +44,10 @@ def tiny_scale() -> StudyScale:
 
 @pytest.fixture(autouse=True)
 def _clear_study_cache():
-    """Isolate tests from the harness's in-process study cache."""
+    """Isolate tests from both study-cache layers (in-process dict and
+    any ambient REPRO_STUDY_CACHE_DIR disk cache)."""
+    previous = set_study_cache_dir(None)
     clear_cache()
     yield
     clear_cache()
+    set_study_cache_dir(previous)

@@ -1,0 +1,155 @@
+"""Differential tests: batched probe kernel vs the command-level path.
+
+The fast engine must be *bit-identical* to the validated
+``Program``/``SoftMCHost`` reference for every quantity the studies
+record -- HC_first, RowHammer BER (including per-iteration values) and
+retention BER/histograms -- across modules of all three vendors and
+multiple V_PP levels. Any divergence here means the kernel's replay of
+the command schedule (session counters, simulated-time offsets, damage
+deposit order) has drifted from the host's semantics.
+"""
+
+import pytest
+
+from repro.core.context import TestContext
+from repro.core.probe import (
+    CommandProbeEngine,
+    FastProbeEngine,
+    make_engine,
+)
+from repro.core.scale import StudyScale
+from repro.core.study import CharacterizationStudy
+from repro.dram.patterns import STANDARD_PATTERNS
+from repro.errors import ConfigurationError
+from repro.softmc.infrastructure import TestInfrastructure
+
+MODULES = ("A0", "B3", "C5")
+VPP_LEVELS = (2.5, 2.2)
+
+
+def _run(name, engine_kind):
+    study = CharacterizationStudy(
+        scale=StudyScale.tiny(), seed=3, probe_engine=engine_kind
+    )
+    return study.run_module(
+        name, tests=("rowhammer", "retention"), vpp_levels=list(VPP_LEVELS)
+    )
+
+
+@pytest.fixture(scope="module", params=MODULES)
+def engine_pair(request):
+    name = request.param
+    return name, _run(name, "command"), _run(name, "fast")
+
+
+class TestStudyEquivalence:
+    def test_rowhammer_records_identical(self, engine_pair):
+        name, command, fast = engine_pair
+        assert len(command.rowhammer) == len(fast.rowhammer)
+        assert {r.vpp for r in fast.rowhammer} == set(VPP_LEVELS)
+        for reference, candidate in zip(command.rowhammer, fast.rowhammer):
+            # Frozen dataclasses: equality covers hcfirst, ber and every
+            # per-iteration BER value exactly (no tolerance).
+            assert candidate == reference
+
+    def test_retention_records_identical(self, engine_pair):
+        name, command, fast = engine_pair
+        assert len(command.retention) == len(fast.retention)
+        for reference, candidate in zip(command.retention, fast.retention):
+            assert candidate == reference
+            assert (
+                candidate.word_flip_histogram == reference.word_flip_histogram
+            )
+
+    def test_fast_engine_actually_selected(self):
+        study = CharacterizationStudy(scale=StudyScale.tiny(), seed=3)
+        ctx = study.build_context("A0")
+        assert isinstance(ctx.engine, FastProbeEngine)
+
+
+class TestDirectProbeEquivalence:
+    """Probe-by-probe comparison on fresh, independent benches."""
+
+    def _contexts(self, name):
+        contexts = []
+        for kind in ("command", "fast"):
+            infra = TestInfrastructure.for_module(
+                name, geometry=StudyScale.tiny().geometry, seed=11
+            )
+            contexts.append(TestContext(infra, StudyScale.tiny(),
+                                        probe_engine=kind))
+        return contexts
+
+    @pytest.mark.parametrize("name", MODULES)
+    def test_hammer_ber_sequence(self, name):
+        command_ctx, fast_ctx = self._contexts(name)
+        pattern = STANDARD_PATTERNS[0]
+        for vpp in VPP_LEVELS:
+            for ctx in (command_ctx, fast_ctx):
+                ctx.infra.set_vpp(vpp)
+            for count in (60_000, 120_000, 240_000):
+                reference = command_ctx.engine.hammer_ber(
+                    command_ctx, 5, pattern, count
+                )
+                candidate = fast_ctx.engine.hammer_ber(
+                    fast_ctx, 5, pattern, count
+                )
+                assert candidate == reference
+
+    @pytest.mark.parametrize("name", MODULES)
+    def test_retention_sequence(self, name):
+        command_ctx, fast_ctx = self._contexts(name)
+        pattern = STANDARD_PATTERNS[2]
+        windows = list(StudyScale.tiny().retention_windows)
+        for vpp in VPP_LEVELS:
+            for ctx in (command_ctx, fast_ctx):
+                ctx.infra.set_vpp(vpp)
+                ctx.infra.set_temperature(80.0)
+            for trefw in windows:
+                reference = command_ctx.engine.retention_probe(
+                    command_ctx, 5, pattern, trefw
+                )
+                candidate = fast_ctx.engine.retention_probe(
+                    fast_ctx, 5, pattern, trefw
+                )
+                assert candidate == reference
+
+
+class TestEngineSelection:
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROBE_ENGINE", "command")
+        study = CharacterizationStudy(scale=StudyScale.tiny(), seed=3)
+        ctx = study.build_context("A0")
+        assert isinstance(ctx.engine, CommandProbeEngine)
+
+    def test_explicit_kind_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROBE_ENGINE", "command")
+        study = CharacterizationStudy(
+            scale=StudyScale.tiny(), seed=3, probe_engine="fast"
+        )
+        ctx = study.build_context("A0")
+        assert isinstance(ctx.engine, FastProbeEngine)
+
+    def test_unknown_engine_rejected(self):
+        infra = TestInfrastructure.for_module(
+            "A0", geometry=StudyScale.tiny().geometry, seed=3
+        )
+        with pytest.raises(ConfigurationError):
+            TestContext(infra, StudyScale.tiny(), probe_engine="warp")
+
+    def test_trr_forces_command_engine(self):
+        infra = TestInfrastructure.for_module(
+            "A0", geometry=StudyScale.tiny().geometry, seed=3,
+            trr_enabled=True,
+        )
+        ctx = TestContext(infra, StudyScale.tiny())
+        assert isinstance(make_engine(ctx), CommandProbeEngine)
+
+    def test_probe_counters_recorded(self):
+        study = CharacterizationStudy(scale=StudyScale.tiny(), seed=3)
+        ctx = study.build_context("A0")
+        from repro.core.rowhammer import measure_ber
+
+        measure_ber(ctx, 5, STANDARD_PATTERNS[0], 10_000)
+        assert ctx.engine.counters.hammer_probes == 1
+        assert ctx.engine.counters.commands_issued > 0

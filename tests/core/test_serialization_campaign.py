@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.core.campaign import run_parallel
+from repro.core.campaign import (
+    CHUNK_GAP,
+    _module_mapping,
+    plan_row_chunks,
+    run_parallel,
+)
+from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
 from repro.core.serialization import (
     SCHEMA_VERSION,
@@ -85,3 +91,74 @@ class TestParallelCampaign:
             ["C5"], scale=scale, seed=6, tests=("rowhammer",), max_workers=1
         )
         assert "C5" in result.modules
+
+    def test_module_granularity_matches_sequential(self):
+        scale = StudyScale.tiny()
+        sequential = CharacterizationStudy(scale=scale, seed=6).run(
+            modules=["B3", "C5"], tests=("rowhammer",)
+        )
+        parallel = run_parallel(
+            ["B3", "C5"], scale=scale, seed=6, tests=("rowhammer",),
+            max_workers=2, granularity="module",
+        )
+        for name in ("B3", "C5"):
+            assert (
+                parallel.module(name).rowhammer
+                == sequential.module(name).rowhammer
+            )
+
+
+class TestChunkGranularity:
+    def test_plan_respects_gap_and_balance(self):
+        scale = StudyScale.tiny()
+        mapping = _module_mapping("C5", scale)
+        rows = sample_rows(
+            mapping.num_rows, scale.rows_per_module, scale.row_chunks
+        )
+        chunks = plan_row_chunks(rows, mapping, 4)
+        assert sorted(row for chunk in chunks for row in chunk) == rows
+        assert 1 < len(chunks) <= 4
+        # Rows in different chunks are physically far enough apart that
+        # their probes share no session state.
+        for first in range(len(chunks)):
+            for second in range(first + 1, len(chunks)):
+                for a in chunks[first]:
+                    for b in chunks[second]:
+                        assert abs(
+                            mapping.to_physical(a) - mapping.to_physical(b)
+                        ) >= CHUNK_GAP
+
+    def test_plan_single_chunk_when_coupled(self):
+        scale = StudyScale.tiny()
+        mapping = _module_mapping("C5", scale)
+        # Physically contiguous rows can never be split.
+        physical = [mapping.to_logical(p) for p in range(10, 18)]
+        chunks = plan_row_chunks(physical, mapping, 4)
+        assert len(chunks) == 1
+        assert chunks[0] == sorted(physical)
+
+    def test_chunk_parallel_matches_sequential(self):
+        scale = StudyScale.tiny()
+        sequential = CharacterizationStudy(scale=scale, seed=6).run(
+            modules=["B3", "C5"], tests=("rowhammer", "retention")
+        )
+        parallel = run_parallel(
+            ["B3", "C5"], scale=scale, seed=6,
+            tests=("rowhammer", "retention"), max_workers=4,
+            granularity="chunk",
+        )
+        for name in ("B3", "C5"):
+            seq = sequential.module(name)
+            par = parallel.module(name)
+            assert par.vppmin == seq.vppmin
+            assert par.vpp_levels == seq.vpp_levels
+            # Frozen-dataclass equality: record-for-record identical, in
+            # the sequential emission order.
+            assert par.rowhammer == seq.rowhammer
+            assert par.retention == seq.retention
+
+    def test_unknown_granularity_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_parallel(["C5"], scale=StudyScale.tiny(), granularity="row")

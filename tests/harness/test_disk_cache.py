@@ -1,0 +1,164 @@
+"""Persistent (disk) study cache: hits, invalidation, key hygiene."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.scale import StudyScale
+from repro.harness import cache
+from repro.harness.cache import (
+    clear_cache,
+    clear_disk_cache,
+    get_study,
+    invalidate_study,
+    set_study_cache_dir,
+    study_cache_dir,
+    study_fingerprint,
+)
+
+TESTS = ("rowhammer",)
+MODULES = ("C5",)
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    previous = set_study_cache_dir(str(tmp_path))
+    yield str(tmp_path)
+    set_study_cache_dir(previous)
+
+
+def _entries(directory):
+    return sorted(
+        entry for entry in os.listdir(directory)
+        if entry.startswith("study-") and entry.endswith(".json")
+    )
+
+
+def _count_runs(monkeypatch):
+    """Count actual campaign executions behind get_study."""
+    from repro.core.study import CharacterizationStudy
+
+    calls = []
+    original = CharacterizationStudy.run
+
+    def counting_run(self, *args, **kwargs):
+        calls.append(1)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(CharacterizationStudy, "run", counting_run)
+    return calls
+
+
+class TestDiskCache:
+    def test_write_through_and_cross_process_style_hit(
+        self, cache_dir, tiny_scale, monkeypatch
+    ):
+        calls = _count_runs(monkeypatch)
+        first = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert len(_entries(cache_dir)) == 1
+        # A fresh process is simulated by dropping the in-memory layer.
+        clear_cache()
+        second = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert len(calls) == 1
+        assert second is not first
+        assert [
+            (r.row, r.vpp, r.hcfirst, r.ber)
+            for r in second.module("C5").rowhammer
+        ] == [
+            (r.row, r.vpp, r.hcfirst, r.ber)
+            for r in first.module("C5").rowhammer
+        ]
+
+    def test_memory_layer_still_first(self, cache_dir, tiny_scale,
+                                      monkeypatch):
+        calls = _count_runs(monkeypatch)
+        first = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert get_study(TESTS, MODULES, scale=tiny_scale, seed=2) is first
+        assert len(calls) == 1
+
+    def test_use_disk_false_bypasses(self, cache_dir, tiny_scale):
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2, use_disk=False)
+        assert _entries(cache_dir) == []
+
+    def test_disabled_by_default_in_tests(self, tiny_scale):
+        # The conftest fixture turns the disk layer off for isolation.
+        assert study_cache_dir() is None
+
+    def test_corrupt_entry_recomputed(self, cache_dir, tiny_scale,
+                                      monkeypatch):
+        calls = _count_runs(monkeypatch)
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        (entry,) = _entries(cache_dir)
+        path = os.path.join(cache_dir, entry)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        clear_cache()
+        study = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert len(calls) == 2
+        assert "C5" in study.modules
+        # The corrupt file was replaced by the fresh result.
+        with open(path) as handle:
+            json.load(handle)
+
+    def test_invalidate_study_drops_both_layers(self, cache_dir, tiny_scale,
+                                                monkeypatch):
+        calls = _count_runs(monkeypatch)
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert invalidate_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert _entries(cache_dir) == []
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert len(calls) == 2
+        assert not invalidate_study(("trcd",), MODULES, scale=tiny_scale,
+                                    seed=2)
+
+    def test_clear_disk_cache(self, cache_dir, tiny_scale):
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        removed = clear_disk_cache()
+        assert len(removed) == 1
+        assert _entries(cache_dir) == []
+
+    def test_env_var_configures_directory(self, tmp_path, monkeypatch):
+        set_study_cache_dir(None)
+        monkeypatch.setenv(cache.CACHE_DIR_ENV_VAR, str(tmp_path))
+        # Explicit None (set by the conftest fixture) wins over the env
+        # var; clearing the explicit setting exposes it.
+        assert study_cache_dir() is None
+        previous = cache._disk_dir
+        cache._disk_dir = cache._UNSET
+        try:
+            assert study_cache_dir() == str(tmp_path)
+        finally:
+            cache._disk_dir = previous
+
+
+class TestFingerprint:
+    def test_module_order_normalized(self, tiny_scale):
+        assert study_fingerprint(
+            TESTS, ("A0", "B3"), tiny_scale, 0
+        ) == study_fingerprint(TESTS, ("B3", "A0"), tiny_scale, 0)
+
+    def test_test_order_normalized(self, tiny_scale):
+        assert study_fingerprint(
+            ("trcd", "rowhammer"), MODULES, tiny_scale, 0
+        ) == study_fingerprint(("rowhammer", "trcd"), MODULES, tiny_scale, 0)
+
+    def test_scope_changes_fingerprint(self, tiny_scale):
+        base = study_fingerprint(TESTS, MODULES, tiny_scale, 0)
+        assert study_fingerprint(TESTS, MODULES, tiny_scale, 1) != base
+        assert study_fingerprint(TESTS, ("A0",), tiny_scale, 0) != base
+        assert study_fingerprint(
+            TESTS, MODULES, StudyScale.bench(), 0
+        ) != base
+
+    def test_memory_key_module_order_normalized(self, tiny_scale,
+                                                monkeypatch):
+        # The satellite fix: ("A0","B3") and ("B3","A0") must share one
+        # in-memory entry too.
+        calls = _count_runs(monkeypatch)
+        first = get_study(TESTS, ("B3", "C5"), scale=tiny_scale, seed=2,
+                          use_disk=False)
+        second = get_study(TESTS, ("C5", "B3"), scale=tiny_scale, seed=2,
+                           use_disk=False)
+        assert second is first
+        assert len(calls) == 1
