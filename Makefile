@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-all artifacts examples clean
+.PHONY: install test bench bench-all service-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,10 +12,17 @@ test:
 
 # Perf trajectory: hot-primitive micro-benchmarks plus the probe-kernel
 # benchmark, which writes benchmarks/BENCH_probe.json (probes/sec and
-# campaign wall-clock for the batched and command engines).
-bench:
+# campaign wall-clock for the batched and command engines), plus the
+# orchestration-service smoke run (benchmarks/BENCH_service.json).
+bench: service-smoke
 	$(PYTHON) -m pytest benchmarks/test_microbenchmarks.py --benchmark-only
 	$(PYTHON) benchmarks/bench_probe.py
+
+# One-module orchestrated campaign with one injected bench fault:
+# asserts the retry succeeds, the JSON-lines event log parses, and the
+# merged study matches the sequential reference bit-for-bit.
+service-smoke:
+	$(PYTHON) benchmarks/service_smoke.py
 
 # Every artifact-regeneration benchmark (slow).
 bench-all:

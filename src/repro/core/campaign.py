@@ -47,7 +47,7 @@ from repro.errors import AnalysisError, ConfigurationError
 CHUNK_GAP = 4
 
 
-def _module_mapping(name: str, scale: StudyScale) -> RowMapping:
+def module_mapping(name: str, scale: StudyScale) -> RowMapping:
     """The logical->physical row mapping a module will be built with
     (needed to plan chunk boundaries without building the module)."""
     calibration = calibrate(module_profile(name), scale.geometry)
@@ -114,10 +114,17 @@ def _run_one_chunk(args) -> tuple:
     return name, chunk_index, study.run_module(name, tests=tests, rows=rows)
 
 
-def _merge_module_chunks(
+def merge_module_chunks(
     name: str, parts: List[ModuleResult], scale: StudyScale
 ) -> ModuleResult:
-    """Reassemble chunk results in sequential record order."""
+    """Reassemble chunk results in sequential record order.
+
+    ``parts`` must be the results of disjoint row chunks of one module
+    (ordered arbitrarily); the merge re-emits records exactly as a
+    sequential :meth:`CharacterizationStudy.run_module` over the union
+    of the rows would. Shared by :func:`run_parallel` and the
+    orchestration service (:mod:`repro.service`).
+    """
     reference = parts[0]
     for part in parts[1:]:
         if (
@@ -211,7 +218,7 @@ def run_parallel(
 
     chunk_jobs = []
     for name in names:
-        mapping = _module_mapping(name, scale)
+        mapping = module_mapping(name, scale)
         rows = sample_rows(
             mapping.num_rows, scale.rows_per_module, scale.row_chunks
         )
@@ -233,5 +240,10 @@ def run_parallel(
             parts[name][index] = module_result
     for name in names:
         ordered = [parts[name][i] for i in sorted(parts[name])]
-        result.modules[name] = _merge_module_chunks(name, ordered, scale)
+        result.modules[name] = merge_module_chunks(name, ordered, scale)
     return result
+
+
+#: Backwards-compatible aliases (pre-service-subsystem names).
+_module_mapping = module_mapping
+_merge_module_chunks = merge_module_chunks

@@ -311,6 +311,23 @@ class FastProbeEngine(ProbeEngine):
         return float(np.count_nonzero(mismatches) / mismatches.size)
 
 
+def engine_selection(kind: str = None) -> str:
+    """Resolve the requested probe-engine name.
+
+    ``kind`` wins when given; otherwise the ``REPRO_PROBE_ENGINE``
+    environment variable applies, defaulting to ``"fast"``. This is the
+    selection *before* the per-module TRR override of
+    :func:`make_engine`, and is what campaign-scoped identities (the
+    study-cache fingerprint, the service checkpoint manifest) record.
+    """
+    kind = kind or os.environ.get(ENGINE_ENV_VAR) or "fast"
+    if kind not in ("fast", "command"):
+        raise ConfigurationError(
+            f"unknown probe engine {kind!r}; expected 'fast' or 'command'"
+        )
+    return kind
+
+
 def make_engine(ctx: "TestContext", kind: str = None) -> ProbeEngine:
     """Build the probe engine for a context.
 
@@ -319,13 +336,9 @@ def make_engine(ctx: "TestContext", kind: str = None) -> ProbeEngine:
     always get the command engine, whose per-activation stream drives
     the defense model.
     """
-    kind = kind or os.environ.get(ENGINE_ENV_VAR) or "fast"
+    kind = engine_selection(kind)
     if kind == "command":
         return CommandProbeEngine(ctx)
-    if kind != "fast":
-        raise ConfigurationError(
-            f"unknown probe engine {kind!r}; expected 'fast' or 'command'"
-        )
     if any(bank.trr is not None for bank in ctx.infra.module.banks):
         return CommandProbeEngine(ctx)
     return FastProbeEngine(ctx)

@@ -55,6 +55,109 @@ def _scale_from_dict(payload: Dict[str, Any]) -> StudyScale:
     )
 
 
+def module_result_to_dict(result: ModuleResult) -> Dict[str, Any]:
+    """Serialize one module's results to plain JSON-ready data.
+
+    Used both for whole-study documents (:func:`study_to_dict`) and for
+    the orchestration service's per-unit checkpoints.
+    """
+    return {
+        "module": result.module,
+        "vendor": result.vendor,
+        "vppmin": result.vppmin,
+        "vpp_levels": list(result.vpp_levels),
+        "rowhammer": [
+            {
+                "bank": r.bank,
+                "row": r.row,
+                "vpp": r.vpp,
+                "wcdp_index": r.wcdp_index,
+                "hcfirst": r.hcfirst,
+                "ber": r.ber,
+                "ber_iterations": list(r.ber_iterations),
+            }
+            for r in result.rowhammer
+        ],
+        "trcd": [
+            {
+                "bank": r.bank,
+                "row": r.row,
+                "vpp": r.vpp,
+                "wcdp_index": r.wcdp_index,
+                "trcd_min": r.trcd_min,
+            }
+            for r in result.trcd
+        ],
+        "retention": [
+            {
+                "bank": r.bank,
+                "row": r.row,
+                "vpp": r.vpp,
+                "trefw": r.trefw,
+                "wcdp_index": r.wcdp_index,
+                "ber": r.ber,
+                "word_flip_histogram": {
+                    str(k): v
+                    for k, v in r.word_flip_histogram.items()
+                },
+            }
+            for r in result.retention
+        ],
+    }
+
+
+def module_result_from_dict(payload: Dict[str, Any]) -> ModuleResult:
+    """Inverse of :func:`module_result_to_dict`."""
+    name = payload["module"]
+    result = ModuleResult(
+        module=name,
+        vendor=payload["vendor"],
+        vppmin=payload["vppmin"],
+        vpp_levels=list(payload["vpp_levels"]),
+    )
+    for r in payload["rowhammer"]:
+        result.rowhammer.append(
+            RowHammerRowResult(
+                module=name,
+                bank=r["bank"],
+                row=r["row"],
+                vpp=r["vpp"],
+                wcdp_index=r["wcdp_index"],
+                hcfirst=r["hcfirst"],
+                ber=r["ber"],
+                ber_iterations=tuple(r["ber_iterations"]),
+            )
+        )
+    for r in payload["trcd"]:
+        result.trcd.append(
+            TrcdRowResult(
+                module=name,
+                bank=r["bank"],
+                row=r["row"],
+                vpp=r["vpp"],
+                wcdp_index=r["wcdp_index"],
+                trcd_min=r["trcd_min"],
+            )
+        )
+    for r in payload["retention"]:
+        result.retention.append(
+            RetentionRowResult(
+                module=name,
+                bank=r["bank"],
+                row=r["row"],
+                vpp=r["vpp"],
+                trefw=r["trefw"],
+                wcdp_index=r["wcdp_index"],
+                ber=r["ber"],
+                word_flip_histogram={
+                    int(k): v
+                    for k, v in r["word_flip_histogram"].items()
+                },
+            )
+        )
+    return result
+
+
 def study_to_dict(study: StudyResult) -> Dict[str, Any]:
     """Serialize a study result to plain JSON-ready data."""
     return {
@@ -62,49 +165,7 @@ def study_to_dict(study: StudyResult) -> Dict[str, Any]:
         "seed": study.seed,
         "scale": _scale_to_dict(study.scale),
         "modules": {
-            name: {
-                "module": result.module,
-                "vendor": result.vendor,
-                "vppmin": result.vppmin,
-                "vpp_levels": list(result.vpp_levels),
-                "rowhammer": [
-                    {
-                        "bank": r.bank,
-                        "row": r.row,
-                        "vpp": r.vpp,
-                        "wcdp_index": r.wcdp_index,
-                        "hcfirst": r.hcfirst,
-                        "ber": r.ber,
-                        "ber_iterations": list(r.ber_iterations),
-                    }
-                    for r in result.rowhammer
-                ],
-                "trcd": [
-                    {
-                        "bank": r.bank,
-                        "row": r.row,
-                        "vpp": r.vpp,
-                        "wcdp_index": r.wcdp_index,
-                        "trcd_min": r.trcd_min,
-                    }
-                    for r in result.trcd
-                ],
-                "retention": [
-                    {
-                        "bank": r.bank,
-                        "row": r.row,
-                        "vpp": r.vpp,
-                        "trefw": r.trefw,
-                        "wcdp_index": r.wcdp_index,
-                        "ber": r.ber,
-                        "word_flip_histogram": {
-                            str(k): v
-                            for k, v in r.word_flip_histogram.items()
-                        },
-                    }
-                    for r in result.retention
-                ],
-            }
+            name: module_result_to_dict(result)
             for name, result in study.modules.items()
         },
     }
@@ -123,53 +184,7 @@ def study_from_dict(payload: Dict[str, Any]) -> StudyResult:
         seed=payload["seed"],
     )
     for name, module_payload in payload["modules"].items():
-        result = ModuleResult(
-            module=module_payload["module"],
-            vendor=module_payload["vendor"],
-            vppmin=module_payload["vppmin"],
-            vpp_levels=list(module_payload["vpp_levels"]),
-        )
-        for r in module_payload["rowhammer"]:
-            result.rowhammer.append(
-                RowHammerRowResult(
-                    module=name,
-                    bank=r["bank"],
-                    row=r["row"],
-                    vpp=r["vpp"],
-                    wcdp_index=r["wcdp_index"],
-                    hcfirst=r["hcfirst"],
-                    ber=r["ber"],
-                    ber_iterations=tuple(r["ber_iterations"]),
-                )
-            )
-        for r in module_payload["trcd"]:
-            result.trcd.append(
-                TrcdRowResult(
-                    module=name,
-                    bank=r["bank"],
-                    row=r["row"],
-                    vpp=r["vpp"],
-                    wcdp_index=r["wcdp_index"],
-                    trcd_min=r["trcd_min"],
-                )
-            )
-        for r in module_payload["retention"]:
-            result.retention.append(
-                RetentionRowResult(
-                    module=name,
-                    bank=r["bank"],
-                    row=r["row"],
-                    vpp=r["vpp"],
-                    trefw=r["trefw"],
-                    wcdp_index=r["wcdp_index"],
-                    ber=r["ber"],
-                    word_flip_histogram={
-                        int(k): v
-                        for k, v in r["word_flip_histogram"].items()
-                    },
-                )
-            )
-        study.modules[name] = result
+        study.modules[name] = module_result_from_dict(module_payload)
     return study
 
 

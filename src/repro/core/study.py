@@ -79,6 +79,14 @@ class CharacterizationStudy:
     probe_engine:
         Probe-engine override (``"fast"`` / ``"command"``); None selects
         the default policy of :func:`repro.core.probe.make_engine`.
+    fault_injector:
+        Optional :class:`repro.service.faults.FaultInjector` wired into
+        every bench this study builds (the orchestration service uses
+        this to rehearse transient infrastructure faults). An injected
+        fault aborts the module run with a
+        :class:`~repro.errors.BenchFaultError`; nothing about the device
+        state survives the abort, so a retried run from the same seed is
+        bit-identical to an undisturbed one.
     """
 
     def __init__(
@@ -88,19 +96,22 @@ class CharacterizationStudy:
         reverse_engineer_adjacency: bool = False,
         progress: Optional[Callable[[str], None]] = None,
         probe_engine: str = None,
+        fault_injector=None,
     ):
         self.scale = scale or StudyScale.bench()
         self.seed = seed
         self._reverse_engineer = reverse_engineer_adjacency
         self._progress = progress or (lambda message: None)
         self.probe_engine = probe_engine
+        self.fault_injector = fault_injector
 
     # -- module-level runs --------------------------------------------------------
 
     def build_context(self, name: str) -> TestContext:
         """Assemble the bench and context for one module."""
         infra = TestInfrastructure.for_module(
-            name, geometry=self.scale.geometry, seed=self.seed
+            name, geometry=self.scale.geometry, seed=self.seed,
+            fault_injector=self.fault_injector,
         )
         ctx = TestContext(infra, self.scale, probe_engine=self.probe_engine)
         if self._reverse_engineer:

@@ -57,6 +57,33 @@ class PowerSupplyError(SoftMCError):
     """The external power supply was driven outside its supported range."""
 
 
+class BenchFaultError(SoftMCError):
+    """Transient bench-infrastructure fault (injected or real).
+
+    Deliberately *not* a :class:`CommunicationError`: the V_PPmin search
+    interprets ``CommunicationError`` as "the module stopped responding
+    at this voltage", and a transient bench fault must never be mistaken
+    for that. The campaign orchestration service retries work units that
+    fail with this class of error.
+    """
+
+
+class PowerDroopError(BenchFaultError):
+    """The external V_PP supply's output transiently drooped.
+
+    The rail sags below the module's brown-out voltage before the supply
+    recovers; the module resets and the measurement in flight is lost.
+    """
+
+
+class FpgaTimeoutError(BenchFaultError):
+    """The FPGA failed to acknowledge a command within its watchdog."""
+
+
+class HostDisconnectError(BenchFaultError):
+    """The host lost its link to the FPGA board mid-program."""
+
+
 class SpiceError(ReproError):
     """Base class for errors raised by the SPICE-class circuit simulator."""
 

@@ -11,7 +11,8 @@ On top of the in-process dictionary sits an optional disk layer: when a
 cache directory is configured (:func:`set_study_cache_dir` or the
 ``REPRO_STUDY_CACHE_DIR`` environment variable), completed campaigns
 are serialized through :mod:`repro.core.serialization` under a content
-fingerprint of ``(schema, tests, modules, scale, seed)``, and later
+fingerprint of ``(schema, tests, modules, scale, seed, probe engine)``,
+and later
 runner or benchmark invocations -- including across processes -- load
 them instead of recomputing. The library default is *off* (imports have
 no filesystem side effects); the runner enables it by default and
@@ -26,6 +27,7 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.probe import engine_selection
 from repro.core.scale import StudyScale
 from repro.core.serialization import (
     SCHEMA_VERSION,
@@ -55,8 +57,14 @@ _disk_dir = _UNSET
 
 def _key(tests, modules, scale, seed) -> Tuple:
     # Both tuples are order-normalized: ("A0", "B3") and ("B3", "A0")
-    # request the same campaign.
-    return (tuple(sorted(tests)), tuple(sorted(modules)), scale, seed)
+    # request the same campaign. The resolved probe-engine selection
+    # participates too: command-engine and fast-engine runs are
+    # bit-identical by design, but a command-path run must never mask a
+    # fast-path one (or vice versa) when the engines are being compared.
+    return (
+        tuple(sorted(tests)), tuple(sorted(modules)), scale, seed,
+        engine_selection(),
+    )
 
 
 # -- disk layer -------------------------------------------------------------------
@@ -83,13 +91,19 @@ def set_study_cache_dir(path: Optional[str]):
 
 
 def study_fingerprint(
-    tests: Sequence[str], modules: Sequence[str], scale: StudyScale, seed: int
+    tests: Sequence[str],
+    modules: Sequence[str],
+    scale: StudyScale,
+    seed: int,
+    probe_engine: str = None,
 ) -> str:
     """Content fingerprint of a campaign request.
 
     Hashes the serialization schema version together with the normalized
-    request, so cache entries are automatically invalidated when either
-    the request or the on-disk format changes.
+    request -- including the resolved probe-engine selection
+    (``probe_engine`` param, else ``REPRO_PROBE_ENGINE``, else the fast
+    default) -- so cache entries are automatically invalidated when the
+    request, the engine, or the on-disk format changes.
     """
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -97,6 +111,7 @@ def study_fingerprint(
         "modules": sorted(modules),
         "scale": _scale_to_dict(scale),
         "seed": seed,
+        "probe_engine": engine_selection(probe_engine),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]

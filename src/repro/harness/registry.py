@@ -117,6 +117,18 @@ def campaign_tests(experiment_ids: Iterable[str]) -> List[Tuple[str, ...]]:
     return needed
 
 
+def unknown_experiments(experiment_ids: Iterable[str]) -> List[str]:
+    """The ids in ``experiment_ids`` not present in the registry
+    (order-preserving, deduplicated). The runner uses this to fail fast
+    with a readable message instead of a traceback."""
+    known = set(EXPERIMENT_IDS)
+    unknown: List[str] = []
+    for experiment_id in experiment_ids:
+        if experiment_id not in known and experiment_id not in unknown:
+            unknown.append(experiment_id)
+    return unknown
+
+
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentOutput]:
     """Resolve an experiment id to its ``run`` callable."""
     registry = _load()

@@ -27,6 +27,7 @@ from repro.harness.registry import (
     EXPERIMENT_IDS,
     campaign_tests,
     run_experiment,
+    unknown_experiments,
 )
 
 
@@ -64,6 +65,30 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--orchestrate", type=int, default=None, metavar="N",
+        help=(
+            "like --parallel, but pre-run the needed campaigns through "
+            "the orchestration service (repro.service): checkpointed, "
+            "resumable with --resume, fault-tolerant, with structured "
+            "telemetry; N worker processes (0/1 runs in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="with --orchestrate: restore completed work units from the "
+             "campaign checkpoints",
+    )
+    parser.add_argument(
+        "--service-dir", default=".service-checkpoints", metavar="DIR",
+        help="with --orchestrate: base directory for campaign "
+             "checkpoints (default: .service-checkpoints)",
+    )
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="with --orchestrate: write the JSON-lines telemetry event "
+             "log to PATH",
+    )
+    parser.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR, metavar="DIR",
         help=(
             "directory of the persistent study cache "
@@ -88,6 +113,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not ids:
         build_parser().print_help()
         return 2
+    unknown = unknown_experiments(ids)
+    if unknown:
+        print(
+            "error: unknown experiment id(s): " + ", ".join(unknown),
+            file=sys.stderr,
+        )
+        print("known ids: " + ", ".join(EXPERIMENT_IDS), file=sys.stderr)
+        return 2
+    if args.parallel and args.orchestrate is not None:
+        print("error: --parallel and --orchestrate are mutually exclusive",
+              file=sys.stderr)
+        return 2
     set_study_cache_dir(None if args.no_cache else args.cache_dir)
     if args.profile:
         PROFILER.enable()
@@ -110,6 +147,37 @@ def main(argv: Optional[List[str]] = None) -> int:
                 needed, modules=modules, seed=args.seed,
                 max_workers=args.parallel,
             )
+    if args.orchestrate is not None:
+        from repro.harness.cache import BENCH_MODULES, preload_study
+        from repro.service.orchestrator import CampaignService
+        from repro.service.telemetry import TelemetryLog
+
+        needed = campaign_tests(ids)
+        if not needed:
+            print("no shared campaigns needed; skipping orchestration")
+        else:
+            modules = kwargs.get("modules", BENCH_MODULES)
+            with TelemetryLog(args.events, resume=args.resume) as telemetry:
+                for tests in needed:
+                    label = "+".join(tests)
+                    print(f"orchestrating the {label} campaign over "
+                          f"{len(modules)} modules with "
+                          f"{args.orchestrate} workers...")
+                    service = CampaignService(
+                        modules=modules, tests=tests, seed=args.seed,
+                        max_workers=args.orchestrate,
+                        checkpoint_base=args.service_dir,
+                        telemetry=telemetry, progress=print,
+                    )
+                    outcome = service.run(resume=args.resume)
+                    if outcome.metrics.quarantined:
+                        print(
+                            "warning: quarantined modules: "
+                            + ", ".join(sorted(outcome.metrics.quarantined)),
+                            file=sys.stderr,
+                        )
+                    preload_study(outcome.study, tests, modules,
+                                  seed=args.seed)
     for experiment_id in ids:
         started = time.monotonic()
         output = run_experiment(experiment_id, **kwargs)

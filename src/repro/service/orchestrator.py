@@ -1,0 +1,483 @@
+"""The campaign orchestration service.
+
+:class:`CampaignService` turns a study request into a fault-tolerant,
+resumable, observable campaign:
+
+1. **decompose** -- the request becomes ``(module, row-chunk)`` work
+   units (:mod:`repro.service.jobs`), the same gap-partitioned chunking
+   the parallel runner uses;
+2. **schedule** -- units run inline (``max_workers<=1``) or across a
+   process pool, each attempt in a freshly built bench;
+3. **tolerate** -- a :class:`~repro.errors.BenchFaultError` (real or
+   injected via a :class:`~repro.service.faults.FaultPlan`) triggers
+   retry with exponential backoff; a unit that exhausts its attempts
+   quarantines its *module* -- reported, never fatal to the campaign;
+4. **checkpoint** -- completed units persist atomically
+   (:mod:`repro.service.checkpoint`); ``run(resume=True)`` restores
+   them instead of re-running;
+5. **merge** -- surviving parts reassemble through
+   :func:`repro.core.campaign.merge_module_chunks`, so the merged
+   :class:`~repro.core.study.StudyResult` is record-identical to a
+   sequential, fault-free run;
+6. **observe** -- every step emits a structured telemetry event
+   (:mod:`repro.service.telemetry`) and bumps the shared
+   :data:`~repro.core.perf.PROFILER`.
+
+Determinism: every attempt rebuilds its bench from the campaign seed,
+so retries (and resumed runs) replay the exact measurement a sequential
+study would make -- asserted bit-for-bit by
+``tests/service/test_orchestrator.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.campaign import merge_module_chunks
+from repro.core.perf import PROFILER
+from repro.core.probe import engine_selection
+from repro.core.results import ModuleResult
+from repro.core.scale import StudyScale
+from repro.core.serialization import (
+    module_result_from_dict,
+    module_result_to_dict,
+)
+from repro.core.study import TEST_TYPES, CharacterizationStudy, StudyResult
+from repro.errors import BenchFaultError, ConfigurationError
+from repro.service.checkpoint import (
+    CheckpointStore,
+    SERVICE_SCHEMA_VERSION,
+    campaign_dir,
+    campaign_fingerprint,
+)
+from repro.service.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.service.jobs import WorkUnit, plan_units
+from repro.service.telemetry import (
+    CampaignMetrics,
+    TelemetryLog,
+    UnitMetrics,
+)
+
+
+def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float]:
+    """Worker entry point: characterize one (module, row-chunk) unit.
+
+    Module-level so it pickles into pool workers; also called directly
+    in inline mode. Raises :class:`~repro.errors.BenchFaultError` when
+    the (possibly injected) bench faults mid-attempt.
+    """
+    module, rows, tests, scale, seed, probe_engine, fault_spec = job
+    injector = FaultInjector(fault_spec) if fault_spec is not None else None
+    study = CharacterizationStudy(
+        scale=scale, seed=seed, probe_engine=probe_engine,
+        fault_injector=injector,
+    )
+    started = time.monotonic()
+    result = study.run_module(module, tests=tests, rows=list(rows))
+    return result, time.monotonic() - started
+
+
+@dataclass
+class CampaignOutcome:
+    """Everything a finished orchestrated campaign produced."""
+
+    study: StudyResult
+    metrics: CampaignMetrics
+    units: Dict[str, UnitMetrics] = field(default_factory=dict)
+
+
+class CampaignService:
+    """Resumable, fault-tolerant campaign orchestration.
+
+    Parameters
+    ----------
+    modules / tests / scale / seed:
+        The campaign request (same semantics as
+        :meth:`~repro.core.study.CharacterizationStudy.run`).
+    probe_engine:
+        Engine override; resolved once (param, else
+        ``REPRO_PROBE_ENGINE``, else ``"fast"``) and passed explicitly
+        to workers so pool processes cannot drift from the parent's
+        environment.
+    chunks_per_module:
+        Target chunk count per module (default: the scale's
+        ``row_chunks``).
+    max_workers:
+        ``<=1`` runs units in-process (deterministic scheduling, no
+        pool overhead); ``N>1`` fans units out over a process pool.
+    max_attempts:
+        Attempts per unit before its module is quarantined.
+    backoff:
+        Base retry delay in seconds; attempt ``n`` waits
+        ``backoff * 2**(n-1)``.
+    fault_plan:
+        Optional :class:`~repro.service.faults.FaultPlan` injecting
+        transient bench faults (rehearsal / chaos testing).
+    checkpoint_dir / checkpoint_base:
+        Exact checkpoint directory, or a base directory under which a
+        per-campaign subdirectory (``campaign-<fingerprint>``) is
+        derived. At most one may be given; both None disables
+        checkpointing.
+    telemetry:
+        A :class:`~repro.service.telemetry.TelemetryLog`; default is an
+        in-memory log.
+    progress:
+        Optional ``(message: str) -> None`` callback for live progress.
+    """
+
+    def __init__(
+        self,
+        modules: Sequence[str],
+        tests: Sequence[str] = TEST_TYPES,
+        scale: StudyScale = None,
+        seed: int = 0,
+        probe_engine: str = None,
+        chunks_per_module: Optional[int] = None,
+        max_workers: int = 0,
+        max_attempts: int = 3,
+        backoff: float = 0.0,
+        fault_plan: Optional[FaultPlan] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_base: Optional[str] = None,
+        telemetry: Optional[TelemetryLog] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1: {max_attempts}"
+            )
+        if backoff < 0:
+            raise ConfigurationError(f"backoff must be >= 0: {backoff}")
+        if checkpoint_dir and checkpoint_base:
+            raise ConfigurationError(
+                "pass checkpoint_dir or checkpoint_base, not both"
+            )
+        self.modules = list(modules)
+        self.tests = tuple(tests)
+        self.scale = scale or StudyScale.bench()
+        self.seed = seed
+        self.probe_engine = engine_selection(probe_engine)
+        self.chunks_per_module = chunks_per_module
+        self.max_workers = max_workers
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.fault_plan = fault_plan
+        self.telemetry = telemetry or TelemetryLog()
+        self._progress = progress or (lambda message: None)
+        self.fingerprint = campaign_fingerprint(
+            self.tests, self.modules, self.scale, self.seed,
+            self.probe_engine, self.chunks_per_module,
+        )
+        if checkpoint_base:
+            checkpoint_dir = campaign_dir(checkpoint_base, self.fingerprint)
+        self.checkpoint_dir = checkpoint_dir
+
+    # -- public API -------------------------------------------------------------
+
+    def run(
+        self,
+        resume: bool = False,
+        on_unit_done: Optional[Callable[[str, int], None]] = None,
+    ) -> CampaignOutcome:
+        """Execute (or resume) the campaign; returns the merged outcome.
+
+        ``on_unit_done(unit_id, completed_count)`` fires after each
+        unit's results are safely checkpointed -- the integration tests
+        use it to simulate a mid-run kill; an exception it raises
+        propagates after durability, never before.
+        """
+        started = time.monotonic()
+        units = plan_units(
+            self.modules, self.scale, self.tests, self.chunks_per_module
+        )
+        metrics = CampaignMetrics(units_planned=len(units))
+        unit_metrics = {
+            unit.unit_id: UnitMetrics(unit_id=unit.unit_id,
+                                      module=unit.module)
+            for unit in units
+        }
+        self.telemetry.emit(
+            "campaign_started",
+            fingerprint=self.fingerprint,
+            modules=list(self.modules),
+            tests=list(self.tests),
+            seed=self.seed,
+            probe_engine=self.probe_engine,
+            units=len(units),
+            resume=resume,
+        )
+
+        store: Optional[CheckpointStore] = None
+        completed: Dict[str, ModuleResult] = {}
+        if self.checkpoint_dir:
+            store = CheckpointStore(self.checkpoint_dir)
+            payloads = store.begin(self._manifest(), resume)
+            for unit in units:
+                payload = payloads.get(unit.unit_id)
+                if payload is None:
+                    continue
+                if (
+                    tuple(payload.get("rows", ())) != unit.rows
+                    or tuple(payload.get("tests", ())) != unit.tests
+                ):
+                    continue  # plan changed under the checkpoint; re-run
+                completed[unit.unit_id] = module_result_from_dict(
+                    payload["result"]
+                )
+                record = unit_metrics[unit.unit_id]
+                record.status = "resumed"
+                record.attempts = payload.get("attempts", 1)
+                record.wall_seconds = payload.get("wall_seconds", 0.0)
+                metrics.units_resumed += 1
+                self.telemetry.emit("unit_resumed", unit=unit.unit_id,
+                                    module=unit.module)
+
+        pending = [u for u in units if u.unit_id not in completed]
+        state = _RunState(
+            units=units, pending=pending, completed=completed,
+            metrics=metrics, unit_metrics=unit_metrics,
+            on_unit_done=on_unit_done, store=store,
+        )
+        if pending:
+            if self.max_workers <= 1:
+                self._run_inline(state)
+            else:
+                self._run_pool(state)
+
+        study = self._merge(state)
+        metrics.wall_seconds = time.monotonic() - started
+        self.telemetry.emit(
+            "campaign_finished",
+            completed=metrics.units_completed,
+            resumed=metrics.units_resumed,
+            failed=metrics.units_failed,
+            retries=metrics.retries,
+            quarantined=sorted(metrics.quarantined),
+            wall_seconds=round(metrics.wall_seconds, 6),
+        )
+        self._progress(metrics.summary())
+        return CampaignOutcome(study=study, metrics=metrics,
+                               units=unit_metrics)
+
+    # -- internals --------------------------------------------------------------
+
+    def _manifest(self) -> Dict:
+        from repro.core.serialization import _scale_to_dict
+
+        return {
+            "service_schema": SERVICE_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "tests": list(self.tests),
+            "modules": list(self.modules),
+            "scale": _scale_to_dict(self.scale),
+            "seed": self.seed,
+            "probe_engine": self.probe_engine,
+            "chunks_per_module": self.chunks_per_module,
+            "created": time.time(),
+        }
+
+    def _job(self, unit: WorkUnit, attempt: int) -> Tuple:
+        spec: Optional[FaultSpec] = None
+        if self.fault_plan is not None:
+            spec = self.fault_plan.spec_for(unit.unit_id, attempt)
+        return (
+            unit.module, unit.rows, unit.tests, self.scale, self.seed,
+            self.probe_engine, spec,
+        )
+
+    def _start_attempt(
+        self, state: "_RunState", unit: WorkUnit, attempt: int
+    ) -> None:
+        self.telemetry.emit("unit_started", unit=unit.unit_id,
+                            module=unit.module, attempt=attempt,
+                            rows=len(unit.rows))
+        state.unit_metrics[unit.unit_id].attempts += 1
+
+    def _finish_unit(
+        self, state: "_RunState", unit: WorkUnit, result: ModuleResult,
+        attempt: int, wall_seconds: float,
+    ) -> None:
+        state.completed[unit.unit_id] = result
+        record = state.unit_metrics[unit.unit_id]
+        record.status = "completed"
+        record.wall_seconds = wall_seconds
+        state.metrics.units_completed += 1
+        PROFILER.count("service.units")
+        if state.store is not None:
+            with PROFILER.phase("service.checkpoint"):
+                path = state.store.write_unit({
+                    "unit_id": unit.unit_id,
+                    "module": unit.module,
+                    "chunk_index": unit.chunk_index,
+                    "rows": list(unit.rows),
+                    "tests": list(unit.tests),
+                    "attempts": attempt + 1,
+                    "wall_seconds": round(wall_seconds, 6),
+                    "result": module_result_to_dict(result),
+                })
+            self.telemetry.emit("checkpoint_written", unit=unit.unit_id,
+                                path=path)
+        self.telemetry.emit(
+            "unit_finished", unit=unit.unit_id, module=unit.module,
+            attempt=attempt, wall_seconds=round(wall_seconds, 6),
+            records=(len(result.rowhammer) + len(result.trcd)
+                     + len(result.retention)),
+        )
+        done = state.metrics.units_completed + state.metrics.units_resumed
+        self._progress(
+            f"[{done}/{state.metrics.units_planned}] {unit.unit_id} "
+            f"completed in {wall_seconds:.2f}s"
+            + (f" (attempt {attempt + 1})" if attempt else "")
+        )
+        # Durability first, then the caller's completion hook: anything
+        # it does (including killing the run) happens after persistence.
+        if state.on_unit_done is not None:
+            state.on_unit_done(unit.unit_id, done)
+
+    def _handle_fault(
+        self, state: "_RunState", unit: WorkUnit, attempt: int,
+        error: BenchFaultError,
+    ) -> bool:
+        """Process one failed attempt; returns True when a retry should
+        be scheduled, False when the module was quarantined."""
+        kind = type(error).__name__
+        record = state.unit_metrics[unit.unit_id]
+        record.faults.append(kind)
+        state.metrics.record_fault(kind)
+        PROFILER.count("service.faults")
+        self.telemetry.emit("unit_fault", unit=unit.unit_id,
+                            module=unit.module, attempt=attempt,
+                            kind=kind, error=str(error))
+        next_attempt = attempt + 1
+        if next_attempt < self.max_attempts:
+            delay = self.backoff * (2 ** attempt) if self.backoff else 0.0
+            record.retries += 1
+            state.metrics.retries += 1
+            PROFILER.count("service.retries")
+            self.telemetry.emit("unit_retry", unit=unit.unit_id,
+                                attempt=next_attempt,
+                                backoff_seconds=round(delay, 6))
+            self._progress(
+                f"{unit.unit_id}: {kind} on attempt {attempt}; retrying "
+                f"(backoff {delay:.2f}s)"
+            )
+            if delay:
+                time.sleep(delay)
+            return True
+        reason = (
+            f"unit {unit.unit_id} failed {self.max_attempts} attempts "
+            f"(last: {kind}: {error})"
+        )
+        state.quarantine(unit.module, reason)
+        record.status = "quarantined"
+        state.metrics.units_failed += 1
+        self.telemetry.emit("module_quarantined", module=unit.module,
+                            unit=unit.unit_id, reason=reason)
+        self._progress(f"QUARANTINED {unit.module}: {reason}")
+        return False
+
+    def _skip_unit(self, state: "_RunState", unit: WorkUnit) -> None:
+        record = state.unit_metrics[unit.unit_id]
+        if record.status in ("completed", "resumed", "quarantined"):
+            return
+        record.status = "skipped"
+        state.metrics.units_failed += 1
+        self.telemetry.emit("unit_skipped", unit=unit.unit_id,
+                            module=unit.module,
+                            reason="module quarantined")
+
+    def _run_inline(self, state: "_RunState") -> None:
+        for unit in state.pending:
+            if unit.module in state.metrics.quarantined:
+                self._skip_unit(state, unit)
+                continue
+            attempt = 0
+            while True:
+                self._start_attempt(state, unit, attempt)
+                try:
+                    with PROFILER.phase("service.unit"):
+                        result, wall = _execute_unit(self._job(unit, attempt))
+                except BenchFaultError as error:
+                    if self._handle_fault(state, unit, attempt, error):
+                        attempt += 1
+                        continue
+                    break
+                self._finish_unit(state, unit, result, attempt, wall)
+                break
+
+    def _run_pool(self, state: "_RunState") -> None:
+        queue = deque(state.pending)
+        inflight: Dict = {}
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+
+            def submit(unit: WorkUnit, attempt: int) -> None:
+                self._start_attempt(state, unit, attempt)
+                future = pool.submit(_execute_unit, self._job(unit, attempt))
+                inflight[future] = (unit, attempt)
+
+            while queue or inflight:
+                while queue and len(inflight) < self.max_workers:
+                    unit = queue.popleft()
+                    if unit.module in state.metrics.quarantined:
+                        self._skip_unit(state, unit)
+                        continue
+                    submit(unit, 0)
+                if not inflight:
+                    break
+                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit, attempt = inflight.pop(future)
+                    if unit.module in state.metrics.quarantined:
+                        # A sibling unit quarantined the module while
+                        # this one was in flight; drop its outcome.
+                        future.exception()  # consume, don't raise
+                        self._skip_unit(state, unit)
+                        continue
+                    try:
+                        result, wall = future.result()
+                    except BenchFaultError as error:
+                        if self._handle_fault(state, unit, attempt, error):
+                            submit(unit, attempt + 1)
+                        continue
+                    self._finish_unit(state, unit, result, attempt, wall)
+
+    def _merge(self, state: "_RunState") -> StudyResult:
+        study = StudyResult(scale=self.scale, seed=self.seed)
+        with PROFILER.phase("service.merge"):
+            for module in self.modules:
+                if module in state.metrics.quarantined:
+                    continue
+                parts = [
+                    (unit.chunk_index, state.completed[unit.unit_id])
+                    for unit in state.units
+                    if unit.module == module
+                    and unit.unit_id in state.completed
+                ]
+                if not parts:
+                    continue
+                parts.sort(key=lambda item: item[0])
+                study.modules[module] = merge_module_chunks(
+                    module, [part for _, part in parts], self.scale
+                )
+        return study
+
+
+@dataclass
+class _RunState:
+    """Mutable bookkeeping of one ``run()`` invocation."""
+
+    units: List[WorkUnit]
+    pending: List[WorkUnit]
+    completed: Dict[str, ModuleResult]
+    metrics: CampaignMetrics
+    unit_metrics: Dict[str, UnitMetrics]
+    on_unit_done: Optional[Callable[[str, int], None]]
+    store: Optional[CheckpointStore]
+
+    def quarantine(self, module: str, reason: str) -> None:
+        """Mark a module as quarantined (idempotent)."""
+        self.metrics.quarantined.setdefault(module, reason)

@@ -35,6 +35,18 @@ class FpgaBoard:
                 f"command_clock must be positive: {self.command_clock}"
             )
 
+    def guard(self, fault_injector) -> None:
+        """Give a fault injector a chance to time out this command slot.
+
+        The host calls this once per instruction it streams to the
+        board; an armed injector may raise
+        :class:`~repro.errors.FpgaTimeoutError`, modeling the board's
+        command watchdog expiring mid-program. A no-op when
+        ``fault_injector`` is None.
+        """
+        if fault_injector is not None:
+            fault_injector.tick("fpga")
+
     def quantize(self, duration: float) -> float:
         """Round ``duration`` up to a whole number of command slots."""
         if duration < 0:

@@ -57,11 +57,24 @@ class ExecutionResult:
 
 
 class SoftMCHost:
-    """Executes test programs against one module."""
+    """Executes test programs against one module.
 
-    def __init__(self, module: DramModule, fpga: FpgaBoard = None):
+    ``fault_injector`` (optional) hooks the host's link to the bench: it
+    is ticked once per program at the ``"host"`` site (a raised
+    :class:`~repro.errors.HostDisconnectError` models the host losing
+    the FPGA link) and once per streamed instruction through
+    :meth:`FpgaBoard.guard` at the ``"fpga"`` site.
+    """
+
+    def __init__(
+        self,
+        module: DramModule,
+        fpga: FpgaBoard = None,
+        fault_injector=None,
+    ):
         self._module = module
         self._fpga = fpga or FpgaBoard()
+        self._fault_injector = fault_injector
 
     @property
     def module(self) -> DramModule:
@@ -87,8 +100,13 @@ class SoftMCHost:
         result = ExecutionResult()
         start = env.now
         quantize = self._fpga.quantize
+        injector = self._fault_injector
+        if injector is not None:
+            injector.tick("host")
 
         for index, instruction in enumerate(program):
+            if injector is not None:
+                self._fpga.guard(injector)
             self._module.check_communication()
             op = instruction.opcode
             if op is Opcode.ACT:

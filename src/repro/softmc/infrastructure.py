@@ -29,17 +29,29 @@ from repro.softmc.temperature import TemperatureController
 
 
 class TestInfrastructure:
-    """Fully wired DRAM characterization bench for one module."""
+    """Fully wired DRAM characterization bench for one module.
+
+    ``fault_injector`` (optional, a
+    :class:`repro.service.faults.FaultInjector` or anything with a
+    ``tick(site)`` method) is threaded into the supply, host and FPGA so
+    the orchestration service can rehearse transient bench faults --
+    supply droops, FPGA command timeouts, host disconnects -- against an
+    otherwise unmodified bench. Faults surface as
+    :class:`~repro.errors.BenchFaultError` subclasses, never as
+    :class:`~repro.errors.CommunicationError`, so the V_PPmin search
+    cannot mistake an injected fault for a non-communicating module.
+    """
 
     #: Not a pytest test class, despite the (paper-accurate) name.
     __test__ = False
 
-    def __init__(self, module: DramModule):
+    def __init__(self, module: DramModule, fault_injector=None):
         self.module = module
+        self.fault_injector = fault_injector
         self.fpga = FpgaBoard()
-        self.host = SoftMCHost(module, self.fpga)
+        self.host = SoftMCHost(module, self.fpga, fault_injector=fault_injector)
         self.interposer = Interposer(module)
-        self.supply = PowerSupply(module.env)
+        self.supply = PowerSupply(module.env, fault_injector=fault_injector)
         self.thermal = TemperatureController(module.env)
         # Perform the paper's rework before the supply drives the rail.
         self.interposer.remove_shunt()
@@ -53,13 +65,14 @@ class TestInfrastructure:
         geometry: ModuleGeometry = None,
         seed: int = 0,
         trr_enabled: bool = False,
+        fault_injector=None,
     ) -> "TestInfrastructure":
         """Build a bench around a Table 3 module profile."""
         module = DramModule(
             module_profile(name), geometry=geometry, seed=seed,
             trr_enabled=trr_enabled,
         )
-        return cls(module)
+        return cls(module, fault_injector=fault_injector)
 
     # -- bench procedures ----------------------------------------------------------
 

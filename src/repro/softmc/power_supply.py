@@ -9,7 +9,11 @@ setpoint to 1 mV, and drives the module environment's rail.
 from __future__ import annotations
 
 from repro.dram.environment import ModuleEnvironment
-from repro.errors import PowerSupplyError
+from repro.errors import PowerDroopError, PowerSupplyError
+
+#: Rail voltage a transient droop sags to before the supply recovers --
+#: far below every module's V_PPmin, so the module resets.
+DROOP_FLOOR = 0.9
 
 
 class PowerSupply:
@@ -23,6 +27,11 @@ class PowerSupply:
         Instrument output range [V]. The PL068-P is a 6 V / 8 A unit.
     precision:
         Setpoint quantum [V]; 1 mV per the paper.
+    fault_injector:
+        Optional :class:`repro.service.faults.FaultInjector`; its
+        ``tick("supply")`` hook runs on every setpoint change and may
+        raise :class:`~repro.errors.PowerDroopError` to simulate a
+        transient output droop.
     """
 
     def __init__(
@@ -31,6 +40,7 @@ class PowerSupply:
         min_voltage: float = 0.0,
         max_voltage: float = 6.0,
         precision: float = 1e-3,
+        fault_injector=None,
     ):
         if not 0 < precision <= 0.1:
             raise PowerSupplyError(f"implausible precision: {precision}")
@@ -42,6 +52,7 @@ class PowerSupply:
         self._precision = precision
         self._setpoint = env.vpp
         self._output_enabled = True
+        self._fault_injector = fault_injector
 
     @property
     def setpoint(self) -> float:
@@ -62,6 +73,14 @@ class PowerSupply:
             )
         quantized = round(voltage / self._precision) * self._precision
         self._setpoint = quantized
+        if self._fault_injector is not None:
+            try:
+                self._fault_injector.tick("supply")
+            except PowerDroopError:
+                # The rail sags below brown-out before the supply
+                # recovers; the module resets and the attempt is lost.
+                self._env.set_vpp(min(quantized, DROOP_FLOOR))
+                raise
         if self._output_enabled:
             self._env.set_vpp(quantized)
         return quantized

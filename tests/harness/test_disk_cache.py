@@ -162,3 +162,41 @@ class TestFingerprint:
                            use_disk=False)
         assert second is first
         assert len(calls) == 1
+
+
+class TestProbeEngineKeying:
+    """The resolved probe-engine selection is part of both cache keys:
+    command-engine and fast-engine runs are bit-identical by design, but
+    entries must never mask each other when the engines are compared."""
+
+    def test_engine_changes_fingerprint(self, tiny_scale):
+        fast = study_fingerprint(TESTS, MODULES, tiny_scale, 0,
+                                 probe_engine="fast")
+        command = study_fingerprint(TESTS, MODULES, tiny_scale, 0,
+                                    probe_engine="command")
+        assert fast != command
+
+    def test_default_resolves_to_fast(self, tiny_scale, monkeypatch):
+        monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
+        assert study_fingerprint(
+            TESTS, MODULES, tiny_scale, 0
+        ) == study_fingerprint(TESTS, MODULES, tiny_scale, 0,
+                               probe_engine="fast")
+
+    def test_env_var_participates(self, tiny_scale, monkeypatch):
+        monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
+        default = study_fingerprint(TESTS, MODULES, tiny_scale, 0)
+        monkeypatch.setenv("REPRO_PROBE_ENGINE", "command")
+        assert study_fingerprint(TESTS, MODULES, tiny_scale, 0) != default
+
+    def test_engines_get_distinct_entries_and_runs(
+        self, cache_dir, tiny_scale, monkeypatch
+    ):
+        calls = _count_runs(monkeypatch)
+        monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        monkeypatch.setenv("REPRO_PROBE_ENGINE", "command")
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        # Neither layer served the fast-engine entry to the command run.
+        assert len(calls) == 2
+        assert len(_entries(cache_dir)) == 2

@@ -1,0 +1,195 @@
+"""Work-unit planning and fault injection (repro.service.jobs/faults)."""
+
+import pytest
+
+from repro.core.sampling import sample_rows
+from repro.core.scale import StudyScale
+from repro.dram.module import DramModule
+from repro.dram.profiles import module_profile
+from repro.errors import (
+    BenchFaultError,
+    CommunicationError,
+    ConfigurationError,
+    FpgaTimeoutError,
+    HostDisconnectError,
+    PowerDroopError,
+    PowerSupplyError,
+)
+from repro.service.faults import (
+    FAULT_KINDS,
+    SITE_OF_KIND,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.service.jobs import plan_units
+from repro.softmc.infrastructure import TestInfrastructure
+from repro.softmc.power_supply import DROOP_FLOOR
+
+
+class TestPlanUnits:
+    def test_covers_every_sampled_row_in_order(self, tiny_scale):
+        from repro.core.campaign import module_mapping
+
+        units = plan_units(["C5"], tiny_scale, tests=("rowhammer",))
+        mapping = module_mapping("C5", tiny_scale)
+        expected = sample_rows(
+            mapping.num_rows, tiny_scale.rows_per_module,
+            tiny_scale.row_chunks,
+        )
+        covered = [row for unit in units for row in unit.rows]
+        assert covered == list(expected)
+
+    def test_unit_ids_stable_and_ordered(self, tiny_scale):
+        units = plan_units(["B3", "C5"], tiny_scale, tests=("rowhammer",))
+        assert [u.unit_id for u in units] == [
+            f"{u.module}/{u.chunk_index}" for u in units
+        ]
+        modules = [u.module for u in units]
+        assert modules == sorted(modules, key=["B3", "C5"].index)
+        again = plan_units(["B3", "C5"], tiny_scale, tests=("rowhammer",))
+        assert units == again
+
+    def test_unknown_test_rejected(self, tiny_scale):
+        with pytest.raises(ConfigurationError):
+            plan_units(["C5"], tiny_scale, tests=("voltage",))
+
+    def test_empty_tests_rejected(self, tiny_scale):
+        with pytest.raises(ConfigurationError):
+            plan_units(["C5"], tiny_scale, tests=())
+
+    def test_duplicate_module_rejected(self, tiny_scale):
+        with pytest.raises(ConfigurationError):
+            plan_units(["C5", "C5"], tiny_scale, tests=("rowhammer",))
+
+    def test_unknown_module_rejected(self, tiny_scale):
+        with pytest.raises(ConfigurationError):
+            plan_units(["Z9"], tiny_scale, tests=("rowhammer",))
+
+
+class TestFaultPlan:
+    def test_spec_for_is_deterministic(self):
+        plan = FaultPlan(seed=3, rate=0.5)
+        decisions = [plan.spec_for("C5/0", 0) for _ in range(3)]
+        assert decisions[0] == decisions[1] == decisions[2]
+        assert plan.spec_for("C5/0", 0) == FaultPlan(
+            seed=3, rate=0.5
+        ).spec_for("C5/0", 0)
+
+    def test_zero_rate_never_faults(self):
+        plan = FaultPlan(seed=0, rate=0.0)
+        assert all(
+            plan.spec_for(f"C5/{i}", 0) is None for i in range(20)
+        )
+
+    def test_rate_one_faults_first_attempt_only(self):
+        plan = FaultPlan(seed=0, rate=1.0, faulty_attempts=1)
+        spec = plan.spec_for("B3/1", 0)
+        assert spec is not None and spec.kind in FAULT_KINDS
+        assert plan.spec_for("B3/1", 1) is None
+
+    def test_scripted_overrides_random(self):
+        plan = FaultPlan(
+            seed=0, rate=0.0,
+            scripted={("C5/0", 2): "host_disconnect"},
+        )
+        spec = plan.spec_for("C5/0", 2)
+        assert spec == FaultSpec(kind="host_disconnect", after=1)
+        assert plan.spec_for("C5/0", 0) is None
+
+    def test_script_classmethod(self):
+        plan = FaultPlan.script({("A0/0", 0): "fpga_timeout"})
+        assert plan.spec_for("A0/0", 0).site == "fpga"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kinds=())
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kinds=("meteor_strike",))
+        with pytest.raises(ConfigurationError):
+            FaultPlan.script({("C5/0", 0): "meteor_strike"})
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="power_droop", after=0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(kind="nope")
+
+    def test_every_kind_has_a_site(self):
+        assert set(SITE_OF_KIND) == set(FAULT_KINDS)
+
+
+def _bench(name="B3", spec=None, seed=7):
+    module = DramModule(module_profile(name), seed=seed)
+    injector = FaultInjector(spec) if spec is not None else None
+    return module, injector
+
+
+class TestFaultSites:
+    def test_power_droop_sags_the_rail(self):
+        module, injector = _bench(
+            spec=FaultSpec(kind="power_droop", after=1)
+        )
+        # The bench drives the rail during bring-up; the injected droop
+        # strikes the very first setpoint.
+        with pytest.raises(PowerDroopError):
+            TestInfrastructure(module, fault_injector=injector)
+        assert module.env.vpp <= DROOP_FLOOR
+
+    def test_fpga_timeout_strikes_command_execution(self):
+        module, injector = _bench(
+            spec=FaultSpec(kind="fpga_timeout", after=1)
+        )
+        infra = TestInfrastructure(module, fault_injector=injector)
+        with pytest.raises(FpgaTimeoutError):
+            infra.communicates()
+
+    def test_host_disconnect_strikes_program_launch(self):
+        module, injector = _bench(
+            spec=FaultSpec(kind="host_disconnect", after=1)
+        )
+        infra = TestInfrastructure(module, fault_injector=injector)
+        with pytest.raises(HostDisconnectError):
+            infra.communicates()
+
+    def test_injector_counts_only_its_site_and_fires_once(self):
+        injector = FaultInjector(FaultSpec(kind="host_disconnect", after=2))
+        injector.tick("supply")  # wrong site: no count
+        injector.tick("fpga")    # wrong site: no count
+        injector.tick("host")    # 1 of 2
+        with pytest.raises(HostDisconnectError):
+            injector.tick("host")
+        assert injector.fired
+        injector.tick("host")  # armed at most once per attempt
+
+    def test_none_spec_is_inert(self):
+        injector = FaultInjector(None)
+        for _ in range(10):
+            injector.tick("host")
+        assert not injector.fired
+
+
+class TestErrorLayering:
+    def test_faults_are_bench_faults(self):
+        for error in (PowerDroopError, FpgaTimeoutError,
+                      HostDisconnectError):
+            assert issubclass(error, BenchFaultError)
+
+    def test_faults_never_masquerade_as_communication_loss(self):
+        # Regression guard: infrastructure.communicates() catches
+        # CommunicationError during the V_PPmin search. An injected
+        # fault must propagate, not silently shift the V_PP grid.
+        for error in (BenchFaultError, PowerDroopError, FpgaTimeoutError,
+                      HostDisconnectError):
+            assert not issubclass(error, CommunicationError)
+            assert not issubclass(error, PowerSupplyError)
+
+    def test_vppmin_search_unaffected_by_late_armed_fault(self):
+        # A fault armed far beyond the search's operation count leaves
+        # the V_PP grid identical to a fault-free bench.
+        clean = TestInfrastructure.for_module("B3", seed=7)
+        module, injector = _bench(
+            spec=FaultSpec(kind="host_disconnect", after=10_000)
+        )
+        faulty = TestInfrastructure(module, fault_injector=injector)
+        assert faulty.vpp_levels() == clean.vpp_levels()

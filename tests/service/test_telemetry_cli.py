@@ -1,0 +1,173 @@
+"""Telemetry log/metrics and the ``python -m repro.service`` CLI."""
+
+import json
+
+import pytest
+
+from repro.core.serialization import load_study
+from repro.service.__main__ import main
+from repro.service.telemetry import (
+    CampaignMetrics,
+    TelemetryLog,
+    UnitMetrics,
+    read_events,
+)
+
+
+class TestTelemetryLog:
+    def test_events_mirror_memory_and_disk(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with TelemetryLog(path, clock=lambda: 123.0) as log:
+            log.emit("campaign_started", units=4)
+            log.emit("unit_started", unit="C5/0", attempt=0)
+        assert [e["event"] for e in log.events] == [
+            "campaign_started", "unit_started",
+        ]
+        events = read_events(path)
+        assert events == log.events
+        assert events[0] == {"event": "campaign_started", "ts": 123.0,
+                             "units": 4}
+
+    def test_each_line_is_standalone_json(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with TelemetryLog(path) as log:
+            for index in range(5):
+                log.emit("unit_finished", unit=f"C5/{index}")
+        with open(path) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 5
+        for line in lines:
+            json.loads(line)
+
+    def test_resume_appends_instead_of_truncating(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        with TelemetryLog(path) as log:
+            log.emit("campaign_started")
+        with TelemetryLog(path, resume=True) as log:
+            log.emit("campaign_finished")
+        assert [e["event"] for e in read_events(path)] == [
+            "campaign_started", "campaign_finished",
+        ]
+
+    def test_memory_only_without_path(self):
+        log = TelemetryLog()
+        log.emit("unit_started")
+        log.close()
+        assert log.events[0]["event"] == "unit_started"
+
+
+class TestMetrics:
+    def test_campaign_metrics_roundtrip(self):
+        metrics = CampaignMetrics(units_planned=4, units_completed=3,
+                                  units_failed=1, retries=2)
+        metrics.record_fault("PowerDroopError")
+        metrics.record_fault("PowerDroopError")
+        metrics.quarantined["B3"] = "unit B3/0 failed 3 attempts"
+        payload = metrics.as_dict()
+        assert payload["faults"] == {"PowerDroopError": 2}
+        assert payload["units_failed"] == 1
+        summary = metrics.summary()
+        assert "3/4 completed" in summary
+        assert "PowerDroopError=2" in summary
+        assert "quarantined  B3" in summary
+
+    def test_unit_metrics_as_dict(self):
+        record = UnitMetrics(unit_id="C5/0", module="C5")
+        assert record.status == "pending"
+        record.status = "completed"
+        record.wall_seconds = 0.5
+        assert record.as_dict()["wall_seconds"] == 0.5
+
+
+BASE_ARGS = ["--modules", "C5", "--tests", "rowhammer", "--scale", "tiny",
+             "--backoff", "0", "--quiet"]
+
+
+class TestServiceCli:
+    def test_happy_path(self, tmp_path, capsys):
+        out = str(tmp_path / "study.json")
+        code = main(BASE_ARGS + ["--no-checkpoint", "--out", out])
+        assert code == 0
+        study = load_study(out)
+        assert list(study.modules) == ["C5"]
+        assert study.modules["C5"].rowhammer
+        captured = capsys.readouterr()
+        assert "completed" in captured.out
+
+    def test_scripted_fault_retries_and_logs(self, tmp_path, capsys):
+        events_path = str(tmp_path / "events.jsonl")
+        code = main(BASE_ARGS + [
+            "--no-checkpoint",
+            "--fault-script", "C5/0:0:power_droop",
+            "--events", events_path,
+        ])
+        assert code == 0
+        events = read_events(events_path)
+        kinds = [e["event"] for e in events]
+        assert "unit_fault" in kinds and "unit_retry" in kinds
+        assert kinds[-1] == "campaign_finished"
+        captured = capsys.readouterr()
+        assert "retries   1" in captured.out
+
+    def test_quarantine_exit_code(self, tmp_path, capsys):
+        script = [
+            arg
+            for attempt in range(2)
+            for arg in ("--fault-script", f"C5/0:{attempt}:host_disconnect")
+        ]
+        code = main(BASE_ARGS + ["--no-checkpoint", "--max-attempts", "2"]
+                    + script)
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.err
+
+    def test_malformed_fault_script_is_config_error(self, capsys):
+        assert main(BASE_ARGS + ["--fault-script", "nonsense"]) == 2
+        assert main(BASE_ARGS + ["--fault-script", "C5/0:x:power_droop"]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+
+    def test_checkpointed_run_then_resume(self, tmp_path, capsys):
+        args = BASE_ARGS + ["--checkpoint-dir", str(tmp_path / "ckpt")]
+        assert main(args) == 0
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "2 resumed from checkpoint" in captured.out
+
+
+class TestRunnerIntegration:
+    def test_unknown_experiment_id_exits_cleanly(self, capsys):
+        from repro.harness.runner import main as runner_main
+
+        code = runner_main(["fig99", "fig3"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment id(s): fig99" in captured.err
+        assert "known ids:" in captured.err
+
+    def test_parallel_and_orchestrate_are_exclusive(self, capsys):
+        from repro.harness.runner import main as runner_main
+
+        code = runner_main(["fig3", "--parallel", "2", "--orchestrate", "2"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_orchestrate_skips_campaignless_experiments(self, capsys):
+        from repro.harness.runner import main as runner_main
+
+        code = runner_main(["table2", "--orchestrate", "0", "--no-cache"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "no shared campaigns needed" in captured.out
+
+    def test_orchestrate_parser_flags(self):
+        from repro.harness.runner import build_parser
+
+        args = build_parser().parse_args(
+            ["fig3", "--orchestrate", "4", "--resume",
+             "--service-dir", "ckpts", "--events", "log.jsonl"]
+        )
+        assert args.orchestrate == 4
+        assert args.resume
+        assert args.service_dir == "ckpts"
+        assert args.events == "log.jsonl"
