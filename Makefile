@@ -2,12 +2,17 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-all service-smoke artifacts examples clean
+.PHONY: install lint test bench bench-all service-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-test:
+# AST-based contract check: experiment modules must declare campaign
+# needs on their SPEC instead of calling get_study directly.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.harness.lint
+
+test: lint
 	$(PYTHON) -m pytest tests/
 
 # Perf trajectory: hot-primitive micro-benchmarks plus the probe-kernel

@@ -13,11 +13,8 @@ Run:  python examples/full_paper_run.py [--out results/]
 import argparse
 
 from repro.harness.export import export_output
-from repro.harness.registry import (
-    EXPERIMENT_IDS,
-    campaign_tests,
-    run_experiment,
-)
+from repro.harness.plan import build_plan
+from repro.harness.registry import EXPERIMENT_IDS, run_experiment
 
 
 def main() -> None:
@@ -35,14 +32,10 @@ def main() -> None:
     if args.modules:
         kwargs["modules"] = tuple(args.modules)
     if args.parallel:
-        from repro.harness.cache import BENCH_MODULES, preload_parallel
-
-        preload_parallel(
-            campaign_tests(EXPERIMENT_IDS),
-            modules=kwargs.get("modules", BENCH_MODULES),
-            seed=args.seed,
-            max_workers=args.parallel,
+        plan = build_plan(
+            EXPERIMENT_IDS, modules=kwargs.get("modules"), seed=args.seed
         )
+        plan.preload_parallel(max_workers=args.parallel)
     for experiment_id in EXPERIMENT_IDS:
         output = run_experiment(experiment_id, **kwargs)
         print(output.render())

@@ -1,21 +1,34 @@
 """Experiment harness: one runnable target per paper artifact.
 
 Every table and figure of the paper's evaluation maps to an experiment
-module under :mod:`repro.harness.experiments`, registered by id
-(``"table3"``, ``"fig8"``, ...) in :mod:`repro.harness.registry`. Each
-experiment returns an :class:`~repro.harness.output.ExperimentOutput`
-holding the regenerated rows/series, printable tables, and
-paper-vs-measured notes; :mod:`repro.harness.runner` executes them and
-:mod:`repro.harness.export` serializes results.
+module under :mod:`repro.harness.experiments` that exports a
+declarative ``SPEC`` (:class:`repro.harness.spec.ExperimentSpec`):
+id (``"table3"``, ``"fig8"``, ...), title, declared study needs, and
+the analysis callable. :mod:`repro.harness.registry` discovers the
+specs automatically; :mod:`repro.harness.plan` derives campaign preload
+plans from the declared needs; :mod:`repro.harness.runner` executes
+experiments and :mod:`repro.harness.export` serializes the resulting
+:class:`~repro.harness.output.ExperimentOutput`.
 """
 
 from repro.harness.output import ExperimentOutput, ExperimentTable
-from repro.harness.registry import EXPERIMENT_IDS, get_experiment, run_experiment
+from repro.harness.registry import (
+    EXPERIMENT_IDS,
+    all_specs,
+    get_experiment,
+    get_spec,
+    run_experiment,
+)
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 __all__ = [
     "EXPERIMENT_IDS",
     "ExperimentOutput",
+    "ExperimentSpec",
     "ExperimentTable",
+    "StudyRequest",
+    "all_specs",
     "get_experiment",
+    "get_spec",
     "run_experiment",
 ]

@@ -21,22 +21,13 @@ import numpy as np
 
 from repro.dram.calibration import calibrate
 from repro.dram.profiles import module_profile
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.rng import RngHub
 
 
-def run(modules=("B3", "B9"), scale=None, seed: int = 0,
-        rows: int = 4000) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, rows):
     """Run both ablations on the given modules' calibrations."""
-    output = ExperimentOutput(
-        experiment_id="ablation",
-        title="Disturbance-model ablations (reversal mechanism)",
-        description=(
-            "Fraction of rows whose HC_first would *decrease* at V_PPmin "
-            "(the Observation 5 reversal) under the full model, without "
-            "per-row gamma spread, and with a strong charge-margin term."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Reversal fractions at V_PPmin",
@@ -86,4 +77,20 @@ def run(modules=("B3", "B9"), scale=None, seed: int = 0,
         "response heterogeneity and strengthens when the restoration-"
         "weakening (margin) term is amplified"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="ablation",
+    title="Disturbance-model ablations (reversal mechanism)",
+    description=(
+        "Fraction of rows whose HC_first would *decrease* at V_PPmin "
+        "(the Observation 5 reversal) under the full model, without "
+        "per-row gamma spread, and with a strong charge-margin term."
+    ),
+    analyze=_analyze,
+    default_modules=("B3", "B9"),
+    knobs={"rows": 4000},
+    order=200,
+)
+
+run = SPEC.run

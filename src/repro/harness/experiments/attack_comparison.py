@@ -23,7 +23,8 @@ from repro.dram.module import DramModule
 from repro.dram.patterns import STANDARD_PATTERNS
 from repro.dram.profiles import module_profile
 from repro.dram.trr import TrrConfig
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 
 
@@ -32,23 +33,10 @@ def _charged_pattern(infra, bank, victim):
     return STANDARD_PATTERNS[1 if physical % 2 else 0]
 
 
-def run(
-    modules=("B3",), scale: StudyScale = None, seed: int = 0,
-    hc_per_aggressor: int = 400_000,
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, hc_per_aggressor):
     """Compare attack patterns with and without a TRR defense."""
     scale = scale or StudyScale.bench()
     name = modules[0]
-    output = ExperimentOutput(
-        experiment_id="attack_comparison",
-        title="Attack-pattern effectiveness (Section 4.2 justification)",
-        description=(
-            "Victim bit flips at a fixed per-aggressor hammer count for "
-            "single-, double- and many-sided patterns, without and with "
-            "an in-DRAM TRR defense (REF interleaved); the cost column is "
-            "each pattern's total activations."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Attack outcomes",
@@ -89,4 +77,21 @@ def run(
         "equal HC); many-sided patterns (TRRespass) pay extra cost that "
         "only matters for bypassing TRR trackers"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="attack_comparison",
+    title="Attack-pattern effectiveness (Section 4.2 justification)",
+    description=(
+        "Victim bit flips at a fixed per-aggressor hammer count for "
+        "single-, double- and many-sided patterns, without and with "
+        "an in-DRAM TRR defense (REF interleaved); the cost column is "
+        "each pattern's total activations."
+    ),
+    analyze=_analyze,
+    default_modules=("B3",),
+    knobs={"hc_per_aggressor": 400_000},
+    order=240,
+)
+
+run = SPEC.run

@@ -16,15 +16,14 @@ import numpy as np
 from repro.core.scale import StudyScale, safe_timings
 from repro.dram import constants
 from repro.dram.patterns import STANDARD_PATTERNS
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.softmc.program import Program
 
 
-def run(
-    modules=("C5",), scale: StudyScale = None, seed: int = 0,
-    hammer_count: int = 3_000_000, victims_per_distance: int = 8,
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, hammer_count,
+             victims_per_distance):
     """Measure flips per physical distance from a hammered row."""
     scale = scale or StudyScale.bench()
     name = modules[0]
@@ -37,15 +36,6 @@ def run(
     mapping = module.bank(bank_index).mapping
     row_bits = module.geometry.row_bits
 
-    output = ExperimentOutput(
-        experiment_id="blast_radius",
-        title="Disturbance vs physical distance (blast radius)",
-        description=(
-            f"Flips per victim at each physical distance from a "
-            f"single-side aggressor hammered {hammer_count} times "
-            f"({victims_per_distance} aggressors, charged-polarity victims)."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Blast radius",
@@ -104,4 +94,25 @@ def run(
         "fraction reaches distance 2, and distance 3+ is quiet -- the "
         "premise of double-sided attacks and TRR's neighbor scope"
     )
-    return output
+
+
+def _describe(modules, knobs):
+    return (
+        f"Flips per victim at each physical distance from a "
+        f"single-side aggressor hammered {knobs['hammer_count']} times "
+        f"({knobs['victims_per_distance']} aggressors, charged-polarity "
+        "victims)."
+    )
+
+
+SPEC = ExperimentSpec(
+    id="blast_radius",
+    title="Disturbance vs physical distance (blast radius)",
+    description=_describe,
+    analyze=_analyze,
+    default_modules=("C5",),
+    knobs={"hammer_count": 3_000_000, "victims_per_distance": 8},
+    order=320,
+)
+
+run = SPEC.run

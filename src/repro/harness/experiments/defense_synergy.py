@@ -10,10 +10,9 @@ PARA, Graphene and BlockHammer.
 
 from __future__ import annotations
 
-from repro.core.scale import StudyScale
-from repro.harness.cache import get_study
 from repro.harness.figures import line_plot
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 from repro.system.defenses import (
     BlockHammerThrottle,
     GrapheneDefense,
@@ -21,24 +20,13 @@ from repro.system.defenses import (
 )
 
 
-def run(
-    modules=("B3", "C9"), scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Defense overheads across each module's V_PP grid."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     para = ParaDefense()
     graphene = GrapheneDefense()
     blockhammer = BlockHammerThrottle()
 
-    output = ExperimentOutput(
-        experiment_id="defense_synergy",
-        title="Defense overheads under V_PP scaling (Section 3)",
-        description=(
-            "Module HC_first per V_PP level fed through PARA, Graphene "
-            "and BlockHammer cost models: reduced V_PP raises HC_first "
-            "and shrinks every defense's overhead."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Defense costs",
@@ -85,4 +73,20 @@ def run(
         "a lower PARA probability, a smaller Graphene table, and throttles "
         "less traffic under BlockHammer"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="defense_synergy",
+    title="Defense overheads under V_PP scaling (Section 3)",
+    description=(
+        "Module HC_first per V_PP level fed through PARA, Graphene "
+        "and BlockHammer cost models: reduced V_PP raises HC_first "
+        "and shrinks every defense's overhead."
+    ),
+    analyze=_analyze,
+    default_modules=("B3", "C9"),
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=300,
+)
+
+run = SPEC.run

@@ -11,38 +11,23 @@ vendor shifts), plus the Observation 13 module count at the nominal
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.analysis import retention_curves, retention_density_at
-from repro.core.scale import StudyScale
 from repro.dram.constants import NOMINAL_TREFW
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 from repro.units import seconds_to_ms
 
-PAPER_4S_ANCHORS = {
-    "A": (0.003, 0.008),
-    "B": (0.002, 0.005),
-    "C": (0.014, 0.025),
-}
 #: The window Figure 10b slices at.
 DENSITY_WINDOW = 4.096
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 10 series."""
-    study = get_study(("retention",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     curves = retention_curves(study)
+    paper_anchors = paper.value("fig10.retention_ber_4s")
 
-    output = ExperimentOutput(
-        experiment_id="fig10",
-        title="Retention BER under reduced V_PP (Figure 10)",
-        description=(
-            "Average retention BER vs refresh window per V_PP (rows "
-            "pooled across modules), and the per-vendor distribution at "
-            "tREFW ~ 4 s."
-        ),
-    )
     curve_table = output.add_table(
         ExperimentTable(
             "Retention BER curves (Fig. 10a)",
@@ -66,7 +51,7 @@ def run(
         )
     )
     for vendor in sorted(densities):
-        anchors = PAPER_4S_ANCHORS.get(vendor, (None, None))
+        anchors = paper_anchors.get(vendor, (None, None))
         for vpp in sorted(densities[vendor]["mean_by_vpp"], reverse=True):
             density_table.add_row(
                 vendor, vpp, densities[vendor]["mean_by_vpp"][vpp],
@@ -93,11 +78,14 @@ def run(
         f"V_PPmin: {clean}; failing: {failing} (paper, Obsv. 13: 23 of 30 "
         f"clean; offenders B6/B8/B9 and C1/C3/C5/C9)"
     )
-    output.note(
-        "paper (Obsv. 12): mean BER at 4 s rises 0.3->0.8% (A), "
-        "0.2->0.5% (B), 1.4->2.5% (C) from 2.5 V to 1.5 V"
+    shifts = ", ".join(
+        f"{low * 100:.1f}->{high * 100:.1f}% ({vendor})"
+        for vendor, (low, high) in sorted(paper_anchors.items())
     )
-    return output
+    output.note(
+        f"paper (Obsv. 12): mean BER at 4 s rises {shifts} from 2.5 V to "
+        "1.5 V"
+    )
 
 
 def _closest_window(study, target: float) -> float:
@@ -123,3 +111,19 @@ def _modules_at_nominal_window(study):
             continue
         (failing if any(r.ber > 0 for r in records) else clean).append(name)
     return clean, failing
+
+
+SPEC = ExperimentSpec(
+    id="fig10",
+    title="Retention BER under reduced V_PP (Figure 10)",
+    description=(
+        "Average retention BER vs refresh window per V_PP (rows "
+        "pooled across modules), and the per-vendor distribution at "
+        "tREFW ~ 4 s."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("retention",)),),
+    order=110,
+)
+
+run = SPEC.run

@@ -15,29 +15,17 @@ from repro.core.mitigation import (
     selective_refresh_report,
     smallest_failing_window,
 )
-from repro.core.scale import StudyScale
 from repro.dram.constants import NOMINAL_TREFW
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 from repro.units import ms, seconds_to_ms
 
 ANALYSIS_WINDOWS = (NOMINAL_TREFW, ms(128.0))
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 11 histograms and the ECC verdicts."""
-    study = get_study(("retention",), modules=modules, scale=scale, seed=seed)
-    output = ExperimentOutput(
-        experiment_id="fig11",
-        title="Retention flip character at 64/128 ms windows (Figure 11)",
-        description=(
-            "Rows failing at each window but at no smaller one, their "
-            "erroneous 64-bit word counts, and the SECDED verdict, at "
-            "each module's V_PPmin."
-        ),
-    )
+    (study,) = studies
     histogram_table = output.add_table(
         ExperimentTable(
             "Rows by erroneous word count",
@@ -91,4 +79,19 @@ def run(
         "paper (Obsv. 15): 16.4% / 5.0% of rows contain erroneous words "
         "at 64 / 128 ms; Mfr. B rows cluster at ~4 single-flip words"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="fig11",
+    title="Retention flip character at 64/128 ms windows (Figure 11)",
+    description=(
+        "Rows failing at each window but at no smaller one, their "
+        "erroneous 64-bit word counts, and the SECDED verdict, at "
+        "each module's V_PPmin."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("retention",)),),
+    order=120,
+)
+
+run = SPEC.run

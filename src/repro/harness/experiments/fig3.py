@@ -8,29 +8,19 @@ maximum change).
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.analysis import normalized_curves, trend_summary
 from repro.harness.figures import line_plot
-from repro.core.scale import StudyScale
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 3 series."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     curves = normalized_curves(study, "ber")
     summary = trend_summary(study, "ber")
 
-    output = ExperimentOutput(
-        experiment_id="fig3",
-        title="Normalized BER across V_PP levels (Figure 3)",
-        description=(
-            "Per-module mean normalized BER (row-wise, relative to "
-            "nominal V_PP) with 90% confidence bands."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Normalized BER curves",
@@ -50,12 +40,17 @@ def run(
         )
     )
     stats.add_row("fraction of rows with BER decrease",
-                  summary.fraction_decreasing, "0.812")
+                  summary.fraction_decreasing,
+                  paper.cell("fig3.fraction_decreasing"))
     stats.add_row("fraction of rows with BER increase",
-                  summary.fraction_increasing, "0.154")
-    stats.add_row("average BER change", summary.mean_change, "-0.152")
-    stats.add_row("maximum BER reduction", summary.max_decrease, "0.669")
-    stats.add_row("maximum BER increase", summary.max_increase, "0.117")
+                  summary.fraction_increasing,
+                  paper.cell("fig3.fraction_increasing"))
+    stats.add_row("average BER change", summary.mean_change,
+                  paper.cell("fig3.mean_change"))
+    stats.add_row("maximum BER reduction", summary.max_decrease,
+                  paper.cell("fig3.max_decrease"))
+    stats.add_row("maximum BER increase", summary.max_increase,
+                  paper.cell("fig3.max_increase"))
 
     output.data["curves"] = {
         name: {
@@ -88,8 +83,25 @@ def run(
             )
     output.data["summary"] = summary.__dict__
     output.note(
-        "paper (Obsv. 1/2): BER decreases for 81.2% of rows, average "
-        "reduction 15.2%, max 66.9% (module B3 at 1.6 V); increases for "
-        "15.4% of rows by up to 11.7%"
+        "paper (Obsv. 1/2): BER decreases for "
+        f"{paper.value('fig3.fraction_decreasing'):.1%} of rows, average "
+        f"reduction {-paper.value('fig3.mean_change'):.1%}, max "
+        f"{paper.value('fig3.max_decrease'):.1%} (module B3 at 1.6 V); "
+        f"increases for {paper.value('fig3.fraction_increasing'):.1%} of "
+        f"rows by up to {paper.value('fig3.max_increase'):.1%}"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="fig3",
+    title="Normalized BER across V_PP levels (Figure 3)",
+    description=(
+        "Per-module mean normalized BER (row-wise, relative to "
+        "nominal V_PP) with 90% confidence bands."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=40,
+)
+
+run = SPEC.run

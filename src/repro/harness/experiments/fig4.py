@@ -3,29 +3,18 @@ per manufacturer."""
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.analysis import vendor_trend_details, vppmin_densities
-from repro.core.scale import StudyScale
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
-
-#: Per-vendor normalized-BER ranges the paper reports (Observation 3).
-PAPER_RANGES = {"A": (0.43, 1.11), "B": (0.33, 1.03), "C": (0.74, 0.94)}
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 4 densities."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     densities = vppmin_densities(study, "ber")
-    output = ExperimentOutput(
-        experiment_id="fig4",
-        title="Density of normalized BER at V_PPmin per manufacturer (Figure 4)",
-        description=(
-            "Distribution of per-row BER at V_PPmin normalized to nominal "
-            "V_PP, pooled per vendor."
-        ),
-    )
+    # Per-vendor normalized-BER ranges the paper reports (Observation 3).
+    paper_ranges = paper.value("fig4.normalized_ber_range")
     table = output.add_table(
         ExperimentTable(
             "Normalized BER ranges",
@@ -39,7 +28,7 @@ def run(
     )
     for vendor in sorted(densities):
         info = densities[vendor]
-        paper_low, paper_high = PAPER_RANGES.get(vendor, (None, None))
+        paper_low, paper_high = paper_ranges.get(vendor, (None, None))
         table.add_row(
             vendor, len(info["values"]), info["min"], info["max"],
             paper_low, paper_high,
@@ -75,9 +64,26 @@ def run(
         }
         for vendor, d in details.items()
     }
-    output.note(
-        "paper (Obsv. 3): normalized BER spans 0.43-1.11 (A), 0.33-1.03 "
-        "(B), 0.74-0.94 (C); BER improves >5% for all Mfr. C rows while "
-        "~half of Mfr. A rows change by <2%"
+    ranges = ", ".join(
+        f"{low:.2f}-{high:.2f} ({vendor})"
+        for vendor, (low, high) in sorted(paper_ranges.items())
     )
-    return output
+    output.note(
+        f"paper (Obsv. 3): normalized BER spans {ranges}; BER improves "
+        ">5% for all Mfr. C rows while ~half of Mfr. A rows change by <2%"
+    )
+
+
+SPEC = ExperimentSpec(
+    id="fig4",
+    title="Density of normalized BER at V_PPmin per manufacturer (Figure 4)",
+    description=(
+        "Distribution of per-row BER at V_PPmin normalized to nominal "
+        "V_PP, pooled per vendor."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=50,
+)
+
+run = SPEC.run

@@ -2,29 +2,19 @@
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.analysis import normalized_curves, trend_summary
 from repro.harness.figures import line_plot
-from repro.core.scale import StudyScale
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 5 series."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     curves = normalized_curves(study, "hcfirst")
     summary = trend_summary(study, "hcfirst")
 
-    output = ExperimentOutput(
-        experiment_id="fig5",
-        title="Normalized HC_first across V_PP levels (Figure 5)",
-        description=(
-            "Per-module mean normalized HC_first (row-wise, relative to "
-            "nominal V_PP) with 90% confidence bands."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Normalized HC_first curves",
@@ -44,12 +34,17 @@ def run(
         )
     )
     stats.add_row("fraction of rows with HC_first increase",
-                  summary.fraction_increasing, "0.693")
+                  summary.fraction_increasing,
+                  paper.cell("fig5.fraction_increasing"))
     stats.add_row("fraction of rows with HC_first decrease",
-                  summary.fraction_decreasing, "0.142")
-    stats.add_row("average HC_first change", summary.mean_change, "+0.074")
-    stats.add_row("maximum HC_first increase", summary.max_increase, "0.858")
-    stats.add_row("maximum HC_first decrease", summary.max_decrease, "0.091")
+                  summary.fraction_decreasing,
+                  paper.cell("fig5.fraction_decreasing"))
+    stats.add_row("average HC_first change", summary.mean_change,
+                  paper.cell("fig5.mean_change"))
+    stats.add_row("maximum HC_first increase", summary.max_increase,
+                  paper.cell("fig5.max_increase"))
+    stats.add_row("maximum HC_first decrease", summary.max_decrease,
+                  paper.cell("fig5.max_decrease"))
 
     output.data["curves"] = {
         name: {
@@ -82,8 +77,25 @@ def run(
             )
     output.data["summary"] = summary.__dict__
     output.note(
-        "paper (Obsv. 4/5): HC_first increases for 69.3% of rows, average "
-        "+7.4%, max +85.8% (B3 at 1.6 V); decreases for 14.2% of rows by "
-        "up to 9.1% (C8 at 1.6 V)"
+        "paper (Obsv. 4/5): HC_first increases for "
+        f"{paper.value('fig5.fraction_increasing'):.1%} of rows, average "
+        f"+{paper.value('fig5.mean_change'):.1%}, max "
+        f"+{paper.value('fig5.max_increase'):.1%} (B3 at 1.6 V); decreases "
+        f"for {paper.value('fig5.fraction_decreasing'):.1%} of rows by up "
+        f"to {paper.value('fig5.max_decrease'):.1%} (C8 at 1.6 V)"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="fig5",
+    title="Normalized HC_first across V_PP levels (Figure 5)",
+    description=(
+        "Per-module mean normalized HC_first (row-wise, relative to "
+        "nominal V_PP) with 90% confidence bands."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=60,
+)
+
+run = SPEC.run

@@ -3,32 +3,18 @@ V_PPmin, per manufacturer."""
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.analysis import vendor_trend_details, vppmin_densities
-from repro.core.scale import StudyScale
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
-
-#: Per-vendor normalized HC_first ranges from Observation 6.
-PAPER_RANGES = {"A": (0.94, 1.52), "B": (0.92, 1.86), "C": (0.91, 1.35)}
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 6 densities."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     densities = vppmin_densities(study, "hcfirst")
-    output = ExperimentOutput(
-        experiment_id="fig6",
-        title=(
-            "Density of normalized HC_first at V_PPmin per manufacturer "
-            "(Figure 6)"
-        ),
-        description=(
-            "Distribution of per-row HC_first at V_PPmin normalized to "
-            "nominal V_PP, pooled per vendor."
-        ),
-    )
+    # Per-vendor normalized HC_first ranges from Observation 6.
+    paper_ranges = paper.value("fig6.normalized_hcfirst_range")
     table = output.add_table(
         ExperimentTable(
             "Normalized HC_first ranges",
@@ -42,7 +28,7 @@ def run(
     )
     for vendor in sorted(densities):
         info = densities[vendor]
-        paper_low, paper_high = PAPER_RANGES.get(vendor, (None, None))
+        paper_low, paper_high = paper_ranges.get(vendor, (None, None))
         table.add_row(
             vendor, len(info["values"]), info["min"], info["max"],
             paper_low, paper_high,
@@ -78,9 +64,29 @@ def run(
         }
         for vendor, d in details.items()
     }
-    output.note(
-        "paper (Obsv. 6): normalized HC_first spans 0.94-1.52 (A), "
-        "0.92-1.86 (B), 0.91-1.35 (C); HC_first rises for 83.5% of Mfr. C "
-        "rows vs 50.9% of Mfr. A rows"
+    ranges = ", ".join(
+        f"{low:.2f}-{high:.2f} ({vendor})"
+        for vendor, (low, high) in sorted(paper_ranges.items())
     )
-    return output
+    output.note(
+        f"paper (Obsv. 6): normalized HC_first spans {ranges}; HC_first "
+        "rises for 83.5% of Mfr. C rows vs 50.9% of Mfr. A rows"
+    )
+
+
+SPEC = ExperimentSpec(
+    id="fig6",
+    title=(
+        "Density of normalized HC_first at V_PPmin per manufacturer "
+        "(Figure 6)"
+    ),
+    description=(
+        "Distribution of per-row HC_first at V_PPmin normalized to "
+        "nominal V_PP, pooled per vendor."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=70,
+)
+
+run = SPEC.run

@@ -7,29 +7,19 @@ guardband reduction, and the increased latencies that fix the offenders.
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.guardband import analyze_guardband
-from repro.core.scale import StudyScale
 from repro.harness.figures import line_plot
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 from repro.units import seconds_to_ns
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Figure 7 series and Observation 7 statistics."""
-    study = get_study(("trcd",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
     summary = analyze_guardband(study)
 
-    output = ExperimentOutput(
-        experiment_id="fig7",
-        title="Minimum reliable tRCD across V_PP levels (Figure 7)",
-        description=(
-            "Per-module worst-row tRCD_min at each V_PP (1.5 ns command "
-            "clock granularity); nominal tRCD is 13.5 ns."
-        ),
-    )
     curves = output.add_table(
         ExperimentTable("tRCD_min curves", ["Module", "V_PP", "tRCD_min [ns]"])
     )
@@ -99,10 +89,25 @@ def run(
     output.note(summary.passing_chip_statement)
     output.note(
         f"measured mean guardband reduction across passing modules: "
-        f"{summary.mean_guardband_reduction:.3f} (paper: 0.219)"
+        f"{summary.mean_guardband_reduction:.3f} "
+        f"(paper: {paper.value('fig7.mean_guardband_reduction')})"
     )
     output.note(
         "paper (Obsv. 7): 25 of 30 modules (208/272 chips) meet nominal "
         "tRCD; offenders A0-A2 need 24 ns and B2/B5 need 15 ns"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="fig7",
+    title="Minimum reliable tRCD across V_PP levels (Figure 7)",
+    description=(
+        "Per-module worst-row tRCD_min at each V_PP (1.5 ns command "
+        "clock granularity); nominal tRCD is 13.5 ns."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("trcd",)),),
+    order=80,
+)
+
+run = SPEC.run

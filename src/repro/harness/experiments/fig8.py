@@ -11,30 +11,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import paper
 from repro.harness.figures import line_plot
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.spice.experiments import activation_waveforms, trcd_distribution
 from repro.units import seconds_to_ns
 
 #: V_PP grid of the paper's SPICE sweep (subset used for waveforms).
 WAVEFORM_LEVELS = (2.5, 2.1, 1.9, 1.8, 1.7, 1.6)
 DISTRIBUTION_LEVELS = (2.5, 1.9, 1.8, 1.7)
-PAPER_WORST_CASE = {2.5: 12.9, 1.9: 13.3, 1.8: 14.2, 1.7: 16.9}
 
 
-def run(
-    modules=None, scale=None, seed: int = 0, samples: int = 400
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, samples):
     """Regenerate the Figure 8 waveforms and distributions."""
-    output = ExperimentOutput(
-        experiment_id="fig8",
-        title="SPICE: bitline waveforms and tRCD_min distribution (Figure 8)",
-        description=(
-            "Transient simulation of the Table 2 circuit: activation "
-            "waveforms per V_PP and the Monte-Carlo tRCD_min distribution "
-            "(parameters varied up to 5%)."
-        ),
-    )
+    paper_worst = paper.value("fig8.worst_case_trcd_ns")
 
     waveforms = activation_waveforms(WAVEFORM_LEVELS)
     wave_table = output.add_table(
@@ -67,7 +58,7 @@ def run(
             seconds_to_ns(float(valid.mean())) if valid.size else float("nan"),
             seconds_to_ns(float(valid.std())) if valid.size else float("nan"),
             seconds_to_ns(float(valid.max())) if valid.size else float("nan"),
-            PAPER_WORST_CASE.get(vpp),
+            paper_worst.get(vpp),
             int(np.isnan(values).sum()),
         )
 
@@ -99,7 +90,24 @@ def run(
     }
     output.note(
         "paper (Obsv. 8/9): mean tRCD_min grows 11.6 -> 13.6 ns from "
-        "2.5 -> 1.7 V; worst case 12.9 -> 13.3 / 14.2 / 16.9 ns at "
+        f"2.5 -> 1.7 V; worst case {paper_worst[2.5]} -> {paper_worst[1.9]} "
+        f"/ {paper_worst[1.8]} / {paper_worst[1.7]} ns at "
         "1.9 / 1.8 / 1.7 V; distribution shifts right and widens"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="fig8",
+    title="SPICE: bitline waveforms and tRCD_min distribution (Figure 8)",
+    description=(
+        "Transient simulation of the Table 2 circuit: activation "
+        "waveforms per V_PP and the Monte-Carlo tRCD_min distribution "
+        "(parameters varied up to 5%)."
+    ),
+    analyze=_analyze,
+    knobs={"samples": 400},
+    module_scoped=False,
+    order=90,
+)
+
+run = SPEC.run

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import paper
 from repro.harness.figures import line_plot
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.spice.experiments import (
     activation_waveforms,
     restoration_saturation,
@@ -22,25 +24,11 @@ from repro.units import ns, seconds_to_ns
 
 WAVEFORM_LEVELS = (2.5, 2.0, 1.9, 1.8, 1.7)
 DISTRIBUTION_LEVELS = (2.5, 2.2, 2.0, 1.8)
-PAPER_SATURATION_DEFICIT = {1.9: 0.041, 1.8: 0.110, 1.7: 0.181}
 
 
-def run(
-    modules=None, scale=None, seed: int = 0, samples: int = 200
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, samples):
     """Regenerate the Figure 9 waveforms and distributions."""
-    output = ExperimentOutput(
-        experiment_id="fig9",
-        title=(
-            "SPICE: cell restoration waveforms and tRAS_min distribution "
-            "(Figure 9)"
-        ),
-        description=(
-            "Cell-capacitor voltage after activation per V_PP, the "
-            "saturation deficit of Observation 10, and the Monte-Carlo "
-            "tRAS_min distribution of Observation 11."
-        ),
-    )
+    paper_deficit = paper.value("fig9.saturation_deficit")
 
     waveforms = activation_waveforms(WAVEFORM_LEVELS, t_stop=ns(80.0))
     wave_table = output.add_table(
@@ -66,7 +54,7 @@ def run(
             vpp,
             info["saturation_voltage"],
             info["deficit_fraction"],
-            PAPER_SATURATION_DEFICIT.get(vpp),
+            paper_deficit.get(vpp),
         )
 
     dist_table = output.add_table(
@@ -118,9 +106,30 @@ def run(
         for vpp, values in distributions.items()
     }
     output.note(
-        "paper (Obsv. 10): cell saturates 4.1/11.0/18.1% below V_DD at "
+        "paper (Obsv. 10): cell saturates "
+        f"{paper_deficit[1.9] * 100:.1f}/{paper_deficit[1.8] * 100:.1f}/"
+        f"{paper_deficit[1.7] * 100:.1f}% below V_DD at "
         "1.9/1.8/1.7 V; (Obsv. 11) tRAS_min exceeds nominal below ~2.0 V "
         "and its distribution widens; (footnote 13) restoration never "
         "completes at V_PP <= 1.6 V in SPICE while real chips still work"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="fig9",
+    title=(
+        "SPICE: cell restoration waveforms and tRAS_min distribution "
+        "(Figure 9)"
+    ),
+    description=(
+        "Cell-capacitor voltage after activation per V_PP, the "
+        "saturation deficit of Observation 10, and the Monte-Carlo "
+        "tRAS_min distribution of Observation 11."
+    ),
+    analyze=_analyze,
+    knobs={"samples": 200},
+    module_scoped=False,
+    order=100,
+)
+
+run = SPEC.run

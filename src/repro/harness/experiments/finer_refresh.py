@@ -16,7 +16,8 @@ from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
 from repro.core.wcdp import retention_wcdp
 from repro.dram import constants
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.units import ms, seconds_to_ms
 
@@ -27,20 +28,9 @@ def _any_flip(ctx, rows, wcdp, window) -> bool:
     )
 
 
-def run(
-    modules=("B6",), scale: StudyScale = None, seed: int = 0,
-    resolution: float = ms(2.0),
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, resolution):
     """Bisect the exact failing refresh window at V_PPmin."""
     scale = scale or StudyScale.bench()
-    output = ExperimentOutput(
-        experiment_id="finer_refresh",
-        title="Fine-grained failing refresh window (footnote 14 extension)",
-        description=(
-            "Bisection of the exact window at which retention flips start "
-            "at V_PPmin, below the paper's power-of-two sweep resolution."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Exact failing windows",
@@ -102,4 +92,19 @@ def run(
         "failing window shows how much slack the power-of-two sweep hides "
         "(footnote 14 leaves this finer analysis to future work)"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="finer_refresh",
+    title="Fine-grained failing refresh window (footnote 14 extension)",
+    description=(
+        "Bisection of the exact window at which retention flips start "
+        "at V_PPmin, below the paper's power-of-two sweep resolution."
+    ),
+    analyze=_analyze,
+    default_modules=("B6",),
+    knobs={"resolution": ms(2.0)},
+    order=260,
+)
+
+run = SPEC.run

@@ -12,10 +12,9 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.core.scale import StudyScale
 from repro.dram.constants import NOMINAL_TRCD
-from repro.harness.cache import get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 from repro.units import seconds_to_ns
 
 
@@ -35,21 +34,9 @@ def _pareto_front(points: List[dict]) -> List[dict]:
     return sorted(front, key=lambda p: p["vpp"])
 
 
-def run(
-    modules=("B3", "A0"), scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Compute per-module Pareto frontiers over the V_PP grid."""
-    study = get_study(
-        ("rowhammer", "trcd"), modules=modules, scale=scale, seed=seed
-    )
-    output = ExperimentOutput(
-        experiment_id="pareto",
-        title="Pareto-optimal operating points (Section 8)",
-        description=(
-            "Per V_PP level: HC_first gain over nominal vs tRCD guardband; "
-            "starred rows are Pareto-optimal."
-        ),
-    )
+    (study,) = studies
     table = output.add_table(
         ExperimentTable(
             "Operating points",
@@ -89,4 +76,19 @@ def run(
         "for RowHammer tolerance; latency-critical, error-tolerant "
         "systems prefer the guardband -- the frontier exposes the trade"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="pareto",
+    title="Pareto-optimal operating points (Section 8)",
+    description=(
+        "Per V_PP level: HC_first gain over nominal vs tRCD guardband; "
+        "starred rows are Pareto-optimal."
+    ),
+    analyze=_analyze,
+    default_modules=("B3", "A0"),
+    studies=(StudyRequest(tests=("rowhammer", "trcd")),),
+    order=230,
+)
+
+run = SPEC.run

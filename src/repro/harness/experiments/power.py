@@ -12,15 +12,13 @@ from __future__ import annotations
 
 from repro.core.scale import StudyScale, safe_timings
 from repro.dram import constants
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.softmc.program import Program
 
 
-def run(
-    modules=("B3",), scale: StudyScale = None, seed: int = 0,
-    activations: int = 200_000,
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, activations):
     """Measure V_PP rail current/power under a fixed workload."""
     scale = scale or StudyScale.bench()
     name = modules[0]
@@ -29,14 +27,6 @@ def run(
     )
     infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
 
-    output = ExperimentOutput(
-        experiment_id="power",
-        title="V_PP rail current and power across V_PP levels",
-        description=(
-            f"Interposer current measurement under a fixed workload of "
-            f"{activations} activations per level; power = V_PP x I."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "V_PP rail draw",
@@ -68,4 +58,23 @@ def run(
         "power falls linearly with V_PP: operating at V_PPmin saves "
         "wordline-pump energy on top of the RowHammer benefit"
     )
-    return output
+
+
+def _describe(modules, knobs):
+    return (
+        f"Interposer current measurement under a fixed workload of "
+        f"{knobs['activations']} activations per level; power = V_PP x I."
+    )
+
+
+SPEC = ExperimentSpec(
+    id="power",
+    title="V_PP rail current and power across V_PP levels",
+    description=_describe,
+    analyze=_analyze,
+    default_modules=("B3",),
+    knobs={"activations": 200_000},
+    order=280,
+)
+
+run = SPEC.run

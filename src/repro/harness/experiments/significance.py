@@ -7,19 +7,16 @@ methodology-validation statistic (CV of 0.08 / 0.13 / 0.24).
 
 from __future__ import annotations
 
+from repro import paper
 from repro.core.metrics import cv_percentiles
-from repro.core.scale import StudyScale
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
-
-PAPER_CV = {90.0: 0.08, 95.0: 0.13, 99.0: 0.24}
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Section 4.6 CV percentiles."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
+    (study,) = studies
+    paper_cv = paper.value("significance.cv_percentiles")
     series = [
         record.ber_iterations
         for module_result in study.modules.values()
@@ -27,14 +24,6 @@ def run(
         if max(record.ber_iterations, default=0) > 0
     ]
     percentiles = cv_percentiles(series)
-    output = ExperimentOutput(
-        experiment_id="significance",
-        title="Coefficient of variation of measurements (Section 4.6)",
-        description=(
-            "CV across measurement iterations per (row, V_PP) BER series; "
-            "percentiles over all series."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "CV percentiles", ["percentile", "measured CV", "paper CV"]
@@ -42,12 +31,27 @@ def run(
     )
     for percentile in sorted(percentiles):
         table.add_row(
-            percentile, percentiles[percentile], PAPER_CV.get(percentile)
+            percentile, percentiles[percentile], paper_cv.get(percentile)
         )
     output.data["cv_percentiles"] = percentiles
     output.data["series_count"] = len(series)
     output.note(
-        "paper: CV is 0.08 / 0.13 / 0.24 at the 90th / 95th / 99th "
+        f"paper: CV is {paper_cv[90.0]} / {paper_cv[95.0]} / "
+        f"{paper_cv[99.0]} at the 90th / 95th / 99th "
         "percentiles across all experimental results"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="significance",
+    title="Coefficient of variation of measurements (Section 4.6)",
+    description=(
+        "CV across measurement iterations per (row, V_PP) BER series; "
+        "percentiles over all series."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=130,
+)
+
+run = SPEC.run

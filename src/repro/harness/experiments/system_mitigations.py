@@ -27,7 +27,8 @@ from repro.dram import constants
 from repro.dram.module import DramModule
 from repro.dram.profiles import module_profile
 from repro.errors import UncorrectableError
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.system import ControllerPolicy, MemoryController
 
 #: How many refresh windows the workload spans.
@@ -99,10 +100,7 @@ def _profile_weak_rows(
     return set(profile_for_policy(ctx, rows))
 
 
-def run(
-    modules=("B6",), scale: StudyScale = None, seed: int = 0,
-    row_count: int = 32,
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, row_count):
     """Run the four-configuration mitigation study."""
     scale = scale or StudyScale.bench()
     name = modules[0]
@@ -124,15 +122,6 @@ def run(
         .with_mitigations(selective_refresh_rows=weak_rows),
     }
 
-    output = ExperimentOutput(
-        experiment_id="system_mitigations",
-        title="End-to-end mitigations at reduced V_PP (Section 8)",
-        description=(
-            f"Application workload over {EPOCHS} refresh windows on "
-            f"module {name} at 80 degC: corrupted 64-bit words seen by "
-            "the application under each operating configuration."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Mitigation outcomes",
@@ -157,4 +146,25 @@ def run(
         "64 ms) -- refreshing only those at double rate removes the "
         "corruption, as does SECDED (Obsv. 14)"
     )
-    return output
+
+
+def _describe(modules, knobs):
+    name = modules[0]
+    return (
+        f"Application workload over {EPOCHS} refresh windows on "
+        f"module {name} at 80 degC: corrupted 64-bit words seen by "
+        "the application under each operating configuration."
+    )
+
+
+SPEC = ExperimentSpec(
+    id="system_mitigations",
+    title="End-to-end mitigations at reduced V_PP (Section 8)",
+    description=_describe,
+    analyze=_analyze,
+    default_modules=("B6",),
+    knobs={"row_count": 32},
+    order=290,
+)
+
+run = SPEC.run

@@ -10,22 +10,15 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import paper
 from repro.dram.profiles import MODULE_PROFILES, total_chip_count
 from repro.dram.vendor import Vendor
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 
 
-def run(modules=None, scale=None, seed: int = 0) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate Table 1 (static: derived from module profiles)."""
-    output = ExperimentOutput(
-        experiment_id="table1",
-        title="Summary of the tested DDR4 DRAM chips (Table 1)",
-        description=(
-            "DIMM/chip counts per (manufacturer, density, die revision, "
-            "organization, date) group, regenerated from the module "
-            "profiles."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Tested chips",
@@ -55,10 +48,27 @@ def run(modules=None, scale=None, seed: int = 0) -> ExperimentOutput:
             date,
         )
     total = total_chip_count()
+    population = paper.value("table1.population")
     output.data["total_chips"] = total
     output.data["total_dimms"] = len(MODULE_PROFILES)
     output.note(
-        f"paper: 272 chips across 30 DIMMs; regenerated: {total} chips "
+        f"paper: {population['chips']} chips across {population['dimms']} "
+        f"DIMMs; regenerated: {total} chips "
         f"across {len(MODULE_PROFILES)} DIMMs"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="table1",
+    title="Summary of the tested DDR4 DRAM chips (Table 1)",
+    description=(
+        "DIMM/chip counts per (manufacturer, density, die revision, "
+        "organization, date) group, regenerated from the module "
+        "profiles."
+    ),
+    analyze=_analyze,
+    module_scoped=False,
+    order=10,
+)
+
+run = SPEC.run

@@ -7,22 +7,14 @@ impossible.
 
 from __future__ import annotations
 
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.spice.dram_cell import DramCircuitParams
 
 
-def run(modules=None, scale=None, seed: int = 0) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate Table 2 from the live circuit parameters."""
     params = DramCircuitParams()
-    output = ExperimentOutput(
-        experiment_id="table2",
-        title="Key parameters used in SPICE simulations (Table 2)",
-        description=(
-            "Component values of the simulated DRAM column; Table 2 values "
-            "verbatim, plus the calibrated behavioral transistor constants "
-            "that stand in for the 22 nm PTM cards."
-        ),
-    )
     table = output.add_table(
         ExperimentTable("SPICE parameters", ["Component", "Parameter", "Value"])
     )
@@ -56,4 +48,19 @@ def run(modules=None, scale=None, seed: int = 0) -> ExperimentOutput:
         "R_BL 6980 Ohm / access 55x85 nm / SA NMOS 1.3x0.1 um / "
         "SA PMOS 0.9x0.1 um -- reproduced verbatim"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="table2",
+    title="Key parameters used in SPICE simulations (Table 2)",
+    description=(
+        "Component values of the simulated DRAM column; Table 2 values "
+        "verbatim, plus the calibrated behavioral transistor constants "
+        "that stand in for the 22 nm PTM cards."
+    ),
+    analyze=_analyze,
+    module_scoped=False,
+    order=20,
+)
+
+run = SPEC.run

@@ -9,25 +9,14 @@ chosen by the recommendation rule and its metrics.
 from __future__ import annotations
 
 from repro.core.mitigation import recommend_vpp
-from repro.core.scale import StudyScale
 from repro.dram.profiles import module_profile
-from repro.harness.cache import BENCH_MODULES, get_study
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec, StudyRequest
 
 
-def run(
-    modules=BENCH_MODULES, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Regenerate the Table 3 measurement columns for ``modules``."""
-    study = get_study(("rowhammer",), modules=modules, scale=scale, seed=seed)
-    output = ExperimentOutput(
-        experiment_id="table3",
-        title="Module RowHammer characteristics (Table 3)",
-        description=(
-            "Minimum HC_first / module BER at nominal V_PP, at V_PPmin, "
-            "and at the recommended V_PPRec, per module."
-        ),
-    )
+    (study,) = studies
     table = output.add_table(
         ExperimentTable(
             "Per-module characteristics",
@@ -81,4 +70,18 @@ def run(
         "studies measure it somewhat above the paper's 4K-row anchor "
         "(see DESIGN.md, scaling knobs)"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="table3",
+    title="Module RowHammer characteristics (Table 3)",
+    description=(
+        "Minimum HC_first / module BER at nominal V_PP, at V_PPmin, "
+        "and at the recommended V_PPRec, per module."
+    ),
+    analyze=_analyze,
+    studies=(StudyRequest(tests=("rowhammer",)),),
+    order=30,
+)
+
+run = SPEC.run

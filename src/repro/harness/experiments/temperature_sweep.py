@@ -20,15 +20,14 @@ from repro.core.scale import StudyScale
 from repro.core.wcdp import retention_wcdp, rowhammer_wcdp
 from repro.core.retention import measure_retention
 from repro.dram import constants
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 
 TEMPERATURES = (50.0, 60.0, 70.0, 80.0)
 
 
-def run(
-    modules=("C5",), scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Sweep temperature at nominal V_PP and V_PPmin."""
     scale = scale or StudyScale.bench()
     name = modules[0]
@@ -46,14 +45,6 @@ def run(
     infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
     decay_wcdp = {row: retention_wcdp(ctx, row) for row in rows}
 
-    output = ExperimentOutput(
-        experiment_id="temperature_sweep",
-        title="Temperature x V_PP interaction (Section 7 extension)",
-        description=(
-            "RowHammer BER (300K hammers) and retention BER (4 s window) "
-            "across temperature at nominal V_PP and V_PPmin."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Temperature sweep",
@@ -86,4 +77,18 @@ def run(
         "per ~10 degC) while the RowHammer BER moves only mildly -- the "
         "V_PP benefit persists across the operating range"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="temperature_sweep",
+    title="Temperature x V_PP interaction (Section 7 extension)",
+    description=(
+        "RowHammer BER (300K hammers) and retention BER (4 s window) "
+        "across temperature at nominal V_PP and V_PPmin."
+    ),
+    analyze=_analyze,
+    default_modules=("C5",),
+    order=250,
+)
+
+run = SPEC.run

@@ -15,7 +15,8 @@ from repro.core.scale import StudyScale
 from repro.core.trcd import find_trcd_min
 from repro.core.wcdp import trcd_wcdp
 from repro.dram import constants
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.softmc.program import Program
 from repro.units import seconds_to_ns
@@ -24,9 +25,7 @@ from repro.units import seconds_to_ns
 ONE_WEEK = 7 * 24 * 3600.0
 
 
-def run(
-    modules=("B3",), scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Measure, age for a week under hammering, re-measure."""
     scale = scale or StudyScale.bench()
     name = modules[0]
@@ -55,14 +54,6 @@ def run(
 
     after = {row: find_trcd_min(ctx, row, wcdp[row]) for row in rows}
 
-    output = ExperimentOutput(
-        experiment_id="trcd_stability",
-        title="tRCD_min stability after one week (footnote 11)",
-        description=(
-            "Per-row tRCD_min before and after a week of simulated time "
-            "and heavy hammering."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Stability", ["Module", "rows", "rows changed",
@@ -84,4 +75,18 @@ def run(
         "activation latency is a stable per-row property, which the "
         "deterministic per-cell parameters of the device model reproduce"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="trcd_stability",
+    title="tRCD_min stability after one week (footnote 11)",
+    description=(
+        "Per-row tRCD_min before and after a week of simulated time "
+        "and heavy hammering."
+    ),
+    analyze=_analyze,
+    default_modules=("B3",),
+    order=270,
+)
+
+run = SPEC.run

@@ -17,24 +17,15 @@ from repro.dram.module import DramModule
 from repro.dram.patterns import STANDARD_PATTERNS
 from repro.dram.profiles import module_profile
 from repro.dram.trr import TrrConfig
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.softmc.program import Program
 
 
-def run(modules=("B3",), scale: StudyScale = None, seed: int = 0,
-        hammer_count: int = None) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, hammer_count):
     """Attack a TRR-protected module with and without REF interleaving."""
     scale = scale or StudyScale.bench()
-    output = ExperimentOutput(
-        experiment_id="trr_demo",
-        title="TRR defense vs REF-withholding (Section 4.1)",
-        description=(
-            "Double-sided attack flips on a TRR-equipped module: REF "
-            "withheld (the paper's methodology) vs REF interleaved "
-            "(defense active)."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "Attack outcome",
@@ -82,4 +73,20 @@ def run(modules=("B3",), scale: StudyScale = None, seed: int = 0,
         "REF lets the tracker refresh victims (flips == 0) -- the reason "
         "the paper's tests simply issue no refresh commands"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="trr_demo",
+    title="TRR defense vs REF-withholding (Section 4.1)",
+    description=(
+        "Double-sided attack flips on a TRR-equipped module: REF "
+        "withheld (the paper's methodology) vs REF interleaved "
+        "(defense active)."
+    ),
+    analyze=_analyze,
+    default_modules=("B3",),
+    knobs={"hammer_count": None},
+    order=220,
+)
+
+run = SPEC.run

@@ -11,30 +11,19 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.scale import StudyScale
 from repro.dram.calibration import ModuleGeometry
 from repro.dram.profiles import MODULE_PROFILES
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 
 
-def run(
-    modules=None, scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Discover V_PPmin for every module (default: all of Table 3)."""
     names = list(modules) if modules else sorted(MODULE_PROFILES)
     geometry = (
         scale.geometry if scale is not None
         else ModuleGeometry(rows_per_bank=256, banks=1, row_bits=1024)
-    )
-    output = ExperimentOutput(
-        experiment_id="vppmin_survey",
-        title="V_PPmin discovery across the module population",
-        description=(
-            "Empirical V_PPmin (0.1 V steps down from nominal until the "
-            "module stops communicating) for every surveyed module, with "
-            "the resulting V_PP grid size."
-        ),
     )
     table = output.add_table(
         ExperimentTable(
@@ -72,4 +61,18 @@ def run(
         f"{discovered[highest]} V (paper, Section 7: lowest 1.4 V for A0, "
         "highest 2.4 V for A5)"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="vppmin_survey",
+    title="V_PPmin discovery across the module population",
+    description=(
+        "Empirical V_PPmin (0.1 V steps down from nominal until the "
+        "module stops communicating) for every surveyed module, with "
+        "the resulting V_PP grid size."
+    ),
+    analyze=_analyze,
+    order=310,
+)
+
+run = SPEC.run

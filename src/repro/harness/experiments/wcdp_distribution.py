@@ -25,24 +25,14 @@ from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
 from repro.core.wcdp import retention_wcdp, rowhammer_wcdp, trcd_wcdp
 from repro.dram import constants
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 
 
-def run(
-    modules=("A4", "B3", "C5"), scale: StudyScale = None, seed: int = 0,
-    rows_per_module: int = 16,
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed, rows_per_module):
     """Histogram the winning WCDP per test type per module."""
     scale = scale or StudyScale.bench()
-    output = ExperimentOutput(
-        experiment_id="wcdp_distribution",
-        title="Worst-case data-pattern distribution (Section 4.1)",
-        description=(
-            "Which of the six standard patterns wins the per-row WCDP "
-            "determination, per test type."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "WCDP winners",
@@ -86,4 +76,19 @@ def run(
         "per-row coupling factors -- the reason Section 4.1 sweeps all "
         "six patterns per row instead of fixing one"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="wcdp_distribution",
+    title="Worst-case data-pattern distribution (Section 4.1)",
+    description=(
+        "Which of the six standard patterns wins the per-row WCDP "
+        "determination, per test type."
+    ),
+    analyze=_analyze,
+    default_modules=("A4", "B3", "C5"),
+    knobs={"rows_per_module": 16},
+    order=330,
+)
+
+run = SPEC.run

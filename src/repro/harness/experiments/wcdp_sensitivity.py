@@ -17,24 +17,14 @@ from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
 from repro.core.wcdp import rowhammer_wcdp
 from repro.dram import constants
-from repro.harness.output import ExperimentOutput, ExperimentTable
+from repro.harness.output import ExperimentTable
+from repro.harness.spec import ExperimentSpec
 from repro.softmc.infrastructure import TestInfrastructure
 
 
-def run(
-    modules=("B3", "C5"), scale: StudyScale = None, seed: int = 0
-) -> ExperimentOutput:
+def _analyze(output, studies, *, modules, scale, seed):
     """Re-determine WCDPs at V_PPmin and compare against nominal."""
     scale = scale or StudyScale.bench()
-    output = ExperimentOutput(
-        experiment_id="wcdp_sensitivity",
-        title="WCDP sensitivity to V_PP (footnote 9)",
-        description=(
-            "Fraction of rows whose RowHammer WCDP differs between "
-            "nominal V_PP and V_PPmin, and the HC_first deviation the "
-            "difference causes."
-        ),
-    )
     table = output.add_table(
         ExperimentTable(
             "WCDP stability",
@@ -83,4 +73,19 @@ def run(
         "paper (footnote 9): WCDP changes for only ~2.4% of rows, causing "
         "<9% HC_first deviation for 90% of affected rows"
     )
-    return output
+
+
+SPEC = ExperimentSpec(
+    id="wcdp_sensitivity",
+    title="WCDP sensitivity to V_PP (footnote 9)",
+    description=(
+        "Fraction of rows whose RowHammer WCDP differs between "
+        "nominal V_PP and V_PPmin, and the HC_first deviation the "
+        "difference causes."
+    ),
+    analyze=_analyze,
+    default_modules=("B3", "C5"),
+    order=210,
+)
+
+run = SPEC.run

@@ -1,0 +1,97 @@
+"""Harness lint: enforce the declarative-spec contract.
+
+Experiment modules must declare their campaign needs as ``StudyRequest``
+entries on their ``SPEC`` and receive the resolved studies from the
+harness -- calling :func:`repro.harness.cache.get_study` directly would
+hide a need from the preload planner (``runner --parallel`` /
+``--orchestrate``) and from the drift-guard test. This checker walks
+the AST of every module under ``repro/harness/experiments/`` and flags:
+
+* ``from repro.harness.cache import get_study`` (any alias), and
+* any call whose callee is named ``get_study`` (bare or attribute).
+
+Run it via ``make lint`` or ``python -m repro.harness.lint``; exits
+non-zero when a violation is found.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import List, Optional, Tuple
+
+#: (path, line, message) triple.
+Violation = Tuple[str, int, str]
+
+
+def _experiments_dir() -> str:
+    from repro.harness import experiments
+
+    return os.path.dirname(os.path.abspath(experiments.__file__))
+
+
+def _callee_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def check_source(path: str, source: str) -> List[Violation]:
+    """Lint one experiment module's source text."""
+    violations: List[Violation] = []
+    tree = ast.parse(source, filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.harness.cache" and any(
+                alias.name == "get_study" for alias in node.names
+            ):
+                violations.append((
+                    path, node.lineno,
+                    "imports get_study from repro.harness.cache; declare "
+                    "a StudyRequest on the module's SPEC instead",
+                ))
+        elif isinstance(node, ast.Call):
+            if _callee_name(node.func) == "get_study":
+                violations.append((
+                    path, node.lineno,
+                    "calls get_study directly; declare a StudyRequest on "
+                    "the module's SPEC and use the studies argument",
+                ))
+    return violations
+
+
+def check_experiments(directory: Optional[str] = None) -> List[Violation]:
+    """Lint every experiment module; returns the violations found."""
+    directory = directory or _experiments_dir()
+    violations: List[Violation] = []
+    for filename in sorted(os.listdir(directory)):
+        if not filename.endswith(".py"):
+            continue
+        path = os.path.join(directory, filename)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        violations.extend(check_source(path, source))
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    directory = argv[0] if argv else None
+    violations = check_experiments(directory)
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}", file=sys.stderr)
+    if violations:
+        print(
+            f"harness lint: {len(violations)} violation(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("harness lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,106 @@
+"""Campaign preload plans derived from experiment specs.
+
+:func:`build_plan` turns a set of experiment ids plus run arguments
+into the deduplicated list of :class:`~repro.harness.spec.
+ResolvedStudy` fetches those experiments will perform. One plan object
+drives both pre-run paths -- the process-parallel pre-run (``runner
+--parallel``) and the checkpointed orchestration service (``runner
+--orchestrate``) -- so the pre-run can never drift from what the
+experiments actually fetch (the failure mode the old hand-maintained
+``CAMPAIGN_TESTS`` dict allowed: it routed pareto's preload over the
+benchmark subset while the experiment fetched its own module pair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.scale import StudyScale
+from repro.harness import cache
+from repro.harness.spec import ResolvedStudy
+
+
+@dataclass(frozen=True)
+class PreloadPlan:
+    """The deduplicated studies a set of experiments will fetch."""
+
+    requests: Tuple[ResolvedStudy, ...]
+
+    def __bool__(self) -> bool:
+        return bool(self.requests)
+
+    def describe(self) -> str:
+        """Human-readable ``tests@modules`` summary of the plan."""
+        return ", ".join(
+            f"{request.label}@{'+'.join(request.modules)}"
+            for request in self.requests
+        )
+
+    def preload_parallel(self, max_workers: int) -> None:
+        """Pre-run every planned study with worker processes
+        ((module, row-chunk) granularity), priming the in-process and
+        on-disk caches for the experiments that follow."""
+        for request in self.requests:
+            cache.preload_parallel(
+                [request.tests], modules=request.modules,
+                scale=request.scale, seed=request.seed,
+                max_workers=max_workers,
+            )
+
+    def orchestrate(
+        self,
+        max_workers: int,
+        checkpoint_base: str,
+        telemetry=None,
+        resume: bool = False,
+        progress=print,
+    ) -> List[str]:
+        """Run every planned study through the orchestration service
+        (checkpointed, resumable, fault-tolerant) and install the merged
+        studies in the cache. Returns the quarantined module names."""
+        from repro.service.orchestrator import CampaignService
+
+        quarantined: List[str] = []
+        for request in self.requests:
+            progress(
+                f"orchestrating the {request.label} campaign over "
+                f"{len(request.modules)} modules with {max_workers} "
+                "workers..."
+            )
+            service = CampaignService(
+                modules=request.modules, tests=request.tests,
+                scale=request.scale, seed=request.seed,
+                max_workers=max_workers, checkpoint_base=checkpoint_base,
+                telemetry=telemetry, progress=progress,
+            )
+            outcome = service.run(resume=resume)
+            quarantined.extend(sorted(outcome.metrics.quarantined))
+            cache.preload_study(
+                outcome.study, request.tests, request.modules,
+                seed=request.seed,
+            )
+        return quarantined
+
+
+def build_plan(
+    experiment_ids: Iterable[str],
+    modules: Optional[Sequence[str]] = None,
+    scale: Optional[StudyScale] = None,
+    seed: int = 0,
+) -> PreloadPlan:
+    """Resolve the declared study needs of ``experiment_ids`` under the
+    given run arguments, deduplicated on the cache key in first-use
+    order."""
+    from repro.harness.registry import get_spec
+
+    seen = set()
+    requests: List[ResolvedStudy] = []
+    for experiment_id in experiment_ids:
+        spec = get_spec(experiment_id)
+        for resolved in spec.resolved_studies(modules, scale, seed):
+            key = resolved.cache_key()
+            if key not in seen:
+                seen.add(key)
+                requests.append(resolved)
+    return PreloadPlan(requests=tuple(requests))

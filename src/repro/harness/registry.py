@@ -1,117 +1,91 @@
-"""Experiment registry: paper-artifact id -> runnable experiment.
+"""Experiment registry: paper-artifact id -> declarative spec.
 
-Ids follow the paper's numbering (``table1``-``table3``, ``fig3``-
-``fig11``) plus ``significance`` (Section 4.6) and the extension
-experiments documented in DESIGN.md.
+Every module under :mod:`repro.harness.experiments` exports a ``SPEC``
+(:class:`repro.harness.spec.ExperimentSpec`) declaring its id, title,
+study needs, and analysis; the registry discovers them automatically,
+so adding an experiment is a one-file change (docs/ADDING_EXPERIMENTS.md
+walks through it). Ids follow the paper's numbering (``table1``-
+``table3``, ``fig3``-``fig11``) plus ``significance`` (Section 4.6) and
+the extension experiments documented in DESIGN.md.
 """
 
 from __future__ import annotations
 
+import importlib
+import pkgutil
 from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.harness.output import ExperimentOutput
+from repro.harness.spec import ExperimentSpec
+
+_SPECS: Dict[str, ExperimentSpec] = {}
 
 
-def _load() -> Dict[str, Callable[..., ExperimentOutput]]:
-    from repro.harness.experiments import (
-        ablation,
-        attack_comparison,
-        blast_radius,
-        defense_synergy,
-        fig3,
-        fig4,
-        fig5,
-        fig6,
-        fig7,
-        fig8,
-        fig9,
-        fig10,
-        fig11,
-        finer_refresh,
-        pareto,
-        power,
-        significance,
-        system_mitigations,
-        table1,
-        table2,
-        table3,
-        temperature_sweep,
-        trcd_stability,
-        trr_demo,
-        vppmin_survey,
-        wcdp_distribution,
-        wcdp_sensitivity,
-    )
+def _discover() -> Dict[str, ExperimentSpec]:
+    """Import every experiment module and collect its ``SPEC``, ordered
+    by ``(spec.order, spec.id)`` -- the report order."""
+    from repro.harness import experiments
 
-    return {
-        "table1": table1.run,
-        "table2": table2.run,
-        "table3": table3.run,
-        "fig3": fig3.run,
-        "fig4": fig4.run,
-        "fig5": fig5.run,
-        "fig6": fig6.run,
-        "fig7": fig7.run,
-        "fig8": fig8.run,
-        "fig9": fig9.run,
-        "fig10": fig10.run,
-        "fig11": fig11.run,
-        "significance": significance.run,
-        # Extensions beyond the paper's artifacts (DESIGN.md section 6).
-        "ablation": ablation.run,
-        "wcdp_sensitivity": wcdp_sensitivity.run,
-        "trr_demo": trr_demo.run,
-        "pareto": pareto.run,
-        "attack_comparison": attack_comparison.run,
-        "temperature_sweep": temperature_sweep.run,
-        "finer_refresh": finer_refresh.run,
-        "trcd_stability": trcd_stability.run,
-        "power": power.run,
-        "system_mitigations": system_mitigations.run,
-        "defense_synergy": defense_synergy.run,
-        "vppmin_survey": vppmin_survey.run,
-        "blast_radius": blast_radius.run,
-        "wcdp_distribution": wcdp_distribution.run,
-    }
+    specs: List[ExperimentSpec] = []
+    for info in pkgutil.iter_modules(experiments.__path__):
+        if info.name.startswith("_"):
+            continue
+        module = importlib.import_module(
+            f"{experiments.__name__}.{info.name}"
+        )
+        spec = getattr(module, "SPEC", None)
+        if not isinstance(spec, ExperimentSpec):
+            raise ConfigurationError(
+                f"experiment module {module.__name__} does not export a "
+                "SPEC (repro.harness.spec.ExperimentSpec)"
+            )
+        specs.append(spec)
+    ordered: Dict[str, ExperimentSpec] = {}
+    for spec in sorted(specs, key=lambda s: (s.order, s.id)):
+        if spec.id in ordered:
+            raise ConfigurationError(
+                f"duplicate experiment id {spec.id!r} in "
+                "repro.harness.experiments"
+            )
+        ordered[spec.id] = spec
+    return ordered
 
 
-#: Public list of experiment ids.
-EXPERIMENT_IDS: List[str] = [
-    "table1", "table2", "table3",
-    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "significance",
-    "ablation", "wcdp_sensitivity", "trr_demo", "pareto",
-    "attack_comparison", "temperature_sweep", "finer_refresh",
-    "trcd_stability", "power", "system_mitigations", "defense_synergy",
-    "vppmin_survey", "blast_radius", "wcdp_distribution",
-]
+def all_specs() -> Dict[str, ExperimentSpec]:
+    """Id -> spec for every discovered experiment, in report order."""
+    if not _SPECS:
+        _SPECS.update(_discover())
+    return _SPECS
 
 
-#: Which shared campaigns (``get_study`` test tuples) each experiment
-#: consumes. Experiments absent from this map build their own bespoke
-#: studies and gain nothing from pre-running the shared campaigns.
-CAMPAIGN_TESTS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
-    "table3": (("rowhammer",),),
-    "fig3": (("rowhammer",),),
-    "fig4": (("rowhammer",),),
-    "fig5": (("rowhammer",),),
-    "fig6": (("rowhammer",),),
-    "fig7": (("trcd",),),
-    "fig10": (("retention",),),
-    "fig11": (("retention",),),
-    "significance": (("rowhammer",),),
-    "defense_synergy": (("rowhammer",),),
-    "pareto": (("rowhammer", "trcd"),),
-}
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """Resolve an experiment id to its spec."""
+    specs = all_specs()
+    try:
+        return specs[experiment_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{sorted(specs)}"
+        ) from None
+
+
+#: Public list of experiment ids, in report order.
+EXPERIMENT_IDS: List[str] = list(all_specs())
 
 
 def campaign_tests(experiment_ids: Iterable[str]) -> List[Tuple[str, ...]]:
-    """The deduplicated campaign test tuples a set of experiments needs,
-    in first-use order (what ``--parallel`` should pre-run)."""
+    """The deduplicated campaign test tuples a set of experiments
+    declares (via their specs' ``StudyRequest``s), in first-use order.
+
+    This is the coarse, tests-only view; :func:`repro.harness.plan.
+    build_plan` additionally resolves modules/scale/seed per request.
+    """
     needed: List[Tuple[str, ...]] = []
     for experiment_id in experiment_ids:
-        for tests in CAMPAIGN_TESTS.get(experiment_id, ()):
+        for request in get_spec(experiment_id).studies:
+            tests = tuple(request.tests)
             if tests not in needed:
                 needed.append(tests)
     return needed
@@ -121,7 +95,7 @@ def unknown_experiments(experiment_ids: Iterable[str]) -> List[str]:
     """The ids in ``experiment_ids`` not present in the registry
     (order-preserving, deduplicated). The runner uses this to fail fast
     with a readable message instead of a traceback."""
-    known = set(EXPERIMENT_IDS)
+    known = all_specs()
     unknown: List[str] = []
     for experiment_id in experiment_ids:
         if experiment_id not in known and experiment_id not in unknown:
@@ -131,14 +105,7 @@ def unknown_experiments(experiment_ids: Iterable[str]) -> List[str]:
 
 def get_experiment(experiment_id: str) -> Callable[..., ExperimentOutput]:
     """Resolve an experiment id to its ``run`` callable."""
-    registry = _load()
-    try:
-        return registry[experiment_id]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown experiment {experiment_id!r}; available: "
-            f"{sorted(registry)}"
-        ) from None
+    return get_spec(experiment_id).run
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentOutput:

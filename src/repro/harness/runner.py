@@ -5,12 +5,18 @@ CSV/JSON to a results directory::
 
     python -m repro.harness.runner fig3 fig5 --out results/
     python -m repro.harness.runner --all --modules A0 B3 C5
+    python -m repro.harness.runner --list
 
 Completed campaigns persist in a disk cache (``.study-cache/`` by
 default) keyed by scale/seed/modules/tests, so repeated invocations
 skip straight to the analysis; ``--no-cache`` opts out and
 ``--cache-dir`` relocates it. ``--profile`` prints a per-phase timing
 breakdown (WCDP / probe loops / export) and probe counters at the end.
+
+The campaigns pre-run by ``--parallel`` and ``--orchestrate`` are
+derived from the experiments' declared specs (one shared
+:class:`~repro.harness.plan.PreloadPlan`), so the pre-run always
+matches what the experiments actually fetch.
 """
 
 from __future__ import annotations
@@ -23,9 +29,11 @@ from typing import List, Optional
 from repro.core.perf import PROFILER
 from repro.harness.cache import DEFAULT_CACHE_DIR, set_study_cache_dir
 from repro.harness.export import export_output
+from repro.harness.plan import build_plan
 from repro.harness.registry import (
     EXPERIMENT_IDS,
-    campaign_tests,
+    all_specs,
+    get_spec,
     run_experiment,
     unknown_experiments,
 )
@@ -45,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="run every registered experiment"
     )
     parser.add_argument(
+        "--list", action="store_true",
+        help="list every registered experiment (id, campaign needs, "
+             "title) and exit",
+    )
+    parser.add_argument(
         "--modules", nargs="*", default=None,
         help="module subset (default: the benchmark subset)",
     )
@@ -59,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=int, default=None, metavar="N",
         help=(
             "pre-run the characterization campaigns the requested "
-            "experiments actually need with N worker processes "
+            "experiments declare with N worker processes "
             "((module, row-chunk) granularity) before dispatching the "
             "experiments"
         ),
@@ -67,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--orchestrate", type=int, default=None, metavar="N",
         help=(
-            "like --parallel, but pre-run the needed campaigns through "
+            "like --parallel, but pre-run the declared campaigns through "
             "the orchestration service (repro.service): checkpointed, "
             "resumable with --resume, fault-tolerant, with structured "
             "telemetry; N worker processes (0/1 runs in-process)"
@@ -106,9 +119,33 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def list_experiments() -> str:
+    """The ``--list`` report: one line per experiment with its id, the
+    campaigns its spec declares, and its title."""
+    specs = all_specs()
+    id_width = max(len(spec.id) for spec in specs.values())
+    needs = {
+        spec.id: ", ".join("+".join(r.tests) for r in spec.studies) or "-"
+        for spec in specs.values()
+    }
+    needs_width = max(len(text) for text in needs.values())
+    lines = [
+        f"{spec.id:<{id_width}}  {needs[spec.id]:<{needs_width}}  "
+        f"{spec.title}"
+        for spec in specs.values()
+    ]
+    header = (
+        f"{'id':<{id_width}}  {'campaigns':<{needs_width}}  title"
+    )
+    return "\n".join([header, "-" * len(header)] + lines)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.list:
+        print(list_experiments())
+        return 0
     ids = EXPERIMENT_IDS if args.all else args.experiments
     if not ids:
         build_parser().print_help()
@@ -125,6 +162,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --parallel and --orchestrate are mutually exclusive",
               file=sys.stderr)
         return 2
+    if args.modules:
+        for experiment_id in ids:
+            if not get_spec(experiment_id).module_scoped:
+                print(
+                    f"warning: {experiment_id} is not module-scoped; "
+                    "--modules has no effect on it",
+                    file=sys.stderr,
+                )
     set_study_cache_dir(None if args.no_cache else args.cache_dir)
     if args.profile:
         PROFILER.enable()
@@ -132,52 +177,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     kwargs = {"seed": args.seed}
     if args.modules:
         kwargs["modules"] = tuple(args.modules)
+    if args.parallel or args.orchestrate is not None:
+        plan = build_plan(
+            ids, modules=kwargs.get("modules"), seed=args.seed
+        )
     if args.parallel:
-        from repro.harness.cache import BENCH_MODULES, preload_parallel
-
-        needed = campaign_tests(ids)
-        if not needed:
+        if not plan:
             print("no shared campaigns needed; skipping pre-run")
         else:
-            modules = kwargs.get("modules", BENCH_MODULES)
-            labels = ", ".join("+".join(tests) for tests in needed)
-            print(f"pre-running {labels} campaigns over {len(modules)} "
-                  f"modules with {args.parallel} workers...")
-            preload_parallel(
-                needed, modules=modules, seed=args.seed,
-                max_workers=args.parallel,
-            )
+            print(f"pre-running the {plan.describe()} campaigns with "
+                  f"{args.parallel} workers...")
+            plan.preload_parallel(max_workers=args.parallel)
     if args.orchestrate is not None:
-        from repro.harness.cache import BENCH_MODULES, preload_study
-        from repro.service.orchestrator import CampaignService
-        from repro.service.telemetry import TelemetryLog
-
-        needed = campaign_tests(ids)
-        if not needed:
+        if not plan:
             print("no shared campaigns needed; skipping orchestration")
         else:
-            modules = kwargs.get("modules", BENCH_MODULES)
+            from repro.service.telemetry import TelemetryLog
+
             with TelemetryLog(args.events, resume=args.resume) as telemetry:
-                for tests in needed:
-                    label = "+".join(tests)
-                    print(f"orchestrating the {label} campaign over "
-                          f"{len(modules)} modules with "
-                          f"{args.orchestrate} workers...")
-                    service = CampaignService(
-                        modules=modules, tests=tests, seed=args.seed,
-                        max_workers=args.orchestrate,
-                        checkpoint_base=args.service_dir,
-                        telemetry=telemetry, progress=print,
-                    )
-                    outcome = service.run(resume=args.resume)
-                    if outcome.metrics.quarantined:
-                        print(
-                            "warning: quarantined modules: "
-                            + ", ".join(sorted(outcome.metrics.quarantined)),
-                            file=sys.stderr,
-                        )
-                    preload_study(outcome.study, tests, modules,
-                                  seed=args.seed)
+                quarantined = plan.orchestrate(
+                    max_workers=args.orchestrate,
+                    checkpoint_base=args.service_dir,
+                    telemetry=telemetry, resume=args.resume,
+                )
+            if quarantined:
+                print(
+                    "warning: quarantined modules: "
+                    + ", ".join(quarantined),
+                    file=sys.stderr,
+                )
     for experiment_id in ids:
         started = time.monotonic()
         output = run_experiment(experiment_id, **kwargs)

@@ -1,0 +1,135 @@
+"""Registry of the paper's expected values.
+
+The experiment tables print a "paper" column next to every measured
+quantity so a reader can compare the reproduction against the source
+study at a glance. Those expectations used to live as string literals
+scattered through the experiment modules -- impossible to audit and
+easy to let drift. This module is the single source of truth: one
+:class:`PaperExpectation` per reported quantity, keyed
+``"<experiment>.<quantity>"``, carrying
+
+* ``value`` -- the canonical numeric value (or mapping of values, e.g.
+  per-vendor ranges),
+* ``display`` -- the exact table-cell string, when the paper column
+  renders text rather than a bare number (signs, fixed precision),
+* ``source`` -- where in the paper the number comes from.
+
+Experiments fetch cells with :func:`cell` and compose notes from
+:func:`value`; ``tests/test_paper.py`` asserts every registered
+expectation is referenced by its owning experiment and that every
+"paper" column cell in the generated outputs resolves back to this
+registry (no stray inline literals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PaperExpectation:
+    """One expected quantity reported by the paper."""
+
+    key: str
+    experiment: str
+    value: Any
+    display: Optional[str] = None
+    source: str = ""
+
+
+def _expect(key: str, value: Any, display: str = None,
+            source: str = "") -> PaperExpectation:
+    experiment = key.split(".", 1)[0]
+    return PaperExpectation(
+        key=key, experiment=experiment, value=value, display=display,
+        source=source,
+    )
+
+
+#: Every paper expectation the experiment tables consume, keyed
+#: ``"<experiment>.<quantity>"``.
+EXPECTATIONS: Dict[str, PaperExpectation] = {
+    expectation.key: expectation
+    for expectation in (
+        # Table 1 -- the tested-chip population.
+        _expect("table1.population", {"chips": 272, "dimms": 30},
+                source="Table 1"),
+        # Figure 3 / Observations 1-2 -- normalized BER at V_PPmin.
+        _expect("fig3.fraction_decreasing", 0.812, display="0.812",
+                source="Observation 1"),
+        _expect("fig3.fraction_increasing", 0.154, display="0.154",
+                source="Observation 2"),
+        _expect("fig3.mean_change", -0.152, display="-0.152",
+                source="Observation 1"),
+        _expect("fig3.max_decrease", 0.669, display="0.669",
+                source="Observation 1"),
+        _expect("fig3.max_increase", 0.117, display="0.117",
+                source="Observation 2"),
+        # Figure 4 / Observation 3 -- per-vendor normalized-BER ranges.
+        _expect("fig4.normalized_ber_range",
+                {"A": (0.43, 1.11), "B": (0.33, 1.03), "C": (0.74, 0.94)},
+                source="Observation 3"),
+        # Figure 5 / Observations 4-5 -- normalized HC_first at V_PPmin.
+        _expect("fig5.fraction_increasing", 0.693, display="0.693",
+                source="Observation 4"),
+        _expect("fig5.fraction_decreasing", 0.142, display="0.142",
+                source="Observation 5"),
+        _expect("fig5.mean_change", 0.074, display="+0.074",
+                source="Observation 4"),
+        _expect("fig5.max_increase", 0.858, display="0.858",
+                source="Observation 4"),
+        _expect("fig5.max_decrease", 0.091, display="0.091",
+                source="Observation 5"),
+        # Figure 6 / Observation 6 -- per-vendor HC_first ranges.
+        _expect("fig6.normalized_hcfirst_range",
+                {"A": (0.94, 1.52), "B": (0.92, 1.86), "C": (0.91, 1.35)},
+                source="Observation 6"),
+        # Figure 7 / Observation 7 -- tRCD guardband.
+        _expect("fig7.mean_guardband_reduction", 0.219,
+                source="Observation 7"),
+        # Figure 8 / Observations 8-9 -- SPICE tRCD_min worst cases.
+        _expect("fig8.worst_case_trcd_ns",
+                {2.5: 12.9, 1.9: 13.3, 1.8: 14.2, 1.7: 16.9},
+                source="Observations 8-9"),
+        # Figure 9 / Observation 10 -- restoration saturation deficit.
+        _expect("fig9.saturation_deficit",
+                {1.9: 0.041, 1.8: 0.110, 1.7: 0.181},
+                source="Observation 10"),
+        # Figure 10 / Observation 12 -- retention BER at the 4 s window
+        # per vendor, (nominal V_PP, 1.5 V) anchors.
+        _expect("fig10.retention_ber_4s",
+                {"A": (0.003, 0.008), "B": (0.002, 0.005),
+                 "C": (0.014, 0.025)},
+                source="Observation 12"),
+        # Section 4.6 -- coefficient-of-variation percentiles.
+        _expect("significance.cv_percentiles",
+                {90.0: 0.08, 95.0: 0.13, 99.0: 0.24},
+                source="Section 4.6"),
+    )
+}
+
+
+def expectation(key: str) -> PaperExpectation:
+    """Resolve one expectation by key."""
+    try:
+        return EXPECTATIONS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown paper expectation {key!r}; registered: "
+            f"{sorted(EXPECTATIONS)}"
+        ) from None
+
+
+def value(key: str) -> Any:
+    """The canonical numeric value (or mapping) of an expectation."""
+    return expectation(key).value
+
+
+def cell(key: str) -> Any:
+    """What a table's "paper" column prints for an expectation: the
+    exact display string when one is registered, else the value."""
+    found = expectation(key)
+    return found.display if found.display is not None else found.value

@@ -1,0 +1,236 @@
+"""Declarative experiment specs: the drift guard, plan derivation, the
+runner's spec-driven surface, and the get_study lint."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import cache
+from repro.harness.lint import check_experiments, check_source
+from repro.harness.lint import main as lint_main
+from repro.harness.plan import build_plan
+from repro.harness.registry import (
+    EXPERIMENT_IDS,
+    all_specs,
+    campaign_tests,
+    get_spec,
+)
+from repro.harness.runner import main
+from repro.harness.spec import StudyRequest
+
+MODULES = ("A4", "B3", "C5")
+
+#: Knob overrides that keep the drift guard fast at tiny scale.
+TINY_KNOBS = {
+    "fig8": {"samples": 8},
+    "fig9": {"samples": 8},
+    "ablation": {"rows": 64},
+    "blast_radius": {"victims_per_distance": 2},
+    "power": {"activations": 2_000},
+    "system_mitigations": {"row_count": 8},
+    "wcdp_distribution": {"rows_per_module": 4},
+}
+
+
+def test_declared_studies_match_actual_fetches(monkeypatch, tiny_scale):
+    """The drift guard: for every experiment, the studies its SPEC
+    declares are exactly the studies it fetches -- the bug class the old
+    hand-maintained CAMPAIGN_TESTS dict allowed (its preload routing for
+    pareto covered the wrong module set, for example)."""
+    fetched = []
+    real_get_study = cache.get_study
+
+    def recorder(tests, modules=cache.BENCH_MODULES, scale=None, seed=0,
+                 use_disk=None):
+        fetched.append(
+            (tuple(sorted(tests)), tuple(sorted(modules)), scale, seed)
+        )
+        return real_get_study(tests, modules=modules, scale=scale,
+                              seed=seed, use_disk=use_disk)
+
+    monkeypatch.setattr(cache, "get_study", recorder)
+    for spec in all_specs().values():
+        # Shrink the module set where the spec leaves it open; respect
+        # pinned defaults (they are part of the declaration under test).
+        modules = (
+            MODULES
+            if spec.module_scoped and spec.default_modules is None
+            else None
+        )
+        fetched.clear()
+        spec.run(modules=modules, scale=tiny_scale,
+                 **TINY_KNOBS.get(spec.id, {}))
+        declared = [
+            resolved.cache_key()
+            for resolved in spec.resolved_studies(modules, tiny_scale, 0)
+        ]
+        assert fetched == declared, (
+            f"{spec.id}: declared studies {declared} != fetched {fetched}"
+        )
+
+
+def test_registry_is_derived_not_hand_maintained():
+    from repro.harness import registry
+
+    assert not hasattr(registry, "CAMPAIGN_TESTS")
+    assert EXPERIMENT_IDS == list(all_specs())
+    # Report order: paper artifacts first, extensions after.
+    assert EXPERIMENT_IDS[:3] == ["table1", "table2", "table3"]
+    assert EXPERIMENT_IDS.index("significance") < EXPERIMENT_IDS.index(
+        "ablation"
+    )
+
+
+def test_every_spec_is_well_formed():
+    for spec in all_specs().values():
+        assert spec.id and spec.title
+        assert callable(spec.analyze)
+        assert spec.describe(), spec.id
+        for request in spec.studies:
+            assert request.tests, spec.id
+
+
+def test_campaign_tests_derived_from_specs():
+    assert campaign_tests(["fig3", "fig4"]) == [("rowhammer",)]
+    assert campaign_tests(["pareto"]) == [("rowhammer", "trcd")]
+    assert campaign_tests(["fig8", "table1"]) == []
+
+
+def test_unknown_knob_rejected():
+    with pytest.raises(TypeError, match="sample"):
+        get_spec("fig8").run(sample=3)  # typo for "samples"
+    with pytest.raises(TypeError, match="fig3"):
+        get_spec("fig3").run(samples=3)  # fig3 declares no knobs
+
+
+def test_module_scoped_flags():
+    for experiment_id in ("table1", "table2", "fig8", "fig9"):
+        assert not get_spec(experiment_id).module_scoped, experiment_id
+    for experiment_id in ("fig3", "pareto", "vppmin_survey"):
+        assert get_spec(experiment_id).module_scoped, experiment_id
+
+
+def test_dynamic_description_resolves_knobs_and_modules():
+    power = get_spec("power")
+    assert "200000 activations" in power.describe()
+    assert "500 activations" in power.describe(knobs={"activations": 500})
+    mitigations = get_spec("system_mitigations")
+    assert "module B6" in mitigations.describe()
+    assert "module C5" in mitigations.describe(modules=("C5",))
+
+
+def test_study_request_resolution_precedence(tiny_scale):
+    open_request = StudyRequest(tests=("rowhammer",))
+    resolved = open_request.resolve(modules=None, scale=tiny_scale, seed=3)
+    assert resolved.modules == cache.BENCH_MODULES
+    assert resolved.scale is tiny_scale
+    assert resolved.seed == 3
+    pinned = StudyRequest(tests=("trcd",), modules=("B3",), seed=9)
+    resolved = pinned.resolve(modules=("C5",), scale=tiny_scale, seed=3)
+    assert resolved.modules == ("B3",)  # the pin wins over the override
+    assert resolved.seed == 9
+
+
+def test_build_plan_dedupes_on_cache_key():
+    plan = build_plan(["fig3", "fig4", "significance"])
+    assert len(plan.requests) == 1
+    assert plan.requests[0].tests == ("rowhammer",)
+    assert plan.requests[0].modules == cache.BENCH_MODULES
+
+
+def test_build_plan_tracks_per_experiment_module_needs():
+    plan = build_plan(["pareto", "defense_synergy"])
+    by_tests = {request.tests: request.modules for request in plan.requests}
+    assert by_tests[("rowhammer", "trcd")] == ("B3", "A0")
+    assert by_tests[("rowhammer",)] == ("B3", "C9")
+
+
+def test_build_plan_respects_modules_override():
+    plan = build_plan(["fig3"], modules=("B3",), seed=5)
+    assert plan.requests == (
+        plan.requests[0].__class__(
+            tests=("rowhammer",), modules=("B3",), scale=None, seed=5
+        ),
+    )
+
+
+def test_empty_plan_is_falsy():
+    assert not build_plan(["table1", "fig8"])
+    assert build_plan(["fig3"])
+
+
+def test_plan_preload_primes_the_cache(tiny_scale):
+    plan = build_plan(["fig3"], modules=("C5",), scale=tiny_scale)
+    plan.preload_parallel(max_workers=1)
+    key = cache._key(("rowhammer",), ("C5",), tiny_scale, 0)
+    assert key in cache._CACHE
+
+
+def test_runner_list_flag(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for experiment_id in EXPERIMENT_IDS:
+        assert experiment_id in out
+    assert "rowhammer+trcd" in out  # pareto's derived needs
+    assert "Table 1" in out
+
+
+def test_runner_warns_when_modules_passed_to_unscoped_experiment(capsys):
+    assert main(["table2", "--modules", "B3", "--no-cache"]) == 0
+    err = capsys.readouterr().err
+    assert "table2 is not module-scoped" in err
+
+
+def test_runner_does_not_warn_for_scoped_experiments(capsys, tmp_path):
+    assert main(["table2", "--no-cache"]) == 0
+    assert "not module-scoped" not in capsys.readouterr().err
+
+
+def test_lint_current_tree_is_clean():
+    assert check_experiments() == []
+
+
+def test_lint_flags_get_study_import_and_call():
+    source = (
+        "from repro.harness.cache import get_study\n"
+        "def run():\n"
+        "    return get_study(('rowhammer',))\n"
+    )
+    violations = check_source("fake.py", source)
+    assert len(violations) == 2
+    assert violations[0][1] == 1
+    assert "StudyRequest" in violations[0][2]
+
+
+def test_lint_flags_attribute_calls():
+    source = (
+        "from repro.harness import cache\n"
+        "study = cache.get_study(('trcd',))\n"
+    )
+    assert len(check_source("fake.py", source)) == 1
+
+
+def test_lint_allows_declarative_specs():
+    source = (
+        "from repro.harness.spec import ExperimentSpec, StudyRequest\n"
+        "SPEC = ExperimentSpec(id='x', title='t', description='d',\n"
+        "                      analyze=print,\n"
+        "                      studies=(StudyRequest(tests=('trcd',)),))\n"
+    )
+    assert check_source("fake.py", source) == []
+
+
+def test_lint_cli_reports_ok(capsys):
+    assert lint_main([]) == 0
+    assert "harness lint: ok" in capsys.readouterr().out
+
+
+def test_lint_cli_reports_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("from repro.harness.cache import get_study\n")
+    assert lint_main([str(tmp_path)]) == 1
+    assert "bad.py:1" in capsys.readouterr().err
+
+
+def test_unknown_spec_rejected():
+    with pytest.raises(ConfigurationError):
+        get_spec("fig99")

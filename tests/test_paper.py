@@ -1,0 +1,101 @@
+"""The paper-expectations registry (repro.paper).
+
+Two invariants keep the registry honest: every registered expectation
+is actually consumed by the experiment it belongs to, and every cell an
+experiment prints in a "paper" column resolves back to a registry
+entry -- no stray inline literals.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro import paper
+from repro.errors import ConfigurationError
+from repro.harness.registry import run_experiment
+
+MODULES = ("A4", "B3", "C5")
+
+
+def test_every_expectation_is_referenced_by_its_experiment():
+    for key, expectation in paper.EXPECTATIONS.items():
+        module = importlib.import_module(
+            f"repro.harness.experiments.{expectation.experiment}"
+        )
+        source = inspect.getsource(module)
+        assert f'"{key}"' in source or f"'{key}'" in source, (
+            f"{key} is registered but never referenced by "
+            f"{expectation.experiment}"
+        )
+
+
+def test_expectation_keys_name_their_experiment():
+    for key, expectation in paper.EXPECTATIONS.items():
+        assert key == expectation.key
+        assert key.startswith(expectation.experiment + ".")
+
+
+def test_unknown_key_rejected_with_catalog():
+    with pytest.raises(ConfigurationError, match="fig3.fraction_decreasing"):
+        paper.expectation("fig3.no_such_quantity")
+
+
+def test_cell_prefers_display_over_value():
+    assert paper.cell("fig5.mean_change") == "+0.074"
+    assert paper.value("fig5.mean_change") == 0.074
+    # No display registered: the raw value is the cell.
+    assert paper.cell("fig7.mean_guardband_reduction") == 0.219
+
+
+def _registry_atoms():
+    """Every scalar a "paper" column could legitimately print."""
+    atoms = []
+    for expectation in paper.EXPECTATIONS.values():
+        if expectation.display is not None:
+            atoms.append(expectation.display)
+        values = expectation.value
+        if not isinstance(values, dict):
+            values = {None: values}
+        for leaf in values.values():
+            if isinstance(leaf, tuple):
+                atoms.extend(leaf)
+            else:
+                atoms.append(leaf)
+    return atoms
+
+
+def test_paper_columns_resolve_to_registry_entries(tiny_scale):
+    """Every non-empty cell under a "paper" header comes from the
+    registry (table3's per-module paper values come from the module
+    profiles and print under non-"paper" headers)."""
+    runs = {
+        "fig3": {"modules": MODULES},
+        "fig4": {"modules": MODULES},
+        "fig5": {"modules": MODULES},
+        "fig6": {"modules": MODULES},
+        "fig8": {"samples": 8},
+        "fig9": {"samples": 8},
+        "fig10": {"modules": MODULES},
+        "significance": {"modules": MODULES},
+    }
+    atoms = _registry_atoms()
+    for experiment_id, kwargs in runs.items():
+        if "modules" in kwargs:
+            kwargs = dict(kwargs, scale=tiny_scale)
+        output = run_experiment(experiment_id, **kwargs)
+        checked = 0
+        for table in output.tables:
+            for column, header in enumerate(table.headers):
+                if "paper" not in header.lower():
+                    continue
+                for row in table.rows:
+                    value = row[column]
+                    if value is None:
+                        continue
+                    assert value in atoms, (
+                        f"{experiment_id}: cell {value!r} under "
+                        f"{header!r} is not a registered expectation"
+                    )
+                    checked += 1
+        assert checked > 0, f"{experiment_id} printed no paper cells"
