@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test bench bench-all service-smoke artifacts examples clean
+.PHONY: install lint test bench bench-check bench-all service-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -13,7 +13,7 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.lint
 
 test: lint
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Perf trajectory: hot-primitive micro-benchmarks plus the probe-kernel
 # benchmark, which writes benchmarks/BENCH_probe.json (probes/sec and
@@ -22,6 +22,13 @@ test: lint
 bench: service-smoke
 	$(PYTHON) -m pytest benchmarks/test_microbenchmarks.py --benchmark-only
 	$(PYTHON) benchmarks/bench_probe.py
+
+# Perf-regression guard: re-measures probe throughput and both
+# acceptance campaigns, fails when any metric drops below the
+# committed benchmarks/BENCH_probe.json by more than the tolerance
+# band (REPRO_BENCH_TOLERANCE to widen on noisy machines).
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py
 
 # One-module orchestrated campaign with one injected bench fault:
 # asserts the retry succeeds, the JSON-lines event log parses, and the

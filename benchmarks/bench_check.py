@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression guard against the committed BENCH_probe.json.
+
+Re-measures the probe-throughput rates and both acceptance campaigns
+(``make bench`` writes them; see ``bench_probe.py``) and fails --
+exit 1 -- when any metric falls below its committed value by more than
+the tolerance band. Ratios (the campaign speedups) are compared with a
+tighter band than absolute probes/sec, which swing with machine load.
+
+Tolerances are fractions of the committed value and can be widened on
+noisy machines:
+
+    REPRO_BENCH_TOLERANCE=0.5 make bench-check
+
+Run:  PYTHONPATH=src python benchmarks/bench_check.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_probe  # noqa: E402  (sibling script, not a package)
+
+#: Default fractional tolerance for absolute rates (probes/sec).
+RATE_TOLERANCE = 0.5
+#: Default fractional tolerance for speedup ratios; load cancels out
+#: of a ratio, so the band is tighter.
+SPEEDUP_TOLERANCE = 0.3
+
+RATE_KEYS = (
+    "hammer_probes_per_sec_batch",
+    "hammer_probes_per_sec_fast",
+    "hammer_probes_per_sec_command",
+    "retention_probes_per_sec_batch",
+    "retention_probes_per_sec_fast",
+    "retention_probes_per_sec_command",
+)
+SPEEDUP_KEYS = (
+    "campaign_speedup",
+    "campaign_speedup_batch_over_fast",
+)
+
+
+def _tolerances():
+    override = os.environ.get("REPRO_BENCH_TOLERANCE")
+    if override is None:
+        return RATE_TOLERANCE, SPEEDUP_TOLERANCE
+    try:
+        value = float(override)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_BENCH_TOLERANCE must be a float, got {override!r}"
+        )
+    if not 0 <= value < 1:
+        raise SystemExit("REPRO_BENCH_TOLERANCE must be in [0, 1)")
+    return value, value
+
+
+def check(committed, measured, rate_tol, speedup_tol):
+    """Return a list of human-readable regression descriptions."""
+    failures = []
+    for keys, tolerance in ((RATE_KEYS, rate_tol), (SPEEDUP_KEYS, speedup_tol)):
+        for key in keys:
+            if key not in committed:
+                continue  # older baseline: nothing to guard yet
+            floor = committed[key] * (1.0 - tolerance)
+            if measured[key] < floor:
+                failures.append(
+                    f"{key}: measured {measured[key]:.2f} < floor "
+                    f"{floor:.2f} (committed {committed[key]:.2f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    default_baseline = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_probe.json"
+    )
+    parser.add_argument("--baseline", default=default_baseline)
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        committed = json.load(handle)
+    rate_tol, speedup_tol = _tolerances()
+
+    from repro.harness.cache import set_study_cache_dir
+
+    set_study_cache_dir(None)
+    print("re-measuring probe throughput...")
+    measured = dict(bench_probe.bench_probe_rates())
+    print("re-measuring one-module bench campaign (fast vs command)...")
+    measured.update(bench_probe.bench_campaign())
+    print("re-measuring characterization campaign (batch vs fast)...")
+    measured.update(bench_probe.bench_characterization_campaign(runs=1))
+
+    for key in RATE_KEYS + SPEEDUP_KEYS:
+        committed_value = committed.get(key)
+        committed_text = (
+            f"{committed_value:.2f}" if committed_value is not None else "--"
+        )
+        print(f"{key:>36}: {measured[key]:>10.2f}  (committed "
+              f"{committed_text})")
+
+    failures = check(committed, measured, rate_tol, speedup_tol)
+    if failures:
+        print("\nperformance regression against committed baseline:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno regression against the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

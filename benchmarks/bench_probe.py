@@ -3,15 +3,23 @@
 
 Measures, with both cache layers disabled:
 
-* single-probe throughput (probes/sec) of the batched kernel and the
-  command-level reference path, for the Alg. 1 hammer probe and the
-  Alg. 3 retention probe;
+* single-probe throughput (probes/sec) of the batch, fast and
+  command-level engines, for the Alg. 1 hammer probe and the Alg. 3
+  retention probe;
 * wall-clock of a bench-scale one-module RowHammer campaign
-  (``get_study(("rowhammer",))``) on each engine, the acceptance metric
-  of the probe-kernel optimization (target: fast >= 3x command).
+  (``get_study(("rowhammer",))``) on the fast and command engines --
+  the acceptance metric of the probe-kernel PR (fast >= 3x command);
+* wall-clock of the *characterization campaign* -- Alg. 1 bisections
+  plus Alg. 3 retention ladders over the bench row set at the paper
+  modules' physical row size (8 KiB) -- on the fast and batch engines:
+  the acceptance metric of the row-batched study kernels (batch >= 3x
+  fast). Engines are timed interleaved (min of several alternating
+  runs) because the batch engine's advantage would otherwise be
+  polluted by machine-load drift.
 
 The JSON is written next to this script (override with ``--out``) so
-future PRs have a perf trajectory to compare against.
+future PRs have a perf trajectory to compare against;
+``benchmarks/bench_check.py`` (``make bench-check``) guards it.
 
 Run:  PYTHONPATH=src python benchmarks/bench_probe.py
 """
@@ -19,6 +27,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_probe.py
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -37,6 +46,14 @@ from repro.softmc.infrastructure import TestInfrastructure
 GEOMETRY = ModuleGeometry(rows_per_bank=4096, banks=1, row_bits=8192)
 MODULE = "B3"
 CAMPAIGN_MODULE = "A0"
+CAMPAIGN_TESTS = ("rowhammer", "retention")
+#: The characterization campaign runs the bench row set against the
+#: paper modules' physical row size (8 KiB = 65536 cells; the default
+#: bench geometry's 8192-bit rows are a deliberately small stand-in).
+CHARACTERIZATION_SCALE = dataclasses.replace(
+    StudyScale.bench(),
+    geometry=ModuleGeometry(row_bits=65536),
+)
 
 
 def _context(probe_engine):
@@ -65,7 +82,7 @@ def bench_probe_rates():
     rates = {}
     hammer_pattern = STANDARD_PATTERNS[0]
     retention_pattern = STANDARD_PATTERNS[2]
-    for engine in ("fast", "command"):
+    for engine in ("batch", "fast", "command"):
         ctx = _context(engine)
         rates[f"hammer_probes_per_sec_{engine}"] = _probe_rate(
             lambda: measure_ber(ctx, 100, hammer_pattern, 300_000)
@@ -85,20 +102,64 @@ def bench_probe_rates():
     return rates
 
 
-def bench_campaign():
-    results = {}
-    for engine in ("fast", "command"):
-        os.environ["REPRO_PROBE_ENGINE"] = engine
+def _timed_campaign(engine, tests, scale=None):
+    os.environ["REPRO_PROBE_ENGINE"] = engine
+    try:
         clear_cache()
         started = time.monotonic()
-        get_study(("rowhammer",), modules=(CAMPAIGN_MODULE,))
-        results[f"campaign_seconds_{engine}"] = time.monotonic() - started
-    os.environ.pop("REPRO_PROBE_ENGINE", None)
-    clear_cache()
+        get_study(tests, modules=(CAMPAIGN_MODULE,), scale=scale)
+        return time.monotonic() - started
+    finally:
+        os.environ.pop("REPRO_PROBE_ENGINE", None)
+        clear_cache()
+
+
+def bench_campaign():
+    """The probe-kernel PR's acceptance campaign: fast vs command on
+    the default bench scale (kept for the perf trajectory)."""
+    results = {}
+    for engine in ("fast", "command"):
+        results[f"campaign_seconds_{engine}"] = _timed_campaign(
+            engine, ("rowhammer",)
+        )
     results["campaign_speedup"] = (
         results["campaign_seconds_command"] / results["campaign_seconds_fast"]
     )
     return results
+
+
+def bench_characterization_campaign(runs=2):
+    """The row-batched kernel PR's acceptance campaign: batch vs fast,
+    both Alg. 1 and Alg. 3, at the paper-realistic row size."""
+    engines = ("fast", "batch")
+    for engine in engines:  # warmup: module generation, import costs
+        _timed_campaign(engine, CAMPAIGN_TESTS, CHARACTERIZATION_SCALE)
+    times = {engine: [] for engine in engines}
+    for _ in range(runs):
+        for engine in engines:
+            times[engine].append(_timed_campaign(
+                engine, CAMPAIGN_TESTS, CHARACTERIZATION_SCALE
+            ))
+    results = {
+        f"characterization_seconds_{engine}": min(times[engine])
+        for engine in engines
+    }
+    results["campaign_speedup_batch_over_fast"] = (
+        results["characterization_seconds_fast"]
+        / results["characterization_seconds_batch"]
+    )
+    return results
+
+
+REPORT_KEYS = (
+    "hammer_probes_per_sec_batch", "hammer_probes_per_sec_fast",
+    "hammer_probes_per_sec_command", "retention_probes_per_sec_batch",
+    "retention_probes_per_sec_fast", "retention_probes_per_sec_command",
+    "hammer_probe_speedup", "retention_probe_speedup",
+    "campaign_seconds_fast", "campaign_seconds_command",
+    "campaign_speedup", "characterization_seconds_fast",
+    "characterization_seconds_batch", "campaign_speedup_batch_over_fast",
+)
 
 
 def main(argv=None) -> int:
@@ -113,26 +174,34 @@ def main(argv=None) -> int:
         "probe_module": MODULE,
         "campaign_module": CAMPAIGN_MODULE,
         "campaign": "bench-scale get_study(('rowhammer',))",
+        "characterization_campaign": (
+            "bench-scale get_study(('rowhammer', 'retention')) at 65536-bit"
+            " physical rows, interleaved min-of-2"
+        ),
     }}
     payload.update(bench_probe_rates())
-    print("measuring one-module bench campaigns (both engines)...")
+    print("measuring one-module bench campaigns (fast vs command)...")
     payload.update(bench_campaign())
+    print("measuring characterization campaigns (batch vs fast)...")
+    payload.update(bench_characterization_campaign())
 
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
 
-    for key in ("hammer_probes_per_sec_fast", "hammer_probes_per_sec_command",
-                "hammer_probe_speedup", "retention_probe_speedup",
-                "campaign_seconds_fast", "campaign_seconds_command",
-                "campaign_speedup"):
-        print(f"{key:>34}: {payload[key]:.2f}")
+    for key in REPORT_KEYS:
+        print(f"{key:>36}: {payload[key]:.2f}")
     print(f"wrote {args.out}")
+    failed = False
     if payload["campaign_speedup"] < 3.0:
-        print("WARNING: campaign speedup below the 3x acceptance target",
-              file=sys.stderr)
-        return 1
-    return 0
+        print("WARNING: fast-over-command campaign speedup below the 3x "
+              "acceptance target", file=sys.stderr)
+        failed = True
+    if payload["campaign_speedup_batch_over_fast"] < 3.0:
+        print("WARNING: batch-over-fast characterization speedup below the "
+              "3x acceptance target", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

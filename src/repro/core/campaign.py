@@ -102,15 +102,19 @@ def plan_row_chunks(
 def _run_one_module(args) -> tuple:
     """Worker: characterize one module (module-level entry point so the
     function pickles cleanly)."""
-    name, scale, seed, tests = args
-    study = CharacterizationStudy(scale=scale, seed=seed)
+    name, scale, seed, tests, probe_engine = args
+    study = CharacterizationStudy(
+        scale=scale, seed=seed, probe_engine=probe_engine
+    )
     return name, study.run_module(name, tests=tests)
 
 
 def _run_one_chunk(args) -> tuple:
     """Worker: characterize one (module, row-chunk) unit."""
-    name, scale, seed, tests, rows, chunk_index = args
-    study = CharacterizationStudy(scale=scale, seed=seed)
+    name, scale, seed, tests, rows, chunk_index, probe_engine = args
+    study = CharacterizationStudy(
+        scale=scale, seed=seed, probe_engine=probe_engine
+    )
     return name, chunk_index, study.run_module(name, tests=tests, rows=rows)
 
 
@@ -175,6 +179,7 @@ def run_parallel(
     max_workers: Optional[int] = None,
     granularity: str = "chunk",
     chunks_per_module: int = None,
+    probe_engine: str = None,
 ) -> StudyResult:
     """Run a campaign over a process pool.
 
@@ -191,6 +196,10 @@ def run_parallel(
         Target chunk count per module at chunk granularity; defaults to
         the scale's ``row_chunks`` (the sample is naturally split into
         that many disjoint runs).
+    probe_engine:
+        Probe-engine override forwarded to every worker's
+        :class:`CharacterizationStudy` (``"batch"`` / ``"fast"`` /
+        ``"command"``); None defers to the default selection policy.
     """
     scale = scale or StudyScale.bench()
     names = list(modules)
@@ -201,13 +210,18 @@ def run_parallel(
         )
     result = StudyResult(scale=scale, seed=seed)
     if len(names) <= 1 and granularity == "module" or max_workers == 1:
-        study = CharacterizationStudy(scale=scale, seed=seed)
+        study = CharacterizationStudy(
+            scale=scale, seed=seed, probe_engine=probe_engine
+        )
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)
         return result
 
     if granularity == "module":
-        jobs = [(name, scale, seed, tuple(tests)) for name in names]
+        jobs = [
+            (name, scale, seed, tuple(tests), probe_engine)
+            for name in names
+        ]
         collected: Dict[str, object] = {}
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             for name, module_result in pool.map(_run_one_module, jobs):
@@ -227,10 +241,12 @@ def run_parallel(
         )
         for index, chunk in enumerate(chunks):
             chunk_jobs.append(
-                (name, scale, seed, tuple(tests), chunk, index)
+                (name, scale, seed, tuple(tests), chunk, index, probe_engine)
             )
     if len(chunk_jobs) <= 1:
-        study = CharacterizationStudy(scale=scale, seed=seed)
+        study = CharacterizationStudy(
+            scale=scale, seed=seed, probe_engine=probe_engine
+        )
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)
         return result

@@ -30,6 +30,13 @@ class ProbeCounters:
     hammer_probes: int = 0
     retention_probes: int = 0
     commands_issued: int = 0
+    #: Sweep-LRU traffic of the kernelized engines (fast/batch): cache
+    #: hits, misses, capacity evictions, and per-session probes that
+    #: reused an already-resolved sweep instead of re-entering the LRU.
+    sweep_hits: int = 0
+    sweep_misses: int = 0
+    sweep_evictions: int = 0
+    sweep_saved_lookups: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (JSON exports, reports)."""
@@ -37,6 +44,10 @@ class ProbeCounters:
             "hammer_probes": self.hammer_probes,
             "retention_probes": self.retention_probes,
             "commands_issued": self.commands_issued,
+            "sweep_hits": self.sweep_hits,
+            "sweep_misses": self.sweep_misses,
+            "sweep_evictions": self.sweep_evictions,
+            "sweep_saved_lookups": self.sweep_saved_lookups,
         }
 
     def merge(self, other: "ProbeCounters") -> None:
@@ -44,6 +55,10 @@ class ProbeCounters:
         self.hammer_probes += other.hammer_probes
         self.retention_probes += other.retention_probes
         self.commands_issued += other.commands_issued
+        self.sweep_hits += other.sweep_hits
+        self.sweep_misses += other.sweep_misses
+        self.sweep_evictions += other.sweep_evictions
+        self.sweep_saved_lookups += other.sweep_saved_lookups
 
 
 class _NullPhase:

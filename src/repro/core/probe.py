@@ -7,15 +7,26 @@ of thousands of times per module:
   aggressors, hammer, read back), and
 * the write-wait-read retention probe of Alg. 3.
 
-:class:`CommandProbeEngine` runs each probe as a full SoftMC
-:class:`~repro.softmc.program.Program` through the host -- the validated
-reference path. :class:`FastProbeEngine` produces bit-identical results
-without building programs: it advances simulated time, restore sessions
-and activation counters through the exact command schedule, but
-evaluates the flips through the Bank's batched
-:class:`~repro.dram.bank.HammerSweep` / RetentionSweep kernels, which
-compute the per-cell effective thresholds once per operating point
-instead of once per probe.
+Three engine tiers implement them (see ``docs/PERFORMANCE.md``):
+
+* :class:`CommandProbeEngine` runs each probe as a full SoftMC
+  :class:`~repro.softmc.program.Program` through the host -- the
+  validated reference path.
+* :class:`FastProbeEngine` produces bit-identical results without
+  building programs: it advances simulated time, restore sessions and
+  activation counters through the exact command schedule, but evaluates
+  the flips through the Bank's batched
+  :class:`~repro.dram.bank.HammerSweep` / RetentionSweep kernels, which
+  compute the per-cell effective thresholds once per operating point
+  instead of once per probe.
+* :class:`BatchProbeEngine` (the default) batches the *study schedule*
+  on top of that: a whole bisection or retention ladder runs as one
+  probe session (:meth:`ProbeEngine.hammer_session` /
+  ``retention_session``) whose per-probe answers come from presorted
+  threshold reductions (:meth:`~repro.dram.bank.HammerSweep.
+  threshold_counts`) -- a few scalar multiplies and binary searches per
+  probe -- with the full per-cell flip mask materialized once per
+  session instead of once per probe. See :mod:`repro.core.batch`.
 
 Bit-identity rests on three properties of the device model (verified by
 the differential tests in ``tests/core/test_probe_equivalence.py``):
@@ -34,10 +45,11 @@ the differential tests in ``tests/core/test_probe_equivalence.py``):
    same Bank expressions (same operand order, same dtypes) at the same
    simulated-time offsets (same ``env.advance`` sequence).
 
-Engine selection: ``TestContext`` defaults to the fast engine; set
-``REPRO_PROBE_ENGINE=command`` (or pass ``probe_engine="command"``) to
-force the reference path. Banks with the TRR defense installed always
-use the command path, which feeds TRR its per-activation stream.
+Engine selection: ``TestContext`` defaults to the batch engine; set
+``REPRO_PROBE_ENGINE=fast`` / ``=command`` (or pass
+``probe_engine=...``) to force the per-probe kernel path or the
+reference path. Banks with the TRR defense installed always use the
+command path, which feeds TRR its per-activation stream.
 """
 
 from __future__ import annotations
@@ -62,11 +74,128 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Environment variable overriding the default engine choice.
 ENGINE_ENV_VAR = "REPRO_PROBE_ENGINE"
 
-#: Per-engine cap on cached (row, pattern) sweeps. The study loops touch
-#: at most the six standard patterns of one row before moving on, so a
-#: small LRU keeps memory flat at paper scale (a sweep holds ~100 KB of
-#: per-cell vectors at 8 Kb rows).
-_SWEEP_CACHE_SIZE = 48
+#: Environment variable overriding the sweep-LRU capacity.
+SWEEP_CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
+
+#: Default cap on cached (row, pattern) sweeps. The V_PP ladder revisits
+#: every sampled row once per level, so the cap must cover a whole
+#: bench-scale row set (96 rows) or each level rebuilds every sweep --
+#: the classic LRU sequential-scan worst case. A sweep holds ~100 KB of
+#: per-cell vectors at 8 Kb rows, so 192 entries stay under ~20 MB;
+#: paper-scale row sets overflow the cap, but rebuilds there only pay
+#: dict hits against the row-state caches.
+_SWEEP_CACHE_SIZE = 192
+
+
+def sweep_cache_capacity(override: int = None) -> int:
+    """Resolve the sweep-LRU capacity of the kernelized engines.
+
+    ``override`` (the ``TestContext.sweep_cache`` knob) wins when given;
+    otherwise the ``REPRO_SWEEP_CACHE`` environment variable applies,
+    defaulting to :data:`_SWEEP_CACHE_SIZE`.
+    """
+    if override is None:
+        raw = os.environ.get(SWEEP_CACHE_ENV_VAR)
+        if not raw:
+            return _SWEEP_CACHE_SIZE
+        try:
+            override = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{SWEEP_CACHE_ENV_VAR} must be an integer, got {raw!r}"
+            ) from None
+    if override < 1:
+        raise ConfigurationError(
+            f"sweep cache capacity must be >= 1, got {override}"
+        )
+    return override
+
+
+class HammerSession:
+    """One row's Alg. 1 probe run (a worst-BER loop, a bisection).
+
+    Sessions let an engine amortize work across the probes of one
+    ``(row, pattern)`` schedule at a fixed operating point; the generic
+    implementation simply forwards to the per-probe engine methods.
+    Close the session (or use it as a context manager) before anything
+    else touches the device: engines may defer materializing the row's
+    data until then.
+    """
+
+    def __init__(
+        self, engine: "ProbeEngine", ctx: "TestContext", row: int,
+        pattern: DataPattern,
+    ):
+        self._engine = engine
+        self._ctx = ctx
+        self._row = row
+        self._pattern = pattern
+
+    def __enter__(self) -> "HammerSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush any deferred device-state updates."""
+
+    def ber(self, hammer_count: int) -> float:
+        """One double-sided probe; the victim's BER."""
+        return self._engine.hammer_ber(
+            self._ctx, self._row, self._pattern, hammer_count
+        )
+
+    def any_flip(self, hammer_count: int) -> bool:
+        """One double-sided probe; did anything flip? (bisection use)."""
+        return self.ber(hammer_count) > 0
+
+
+class RetentionSession:
+    """One row's Alg. 3 probe run (the refresh-window ladder)."""
+
+    def __init__(
+        self, engine: "ProbeEngine", ctx: "TestContext", row: int,
+        pattern: DataPattern,
+    ):
+        self._engine = engine
+        self._ctx = ctx
+        self._row = row
+        self._pattern = pattern
+
+    def __enter__(self) -> "RetentionSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush any deferred device-state updates."""
+
+    def _probe(self, trefw: float) -> Tuple[float, Dict[int, int]]:
+        return self._engine.retention_probe(
+            self._ctx, self._row, self._pattern, trefw
+        )
+
+    def ber(self, trefw: float) -> float:
+        """One write-wait-read probe; BER only (WCDP ranking)."""
+        return self._engine.retention_ber(
+            self._ctx, self._row, self._pattern, trefw
+        )
+
+    def worst_probe(
+        self, trefw: float, iterations: int
+    ) -> Tuple[float, Dict[int, int]]:
+        """Worst (largest-BER) probe over ``iterations`` repetitions of
+        one window; ties keep the earliest iteration."""
+        worst_ber = -1.0
+        worst_histogram: Dict[int, int] = {}
+        for _ in range(iterations):
+            ber, histogram = self._probe(trefw)
+            if ber > worst_ber:
+                worst_ber = ber
+                worst_histogram = histogram
+        return worst_ber, worst_histogram
 
 
 class ProbeEngine:
@@ -95,6 +224,18 @@ class ProbeEngine:
     ) -> float:
         """One write-wait-read probe; BER only (WCDP ranking)."""
         raise NotImplementedError
+
+    def hammer_session(
+        self, ctx: "TestContext", row: int, pattern: DataPattern
+    ) -> HammerSession:
+        """Open a probe session for one row's Alg. 1 schedule."""
+        return HammerSession(self, ctx, row, pattern)
+
+    def retention_session(
+        self, ctx: "TestContext", row: int, pattern: DataPattern
+    ) -> RetentionSession:
+        """Open a probe session for one row's Alg. 3 schedule."""
+        return RetentionSession(self, ctx, row, pattern)
 
 
 class CommandProbeEngine(ProbeEngine):
@@ -150,8 +291,48 @@ class CommandProbeEngine(ProbeEngine):
         return bit_error_rate(expected, read)
 
 
+class _SweepHammerSession(HammerSession):
+    """Fast-engine session: one sweep-LRU lookup for the whole schedule."""
+
+    def __init__(self, engine, ctx, row, pattern):
+        super().__init__(engine, ctx, row, pattern)
+        self._sweep = engine._sweep(ctx, "hammer", row, pattern)
+        self._probed = False
+
+    def ber(self, hammer_count):
+        if self._probed:
+            self._engine.counters.sweep_saved_lookups += 1
+        self._probed = True
+        return self._engine._hammer_probe(self._ctx, self._sweep, hammer_count)
+
+
+class _SweepRetentionSession(RetentionSession):
+    """Fast-engine session: one sweep-LRU lookup for the whole ladder."""
+
+    def __init__(self, engine, ctx, row, pattern):
+        super().__init__(engine, ctx, row, pattern)
+        self._sweep = engine._sweep(ctx, "retention", row, pattern)
+        self._probed = False
+
+    def _note_probe(self):
+        if self._probed:
+            self._engine.counters.sweep_saved_lookups += 1
+        self._probed = True
+
+    def _probe(self, trefw):
+        self._note_probe()
+        return self._engine._retention_probe(self._ctx, self._sweep, trefw)
+
+    def ber(self, trefw):
+        self._note_probe()
+        mismatches = self._engine._retention_mismatches(
+            self._ctx, self._sweep, trefw
+        )
+        return float(np.count_nonzero(mismatches) / mismatches.size)
+
+
 class FastProbeEngine(ProbeEngine):
-    """Batched engine: same schedule, kernelized flip evaluation."""
+    """Kernelized engine: same schedule, batched flip evaluation."""
 
     name = "fast"
 
@@ -171,13 +352,18 @@ class FastProbeEngine(ProbeEngine):
         )
         self._columns = self._module.geometry.columns
         self._sweeps: "OrderedDict" = OrderedDict()
+        self._sweep_capacity = sweep_cache_capacity(
+            getattr(ctx, "sweep_cache", None)
+        )
 
     def _sweep(self, ctx, kind, row, pattern):
         key = (kind, ctx.bank, row, pattern.fill_byte)
         sweep = self._sweeps.get(key)
         if sweep is not None:
             self._sweeps.move_to_end(key)
+            self.counters.sweep_hits += 1
             return sweep
+        self.counters.sweep_misses += 1
         bank = self._module.bank(ctx.bank)
         if kind == "hammer":
             aggressors = ctx.adjacency.neighbors(ctx.bank, row)
@@ -187,16 +373,27 @@ class FastProbeEngine(ProbeEngine):
         else:
             sweep = bank.retention_sweep(row, pattern)
         self._sweeps[key] = sweep
-        if len(self._sweeps) > _SWEEP_CACHE_SIZE:
+        if len(self._sweeps) > self._sweep_capacity:
             self._sweeps.popitem(last=False)
+            self.counters.sweep_evictions += 1
         return sweep
 
+    def hammer_session(self, ctx, row, pattern):
+        return _SweepHammerSession(self, ctx, row, pattern)
+
+    def retention_session(self, ctx, row, pattern):
+        return _SweepRetentionSession(self, ctx, row, pattern)
+
     def hammer_ber(self, ctx, row, pattern, hammer_count):
+        return self._hammer_probe(
+            ctx, self._sweep(ctx, "hammer", row, pattern), hammer_count
+        )
+
+    def _hammer_probe(self, ctx, sweep, hammer_count):
         # The command path checks communication before every instruction;
         # one up-front check is equivalent because V_PP cannot change
         # mid-probe.
         self._module.check_communication()
-        sweep = self._sweep(ctx, "hammer", row, pattern)
         bank = self._module.bank(ctx.bank)
         env = self._env
         state = sweep.state
@@ -297,13 +494,16 @@ class FastProbeEngine(ProbeEngine):
         PROFILER.count("retention_probes")
         return flips if corrupt is None else (flips | corrupt)
 
-    def retention_probe(self, ctx, row, pattern, trefw):
-        sweep = self._sweep(ctx, "retention", row, pattern)
+    def _retention_probe(self, ctx, sweep, trefw):
         mismatches = self._retention_mismatches(ctx, sweep, trefw)
         ber = float(np.count_nonzero(mismatches) / mismatches.size)
         counts = mismatches.astype(np.int64).reshape(-1, 64).sum(axis=1)
         histogram = Counter(int(c) for c in counts if c > 0)
         return ber, dict(histogram)
+
+    def retention_probe(self, ctx, row, pattern, trefw):
+        sweep = self._sweep(ctx, "retention", row, pattern)
+        return self._retention_probe(ctx, sweep, trefw)
 
     def retention_ber(self, ctx, row, pattern, trefw):
         sweep = self._sweep(ctx, "retention", row, pattern)
@@ -311,19 +511,49 @@ class FastProbeEngine(ProbeEngine):
         return float(np.count_nonzero(mismatches) / mismatches.size)
 
 
+class BatchProbeEngine(FastProbeEngine):
+    """Schedule-batched engine: whole probe sessions at scalar cost.
+
+    Inherits the fast engine's per-probe methods (used as the fallback
+    whenever a probe's result could depend on per-probe device data,
+    e.g. under activation corruption) and overrides the sessions with
+    the kernels of :mod:`repro.core.batch`: per-probe answers come from
+    presorted threshold reductions, and the per-cell flip mask is
+    materialized once per session.
+    """
+
+    name = "batch"
+
+    def hammer_session(self, ctx, row, pattern):
+        from repro.core.batch import BatchHammerSession  # local: cycle
+
+        return BatchHammerSession(self, ctx, row, pattern)
+
+    def retention_session(self, ctx, row, pattern):
+        from repro.core.batch import BatchRetentionSession  # local: cycle
+
+        return BatchRetentionSession(self, ctx, row, pattern)
+
+    def preheat(self, ctx, rows) -> int:
+        """Warm the row set's per-row sort orders in one stacked
+        ``(rows, cells)`` pass; returns the number of rows warmed."""
+        return self._module.bank(ctx.bank).preheat_tolerance_orders(rows)
+
+
 def engine_selection(kind: str = None) -> str:
     """Resolve the requested probe-engine name.
 
     ``kind`` wins when given; otherwise the ``REPRO_PROBE_ENGINE``
-    environment variable applies, defaulting to ``"fast"``. This is the
+    environment variable applies, defaulting to ``"batch"``. This is the
     selection *before* the per-module TRR override of
     :func:`make_engine`, and is what campaign-scoped identities (the
     study-cache fingerprint, the service checkpoint manifest) record.
     """
-    kind = kind or os.environ.get(ENGINE_ENV_VAR) or "fast"
-    if kind not in ("fast", "command"):
+    kind = kind or os.environ.get(ENGINE_ENV_VAR) or "batch"
+    if kind not in ("batch", "fast", "command"):
         raise ConfigurationError(
-            f"unknown probe engine {kind!r}; expected 'fast' or 'command'"
+            f"unknown probe engine {kind!r}; expected 'batch', 'fast' or "
+            f"'command'"
         )
     return kind
 
@@ -332,13 +562,15 @@ def make_engine(ctx: "TestContext", kind: str = None) -> ProbeEngine:
     """Build the probe engine for a context.
 
     ``kind`` (or the ``REPRO_PROBE_ENGINE`` environment variable) picks
-    ``"fast"`` or ``"command"``; default is fast. TRR-enabled modules
-    always get the command engine, whose per-activation stream drives
-    the defense model.
+    ``"batch"``, ``"fast"`` or ``"command"``; default is batch.
+    TRR-enabled modules always get the command engine, whose
+    per-activation stream drives the defense model.
     """
     kind = engine_selection(kind)
     if kind == "command":
         return CommandProbeEngine(ctx)
     if any(bank.trr is not None for bank in ctx.infra.module.banks):
         return CommandProbeEngine(ctx)
-    return FastProbeEngine(ctx)
+    if kind == "fast":
+        return FastProbeEngine(ctx)
+    return BatchProbeEngine(ctx)

@@ -8,14 +8,17 @@ feeds the ECC and selective-refresh analyses (Observations 14/15,
 Figure 11).
 
 The worst case over iterations (largest BER) is recorded, consistent
-with the paper's methodology.
+with the paper's methodology. A row's whole window ladder runs as one
+engine probe session, which is what lets the batch engine resolve all
+``trefw`` levels against one sorted threshold vector.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.context import TestContext
+from repro.core.perf import PROFILER
 from repro.core.results import RetentionRowResult
 from repro.dram.patterns import DataPattern
 
@@ -43,24 +46,34 @@ def characterize_row(
     """
     windows = windows if windows is not None else list(ctx.scale.retention_windows)
     results: List[RetentionRowResult] = []
-    for trefw in windows:
-        worst_ber = -1.0
-        worst_histogram: Dict[int, int] = {}
-        for _ in range(ctx.scale.iterations):
-            ber, histogram = measure_retention(ctx, row, pattern, trefw)
-            if ber > worst_ber:
-                worst_ber = ber
-                worst_histogram = histogram
-        results.append(
-            RetentionRowResult(
-                module=ctx.module_name,
-                bank=ctx.bank,
-                row=row,
-                vpp=vpp,
-                trefw=trefw,
-                wcdp_index=pattern.index,
-                ber=worst_ber,
-                word_flip_histogram=worst_histogram,
+    with ctx.engine.retention_session(ctx, row, pattern) as session:
+        for trefw in windows:
+            ber, histogram = session.worst_probe(
+                trefw, ctx.scale.iterations
             )
-        )
+            results.append(
+                RetentionRowResult(
+                    module=ctx.module_name,
+                    bank=ctx.bank,
+                    row=row,
+                    vpp=vpp,
+                    trefw=trefw,
+                    wcdp_index=pattern.index,
+                    ber=ber,
+                    word_flip_histogram=histogram,
+                )
+            )
+    return results
+
+
+def characterize_rows(
+    ctx: TestContext, rows: Sequence[int],
+    patterns: Dict[int, DataPattern], vpp: float,
+) -> List[RetentionRowResult]:
+    """Alg. 3 over a whole row set at the current V_PP (the campaign
+    loop's batch entry point; probe order matches the per-row loop)."""
+    results: List[RetentionRowResult] = []
+    for row in rows:
+        with PROFILER.phase("retention"):
+            results.extend(characterize_row(ctx, row, patterns[row], vpp))
     return results

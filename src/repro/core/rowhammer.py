@@ -8,14 +8,22 @@ count flips. ``find_hcfirst`` wraps it in the bisection loop of Alg. 1
 termination step), taking the worst case over iterations exactly as
 Section 4.2 prescribes: the *smallest* observed HC_first and the
 *largest* observed BER.
+
+The bisection control flow lives in :func:`bisect_hcfirst`, shared by
+every probe engine: the engines differ only in how a single "did
+anything flip at this hammer count?" probe is answered (the batch
+engine resolves a whole bisection inside one probe session; see
+:mod:`repro.core.batch`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.context import TestContext
+from repro.core.perf import PROFILER
 from repro.core.results import RowHammerRowResult
+from repro.core.scale import StudyScale
 from repro.dram.patterns import DataPattern
 
 
@@ -36,35 +44,38 @@ def measure_worst_ber(
     iterations: int,
 ) -> Tuple[float, Tuple[float, ...]]:
     """Worst (largest) BER over ``iterations`` repetitions, plus the
-    per-iteration values (Section 4.6's CV input)."""
-    values = tuple(
-        measure_ber(ctx, row, pattern, hammer_count) for _ in range(iterations)
-    )
+    per-iteration values (Section 4.6's CV input).
+
+    Runs as one probe session, so the engine resolves the row's sweep
+    once for all repetitions instead of re-entering its cache per
+    iteration (the ``sweep_saved_lookups`` counter tracks the savings).
+    """
+    with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+        values = tuple(
+            probe.ber(hammer_count) for _ in range(iterations)
+        )
     return max(values), values
 
 
-def find_hcfirst(
-    ctx: TestContext, row: int, pattern: DataPattern,
-    iterations: int = None,
+def bisect_hcfirst(
+    scale: StudyScale, iterations: int, any_flip: Callable[[int], bool],
 ) -> Optional[int]:
-    """Alg. 1's bisection for the minimum flip-inducing hammer count.
+    """Alg. 1's bisection control flow over an any-flip probe.
 
-    Starting at 300K with a 150K step, the hammer count moves up while no
-    flip occurs and down once one does, the step halving each round until
-    it falls below the scale's termination step. Any flip in any of the
-    ``iterations`` repetitions counts (worst case). Returns None when
-    even the bisection's maximum reach produces no flip (censored:
-    extremely strong row, cf. module A5).
+    Starting at the scale's initial hammer count and step, the count
+    moves up while no flip occurs and down once one does, the step
+    halving each round until it falls below the termination step; a
+    non-positive count resets to the termination step. Any flip in any
+    of the ``iterations`` repetitions counts (the ``any`` short-circuit
+    makes the probe count data-dependent, which is why the engines
+    resolve probes one at a time). Returns the smallest flipping count,
+    or None when nothing ever flipped (censored row).
     """
-    scale = ctx.scale
-    iterations = iterations or scale.iterations
     hc = scale.hcfirst_initial
     step = scale.hcfirst_step
     lowest_flipping: Optional[int] = None
     while step >= scale.hcfirst_min_step:
-        flipped = any(
-            measure_ber(ctx, row, pattern, hc) > 0 for _ in range(iterations)
-        )
+        flipped = any(any_flip(hc) for _ in range(iterations))
         if flipped:
             lowest_flipping = hc if lowest_flipping is None else min(
                 lowest_flipping, hc
@@ -76,6 +87,22 @@ def find_hcfirst(
         if hc <= 0:
             hc = scale.hcfirst_min_step
     return lowest_flipping
+
+
+def find_hcfirst(
+    ctx: TestContext, row: int, pattern: DataPattern,
+    iterations: int = None,
+) -> Optional[int]:
+    """Alg. 1's bisection for the minimum flip-inducing hammer count.
+
+    Returns None when even the bisection's maximum reach produces no
+    flip (censored: extremely strong row, cf. module A5). The whole
+    bisection runs as one engine probe session.
+    """
+    scale = ctx.scale
+    iterations = iterations or scale.iterations
+    with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+        return bisect_hcfirst(scale, iterations, probe.any_flip)
 
 
 def characterize_row(
@@ -96,3 +123,19 @@ def characterize_row(
         ber=ber,
         ber_iterations=iterations_values,
     )
+
+
+def characterize_rows(
+    ctx: TestContext, rows: Sequence[int],
+    patterns: Dict[int, DataPattern], vpp: float,
+) -> List[RowHammerRowResult]:
+    """Alg. 1 over a whole row set at the current V_PP (the campaign
+    loop's batch entry point; probe order matches the per-row loop)."""
+    return [
+        _profiled_row(ctx, row, patterns[row], vpp) for row in rows
+    ]
+
+
+def _profiled_row(ctx, row, pattern, vpp) -> RowHammerRowResult:
+    with PROFILER.phase("rowhammer"):
+        return characterize_row(ctx, row, pattern, vpp)

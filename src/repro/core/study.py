@@ -77,7 +77,8 @@ class CharacterizationStudy:
     progress:
         Optional callback ``(message: str) -> None`` for long runs.
     probe_engine:
-        Probe-engine override (``"fast"`` / ``"command"``); None selects
+        Probe-engine override (``"batch"`` / ``"fast"`` / ``"command"``);
+        None selects
         the default policy of :func:`repro.core.probe.make_engine`.
     fault_injector:
         Optional :class:`repro.service.faults.FaultInjector` wired into
@@ -149,6 +150,11 @@ class CharacterizationStudy:
                 self.scale.rows_per_module,
                 self.scale.row_chunks,
             )
+        # Batch-capable engines precompute the row set's per-row sort
+        # orders in one stacked (rows, cells) pass up front.
+        preheat = getattr(ctx.engine, "preheat", None)
+        if preheat is not None:
+            preheat(ctx, rows)
 
         # WCDP determination at nominal V_PP (Section 4.1).
         with PROFILER.phase("wcdp"):
@@ -168,12 +174,23 @@ class CharacterizationStudy:
                 self._progress(f"{name}: determining retention WCDPs")
                 wcdp_ret = {row: retention_wcdp(ctx, row) for row in rows}
 
-        # RowHammer and tRCD at 50 degC across the V_PP grid.
+        # RowHammer and tRCD at 50 degC across the V_PP grid. With tRCD
+        # in the mix, the sequential per-row interleave is preserved
+        # (tRCD probes run between a row's RowHammer schedules, so probe
+        # chronology is row-by-row); a RowHammer-only campaign hands the
+        # whole row set to the batch entry point per operating point.
         if "rowhammer" in tests or "trcd" in tests:
             infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
             for vpp in vpp_levels:
                 infra.set_vpp(vpp)
                 self._progress(f"{name}: V_PP={vpp:.1f} V (50 degC tests)")
+                if "trcd" not in tests:
+                    result.rowhammer.extend(
+                        rowhammer_test.characterize_rows(
+                            ctx, rows, wcdp_rh, vpp
+                        )
+                    )
+                    continue
                 for row in rows:
                     if "rowhammer" in tests:
                         with PROFILER.phase("rowhammer"):
@@ -182,13 +199,12 @@ class CharacterizationStudy:
                                     ctx, row, wcdp_rh[row], vpp
                                 )
                             )
-                    if "trcd" in tests:
-                        with PROFILER.phase("trcd"):
-                            result.trcd.append(
-                                trcd_test.characterize_row(
-                                    ctx, row, wcdp_act[row], vpp
-                                )
+                    with PROFILER.phase("trcd"):
+                        result.trcd.append(
+                            trcd_test.characterize_row(
+                                ctx, row, wcdp_act[row], vpp
                             )
+                        )
 
         # Retention at 80 degC across the V_PP grid.
         if "retention" in tests:
@@ -196,13 +212,11 @@ class CharacterizationStudy:
             for vpp in vpp_levels:
                 infra.set_vpp(vpp)
                 self._progress(f"{name}: V_PP={vpp:.1f} V (retention)")
-                for row in rows:
-                    with PROFILER.phase("retention"):
-                        result.retention.extend(
-                            retention_test.characterize_row(
-                                ctx, row, wcdp_ret[row], vpp
-                            )
-                        )
+                result.retention.extend(
+                    retention_test.characterize_rows(
+                        ctx, rows, wcdp_ret, vpp
+                    )
+                )
         PROFILER.record_probes(ctx.engine.counters)
         return result
 

@@ -27,22 +27,22 @@ def _coarse_hcfirst(
     ctx: TestContext, row: int, pattern: DataPattern
 ) -> float:
     """Cheap HC_first estimate for pattern ranking: a short bisection
-    with one iteration per probe. Returns +inf when nothing flips."""
-    from repro.core.rowhammer import measure_ber  # local: avoid cycle
-
+    with one iteration per probe, run as one engine probe session.
+    Returns +inf when nothing flips."""
     hc = ctx.scale.hcfirst_initial
     step = ctx.scale.hcfirst_step
     floor = max(ctx.scale.hcfirst_min_step, ctx.scale.hcfirst_initial // 32)
     lowest = math.inf
-    while step >= floor:
-        if measure_ber(ctx, row, pattern, hc) > 0:
-            lowest = min(lowest, hc)
-            hc -= step
-        else:
-            hc += step
-        step //= 2
-        if hc <= 0:
-            break
+    with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+        while step >= floor:
+            if probe.any_flip(hc):
+                lowest = min(lowest, hc)
+                hc -= step
+            else:
+                hc += step
+            step //= 2
+            if hc <= 0:
+                break
     return lowest
 
 
@@ -85,10 +85,11 @@ def retention_wcdp(ctx: TestContext, row: int) -> DataPattern:
     first_failures: List[tuple] = []
     for pattern in STANDARD_PATTERNS:
         failing = math.inf
-        for window in windows:
-            if _retention_ber(ctx, row, pattern, window) > 0:
-                failing = window
-                break
+        with ctx.engine.retention_session(ctx, row, pattern) as session:
+            for window in windows:
+                if session.ber(window) > 0:
+                    failing = window
+                    break
         first_failures.append((failing, pattern))
     best = min(f[0] for f in first_failures)
     tied = [pattern for value, pattern in first_failures if value == best]

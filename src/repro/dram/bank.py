@@ -49,6 +49,12 @@ from repro.rng import RngHub
 #: attacks, Section 4.2).
 _DISTANCE1_WEIGHT = 0.5
 
+#: Row-state cache key of the pattern-independent sort statics: the
+#: ascending-tolerance cell order, the float64 tolerances in that order
+#: and the outlier mask in that order (pure per-row properties; see
+#: :meth:`Bank.preheat_tolerance_orders`).
+_TOL_ORDER_KEY = "_tol_order"
+
 
 class Bank:
     """A single DRAM bank of a simulated module."""
@@ -138,6 +144,31 @@ class Bank:
     def _discharged_value(self, physical_row: int) -> int:
         return 1 if self._cells.is_anti_row(physical_row) else 0
 
+    def _retention_base(
+        self, physical_row: int, state: RowState, vpp_at_restore: float
+    ) -> np.ndarray:
+        """Pattern-independent part of the effective retention times,
+        cached for the most recent (V_PP-at-restore, temperature) pair.
+
+        The data pattern only contributes a trailing scalar factor, so
+        one base vector serves every pattern probed at an operating
+        point -- and scalar multiplication being monotone, the minimum
+        effective retention can be taken over the base and scaled."""
+        key = (vpp_at_restore, self._env.temperature)
+        cached = state.cache.get("_retention_base")
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        retention = self._cached(state, physical_row, "cell_retention_times")
+        sensitivity = self._cached(
+            state, physical_row, "cell_retention_vpp_sensitivity"
+        )
+        model = self._cal.retention
+        margin = model.margin_factor(vpp_at_restore)
+        thermal = model.temperature_factor(self._env.temperature)
+        base = retention * thermal * np.power(margin, sensitivity)
+        state.cache["_retention_base"] = (key, base)
+        return base
+
     def _effective_retention_times(
         self,
         physical_row: int,
@@ -153,18 +184,11 @@ class Bank:
         the batched probe sweeps so both evaluate the exact same
         expression.
         """
-        retention = self._cached(state, physical_row, "cell_retention_times")
-        sensitivity = self._cached(
-            state, physical_row, "cell_retention_vpp_sensitivity"
-        )
         retention_pattern = self._cached(
             state, physical_row, "retention_pattern_factors"
         )[pattern_index]
-        model = self._cal.retention
-        margin = model.margin_factor(vpp_at_restore)
-        thermal = model.temperature_factor(self._env.temperature)
-        return (
-            retention * thermal * np.power(margin, sensitivity)
+        return self._retention_base(
+            physical_row, state, vpp_at_restore
         ) * retention_pattern
 
     def _effective_tolerances(
@@ -314,6 +338,35 @@ class Bank:
         state.damage_outlier = 0.0
         state.session += 1
 
+    def _trcd_worst_requirement(
+        self, physical_row: int, state: RowState
+    ) -> float:
+        """The row's worst-case (slowest-cell) activation requirement at
+        the current V_PP and the stored pattern slot. ``inf`` below the
+        conduction floor. Every factor is cached, so the common case is
+        a few dict hits and three multiplies."""
+        base_key = ("_trcd_base", self._env.vpp)
+        requirement_base = state.cache.get(base_key)
+        if requirement_base is None:
+            requirement_base = self._cal.activation.trcd_min(self._env.vpp)
+            state.cache[base_key] = requirement_base
+        if math.isinf(requirement_base):
+            return requirement_base
+        row_factor = state.cache.get("_trcd_row_factor")
+        if row_factor is None:
+            row_factor = self._cells.trcd_row_factor(physical_row)
+            state.cache["_trcd_row_factor"] = row_factor
+        pattern_factor = self._cached(state, physical_row, "trcd_pattern_factors")[
+            state.pattern_index
+        ]
+        cell_max = state.cache.get("_trcd_cell_max")
+        if cell_max is None:
+            cell_max = float(
+                self._cached(state, physical_row, "cell_trcd_factors").max()
+            )
+            state.cache["_trcd_cell_max"] = cell_max
+        return requirement_base * row_factor * pattern_factor * cell_max
+
     def _activation_corruption(
         self, physical_row: int, state: RowState, trcd_used: float
     ) -> Optional[np.ndarray]:
@@ -324,30 +377,19 @@ class Bank:
         the row's worst-case requirement is cached per row, so the
         common case (ample tRCD) costs two lookups and a compare.
         """
-        base_key = ("_trcd_base", self._env.vpp)
-        requirement_base = state.cache.get(base_key)
-        if requirement_base is None:
-            requirement_base = self._cal.activation.trcd_min(self._env.vpp)
-            state.cache[base_key] = requirement_base
-        if math.isinf(requirement_base):
+        worst = self._trcd_worst_requirement(physical_row, state)
+        if worst <= trcd_used:
+            return None  # even the slowest cell is covered
+        if math.isinf(worst):
             # Below the conduction floor nothing senses correctly.
             return self._charged_mask(physical_row, state.data)
 
-        row_factor = state.cache.get("_trcd_row_factor")
-        if row_factor is None:
-            row_factor = self._cells.trcd_row_factor(physical_row)
-            state.cache["_trcd_row_factor"] = row_factor
+        requirement_base = state.cache[("_trcd_base", self._env.vpp)]
+        row_factor = state.cache["_trcd_row_factor"]
         pattern_factor = self._cached(state, physical_row, "trcd_pattern_factors")[
             state.pattern_index
         ]
         cell_factors = self._cached(state, physical_row, "cell_trcd_factors")
-        cell_max = state.cache.get("_trcd_cell_max")
-        if cell_max is None:
-            cell_max = float(cell_factors.max())
-            state.cache["_trcd_cell_max"] = cell_max
-        if requirement_base * row_factor * pattern_factor * cell_max <= trcd_used:
-            return None  # even the slowest cell is covered
-
         requirement = requirement_base * row_factor * pattern_factor * cell_factors
         corrupt = (requirement > trcd_used) & self._charged_mask(
             physical_row, state.data
@@ -588,6 +630,43 @@ class Bank:
         self._check_row(logical_row)
         return self._state(self._mapping.to_physical(logical_row))
 
+    def preheat_tolerance_orders(self, logical_rows: Sequence[int]) -> int:
+        """Warm the per-row tolerance sort orders for a whole row set.
+
+        The batch probe engine's count reductions walk each row's cells
+        in ascending-tolerance order (:meth:`HammerSweep.
+        threshold_counts`). The order is a pure per-row property, so a
+        row set can compute it in one stacked ``(rows, cells)`` argsort
+        instead of one argsort per row; the per-row results are
+        identical. Returns the number of rows actually warmed (rows
+        whose order is already cached are skipped).
+        """
+        physicals: List[int] = []
+        states: List[RowState] = []
+        for logical in logical_rows:
+            self._check_row(logical)
+            physical = self._mapping.to_physical(logical)
+            state = self._state(physical)
+            if _TOL_ORDER_KEY not in state.cache:
+                physicals.append(physical)
+                states.append(state)
+        if not physicals:
+            return 0
+        stacked = np.stack([
+            self._cached(state, physical, "cell_tolerances")
+            for physical, state in zip(physicals, states)
+        ])
+        orders = np.argsort(stacked, axis=1)
+        sorted64 = np.take_along_axis(stacked, orders, axis=1).astype(
+            np.float64
+        )
+        for physical, state, order, tol_sorted in zip(
+            physicals, states, orders, sorted64
+        ):
+            outlier = self._cached(state, physical, "cell_outlier_mask")
+            state.cache[_TOL_ORDER_KEY] = (order, tol_sorted, outlier[order])
+        return len(physicals)
+
     def sensing_corruption(
         self, logical_row: int, trcd: float
     ) -> Optional[np.ndarray]:
@@ -597,6 +676,20 @@ class Bank:
         self._check_row(logical_row)
         physical = self._mapping.to_physical(logical_row)
         return self._activation_corruption(physical, self._state(physical), trcd)
+
+    def sensing_certainly_clean(self, logical_row: int, trcd: float) -> bool:
+        """Whether an ACT with ``trcd`` is guaranteed corruption-free for
+        this row *regardless of its content*: even the slowest cell's
+        requirement (at the current V_PP and the row's stored pattern
+        slot) is covered. Data-independent, so the batch probe engine
+        can cache the verdict per operating point across sessions --
+        unlike :meth:`sensing_corruption`, whose ``None`` can also mean
+        "the vulnerable cells happen to be uncharged right now"."""
+        self._check_row(logical_row)
+        physical = self._mapping.to_physical(logical_row)
+        state = self._state(physical)
+        worst = self._trcd_worst_requirement(physical, state)
+        return worst <= trcd
 
     # -- introspection (testing / reverse-engineering support) --------------------------
 
@@ -632,18 +725,34 @@ class ProbeSweep:
         self.pattern = pattern
         self.physical = bank._mapping.to_physical(victim_row)
         self.state = bank._state(self.physical)
-        self.bits = pattern.row_bits(bank._geometry.row_bits)
-        classified = classify_row_bits(self.bits)
-        self.pattern_index = (
-            classified.index if classified is not None else OTHER_PATTERN_INDEX
-        )
-        self.charged = bank._charged_mask(self.physical, self.bits)
+        # Bits, classification and charged mask are pure functions of
+        # (pattern, row polarity); cache them on the row state so sweep
+        # rebuilds (e.g. after an LRU eviction) cost dict hits only.
+        pattern_key = ("_probe_pattern", pattern)
+        cached = self.state.cache.get(pattern_key)
+        if cached is None:
+            bits = pattern.row_bits(bank._geometry.row_bits)
+            classified = classify_row_bits(bits)
+            cached = (
+                bits,
+                classified.index if classified is not None
+                else OTHER_PATTERN_INDEX,
+                bank._charged_mask(self.physical, bits),
+            )
+            self.state.cache[pattern_key] = cached
+        self.bits, self.pattern_index, self.charged = cached
         self.discharged_value = bank._discharged_value(self.physical)
         self._outlier_mask = bank._cached(
             self.state, self.physical, "cell_outlier_mask"
         )
         self._op_key = None
         self._retention_thresholds = None
+        self._counts = None
+        self._counts_key = None
+        #: Operating point at which sensing is known data-independently
+        #: clean (see Bank.sensing_certainly_clean); batch sessions key
+        #: their per-session corruption verdict on this.
+        self.sensing_clean_at = None
 
     def effective_retention_times(self) -> np.ndarray:
         """Per-cell retention thresholds at the current operating point
@@ -693,6 +802,37 @@ class HammerSweep(ProbeSweep):
                 weight = 0.0  # beyond the disturbance radius
             self._weights.append(weight)
             self.aggressor_states.append(bank._state(physical))
+        self._damage_terms = None
+
+    def damage_terms(self) -> tuple:
+        """``(op_key, base_bulk, base_outlier, terms)`` for
+        :meth:`victim_damage` at the current operating point.
+
+        The initialization deposits (one activation per aggressor) and
+        the per-aggressor ``weight / scale`` coefficients are constant
+        per (V_PP, temperature), so a whole bisection reuses them; the
+        base sums are accumulated once in the command path's exact
+        order.
+        """
+        env = self._bank._env
+        key = (env.vpp, env.temperature)
+        cached = self._damage_terms
+        if cached is None or cached[0] != key:
+            scale_bulk, scale_outlier = self._bank._disturbance_scales(
+                self.physical
+            )
+            base_bulk = 0.0
+            base_outlier = 0.0
+            for weight in self._weights:
+                base_bulk += 1 * weight / scale_bulk
+                base_outlier += 1 * weight / scale_outlier
+            terms = tuple(
+                (weight, scale_bulk, scale_outlier)
+                for weight in self._weights
+            )
+            cached = (key, base_bulk, base_outlier, terms)
+            self._damage_terms = cached
+        return cached
 
     def victim_damage(self, count: int) -> "tuple[float, float]":
         """(bulk, outlier) damage one probe deposits on the victim.
@@ -702,15 +842,8 @@ class HammerSweep(ProbeSweep):
         with the same scalar expressions, so the floating-point result is
         bit-identical to ``RowState.damage_*`` after the real commands.
         """
-        scale_bulk, scale_outlier = self._bank._disturbance_scales(
-            self.physical
-        )
-        damage_bulk = 0.0
-        damage_outlier = 0.0
-        for weight in self._weights:
-            damage_bulk += 1 * weight / scale_bulk
-            damage_outlier += 1 * weight / scale_outlier
-        for weight in self._weights:
+        _, damage_bulk, damage_outlier, terms = self.damage_terms()
+        for weight, scale_bulk, scale_outlier in terms:
             damage_bulk += count * weight / scale_bulk
             damage_outlier += count * weight / scale_outlier
         return damage_bulk, damage_outlier
@@ -735,6 +868,20 @@ class HammerSweep(ProbeSweep):
         damage = np.where(self._outlier_mask, damage_outlier, damage_bulk)
         flips |= charged & (damage >= effective_tolerance)
         return flips
+
+    def threshold_counts(self) -> "_HammerCounts":
+        """Sorted-threshold reductions at the current operating point.
+
+        Rebuilt only when V_PP or temperature change -- the per-probe
+        cost of a whole bisection then collapses to a few scalar
+        multiplies (see :class:`_HammerCounts`).
+        """
+        env = self._bank._env
+        key = (env.vpp, env.temperature)
+        if self._counts is None or self._counts_key != key:
+            self._counts = _HammerCounts(self)
+            self._counts_key = key
+        return self._counts
 
     def flip_counts(
         self, counts: Sequence[int], session: int, elapsed: float
@@ -781,3 +928,352 @@ class RetentionSweep(ProbeSweep):
         if elapsed > 0:
             flips |= charged & (self.effective_retention_times() < elapsed)
         return flips
+
+    def threshold_counts(self) -> "_RetentionCounts":
+        """Sorted-threshold reductions at the current operating point
+        (exact flip counts for any elapsed time from one binary search).
+        """
+        env = self._bank._env
+        key = (env.vpp, env.temperature)
+        if self._counts is None or self._counts_key != key:
+            self._counts = _RetentionCounts(self)
+            self._counts_key = key
+        return self._counts
+
+
+_EMPTY_INDICES = np.empty(0, dtype=np.intp)
+
+
+def _flip_prefix(tol64: np.ndarray, factor, damage: float) -> int:
+    """Number of leading cells of an ascending-tolerance vector whose
+    effective tolerance (``tol * factor``) the damage reaches.
+
+    IEEE-754 multiplication by a positive factor is monotone, so the
+    rounded products inherit the vector's ordering and the flip
+    predicate ``tol64[k] * factor <= damage`` -- the scalar twin of the
+    broadcast ``damage >= tolerance * factor`` in :meth:`HammerSweep.
+    flip_mask` (NumPy promotes the float32 tolerances to float64 before
+    multiplying, which is exactly what ``tol64`` pre-bakes) -- selects a
+    prefix. A binary search finds its exact length.
+    """
+    n = tol64.shape[0]
+    if n == 0 or tol64[0] * factor > damage:
+        return 0
+    if tol64[n - 1] * factor <= damage:
+        return n
+    low, high = 0, n - 1
+    while high - low > 1:
+        mid = (low + high) // 2
+        if tol64[mid] * factor <= damage:
+            low = mid
+        else:
+            high = mid
+    return low + 1
+
+
+class _HammerCounts:
+    """Exact hammer-probe flip *counts* from scalar reductions.
+
+    A probe's flip set is ``R | D`` where ``R`` (retention decays) and
+    ``D`` (damage flips, per bulk/outlier population) are both prefix
+    sets of presorted threshold vectors, so
+
+    ``|R | D| = |R| + sum_pop |D_pop| - sum_pop |R & D_pop|``
+
+    needs one ``searchsorted``, one binary search per population, and a
+    small overlap count -- no full-row vector work. Every comparison
+    replays the exact scalar operations of :meth:`HammerSweep.
+    flip_mask` (float64 products of the float32 tolerances, strict /
+    non-strict directions preserved), so the counts are bit-consistent
+    with ``np.count_nonzero(flip_mask(...))`` -- the batch probe
+    engine's differential tests assert exactly that.
+    """
+
+    def __init__(self, sweep: HammerSweep):
+        bank = sweep._bank
+        state = sweep.state
+        self._cells = bank._cells
+        self._physical = sweep.physical
+        # The population index arrays and presorted float64 tolerances
+        # are operating-point independent: cache them on the row state
+        # (keyed by pattern) so V_PP steps and sweep-LRU evictions only
+        # pay for the per-op-point retention slice below.
+        static_key = ("_hammer_static", sweep.pattern)
+        static = state.cache.get(static_key)
+        if static is None:
+            # Pattern-independent row precomputation, shared across
+            # pattern statics: the ascending-tolerance cell order, the
+            # float64 tolerances in that order, and the outlier mask in
+            # that order. Tie order within equal tolerances is
+            # irrelevant (every prefix cutoff compares values only, so
+            # tied cells enter or leave a flip set together) -- the
+            # sorts can use the default unstable kind.
+            row_static = state.cache.get(_TOL_ORDER_KEY)
+            if row_static is None:
+                tolerance = bank._cached(
+                    state, sweep.physical, "cell_tolerances"
+                )
+                order = np.argsort(tolerance)
+                row_static = (
+                    order,
+                    tolerance[order].astype(np.float64),
+                    sweep._outlier_mask[order],
+                )
+                state.cache[_TOL_ORDER_KEY] = row_static
+            order, tol_sorted, outlier_sorted = row_static
+            # Filter once down to the charged cells, then split by the
+            # outlier flag at half width -- relative (ascending
+            # tolerance) order survives both filters.
+            charged_sorted = sweep.charged[order]
+            idx_charged = order[charged_sorted]
+            tol_charged = tol_sorted[charged_sorted]
+            out_charged = outlier_sorted[charged_sorted]
+            bulk_flag = ~out_charged
+            static = (
+                (idx_charged[bulk_flag], tol_charged[bulk_flag]),
+                (idx_charged[out_charged], tol_charged[out_charged]),
+            )
+            state.cache[static_key] = static
+        self._bulk, self._outlier = static
+        self._hammer_pattern = bank._cached(
+            state, sweep.physical, "pattern_factors"
+        )[sweep.pattern_index]
+        # Retention decay cannot fire below a sound scalar lower bound
+        # on the charged cells' effective retention (hammer probes wait
+        # micro- to milliseconds, retention thresholds sit orders of
+        # magnitude higher), so the full per-cell retention vector is
+        # materialized lazily -- usually never. The bound is analytic:
+        #   min_i r_i * thermal * margin^s_i * pattern
+        #     >= min(r) * thermal * min(margin^min(s), margin^max(s))
+        #        * pattern
+        # (margin^s is monotone in s), deflated by 1e-5 to absorb the
+        # float32 rounding of the vectorized expression.
+        guard_key = ("_retention_guard", sweep.pattern)
+        guard = state.cache.get(guard_key)
+        if guard is None:
+            retention = bank._cached(
+                state, sweep.physical, "cell_retention_times"
+            )
+            sensitivity = bank._cached(
+                state, sweep.physical, "cell_retention_vpp_sensitivity"
+            )
+            if sweep.charged.any():
+                charged_sensitivity = sensitivity[sweep.charged]
+                guard = (
+                    float(retention[sweep.charged].min()),
+                    float(charged_sensitivity.min()),
+                    float(charged_sensitivity.max()),
+                )
+            else:
+                guard = (math.inf, 0.0, 0.0)
+            state.cache[guard_key] = guard
+        retention_min, sensitivity_min, sensitivity_max = guard
+        if math.isinf(retention_min):
+            self._retention_bound = math.inf
+        else:
+            model = bank._cal.retention
+            env = bank._env
+            margin = model.margin_factor(env.vpp)
+            thermal = model.temperature_factor(env.temperature)
+            pattern_scalar = float(bank._cached(
+                state, sweep.physical, "retention_pattern_factors"
+            )[sweep.pattern_index])
+            self._retention_bound = (
+                retention_min * thermal
+                * min(margin ** sensitivity_min, margin ** sensitivity_max)
+                * pattern_scalar * (1.0 - 1e-5)
+            )
+        self._sweep = sweep
+        self._retention_sorted = None
+        self._effective_retention = None
+        # Per-population retention slices, materialized only if a probe
+        # actually needs the decay/damage overlap correction.
+        self._pop_retention = [None, None]
+
+    def _factor(self, session: int):
+        jitter = self._cells.measurement_jitter(self._physical, session)
+        return self._hammer_pattern * jitter
+
+    def _decayed(self, elapsed: float) -> int:
+        """Exact decayed-cell count; materializes the retention vector
+        on first use (callers pre-filter with ``_retention_bound``)."""
+        if self._retention_sorted is None:
+            self._effective_retention = (
+                self._sweep.effective_retention_times()
+            )
+            self._retention_sorted = np.sort(
+                self._effective_retention[self._sweep.charged]
+            )
+        return int(self._retention_sorted.searchsorted(elapsed, "left"))
+
+    def any_decay(self, elapsed: float) -> bool:
+        """True when the probe's wait decays at least one charged cell
+        (``flip_mask``'s retention term is nonzero)."""
+        return (
+            elapsed > 0
+            and elapsed > self._retention_bound
+            and self._decayed(elapsed) > 0
+        )
+
+    def _population_retention(self, index: int) -> np.ndarray:
+        retention = self._pop_retention[index]
+        if retention is None:
+            indices = (self._bulk, self._outlier)[index][0]
+            retention = self._effective_retention[indices]
+            self._pop_retention[index] = retention
+        return retention
+
+    def count(
+        self, damage_bulk: float, damage_outlier: float, session: int,
+        elapsed: float,
+    ) -> int:
+        """``np.count_nonzero(flip_mask(...))``, without the vectors."""
+        factor = self._factor(session)
+        decayed = 0
+        if elapsed > 0 and elapsed > self._retention_bound:
+            decayed = self._decayed(elapsed)
+        total = decayed
+        for index, damage in ((0, damage_bulk), (1, damage_outlier)):
+            tol64 = (self._bulk, self._outlier)[index][1]
+            prefix = _flip_prefix(tol64, factor, damage)
+            total += prefix
+            if prefix and decayed:
+                retention = self._population_retention(index)
+                total -= int(np.count_nonzero(retention[:prefix] < elapsed))
+        return total
+
+    def any_flip(
+        self, damage_bulk: float, damage_outlier: float, session: int,
+        elapsed: float,
+    ) -> bool:
+        """``flip_mask(...).any()``: probes only the population minima.
+
+        Skipping the jitter draw when a retention decay already decides
+        the probe is exact -- the RNG is stateless (see the sweep
+        docstrings).
+        """
+        if self.any_decay(elapsed):
+            return True
+        factor = self._factor(session)
+        for (_, tol64), damage in (
+            (self._bulk, damage_bulk), (self._outlier, damage_outlier)
+        ):
+            if tol64.shape[0] and tol64[0] * factor <= damage:
+                return True
+        return False
+
+    def flip_populations(
+        self, damage_bulk: float, damage_outlier: float, session: int
+    ) -> List[np.ndarray]:
+        """Per-population index arrays of the damage-flipped cells.
+
+        The prefix form of ``flip_mask``'s damage term: monotone
+        float64 products make each population's flip set a prefix of
+        its presorted index array. When ``elapsed <= min_retention`` no
+        retention decay can fire, so these indices *are* the complete
+        flip set -- the batch engine materializes a session's final
+        data from them without touching a full-row vector.
+        """
+        factor = self._factor(session)
+        parts = []
+        for (indices, tol64), damage in (
+            (self._bulk, damage_bulk), (self._outlier, damage_outlier)
+        ):
+            prefix = _flip_prefix(tol64, factor, damage)
+            if prefix:
+                parts.append(indices[:prefix])
+        return parts
+
+
+class _RetentionCounts:
+    """Exact retention-probe flip counts: one sorted threshold vector,
+    one ``searchsorted`` per probe (strict ``< elapsed``, matching
+    :meth:`RetentionSweep.flip_mask`).
+
+    The decayed cells of any elapsed time are exactly the charged cells
+    with threshold strictly below the cutoff, so the word-granular flip
+    histogram and the session's final data fall out of one comparison
+    against the (lazily materialized) charged threshold slice."""
+
+    def __init__(self, sweep: RetentionSweep):
+        state = sweep.state
+        charged_key = ("_charged_indices", sweep.pattern)
+        charged_indices = state.cache.get(charged_key)
+        if charged_indices is None:
+            charged_indices = np.flatnonzero(sweep.charged)
+            state.cache[charged_key] = charged_indices
+        self._charged_indices = charged_indices
+        bank = sweep._bank
+        env = bank._env
+        # The pattern only contributes a trailing positive scalar to the
+        # effective retention times, and multiplying by a positive
+        # scalar is (weakly) monotone in IEEE floats: sorting commutes
+        # with it. Cache the sorted charged *base* retention per
+        # operating point so every pattern's session pays one scalar
+        # multiply instead of a fresh materialize-and-sort.
+        op_key = (env.vpp, env.temperature)
+        base_key = ("_retention_sorted_base", sweep.pattern)
+        cached = state.cache.get(base_key)
+        if cached is None or cached[0] != op_key:
+            base = bank._retention_base(sweep.physical, state, env.vpp)
+            base_charged = base[charged_indices]
+            cached = (op_key, base_charged, np.sort(base_charged))
+            state.cache[base_key] = cached
+        scalar = bank._cached(
+            state, sweep.physical, "retention_pattern_factors"
+        )[sweep.pattern_index]
+        self._base_charged = cached[1]
+        self._scalar = scalar
+        if scalar > 0:
+            self._retention_sorted = cached[2] * scalar
+        else:  # pragma: no cover - calibration factors are positive
+            self._retention_sorted = np.sort(cached[1] * scalar)
+        # Full charged thresholds, materialized only when a flip *set*
+        # is actually requested (counting ladders need just the sorted
+        # values).
+        self._thresholds = None
+
+    def count(self, elapsed: float) -> int:
+        if elapsed <= 0 or self._retention_sorted.size == 0:
+            return 0
+        return int(self._retention_sorted.searchsorted(elapsed, "left"))
+
+    def count_many(self, elapsed_values: Sequence[float]) -> List[int]:
+        """Per-value :meth:`count` for a fused probe ladder. Scalar
+        ``searchsorted`` per value keeps the comparison semantics
+        identical to :meth:`count` (no dtype promotion of the sorted
+        vector against an array of needles)."""
+        sorted_thresholds = self._retention_sorted
+        if sorted_thresholds.size == 0:
+            return [0] * len(elapsed_values)
+        searchsorted = sorted_thresholds.searchsorted
+        return [
+            int(searchsorted(elapsed, "left")) if elapsed > 0 else 0
+            for elapsed in elapsed_values
+        ]
+
+    def flip_indices(self, elapsed: float) -> np.ndarray:
+        """The decayed cells' indices (``flip_mask``'s nonzero set)."""
+        count = self.count(elapsed)
+        if count == 0:
+            return _EMPTY_INDICES
+        if count == self._charged_indices.size:
+            return self._charged_indices
+        if self._thresholds is None:
+            self._thresholds = self._base_charged * self._scalar
+        return self._charged_indices[self._thresholds < elapsed]
+
+    def word_histogram(self, elapsed: float) -> "Dict[int, int]":
+        """``{flips-per-64-bit-word: word count}`` over affected words,
+        identical to binning ``flip_mask`` -- the Alg. 3 record's
+        word-granular histogram."""
+        flipped = self.flip_indices(elapsed)
+        if flipped.size == 0:
+            return {}
+        per_word = np.bincount(flipped >> 6)
+        histogram = np.bincount(per_word[per_word > 0])
+        return {
+            int(v): int(c)
+            for v, c in enumerate(histogram)
+            if v and c
+        }

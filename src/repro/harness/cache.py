@@ -101,7 +101,7 @@ def study_fingerprint(
 
     Hashes the serialization schema version together with the normalized
     request -- including the resolved probe-engine selection
-    (``probe_engine`` param, else ``REPRO_PROBE_ENGINE``, else the fast
+    (``probe_engine`` param, else ``REPRO_PROBE_ENGINE``, else the batch
     default) -- so cache entries are automatically invalidated when the
     request, the engine, or the on-disk format changes.
     """

@@ -20,8 +20,124 @@ such as ``"module/A0/bank/0/row/1234/retention"``.
 from __future__ import annotations
 
 import hashlib
+from typing import List, Sequence, Tuple
 
 import numpy as np
+
+# SeedSequence pool-mixing and PCG64 stream-initialization constants
+# (numpy/random/bit_generator.pyx and pcg64.c). _bulk_pcg64_states
+# replays both bit-exactly; tests/core/test_rng.py asserts equality
+# against np.random.default_rng for every derivation path.
+_INIT_A = np.uint32(0x43B0D7E5)
+_MULT_A = 0x931E8875
+_INIT_B = np.uint32(0x8B51F9DD)
+_MULT_B = 0x58F38DED
+_MIX_MULT_L = np.uint32(0xCA01F9DD)
+_MIX_MULT_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+_M32 = 0xFFFFFFFF
+_M128 = (1 << 128) - 1
+_PCG_DEFAULT_MULT = (2549297995355413924 << 64) + 4865540595714422341
+
+
+def _hash_schedule(init: int, mult: int, steps: int) -> np.ndarray:
+    """The SeedSequence hash-constant chain ``(xor, mult)`` per step --
+    seed-independent, so it is precomputed once at import."""
+    table = np.empty((steps, 2), dtype=np.uint32)
+    const = init
+    for step in range(steps):
+        table[step, 0] = const
+        const = (const * mult) & _M32
+        table[step, 1] = const
+    return table
+
+
+#: Mixing-phase constants: 4 initial pool hashes + 12 src/dst mixes.
+_MIX_SCHEDULE = _hash_schedule(int(_INIT_A), _MULT_A, 16)
+#: Output-phase constants: 8 generated state words.
+_OUT_SCHEDULE = _hash_schedule(int(_INIT_B), _MULT_B, 8)
+
+
+def _bulk_pcg64_states(seeds: Sequence[int]) -> List[Tuple[int, int]]:
+    """PCG64 ``(state, inc)`` pairs for a batch of integer seeds.
+
+    Equivalent to ``np.random.PCG64(seed).state`` for each seed, but the
+    SeedSequence entropy-pool mixing runs vectorized across the whole
+    batch (the hash-constant schedule is seed-independent, so every
+    lane shares it). Seeds must be non-negative and < 2**64; the
+    entropy words are then ``[lo32]`` or ``[lo32, hi32]``, and because
+    a missing second word hashes identically to a zero word, one
+    two-word layout covers both cases.
+    """
+    arr = np.asarray(seeds, dtype=np.uint64)
+    pool = np.zeros((4, arr.shape[0]), dtype=np.uint32)
+    pool[0] = arr.astype(np.uint32)
+    pool[1] = (arr >> np.uint64(32)).astype(np.uint32)
+
+    # Initial per-entry hash: one stacked pass over all four pool rows
+    # (constants 0..3 of the mixing schedule, one per row).
+    values = (pool ^ _MIX_SCHEDULE[:4, :1]) * _MIX_SCHEDULE[:4, 1:]
+    pool = values ^ (values >> _XSHIFT)
+    step = 4
+    for src in range(4):
+        for dst in range(4):
+            if src != dst:
+                values = (pool[src] ^ _MIX_SCHEDULE[step, 0]) * (
+                    _MIX_SCHEDULE[step, 1]
+                )
+                step += 1
+                mixed = pool[dst] * _MIX_MULT_L - (
+                    values ^ (values >> _XSHIFT)
+                ) * _MIX_MULT_R
+                pool[dst] = mixed ^ (mixed >> _XSHIFT)
+
+    # Output pass, stacked over the 8 generated words (word i draws
+    # from pool row i % 4).
+    values = (
+        np.concatenate((pool, pool), axis=0) ^ _OUT_SCHEDULE[:, :1]
+    ) * _OUT_SCHEDULE[:, 1:]
+    words = values ^ (values >> _XSHIFT)
+    halves = [
+        ((words[2 * i + 1].astype(np.uint64) << np.uint64(32))
+         | words[2 * i]).tolist()
+        for i in range(4)
+    ]
+
+    states = []
+    for w0, w1, w2, w3 in zip(*halves):
+        initstate = (w0 << 64) | w1
+        inc = (((((w2 << 64) | w3) << 1) | 1)) & _M128
+        state = ((inc + initstate) * _PCG_DEFAULT_MULT + inc) & _M128
+        states.append((state, inc))
+    return states
+
+
+class _NormalDrawKernel:
+    """One reused PCG64 generator fed precomputed stream states.
+
+    Injecting ``(state, inc)`` and drawing reproduces
+    ``np.random.Generator(np.random.PCG64(seed)).standard_normal()``
+    without paying the per-seed Generator/SeedSequence construction.
+    """
+
+    __slots__ = ("_bit_generator", "_generator", "_template")
+
+    def __init__(self):
+        self._bit_generator = np.random.PCG64()
+        self._generator = np.random.Generator(self._bit_generator)
+        self._template = {
+            "bit_generator": "PCG64",
+            "state": {"state": 0, "inc": 0},
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+
+    def standard_normal(self, state: int, inc: int):
+        inner = self._template["state"]
+        inner["state"] = state
+        inner["inc"] = inc
+        self._bit_generator.state = self._template
+        return self._generator.standard_normal()
 
 
 def derive_seed(root_seed: int, key: str) -> int:
@@ -49,6 +165,7 @@ class RngHub:
         if not isinstance(root_seed, int):
             raise TypeError(f"root_seed must be an int, got {type(root_seed)!r}")
         self._root_seed = root_seed
+        self._draw_kernel = None
 
     @property
     def root_seed(self) -> int:
@@ -63,6 +180,31 @@ class RngHub:
         to the hub, which is what makes evaluation order irrelevant.
         """
         return np.random.default_rng(derive_seed(self._root_seed, key))
+
+    def standard_normals(self, keys: Sequence[str]) -> List:
+        """One standard-normal draw per key, in order.
+
+        Bit-identical to ``self.generator(key).standard_normal()`` for
+        every key, but the per-key SeedSequence mixing is vectorized
+        across the batch and a single generator is reused for the draws
+        -- the kernel behind the batch probe engine's jitter prefetch.
+        """
+        kernel = self._draw_kernel
+        if kernel is None:
+            kernel = self._draw_kernel = _NormalDrawKernel()
+        root = f"{self._root_seed}:".encode("utf-8")
+        blake2b = hashlib.blake2b
+        from_bytes = int.from_bytes
+        states = _bulk_pcg64_states([
+            from_bytes(
+                blake2b(
+                    root + key.encode("utf-8"), digest_size=8
+                ).digest(),
+                "little",
+            )
+            for key in keys
+        ])
+        return [kernel.standard_normal(state, inc) for state, inc in states]
 
     def spawn(self, key: str) -> "RngHub":
         """Return a child hub rooted at ``(root_seed, key)``.

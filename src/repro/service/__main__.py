@@ -89,8 +89,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0,
                         help="root campaign seed (default 0)")
     parser.add_argument(
-        "--probe-engine", choices=("fast", "command"), default=None,
-        help="probe engine override (default: REPRO_PROBE_ENGINE or fast)",
+        "--probe-engine", choices=("batch", "fast", "command"), default=None,
+        help="probe engine override (default: REPRO_PROBE_ENGINE or batch)",
     )
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",

@@ -72,6 +72,62 @@ class TestAlgorithm1:
         assert rowhammer.find_hcfirst(ctx, 20, uncharged) is None
 
 
+class TestBisectionControlFlow:
+    """Alg. 1's bisection loop in isolation (shared by every engine)."""
+
+    def test_censored_row_walks_up_and_returns_none(self):
+        scale = StudyScale(
+            hcfirst_initial=100_000, hcfirst_step=50_000,
+            hcfirst_min_step=10_000,
+        )
+        calls = []
+
+        def probe(hc):
+            calls.append(hc)
+            return False
+
+        assert rowhammer.bisect_hcfirst(scale, 2, probe) is None
+        # No flip ever: every iteration of every round is probed (no
+        # short-circuit) and the hammer count only climbs.
+        assert calls == [
+            100_000, 100_000, 150_000, 150_000, 175_000, 175_000,
+        ]
+
+    def test_always_flipping_row_clamps_at_min_step(self):
+        """A row that flips at every count drives ``hc`` negative; the
+        ``hc <= 0`` branch must reset it to the termination step so the
+        probe sequence never goes non-positive."""
+        scale = StudyScale(
+            hcfirst_initial=1_000, hcfirst_step=100_000,
+            hcfirst_min_step=1_000,
+        )
+        calls = []
+
+        def probe(hc):
+            calls.append(hc)
+            return True
+
+        assert rowhammer.bisect_hcfirst(scale, 3, probe) == 1_000
+        assert all(hc > 0 for hc in calls)
+        # Every probed count is the clamped termination step, and the
+        # ``any`` short-circuit probes once per round despite 3
+        # iterations.
+        assert calls == [1_000] * 7
+
+    def test_first_flip_midway_tracks_lowest(self):
+        scale = StudyScale(
+            hcfirst_initial=100_000, hcfirst_step=50_000,
+            hcfirst_min_step=25_000,
+        )
+        threshold = 140_000
+        lowest = rowhammer.bisect_hcfirst(
+            scale, 1, lambda hc: hc >= threshold
+        )
+        assert lowest is not None
+        assert lowest >= threshold
+        assert lowest - scale.hcfirst_min_step < threshold
+
+
 class TestAlgorithm2:
     def test_trcd_min_at_nominal_vpp(self, ctx):
         pattern = trcd_wcdp(ctx, 20)

@@ -1,21 +1,24 @@
-"""Differential tests: batched probe kernel vs the command-level path.
+"""Differential tests: the kernelized probe engines vs the command path.
 
-The fast engine must be *bit-identical* to the validated
+The fast and batch engines must be *bit-identical* to the validated
 ``Program``/``SoftMCHost`` reference for every quantity the studies
 record -- HC_first, RowHammer BER (including per-iteration values) and
 retention BER/histograms -- across modules of all three vendors and
-multiple V_PP levels. Any divergence here means the kernel's replay of
+multiple V_PP levels. Any divergence here means a kernel's replay of
 the command schedule (session counters, simulated-time offsets, damage
-deposit order) has drifted from the host's semantics.
+deposit order, sorted-threshold reductions) has drifted from the host's
+semantics.
 """
 
 import pytest
 
 from repro.core.context import TestContext
 from repro.core.probe import (
+    BatchProbeEngine,
     CommandProbeEngine,
     FastProbeEngine,
     make_engine,
+    sweep_cache_capacity,
 )
 from repro.core.scale import StudyScale
 from repro.core.study import CharacterizationStudy
@@ -25,6 +28,12 @@ from repro.softmc.infrastructure import TestInfrastructure
 
 MODULES = ("A0", "B3", "C5")
 VPP_LEVELS = (2.5, 2.2)
+
+
+def _row_data(ctx, row):
+    """The raw stored bits of a logical row (bypasses the command bus)."""
+    bank = ctx.infra.module.bank(0)
+    return bank._rows[bank.mapping.to_physical(row)].data
 
 
 def _run(name, engine_kind):
@@ -37,42 +46,51 @@ def _run(name, engine_kind):
 
 
 @pytest.fixture(scope="module", params=MODULES)
-def engine_pair(request):
+def engine_trio(request):
     name = request.param
-    return name, _run(name, "command"), _run(name, "fast")
+    return name, _run(name, "command"), _run(name, "fast"), _run(name, "batch")
 
 
 class TestStudyEquivalence:
-    def test_rowhammer_records_identical(self, engine_pair):
-        name, command, fast = engine_pair
+    def test_rowhammer_records_identical(self, engine_trio):
+        name, command, fast, batch = engine_trio
         assert len(command.rowhammer) == len(fast.rowhammer)
+        assert len(command.rowhammer) == len(batch.rowhammer)
         assert {r.vpp for r in fast.rowhammer} == set(VPP_LEVELS)
-        for reference, candidate in zip(command.rowhammer, fast.rowhammer):
+        for reference, kernel, batched in zip(
+            command.rowhammer, fast.rowhammer, batch.rowhammer
+        ):
             # Frozen dataclasses: equality covers hcfirst, ber and every
             # per-iteration BER value exactly (no tolerance).
-            assert candidate == reference
+            assert kernel == reference
+            assert batched == reference
 
-    def test_retention_records_identical(self, engine_pair):
-        name, command, fast = engine_pair
+    def test_retention_records_identical(self, engine_trio):
+        name, command, fast, batch = engine_trio
         assert len(command.retention) == len(fast.retention)
-        for reference, candidate in zip(command.retention, fast.retention):
-            assert candidate == reference
+        assert len(command.retention) == len(batch.retention)
+        for reference, kernel, batched in zip(
+            command.retention, fast.retention, batch.retention
+        ):
+            assert kernel == reference
+            assert batched == reference
             assert (
-                candidate.word_flip_histogram == reference.word_flip_histogram
+                batched.word_flip_histogram == reference.word_flip_histogram
             )
 
-    def test_fast_engine_actually_selected(self):
+    def test_batch_engine_selected_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
         study = CharacterizationStudy(scale=StudyScale.tiny(), seed=3)
         ctx = study.build_context("A0")
-        assert isinstance(ctx.engine, FastProbeEngine)
+        assert isinstance(ctx.engine, BatchProbeEngine)
 
 
 class TestDirectProbeEquivalence:
     """Probe-by-probe comparison on fresh, independent benches."""
 
-    def _contexts(self, name):
+    def _contexts(self, name, kinds=("command", "fast")):
         contexts = []
-        for kind in ("command", "fast"):
+        for kind in kinds:
             infra = TestInfrastructure.for_module(
                 name, geometry=StudyScale.tiny().geometry, seed=11
             )
@@ -114,6 +132,51 @@ class TestDirectProbeEquivalence:
                 )
                 assert candidate == reference
 
+    @pytest.mark.parametrize("name", MODULES)
+    def test_batch_hammer_session_sequence(self, name):
+        """A batch session's per-probe answers (scalar reductions) match
+        the fast engine's per-probe vector path, including the deferred
+        data materialization at close."""
+        fast_ctx, batch_ctx = self._contexts(name, ("fast", "batch"))
+        pattern = STANDARD_PATTERNS[0]
+        counts = (60_000, 120_000, 240_000, 480_000)
+        for vpp in VPP_LEVELS:
+            for ctx in (fast_ctx, batch_ctx):
+                ctx.infra.set_vpp(vpp)
+            with fast_ctx.engine.hammer_session(
+                fast_ctx, 5, pattern
+            ) as reference, batch_ctx.engine.hammer_session(
+                batch_ctx, 5, pattern
+            ) as candidate:
+                for count in counts:
+                    assert candidate.ber(count) == reference.ber(count)
+                    assert candidate.any_flip(count) == reference.any_flip(
+                        count
+                    )
+            # The deferred flush must leave identical device state.
+            assert (_row_data(fast_ctx, 5) == _row_data(batch_ctx, 5)).all()
+
+    @pytest.mark.parametrize("name", MODULES)
+    def test_batch_retention_session_sequence(self, name):
+        fast_ctx, batch_ctx = self._contexts(name, ("fast", "batch"))
+        pattern = STANDARD_PATTERNS[2]
+        windows = list(StudyScale.tiny().retention_windows)
+        for vpp in VPP_LEVELS:
+            for ctx in (fast_ctx, batch_ctx):
+                ctx.infra.set_vpp(vpp)
+                ctx.infra.set_temperature(80.0)
+            with fast_ctx.engine.retention_session(
+                fast_ctx, 5, pattern
+            ) as reference, batch_ctx.engine.retention_session(
+                batch_ctx, 5, pattern
+            ) as candidate:
+                for trefw in windows:
+                    assert candidate.ber(trefw) == reference.ber(trefw)
+                    assert candidate.worst_probe(
+                        trefw, 2
+                    ) == reference.worst_probe(trefw, 2)
+            assert (_row_data(fast_ctx, 5) == _row_data(batch_ctx, 5)).all()
+
 
 class TestEngineSelection:
     def test_env_var_overrides_default(self, monkeypatch):
@@ -129,12 +192,13 @@ class TestEngineSelection:
         )
         ctx = study.build_context("A0")
         assert isinstance(ctx.engine, FastProbeEngine)
+        assert not isinstance(ctx.engine, BatchProbeEngine)
 
     def test_unknown_engine_rejected(self):
         infra = TestInfrastructure.for_module(
             "A0", geometry=StudyScale.tiny().geometry, seed=3
         )
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ConfigurationError, match="batch"):
             TestContext(infra, StudyScale.tiny(), probe_engine="warp")
 
     def test_trr_forces_command_engine(self):
@@ -153,3 +217,74 @@ class TestEngineSelection:
         measure_ber(ctx, 5, STANDARD_PATTERNS[0], 10_000)
         assert ctx.engine.counters.hammer_probes == 1
         assert ctx.engine.counters.commands_issued > 0
+
+
+class TestSweepCache:
+    """The configurable sweep LRU and its traffic counters."""
+
+    def _context(self, sweep_cache=None, probe_engine="fast"):
+        infra = TestInfrastructure.for_module(
+            "A0", geometry=StudyScale.tiny().geometry, seed=3
+        )
+        return TestContext(infra, StudyScale.tiny(),
+                           probe_engine=probe_engine,
+                           sweep_cache=sweep_cache)
+
+    def test_capacity_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        assert sweep_cache_capacity() == 192
+        assert sweep_cache_capacity(7) == 7
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "12")
+        assert sweep_cache_capacity() == 12
+        # An explicit override beats the environment.
+        assert sweep_cache_capacity(3) == 3
+
+    def test_capacity_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "zero")
+        with pytest.raises(ConfigurationError):
+            sweep_cache_capacity()
+        monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
+        with pytest.raises(ConfigurationError):
+            sweep_cache_capacity(0)
+
+    def test_hit_miss_counters(self):
+        ctx = self._context()
+        pattern = STANDARD_PATTERNS[0]
+        ctx.engine.hammer_ber(ctx, 5, pattern, 1_000)
+        assert ctx.engine.counters.sweep_misses == 1
+        assert ctx.engine.counters.sweep_hits == 0
+        ctx.engine.hammer_ber(ctx, 5, pattern, 1_000)
+        assert ctx.engine.counters.sweep_hits == 1
+        assert ctx.engine.counters.sweep_evictions == 0
+
+    def test_capacity_one_evicts(self):
+        ctx = self._context(sweep_cache=1)
+        ctx.engine.hammer_ber(ctx, 5, STANDARD_PATTERNS[0], 1_000)
+        ctx.engine.hammer_ber(ctx, 9, STANDARD_PATTERNS[0], 1_000)
+        ctx.engine.hammer_ber(ctx, 5, STANDARD_PATTERNS[0], 1_000)
+        counters = ctx.engine.counters
+        assert counters.sweep_misses == 3
+        assert counters.sweep_evictions == 2
+        assert counters.sweep_hits == 0
+
+    def test_sessions_save_lookups(self):
+        """One sweep resolution serves a whole session: repeated probes
+        are counted as saved LRU lookups (the ``measure_worst_ber``
+        satellite fix)."""
+        from repro.core.rowhammer import measure_worst_ber
+
+        ctx = self._context()
+        ber, values = measure_worst_ber(
+            ctx, 5, STANDARD_PATTERNS[0], 50_000, 4
+        )
+        counters = ctx.engine.counters
+        assert len(values) == 4
+        assert ber == max(values)
+        assert counters.sweep_misses == 1
+        assert counters.sweep_saved_lookups == 3
+
+    def test_counters_flow_into_profile(self):
+        ctx = self._context(sweep_cache=1)
+        ctx.engine.hammer_ber(ctx, 5, STANDARD_PATTERNS[0], 1_000)
+        summary = ctx.engine.counters.as_dict()
+        assert summary["sweep_misses"] == 1

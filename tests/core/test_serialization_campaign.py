@@ -128,6 +128,22 @@ class TestChunkGranularity:
                             mapping.to_physical(a) - mapping.to_physical(b)
                         ) >= CHUNK_GAP
 
+    def test_plan_empty_row_list(self):
+        scale = StudyScale.tiny()
+        mapping = _module_mapping("C5", scale)
+        assert plan_row_chunks([], mapping, 4) == []
+
+    def test_plan_more_chunks_than_rows(self):
+        """A chunk budget beyond the row count must not emit empty
+        chunks; isolated rows each get their own chunk."""
+        scale = StudyScale.tiny()
+        mapping = _module_mapping("C5", scale)
+        rows = sample_rows(mapping.num_rows, 3, 3)
+        chunks = plan_row_chunks(rows, mapping, 64)
+        assert all(chunks)
+        assert len(chunks) <= len(rows)
+        assert sorted(row for chunk in chunks for row in chunk) == sorted(rows)
+
     def test_plan_single_chunk_when_coupled(self):
         scale = StudyScale.tiny()
         mapping = _module_mapping("C5", scale)

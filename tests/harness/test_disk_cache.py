@@ -176,12 +176,12 @@ class TestProbeEngineKeying:
                                     probe_engine="command")
         assert fast != command
 
-    def test_default_resolves_to_fast(self, tiny_scale, monkeypatch):
+    def test_default_resolves_to_batch(self, tiny_scale, monkeypatch):
         monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
         assert study_fingerprint(
             TESTS, MODULES, tiny_scale, 0
         ) == study_fingerprint(TESTS, MODULES, tiny_scale, 0,
-                               probe_engine="fast")
+                               probe_engine="batch")
 
     def test_env_var_participates(self, tiny_scale, monkeypatch):
         monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)

@@ -5,8 +5,10 @@ and print its headline claim. Only the fast examples run here (the
 full-figure drivers are exercised by the benchmark harness).
 """
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -16,14 +18,24 @@ FAST_EXAMPLES = {
     "examples/ecc_selective_refresh.py": "corrected at codeword position",
 }
 
+# The examples import `repro` from the source tree; the subprocess does
+# not inherit pytest's `pythonpath` ini option, so thread it through
+# PYTHONPATH explicitly.
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
 
 @pytest.mark.parametrize("script,marker", sorted(FAST_EXAMPLES.items()))
 def test_example_runs(script, marker):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_SRC, env.get("PYTHONPATH")) if p
+    )
     completed = subprocess.run(
         [sys.executable, script],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     assert marker in completed.stdout
