@@ -2,13 +2,15 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test bench bench-check bench-all service-smoke artifacts examples clean
+.PHONY: install lint test bench bench-check bench-all service-smoke obs-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
-# AST-based contract check: experiment modules must declare campaign
-# needs on their SPEC instead of calling get_study directly.
+# AST-based contract checks: experiment modules must declare campaign
+# needs on their SPEC instead of calling get_study directly, and code
+# under repro.core / repro.service must take timestamps through
+# repro.obs.clock rather than time.time()/time.monotonic().
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.lint
 
@@ -35,6 +37,13 @@ bench-check:
 # merged study matches the sequential reference bit-for-bit.
 service-smoke:
 	$(PYTHON) benchmarks/service_smoke.py
+
+# Tiny traced campaign validating every observability surface against
+# the schemas in docs/OBSERVABILITY.md: Chrome-trace JSON (nested
+# spans), Prometheus text exposition, ts+mono telemetry events, and
+# the study provenance disk round trip.
+obs-smoke:
+	$(PYTHON) benchmarks/obs_smoke.py
 
 # Every artifact-regeneration benchmark (slow).
 bench-all:

@@ -41,6 +41,8 @@ from repro.dram import constants
 from repro.dram.calibration import ModuleGeometry
 from repro.dram.patterns import STANDARD_PATTERNS
 from repro.harness.cache import clear_cache, get_study, set_study_cache_dir
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.softmc.infrastructure import TestInfrastructure
 
 GEOMETRY = ModuleGeometry(rows_per_bank=4096, banks=1, row_bits=8192)
@@ -166,8 +168,20 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     default_out = os.path.join(os.path.dirname(__file__), "BENCH_probe.json")
     parser.add_argument("--out", default=default_out)
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record spans during the benchmark and write Chrome-trace "
+             "JSON to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text to PATH",
+    )
     args = parser.parse_args(argv)
 
+    if args.trace:
+        TRACER.enable()
+    counters_before = REGISTRY.counter_values()
     set_study_cache_dir(None)
     print("measuring single-probe throughput...")
     payload = {"scope": {
@@ -185,9 +199,25 @@ def main(argv=None) -> int:
     print("measuring characterization campaigns (batch vs fast)...")
     payload.update(bench_characterization_campaign())
 
+    # The registry counters spent producing these numbers travel with
+    # them, so BENCH_probe.json entries are self-describing.
+    counters_after = REGISTRY.counter_values()
+    payload["counters"] = {
+        name: value - counters_before.get(name, 0.0)
+        for name, value in sorted(counters_after.items())
+        if value - counters_before.get(name, 0.0)
+    }
+
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+
+    if args.trace:
+        TRACER.write_chrome_trace(args.trace)
+        print(f"trace written: {args.trace}")
+    if args.metrics_out:
+        REGISTRY.write_prometheus(args.metrics_out)
+        print(f"metrics written: {args.metrics_out}")
 
     for key in REPORT_KEYS:
         print(f"{key:>36}: {payload[key]:.2f}")

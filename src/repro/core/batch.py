@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.perf import PROFILER
 from repro.core.probe import HammerSession, RetentionSession
+from repro.obs.trace import TRACER
 
 
 def _sensing_exact(sweep, bank, engine, row) -> bool:
@@ -292,6 +293,14 @@ class BatchRetentionSession(RetentionSession):
         probe overwrites with the same or the final value -- collapse
         into one update. ``check_communication`` is a pure V_PP check
         and V_PP cannot change mid-session, so one check covers all."""
+        with TRACER.span(
+            "probe-batch", trefw=trefw, iterations=iterations,
+        ):
+            return self._count_ladder_traced(trefw, iterations)
+
+    def _count_ladder_traced(
+        self, trefw: float, iterations: int
+    ) -> Tuple[List[int], List[float]]:
         engine = self._engine
         sweep = self._sweep
         env = self._env

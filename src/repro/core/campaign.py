@@ -39,6 +39,9 @@ from repro.dram.calibration import calibrate
 from repro.dram.mapping import RowMapping, make_mapping
 from repro.dram.profiles import module_profile
 from repro.errors import AnalysisError, ConfigurationError
+from repro.obs import events as obs_events
+from repro.obs.metrics import REGISTRY, snapshot_delta
+from repro.obs.trace import TRACER
 
 #: Minimum physical-address separation between rows of different chunks.
 #: A double-sided probe of victim v restores rows v-1 .. v+1, so probes
@@ -101,21 +104,37 @@ def plan_row_chunks(
 
 def _run_one_module(args) -> tuple:
     """Worker: characterize one module (module-level entry point so the
-    function pickles cleanly)."""
+    function pickles cleanly).
+
+    Returns the metric delta the unit produced alongside the result:
+    forked workers inherit the parent's registry state, so only the
+    baseline-relative delta is safe for the coordinator to merge.
+    """
     name, scale, seed, tests, probe_engine = args
     study = CharacterizationStudy(
         scale=scale, seed=seed, probe_engine=probe_engine
     )
-    return name, study.run_module(name, tests=tests)
+    baseline = REGISTRY.snapshot()
+    module_result = study.run_module(name, tests=tests)
+    return name, module_result, snapshot_delta(baseline, REGISTRY.snapshot())
 
 
 def _run_one_chunk(args) -> tuple:
-    """Worker: characterize one (module, row-chunk) unit."""
+    """Worker: characterize one (module, row-chunk) unit.
+
+    Like :func:`_run_one_module`, ships the unit's metric delta back to
+    the coordinator for :meth:`MetricsRegistry.merge_snapshot`.
+    """
     name, scale, seed, tests, rows, chunk_index, probe_engine = args
     study = CharacterizationStudy(
         scale=scale, seed=seed, probe_engine=probe_engine
     )
-    return name, chunk_index, study.run_module(name, tests=tests, rows=rows)
+    baseline = REGISTRY.snapshot()
+    module_result = study.run_module(name, tests=tests, rows=rows)
+    return (
+        name, chunk_index, module_result,
+        snapshot_delta(baseline, REGISTRY.snapshot()),
+    )
 
 
 def merge_module_chunks(
@@ -210,6 +229,8 @@ def run_parallel(
         )
     result = StudyResult(scale=scale, seed=seed)
     if len(names) <= 1 and granularity == "module" or max_workers == 1:
+        # Inline path: run_module mutates this process's registry
+        # directly, so no snapshot merging (it would double count).
         study = CharacterizationStudy(
             scale=scale, seed=seed, probe_engine=probe_engine
         )
@@ -222,12 +243,23 @@ def run_parallel(
             (name, scale, seed, tuple(tests), probe_engine)
             for name in names
         ]
+        obs_events.emit(
+            "campaign_started", units=len(jobs), seed=seed,
+            mode="parallel-module",
+        )
         collected: Dict[str, object] = {}
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for name, module_result in pool.map(_run_one_module, jobs):
+        with TRACER.span(
+            "campaign", units=len(jobs), seed=seed, mode="parallel-module",
+        ), ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for name, module_result, delta in pool.map(
+                _run_one_module, jobs
+            ):
                 collected[name] = module_result
+                REGISTRY.merge_snapshot(delta)
+                obs_events.emit("unit_finished", unit=name)
         for name in names:
             result.modules[name] = collected[name]
+        obs_events.emit("campaign_finished", units=len(jobs))
         return result
 
     chunk_jobs = []
@@ -250,13 +282,24 @@ def run_parallel(
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)
         return result
+    obs_events.emit(
+        "campaign_started", units=len(chunk_jobs), seed=seed,
+        mode="parallel-chunk",
+    )
     parts: Dict[str, Dict[int, ModuleResult]] = {name: {} for name in names}
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for name, index, module_result in pool.map(_run_one_chunk, chunk_jobs):
+    with TRACER.span(
+        "campaign", units=len(chunk_jobs), seed=seed, mode="parallel-chunk",
+    ), ProcessPoolExecutor(max_workers=max_workers) as pool:
+        for name, index, module_result, delta in pool.map(
+            _run_one_chunk, chunk_jobs
+        ):
             parts[name][index] = module_result
+            REGISTRY.merge_snapshot(delta)
+            obs_events.emit("unit_finished", unit=f"{name}#{index}")
     for name in names:
         ordered = [parts[name][i] for i in sorted(parts[name])]
         result.modules[name] = merge_module_chunks(name, ordered, scale)
+    obs_events.emit("campaign_finished", units=len(chunk_jobs))
     return result
 
 

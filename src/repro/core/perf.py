@@ -7,15 +7,46 @@ counters (:class:`ProbeCounters`, mirroring the command counters of
 default and costs one attribute check per phase; the runner's
 ``--profile`` flag turns it on.
 
+Since the unified observability layer (:mod:`repro.obs`) landed, this
+module is a thin façade over it: phases double as tracer spans when
+``--trace`` is live, and :meth:`ProbeCounters.publish` folds engine
+counters into the central metrics registry at module/unit completion.
+
 Not to be confused with :mod:`repro.core.profiling`, which implements
 the paper-domain REAPER-style *retention* profiling.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
+
+from repro.obs import clock
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+
+#: ProbeCounters field -> metrics-registry counter it publishes into.
+PROBE_METRIC_NAMES = {
+    "hammer_probes": "repro_probes_hammer_total",
+    "retention_probes": "repro_probes_retention_total",
+    "commands_issued": "repro_commands_issued_total",
+    "sweep_hits": "repro_sweep_hits_total",
+    "sweep_misses": "repro_sweep_misses_total",
+    "sweep_evictions": "repro_sweep_evictions_total",
+    "sweep_saved_lookups": "repro_sweep_saved_lookups_total",
+}
+
+_PROBE_METRIC_HELP = {
+    "repro_probes_hammer_total": "Alg. 1 double-sided hammer probes",
+    "repro_probes_retention_total": "Alg. 3 write-wait-read probes",
+    "repro_commands_issued_total":
+        "SoftMC-equivalent DRAM commands issued",
+    "repro_sweep_hits_total": "sweep-LRU cache hits",
+    "repro_sweep_misses_total": "sweep-LRU cache misses",
+    "repro_sweep_evictions_total": "sweep-LRU capacity evictions",
+    "repro_sweep_saved_lookups_total":
+        "probes that reused an in-session sweep",
+}
 
 
 @dataclass
@@ -41,24 +72,37 @@ class ProbeCounters:
     def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (JSON exports, reports)."""
         return {
-            "hammer_probes": self.hammer_probes,
-            "retention_probes": self.retention_probes,
-            "commands_issued": self.commands_issued,
-            "sweep_hits": self.sweep_hits,
-            "sweep_misses": self.sweep_misses,
-            "sweep_evictions": self.sweep_evictions,
-            "sweep_saved_lookups": self.sweep_saved_lookups,
+            spec.name: getattr(self, spec.name) for spec in fields(self)
         }
 
     def merge(self, other: "ProbeCounters") -> None:
-        """Accumulate another counter set into this one."""
-        self.hammer_probes += other.hammer_probes
-        self.retention_probes += other.retention_probes
-        self.commands_issued += other.commands_issued
-        self.sweep_hits += other.sweep_hits
-        self.sweep_misses += other.sweep_misses
-        self.sweep_evictions += other.sweep_evictions
-        self.sweep_saved_lookups += other.sweep_saved_lookups
+        """Accumulate another counter set into this one.
+
+        Field-driven so a newly added counter can never be silently
+        dropped from chunk merges (``sweep_saved_lookups`` once was;
+        ``tests/core/test_perf_counters.py`` pins the full roundtrip).
+        """
+        for spec in fields(self):
+            setattr(
+                self, spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
+
+    def publish(self, registry=REGISTRY) -> None:
+        """Fold this snapshot into the central metrics registry.
+
+        Called once per module/unit run (never per probe), mapping each
+        field to its canonical ``repro_*_total`` counter.
+        """
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value:
+                metric_name = PROBE_METRIC_NAMES.get(
+                    spec.name, f"repro_{spec.name}_total"
+                )
+                registry.counter(
+                    metric_name, _PROBE_METRIC_HELP.get(metric_name, "")
+                ).inc(value)
 
 
 class _NullPhase:
@@ -77,21 +121,30 @@ _NULL_PHASE = _NullPhase()
 
 
 class _Phase:
-    """Accumulates one timed section into the profiler."""
+    """Accumulates one timed section into the profiler.
 
-    __slots__ = ("_profiler", "_name", "_start")
+    When the span tracer is live, the phase doubles as a span of the
+    same name, so ``--trace`` output covers every ``--profile`` phase.
+    """
 
-    def __init__(self, profiler: "PhaseProfiler", name: str):
+    __slots__ = ("_profiler", "_name", "_start", "_span")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str, span=None):
         self._profiler = profiler
         self._name = name
         self._start = 0.0
+        self._span = span
 
     def __enter__(self) -> "_Phase":
-        self._start = time.monotonic()
+        if self._span is not None:
+            self._span.__enter__()
+        self._start = clock.monotonic()
         return self
 
     def __exit__(self, *exc) -> None:
-        self._profiler._record(self._name, time.monotonic() - self._start)
+        self._profiler._record(self._name, clock.monotonic() - self._start)
+        if self._span is not None:
+            self._span.__exit__(*exc)
 
 
 @dataclass
@@ -123,10 +176,18 @@ class PhaseProfiler:
         self.counters.clear()
 
     def phase(self, name: str):
-        """Context manager timing one section under ``name``."""
+        """Context manager timing one section under ``name``.
+
+        A no-op while both the profiler and the span tracer are off;
+        with only the tracer on it records a bare span, and with both
+        on one context serves phase table and trace.
+        """
         if not self.enabled:
+            if TRACER.enabled:
+                return TRACER.span(name)
             return _NULL_PHASE
-        return _Phase(self, name)
+        span = TRACER.span(name) if TRACER.enabled else None
+        return _Phase(self, name, span)
 
     def _record(self, name: str, seconds: float) -> None:
         self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds

@@ -21,6 +21,7 @@ from repro.core.context import TestContext
 from repro.core.perf import PROFILER
 from repro.core.results import RetentionRowResult
 from repro.dram.patterns import DataPattern
+from repro.obs.trace import TRACER
 
 
 def measure_retention(
@@ -46,7 +47,9 @@ def characterize_row(
     """
     windows = windows if windows is not None else list(ctx.scale.retention_windows)
     results: List[RetentionRowResult] = []
-    with ctx.engine.retention_session(ctx, row, pattern) as session:
+    with TRACER.span(
+        "retention-ladder", row=row, windows=len(windows),
+    ), ctx.engine.retention_session(ctx, row, pattern) as session:
         for trefw in windows:
             ber, histogram = session.worst_probe(
                 trefw, ctx.scale.iterations

@@ -25,6 +25,12 @@ from repro.core.perf import PROFILER
 from repro.core.results import RowHammerRowResult
 from repro.core.scale import StudyScale
 from repro.dram.patterns import DataPattern
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+
+#: Bucket layout of the probes-per-bisection histogram (counts, not
+#: seconds: a bisection issues at most rounds x iterations probes).
+BISECTION_PROBE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 def measure_ber(
@@ -101,8 +107,23 @@ def find_hcfirst(
     """
     scale = ctx.scale
     iterations = iterations or scale.iterations
-    with ctx.engine.hammer_session(ctx, row, pattern) as probe:
-        return bisect_hcfirst(scale, iterations, probe.any_flip)
+    with TRACER.span("bisection", row=row) as span:
+        probes = 0
+
+        def counted_any_flip(hammer_count: int) -> bool:
+            nonlocal probes
+            probes += 1
+            return probe.any_flip(hammer_count)
+
+        with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+            hcfirst = bisect_hcfirst(scale, iterations, counted_any_flip)
+        span.set(probes=probes, hcfirst=hcfirst)
+    REGISTRY.histogram(
+        "repro_bisection_probes",
+        "any-flip probes issued per Alg. 1 bisection",
+        buckets=BISECTION_PROBE_BUCKETS,
+    ).observe(probes)
+    return hcfirst
 
 
 def characterize_row(

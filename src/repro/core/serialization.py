@@ -21,6 +21,7 @@ from repro.core.scale import StudyScale
 from repro.core.study import StudyResult
 from repro.dram.calibration import ModuleGeometry
 from repro.errors import AnalysisError
+from repro.obs.provenance import validate_provenance
 
 #: Bumped whenever the serialized layout changes incompatibly.
 SCHEMA_VERSION = 1
@@ -159,8 +160,12 @@ def module_result_from_dict(payload: Dict[str, Any]) -> ModuleResult:
 
 
 def study_to_dict(study: StudyResult) -> Dict[str, Any]:
-    """Serialize a study result to plain JSON-ready data."""
-    return {
+    """Serialize a study result to plain JSON-ready data.
+
+    A :mod:`repro.obs.provenance` block, when attached, is validated
+    and carried in the document's ``provenance`` key.
+    """
+    payload = {
         "schema_version": SCHEMA_VERSION,
         "seed": study.seed,
         "scale": _scale_to_dict(study.scale),
@@ -169,6 +174,9 @@ def study_to_dict(study: StudyResult) -> Dict[str, Any]:
             for name, result in study.modules.items()
         },
     }
+    if study.provenance is not None:
+        payload["provenance"] = validate_provenance(study.provenance)
+    return payload
 
 
 def study_from_dict(payload: Dict[str, Any]) -> StudyResult:
@@ -183,6 +191,8 @@ def study_from_dict(payload: Dict[str, Any]) -> StudyResult:
         scale=_scale_from_dict(dict(payload["scale"])),
         seed=payload["seed"],
     )
+    if payload.get("provenance") is not None:
+        study.provenance = validate_provenance(payload["provenance"])
     for name, module_payload in payload["modules"].items():
         study.modules[name] = module_result_from_dict(module_payload)
     return study

@@ -15,10 +15,12 @@ rebuilt per run and all device randomness derives from the seed.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from repro.obs import clock
+from repro.obs import events as obs_events
+from repro.obs.trace import TRACER
 from repro.core import retention as retention_test
 from repro.core import rowhammer as rowhammer_test
 from repro.core import trcd as trcd_test
@@ -45,6 +47,10 @@ class StudyResult:
     scale: StudyScale
     seed: int
     modules: Dict[str, ModuleResult] = field(default_factory=dict)
+    #: Optional :mod:`repro.obs.provenance` block describing what
+    #: produced this result; attached by the cache/service export paths
+    #: and round-tripped by :mod:`repro.core.serialization`.
+    provenance: Optional[Dict[str, Any]] = None
 
     def module(self, name: str) -> ModuleResult:
         """One module's results."""
@@ -133,8 +139,18 @@ class CharacterizationStudy:
         for test in tests:
             if test not in TEST_TYPES:
                 raise ConfigurationError(f"unknown test type {test!r}")
+        with TRACER.span("module", module=name, tests=list(tests)) as span:
+            return self._run_module_traced(
+                name, tests, vpp_levels, rows, span
+            )
+
+    def _run_module_traced(
+        self, name, tests, vpp_levels, rows, span
+    ) -> ModuleResult:
         profile = module_profile(name)
         ctx = self.build_context(name)
+        span.set(engine=ctx.engine.name, vendor=profile.vendor.value,
+                 seed=self.seed)
         infra = ctx.infra
         if vpp_levels is None:
             vpp_levels = infra.vpp_levels(self.scale.vpp_step)
@@ -150,6 +166,7 @@ class CharacterizationStudy:
                 self.scale.rows_per_module,
                 self.scale.row_chunks,
             )
+        span.set(rows=len(rows))
         # Batch-capable engines precompute the row set's per-row sort
         # orders in one stacked (rows, cells) pass up front.
         preheat = getattr(ctx.engine, "preheat", None)
@@ -184,27 +201,30 @@ class CharacterizationStudy:
             for vpp in vpp_levels:
                 infra.set_vpp(vpp)
                 self._progress(f"{name}: V_PP={vpp:.1f} V (50 degC tests)")
-                if "trcd" not in tests:
-                    result.rowhammer.extend(
-                        rowhammer_test.characterize_rows(
-                            ctx, rows, wcdp_rh, vpp
+                with TRACER.span(
+                    "operating-point", module=name, vpp=vpp, phase="50C",
+                ):
+                    if "trcd" not in tests:
+                        result.rowhammer.extend(
+                            rowhammer_test.characterize_rows(
+                                ctx, rows, wcdp_rh, vpp
+                            )
                         )
-                    )
-                    continue
-                for row in rows:
-                    if "rowhammer" in tests:
-                        with PROFILER.phase("rowhammer"):
-                            result.rowhammer.append(
-                                rowhammer_test.characterize_row(
-                                    ctx, row, wcdp_rh[row], vpp
+                        continue
+                    for row in rows:
+                        if "rowhammer" in tests:
+                            with PROFILER.phase("rowhammer"):
+                                result.rowhammer.append(
+                                    rowhammer_test.characterize_row(
+                                        ctx, row, wcdp_rh[row], vpp
+                                    )
+                                )
+                        with PROFILER.phase("trcd"):
+                            result.trcd.append(
+                                trcd_test.characterize_row(
+                                    ctx, row, wcdp_act[row], vpp
                                 )
                             )
-                    with PROFILER.phase("trcd"):
-                        result.trcd.append(
-                            trcd_test.characterize_row(
-                                ctx, row, wcdp_act[row], vpp
-                            )
-                        )
 
         # Retention at 80 degC across the V_PP grid.
         if "retention" in tests:
@@ -212,12 +232,16 @@ class CharacterizationStudy:
             for vpp in vpp_levels:
                 infra.set_vpp(vpp)
                 self._progress(f"{name}: V_PP={vpp:.1f} V (retention)")
-                result.retention.extend(
-                    retention_test.characterize_rows(
-                        ctx, rows, wcdp_ret, vpp
+                with TRACER.span(
+                    "operating-point", module=name, vpp=vpp, phase="80C",
+                ):
+                    result.retention.extend(
+                        retention_test.characterize_rows(
+                            ctx, rows, wcdp_ret, vpp
+                        )
                     )
-                )
         PROFILER.record_probes(ctx.engine.counters)
+        ctx.engine.counters.publish()
         return result
 
     # -- campaign-level runs ---------------------------------------------------------
@@ -230,10 +254,21 @@ class CharacterizationStudy:
         """Run the campaign over ``modules`` (default: all of Table 3)."""
         names = list(modules) if modules is not None else sorted(MODULE_PROFILES)
         result = StudyResult(scale=self.scale, seed=self.seed)
-        for name in names:
-            started = time.monotonic()
-            result.modules[name] = self.run_module(name, tests=tests)
-            self._progress(
-                f"{name}: done in {time.monotonic() - started:.1f}s"
-            )
+        obs_events.emit(
+            "campaign_started", units=len(names), tests=list(tests),
+            seed=self.seed, mode="sequential",
+        )
+        with TRACER.span(
+            "campaign", units=len(names), seed=self.seed, mode="sequential",
+        ):
+            for name in names:
+                started = clock.monotonic()
+                result.modules[name] = self.run_module(name, tests=tests)
+                elapsed = clock.monotonic() - started
+                self._progress(f"{name}: done in {elapsed:.1f}s")
+                obs_events.emit(
+                    "unit_finished", unit=name,
+                    seconds=round(elapsed, 6),
+                )
+        obs_events.emit("campaign_finished", units=len(names))
         return result

@@ -28,6 +28,7 @@ import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.probe import engine_selection
+from repro.errors import AnalysisError
 from repro.core.scale import StudyScale
 from repro.core.serialization import (
     SCHEMA_VERSION,
@@ -36,6 +37,8 @@ from repro.core.serialization import (
     save_study,
 )
 from repro.core.study import CharacterizationStudy, StudyResult
+from repro.obs import build_provenance, clock, validate_provenance
+from repro.obs.metrics import REGISTRY
 
 #: Default module subset used by the benchmark harness: two per vendor,
 #: chosen to cover the paper's interesting behaviours (strong V_PP
@@ -129,14 +132,25 @@ def _disk_load(path: str) -> Optional[StudyResult]:
     if not os.path.isfile(path):
         return None
     try:
-        return load_study(path)
-    except (OSError, ValueError, KeyError, TypeError):
+        size = os.path.getsize(path)
+        study = load_study(path)
+        if study.provenance is not None:
+            # load_study already schema-checked the block; re-validate
+            # here so a corrupted-but-parseable entry is treated like
+            # any other corrupt entry (dropped and recomputed).
+            validate_provenance(study.provenance)
+    except (OSError, ValueError, KeyError, TypeError, AnalysisError):
         # Corrupt or stale entry: drop it and recompute.
         try:
             os.unlink(path)
         except OSError:
             pass
         return None
+    REGISTRY.counter(
+        "repro_study_cache_read_bytes_total",
+        "bytes read from the on-disk study cache",
+    ).inc(size)
+    return study
 
 
 def _disk_store(study: StudyResult, path: str) -> None:
@@ -150,6 +164,7 @@ def _disk_store(study: StudyResult, path: str) -> None:
     try:
         os.close(fd)
         save_study(study, tmp_path)
+        written = os.path.getsize(tmp_path)
         os.replace(tmp_path, path)
     except BaseException:
         try:
@@ -157,6 +172,40 @@ def _disk_store(study: StudyResult, path: str) -> None:
         except OSError:
             pass
         raise
+    REGISTRY.counter(
+        "repro_study_cache_write_bytes_total",
+        "bytes written to the on-disk study cache",
+    ).inc(written)
+
+
+def _cache_event(kind: str) -> None:
+    REGISTRY.counter(
+        f"repro_study_cache_{kind}_total",
+        f"study-cache {kind.replace('_', ' ')}",
+    ).inc()
+
+
+def _attach_provenance(
+    study: StudyResult,
+    tests: Sequence[str],
+    modules: Sequence[str],
+    seed: int,
+    wall_seconds: float,
+    counters: Optional[Dict[str, float]] = None,
+) -> None:
+    """Stamp a freshly produced study with its provenance block."""
+    study.provenance = build_provenance(
+        fingerprint=study_fingerprint(tests, modules, study.scale, seed),
+        probe_engine=engine_selection(),
+        seed=seed,
+        cache="miss",
+        wall_seconds=wall_seconds,
+        counters=(
+            counters if counters is not None else REGISTRY.counter_values()
+        ),
+        tests=sorted(tests),
+        modules=sorted(modules),
+    )
 
 
 # -- lookup -----------------------------------------------------------------------
@@ -180,6 +229,7 @@ def get_study(
     scale = scale or StudyScale.bench()
     key = _key(tests, modules, scale, seed)
     if key in _CACHE:
+        _cache_event("memory_hits")
         return _CACHE[key]
     if use_disk is False:
         path = None
@@ -193,10 +243,21 @@ def get_study(
     if path is not None:
         study = _disk_load(path)
         if study is not None:
+            _cache_event("disk_hits")
             _CACHE[key] = study
             return study
+    _cache_event("misses")
+    baseline = REGISTRY.counter_values()
+    started = clock.monotonic()
     study = CharacterizationStudy(scale=scale, seed=seed)
     result = study.run(modules=modules, tests=tuple(tests))
+    wall = clock.monotonic() - started
+    spent = {
+        name: value - baseline.get(name, 0.0)
+        for name, value in REGISTRY.counter_values().items()
+        if value - baseline.get(name, 0.0)
+    }
+    _attach_provenance(result, tests, modules, seed, wall, counters=spent)
     _CACHE[key] = result
     if path is not None:
         _disk_store(result, path)
@@ -209,9 +270,17 @@ def preload_study(
     modules: Sequence[str],
     seed: int = 0,
     write_disk: bool = True,
+    wall_seconds: float = 0.0,
 ) -> None:
     """Install an externally-produced study (parallel campaign, loaded
-    from disk) so subsequent ``get_study`` calls reuse it."""
+    from disk) so subsequent ``get_study`` calls reuse it.
+
+    A study arriving without a provenance block is stamped with one
+    here (``wall_seconds`` lets the producer pass the campaign's cost
+    through), so every disk-cache entry carries provenance.
+    """
+    if study.provenance is None:
+        _attach_provenance(study, tests, modules, seed, wall_seconds)
     _CACHE[_key(tests, modules, study.scale, seed)] = study
     if write_disk:
         path = _disk_path(tests, modules, study.scale, seed)
@@ -236,18 +305,25 @@ def preload_parallel(
     for tests in tests_list:
         key = _key(tests, modules, scale, seed)
         if key in _CACHE:
+            _cache_event("memory_hits")
             continue
         path = _disk_path(tests, modules, scale, seed)
         if path is not None:
             study = _disk_load(path)
             if study is not None:
+                _cache_event("disk_hits")
                 _CACHE[key] = study
                 continue
+        _cache_event("misses")
+        started = clock.monotonic()
         study = run_parallel(
             modules, scale=scale, seed=seed, tests=tuple(tests),
             max_workers=max_workers,
         )
-        preload_study(study, tests, modules, seed=seed)
+        preload_study(
+            study, tests, modules, seed=seed,
+            wall_seconds=clock.monotonic() - started,
+        )
 
 
 # -- invalidation -----------------------------------------------------------------

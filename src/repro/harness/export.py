@@ -6,11 +6,12 @@ import csv
 import json
 import os
 import re
-from typing import Any
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.harness.output import ExperimentOutput
+from repro.obs.provenance import validate_provenance
 
 
 def _slug(text: str) -> str:
@@ -29,10 +30,16 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def export_output(output: ExperimentOutput, directory: str) -> list:
+def export_output(
+    output: ExperimentOutput, directory: str,
+    provenance: Optional[Dict[str, Any]] = None,
+) -> list:
     """Write an experiment's tables as CSV and its data as JSON.
 
-    Returns the list of file paths written.
+    ``provenance`` (a :mod:`repro.obs.provenance` block) is validated
+    and embedded in the JSON summary when given -- the runner passes
+    one for every ``--out`` export. Returns the list of file paths
+    written.
     """
     os.makedirs(directory, exist_ok=True)
     written = []
@@ -45,18 +52,17 @@ def export_output(output: ExperimentOutput, directory: str) -> list:
             writer.writerow(table.headers)
             writer.writerows(table.rows)
         written.append(path)
+    summary = {
+        "experiment_id": output.experiment_id,
+        "title": output.title,
+        "description": output.description,
+        "notes": output.notes,
+        "data": _jsonable(output.data),
+    }
+    if provenance is not None:
+        summary["provenance"] = validate_provenance(provenance)
     summary_path = os.path.join(directory, f"{output.experiment_id}.json")
     with open(summary_path, "w") as handle:
-        json.dump(
-            {
-                "experiment_id": output.experiment_id,
-                "title": output.title,
-                "description": output.description,
-                "notes": output.notes,
-                "data": _jsonable(output.data),
-            },
-            handle,
-            indent=2,
-        )
+        json.dump(summary, handle, indent=2)
     written.append(summary_path)
     return written

@@ -1,16 +1,26 @@
-"""Harness lint: enforce the declarative-spec contract.
+"""Harness lint: AST checks enforcing two repo contracts.
 
-Experiment modules must declare their campaign needs as ``StudyRequest``
-entries on their ``SPEC`` and receive the resolved studies from the
-harness -- calling :func:`repro.harness.cache.get_study` directly would
-hide a need from the preload planner (``runner --parallel`` /
-``--orchestrate``) and from the drift-guard test. This checker walks
-the AST of every module under ``repro/harness/experiments/`` and flags:
+**Declarative-spec contract.** Experiment modules must declare their
+campaign needs as ``StudyRequest`` entries on their ``SPEC`` and
+receive the resolved studies from the harness -- calling
+:func:`repro.harness.cache.get_study` directly would hide a need from
+the preload planner (``runner --parallel`` / ``--orchestrate``) and
+from the drift-guard test. The checker walks the AST of every module
+under ``repro/harness/experiments/`` and flags:
 
 * ``from repro.harness.cache import get_study`` (any alias), and
 * any call whose callee is named ``get_study`` (bare or attribute).
 
-Run it via ``make lint`` or ``python -m repro.harness.lint``; exits
+**Sanctioned-clock contract.** Code under ``repro/core`` and
+``repro/service`` must take timestamps through :mod:`repro.obs.clock`
+(``wall()`` / ``monotonic()``), never ``time.time()`` /
+``time.monotonic()`` / ``time.perf_counter()`` directly: mixing wall
+and monotonic sources is how duration bugs (NTP steps, DST) creep into
+telemetry and profiles. ``time.sleep`` is fine -- it is not a
+timestamp. The checker flags both direct calls and ``from time
+import time/monotonic/perf_counter``.
+
+Run via ``make lint`` or ``python -m repro.harness.lint``; exits
 non-zero when a violation is found.
 """
 
@@ -24,11 +34,22 @@ from typing import List, Optional, Tuple
 #: (path, line, message) triple.
 Violation = Tuple[str, int, str]
 
+#: ``time`` module attributes that read a clock (``sleep`` is allowed).
+_CLOCK_ATTRS = ("time", "monotonic", "perf_counter", "perf_counter_ns",
+                "monotonic_ns", "time_ns")
+
 
 def _experiments_dir() -> str:
     from repro.harness import experiments
 
     return os.path.dirname(os.path.abspath(experiments.__file__))
+
+
+def _package_dir(dotted: str) -> str:
+    import importlib
+
+    module = importlib.import_module(dotted)
+    return os.path.dirname(os.path.abspath(module.__file__))
 
 
 def _callee_name(func: ast.expr) -> Optional[str]:
@@ -63,6 +84,47 @@ def check_source(path: str, source: str) -> List[Violation]:
     return violations
 
 
+def check_timing_source(path: str, source: str) -> List[Violation]:
+    """Flag direct ``time``-module clock reads (sanctioned-clock
+    contract; see the module docstring)."""
+    violations: List[Violation] = []
+    tree = ast.parse(source, filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                names = [
+                    alias.name for alias in node.names
+                    if alias.name in _CLOCK_ATTRS
+                ]
+                if names:
+                    violations.append((
+                        path, node.lineno,
+                        f"imports {', '.join(names)} from time; use "
+                        "repro.obs.clock.wall()/monotonic() instead",
+                    ))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOCK_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                violations.append((
+                    path, node.lineno,
+                    f"calls time.{func.attr}() directly; use "
+                    "repro.obs.clock.wall()/monotonic() instead",
+                ))
+    return violations
+
+
+def _walk_python_files(directory: str):
+    for root, _dirs, files in os.walk(directory):
+        for filename in sorted(files):
+            if filename.endswith(".py"):
+                yield os.path.join(root, filename)
+
+
 def check_experiments(directory: Optional[str] = None) -> List[Violation]:
     """Lint every experiment module; returns the violations found."""
     directory = directory or _experiments_dir()
@@ -77,10 +139,27 @@ def check_experiments(directory: Optional[str] = None) -> List[Violation]:
     return violations
 
 
+def check_clocks(directories: Optional[List[str]] = None) -> List[Violation]:
+    """Lint ``repro.core`` and ``repro.service`` (or explicit
+    directories) for unsanctioned clock reads."""
+    if directories is None:
+        directories = [
+            _package_dir("repro.core"), _package_dir("repro.service"),
+        ]
+    violations: List[Violation] = []
+    for directory in directories:
+        for path in _walk_python_files(directory):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            violations.extend(check_timing_source(path, source))
+    return violations
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     directory = argv[0] if argv else None
     violations = check_experiments(directory)
+    violations.extend(check_clocks() if directory is None else [])
     for path, line, message in violations:
         print(f"{path}:{line}: {message}", file=sys.stderr)
     if violations:

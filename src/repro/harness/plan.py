@@ -79,6 +79,7 @@ class PreloadPlan:
             cache.preload_study(
                 outcome.study, request.tests, request.modules,
                 seed=request.seed,
+                wall_seconds=outcome.metrics.wall_seconds,
             )
         return quarantined
 

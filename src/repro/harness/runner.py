@@ -22,11 +22,12 @@ matches what the experiments actually fetch.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
-import time
 from typing import List, Optional
 
 from repro.core.perf import PROFILER
+from repro.core.probe import engine_selection
 from repro.harness.cache import DEFAULT_CACHE_DIR, set_study_cache_dir
 from repro.harness.export import export_output
 from repro.harness.plan import build_plan
@@ -36,6 +37,16 @@ from repro.harness.registry import (
     get_spec,
     run_experiment,
     unknown_experiments,
+)
+from repro.obs import ProgressReporter, build_provenance, clock
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+
+#: Study-cache counters consulted to label an experiment's provenance
+#: block with how its campaign was satisfied.
+_CACHE_HIT_COUNTERS = (
+    "repro_study_cache_memory_hits_total",
+    "repro_study_cache_disk_hits_total",
 )
 
 
@@ -116,7 +127,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a per-phase timing breakdown and probe counters",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record hierarchical spans and write Chrome-trace JSON "
+             "(load in Perfetto / chrome://tracing) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text to PATH",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live rate/ETA progress line on stderr",
+    )
     return parser
+
+
+def _experiment_provenance(
+    experiment_id: str, seed: int, modules, wall_seconds: float,
+    counters_before, counters_after, cache_enabled: bool,
+):
+    """The provenance block embedded in one experiment's JSON export.
+
+    The fingerprint hashes the experiment request (id, seed, module
+    subset, engine tier); the cache label reflects what the study cache
+    actually did while the experiment ran.
+    """
+    canonical = (
+        f"{experiment_id}|seed={seed}|modules={sorted(modules or ())}"
+        f"|engine={engine_selection()}"
+    )
+    if not cache_enabled:
+        cache_state = "off"
+    elif any(
+        counters_after.get(name, 0.0) > counters_before.get(name, 0.0)
+        for name in _CACHE_HIT_COUNTERS
+    ):
+        cache_state = "hit"
+    else:
+        cache_state = "miss"
+    spent = {
+        name: value - counters_before.get(name, 0.0)
+        for name, value in counters_after.items()
+        if value - counters_before.get(name, 0.0)
+    }
+    return build_provenance(
+        fingerprint=hashlib.sha256(
+            canonical.encode("utf-8")
+        ).hexdigest()[:32],
+        probe_engine=engine_selection(),
+        seed=seed,
+        cache=cache_state,
+        wall_seconds=wall_seconds,
+        counters=spent,
+        experiment=experiment_id,
+    )
 
 
 def list_experiments() -> str:
@@ -174,6 +239,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profile:
         PROFILER.enable()
         PROFILER.reset()
+    if args.trace:
+        TRACER.enable()
+    reporter = ProgressReporter() if args.progress else None
+    if reporter is not None:
+        reporter.attach()
     kwargs = {"seed": args.seed}
     if args.modules:
         kwargs["modules"] = tuple(args.modules)
@@ -207,19 +277,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                     file=sys.stderr,
                 )
     for experiment_id in ids:
-        started = time.monotonic()
-        output = run_experiment(experiment_id, **kwargs)
+        started = clock.monotonic()
+        counters_before = REGISTRY.counter_values()
+        with TRACER.span("experiment", experiment=experiment_id):
+            output = run_experiment(experiment_id, **kwargs)
+        elapsed = clock.monotonic() - started
         print(output.render())
-        print(f"[{experiment_id} completed in "
-              f"{time.monotonic() - started:.1f}s]\n")
+        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
         if args.out:
+            provenance = _experiment_provenance(
+                experiment_id, args.seed, args.modules, elapsed,
+                counters_before, REGISTRY.counter_values(),
+                cache_enabled=not args.no_cache,
+            )
             with PROFILER.phase("export"):
-                written = export_output(output, args.out)
+                written = export_output(
+                    output, args.out, provenance=provenance
+                )
             print("exported: " + ", ".join(written) + "\n")
+    if reporter is not None:
+        reporter.detach()
     if args.profile:
         # Phases timed inside --parallel worker processes stay in the
         # workers; the report covers this process's share.
         print(PROFILER.report())
+        if TRACER.enabled:
+            print(TRACER.report())
+        PROFILER.disable()
+    if args.trace:
+        TRACER.write_chrome_trace(args.trace)
+        # Leave the process-global tracer clean for in-process callers
+        # (tests, notebooks) that invoke main() repeatedly.
+        TRACER.disable()
+        print(f"trace written: {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        REGISTRY.write_prometheus(args.metrics_out)
+        print(f"metrics written: {args.metrics_out}", file=sys.stderr)
     return 0
 
 

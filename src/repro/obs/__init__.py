@@ -1,0 +1,91 @@
+"""repro.obs -- the unified observability layer.
+
+One substrate underneath the runner, campaigns, probe engines, study
+cache and orchestration service (see ``docs/OBSERVABILITY.md``):
+
+* :data:`TRACER` -- hierarchical span tracing
+  (``campaign > module > operating-point > bisection > probe-batch``),
+  exportable as Chrome-trace/Perfetto JSON and as an aggregated
+  per-span-name table (:mod:`repro.obs.trace`);
+* :data:`REGISTRY` -- the central metrics registry (counters, gauges,
+  histograms) with Prometheus text exposition and cross-process
+  snapshot/merge (:mod:`repro.obs.metrics`);
+* :mod:`repro.obs.events` -- the campaign event bus every producer
+  publishes to and every sink (telemetry file, live progress) consumes
+  from;
+* :class:`ProgressReporter` -- the live rate/ETA progress line
+  (:mod:`repro.obs.progress`);
+* provenance manifests -- :func:`build_provenance` /
+  :func:`validate_provenance` blocks attached to every exported
+  study/result JSON (:mod:`repro.obs.provenance`);
+* :mod:`repro.obs.clock` -- the sanctioned ``wall``/``monotonic`` time
+  sources (``make lint`` forbids direct ``time.time()`` timing in
+  ``repro.core`` and ``repro.service``).
+
+Everything is a no-op by default: the tracer hands out a shared null
+span while disabled, the event bus iterates an empty sink list, and
+the registry only mutates at coarse-grained sites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs import clock, events
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+    prometheus_text,
+    snapshot_delta,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.provenance import (
+    PROVENANCE_SCHEMA,
+    build_provenance,
+    code_version,
+    validate_provenance,
+)
+from repro.obs.trace import Span, TRACER, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PROVENANCE_SCHEMA",
+    "ProgressReporter",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "build_provenance",
+    "clock",
+    "code_version",
+    "events",
+    "merge_snapshot",
+    "prometheus_text",
+    "snapshot",
+    "snapshot_delta",
+    "span",
+    "validate_provenance",
+]
+
+
+def span(name: str, **attrs):
+    """Open a span on the global tracer (no-op while disabled)."""
+    return TRACER.span(name, **attrs)
+
+
+def snapshot() -> Dict[str, Any]:
+    """Snapshot the global registry (for cross-process transport)."""
+    return REGISTRY.snapshot()
+
+
+def merge_snapshot(snap: Optional[Dict[str, Any]]) -> None:
+    """Fold a worker's snapshot delta into the global registry."""
+    REGISTRY.merge_snapshot(snap)

@@ -1,0 +1,23 @@
+"""Sanctioned time sources of the observability layer.
+
+All wall-clock and monotonic reads in :mod:`repro.core` and
+:mod:`repro.service` flow through these two functions (``make lint``
+rejects direct ``time.time()`` calls there): event timestamps use
+:func:`wall` -- comparable across machines but unstable under clock
+adjustment -- while every *duration* is a difference of :func:`monotonic`
+readings, which never jump backwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall() -> float:
+    """Wall-clock timestamp (Unix seconds). For *labels*, never math."""
+    return time.time()
+
+
+def monotonic() -> float:
+    """Monotonic timestamp (seconds). The only valid duration source."""
+    return time.monotonic()

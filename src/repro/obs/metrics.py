@@ -1,0 +1,337 @@
+"""Central metrics registry with Prometheus text exposition.
+
+Named counters, gauges and histograms live in one process-global
+:data:`REGISTRY`. Metrics are always on -- every mutation site sits at
+coarse granularity (end of a probe batch, a work unit, a cache access),
+so collection costs nothing measurable -- and exposition is on demand:
+
+* :func:`prometheus_text` / :meth:`MetricsRegistry.prometheus_text`
+  render the version-0.0.4 text format behind the runner's and
+  service's ``--metrics-out metrics.prom`` flags;
+* :meth:`MetricsRegistry.snapshot` / :func:`snapshot_delta` /
+  :meth:`MetricsRegistry.merge_snapshot` move metric state across
+  process boundaries: pool workers return the *delta* their unit
+  produced (:func:`snapshot_delta`) and the coordinator folds it in
+  (counters and histograms add; gauges keep the maximum).
+
+``docs/OBSERVABILITY.md`` tables every metric the reproduction emits.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets (seconds): covers sub-millisecond probe
+#: batches through multi-minute work units.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(f"invalid metric name {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _check_name(name)
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc({amount}))"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def expose(self) -> List[str]:
+        value = self._value
+        return [f"{self.name} {_format_value(value)}"]
+
+
+class Gauge:
+    """Last-observed value (can go up and down)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = ""):
+        self.name = _check_name(name)
+        self.help = help_text
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def expose(self) -> List[str]:
+        return [f"{self.name} {_format_value(self._value)}"]
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        self.name = _check_name(name)
+        self.help = help_text
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise ConfigurationError(
+                f"histogram {name} needs at least one bucket"
+            )
+        self.buckets = uppers
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(uppers) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self.buckets)
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                index = i
+                break
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def expose(self) -> List[str]:
+        lines = []
+        cumulative = 0
+        for upper, bucket_count in zip(self.buckets, self._counts):
+            cumulative += bucket_count
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_le(upper)}"}} '
+                f"{cumulative}"
+            )
+        cumulative += self._counts[-1]
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_format_value(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_le(upper: float) -> str:
+    return str(int(upper)) if float(upper).is_integer() else repr(upper)
+
+
+class MetricsRegistry:
+    """Name-keyed collection of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help_text, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{metric.kind}, not {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        """Get (or lazily register) a counter."""
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        """Get (or lazily register) a gauge."""
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self, name: str, help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get (or lazily register) a histogram."""
+        return self._get_or_create(
+            Histogram, name, help_text, buckets=buckets
+        )
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests use this for isolation)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- exposition --------------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, float]:
+        """Plain name->value view of every counter."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: m.value for m in metrics if isinstance(m, Counter)}
+
+    def prometheus_text(self) -> str:
+        """Version-0.0.4 Prometheus text exposition of every metric."""
+        with self._lock:
+            metrics = sorted(self._metrics.values(), key=lambda m: m.name)
+        lines: List[str] = []
+        for metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: str) -> str:
+        """Write :meth:`prometheus_text` to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            handle.write(self.prometheus_text())
+        return path
+
+    # -- cross-process transport -------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state of every metric (picklable, mergeable)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        snap: Dict[str, Any] = {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        for metric in metrics:
+            if isinstance(metric, Counter):
+                snap["counters"][metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                snap["gauges"][metric.name] = metric.value
+            elif isinstance(metric, Histogram):
+                snap["histograms"][metric.name] = {
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric._counts),
+                    "sum": metric._sum,
+                    "count": metric._count,
+                }
+        return snap
+
+    def merge_snapshot(self, snap: Optional[Dict[str, Any]]) -> None:
+        """Fold a snapshot (usually a worker's delta) into this registry.
+
+        Counters and histograms accumulate; gauges keep the maximum of
+        the current and incoming values (a deterministic cross-worker
+        reduction).
+        """
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            with gauge._lock:
+                gauge._value = max(gauge._value, value)
+        for name, payload in snap.get("histograms", {}).items():
+            histogram = self.histogram(
+                name, buckets=tuple(payload["buckets"])
+            )
+            if tuple(payload["buckets"]) != histogram.buckets:
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket layout mismatch in merge"
+                )
+            with histogram._lock:
+                for i, count in enumerate(payload["counts"]):
+                    histogram._counts[i] += count
+                histogram._sum += payload["sum"]
+                histogram._count += payload["count"]
+
+
+def snapshot_delta(
+    baseline: Dict[str, Any], current: Dict[str, Any]
+) -> Dict[str, Any]:
+    """The mergeable difference ``current - baseline`` of two snapshots.
+
+    Worker processes capture a baseline before executing a unit and
+    return the delta, so long-lived pool workers never double-report
+    state accumulated by earlier units.
+    """
+    delta: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+    base_counters = baseline.get("counters", {})
+    for name, value in current.get("counters", {}).items():
+        changed = value - base_counters.get(name, 0.0)
+        if changed:
+            delta["counters"][name] = changed
+    delta["gauges"] = dict(current.get("gauges", {}))
+    base_histograms = baseline.get("histograms", {})
+    for name, payload in current.get("histograms", {}).items():
+        base = base_histograms.get(
+            name,
+            {"counts": [0] * len(payload["counts"]), "sum": 0.0, "count": 0},
+        )
+        counts = [
+            c - b for c, b in zip(payload["counts"], base["counts"])
+        ]
+        if any(counts):
+            delta["histograms"][name] = {
+                "buckets": list(payload["buckets"]),
+                "counts": counts,
+                "sum": payload["sum"] - base["sum"],
+                "count": payload["count"] - base["count"],
+            }
+    return delta
+
+
+#: Process-global registry every subsystem records into.
+REGISTRY = MetricsRegistry()
+
+
+def prometheus_text() -> str:
+    """Prometheus text exposition of the global registry."""
+    return REGISTRY.prometheus_text()

@@ -1,0 +1,241 @@
+"""Hierarchical span tracing (near-zero overhead while disabled).
+
+A :class:`Tracer` records nested, attribute-carrying spans::
+
+    with TRACER.span("module", module="B3", engine="batch"):
+        with TRACER.span("operating-point", vpp=2.5):
+            ...
+
+While disabled (the default) ``span()`` costs one attribute check and
+returns a shared no-op context manager -- hot paths stay hot. Enabled,
+each span costs two monotonic reads and one list append; nesting is
+tracked per thread, so spans opened on worker threads parent correctly.
+
+Finished spans export two ways:
+
+* :meth:`Tracer.chrome_trace` / :meth:`Tracer.write_chrome_trace` --
+  the Chrome trace-event JSON format (``"X"`` complete events) that
+  ``chrome://tracing`` and Perfetto load directly (the runner's
+  ``--trace trace.json`` flag);
+* :meth:`Tracer.aggregate` / :meth:`Tracer.report` -- a per-span-name
+  total-time/count table appended to ``--profile`` output.
+
+Spans recorded inside worker *processes* stay in the workers (a trace
+of the coordinating process's own spans is still consistent); the
+cross-process accounting travels through the metrics registry
+(:mod:`repro.obs.metrics`) instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import clock
+
+
+@dataclass
+class Span:
+    """One finished span."""
+
+    name: str
+    #: Start offset in seconds relative to the tracer's epoch.
+    start: float
+    #: Duration in seconds.
+    duration: float
+    #: Nesting depth at record time (0 = root).
+    depth: int
+    #: Name of the enclosing span, or None for roots.
+    parent: Optional[str]
+    tid: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """No-op context manager handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        """Ignore attributes (disabled tracer)."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_parent", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+        self._parent: Optional[str] = None
+        self._depth = 0
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        self._depth = len(stack)
+        stack.append(self._name)
+        self._start = clock.monotonic()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = clock.monotonic() - self._start
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] == self._name:
+            stack.pop()
+        tracer._record(
+            Span(
+                name=self._name,
+                start=self._start - tracer._epoch,
+                duration=duration,
+                depth=self._depth,
+                parent=self._parent,
+                tid=threading.get_ident(),
+                attrs=self._attrs,
+            )
+        )
+
+
+class Tracer:
+    """Collects hierarchical spans; disabled by default."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.spans: List[Span] = []
+        self._epoch = clock.monotonic()
+        self._epoch_wall = clock.wall()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording spans (epoch anchors at the call)."""
+        if not self.enabled:
+            self._epoch = clock.monotonic()
+            self._epoch_wall = clock.wall()
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording spans (already-recorded spans are kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every recorded span and re-anchor the epoch."""
+        with self._lock:
+            self.spans.clear()
+        self._local = threading.local()
+        self._epoch = clock.monotonic()
+        self._epoch_wall = clock.wall()
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a span named ``name`` with the given attributes.
+
+        Returns a context manager; a shared no-op one while disabled.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    # -- export ------------------------------------------------------------------
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The recorded spans as a Chrome trace-event document.
+
+        Every span becomes one ``"X"`` (complete) event with
+        microsecond ``ts``/``dur`` relative to the tracer epoch; the
+        document loads directly in Perfetto / ``chrome://tracing``.
+        """
+        pid = os.getpid()
+        with self._lock:
+            spans = list(self.spans)
+        events = [
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": span.tid % 2 ** 31,
+                "args": dict(span.attrs, depth=span.depth,
+                             parent=span.parent),
+            }
+            for span in sorted(spans, key=lambda s: s.start)
+        ]
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "source": "repro.obs",
+                "epoch_unix_seconds": round(self._epoch_wall, 6),
+            },
+        }
+
+    def write_chrome_trace(self, path: str) -> str:
+        """Write :meth:`chrome_trace` as JSON; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+        return path
+
+    def aggregate(self) -> Dict[str, Tuple[int, float]]:
+        """Per-span-name ``(count, total seconds)`` aggregation."""
+        totals: Dict[str, Tuple[int, float]] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for span in spans:
+            count, seconds = totals.get(span.name, (0, 0.0))
+            totals[span.name] = (count + 1, seconds + span.duration)
+        return totals
+
+    def report(self) -> str:
+        """Human-readable per-span-name time/count table."""
+        totals = self.aggregate()
+        lines = ["-- spans --------------------------------------------"]
+        if not totals:
+            lines.append("no spans recorded")
+            return "\n".join(lines)
+        width = max(len(name) for name in totals)
+        for name in sorted(totals, key=lambda n: totals[n][1], reverse=True):
+            count, seconds = totals[name]
+            lines.append(
+                f"{name:<{width}}  {seconds:9.3f}s  ({count} spans)"
+            )
+        return "\n".join(lines)
+
+
+#: Process-global tracer; the runner's ``--trace`` flag enables it.
+TRACER = Tracer()

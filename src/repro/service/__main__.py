@@ -30,6 +30,9 @@ from repro.core.serialization import save_study
 from repro.core.study import TEST_TYPES
 from repro.errors import ConfigurationError
 from repro.harness.cache import BENCH_MODULES
+from repro.obs import ProgressReporter, build_provenance, clock
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.service.faults import FAULT_KINDS, FaultPlan
 from repro.service.orchestrator import CampaignService
 from repro.service.telemetry import TelemetryLog
@@ -157,6 +160,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--quiet", action="store_true",
                         help="suppress live progress output")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record hierarchical spans and write Chrome-trace JSON "
+             "(load in Perfetto / chrome://tracing) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text to PATH",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live rate/ETA progress line on stderr",
+    )
     return parser
 
 
@@ -177,26 +193,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress = (lambda message: None) if args.quiet else (
             lambda message: print(message, file=sys.stderr)
         )
-        with TelemetryLog(args.events, resume=args.resume) as telemetry:
-            service = CampaignService(
-                modules=args.modules,
-                tests=tuple(args.tests),
-                scale=_SCALES[args.scale](),
-                seed=args.seed,
-                probe_engine=args.probe_engine,
-                chunks_per_module=args.chunks,
-                max_workers=args.workers,
-                max_attempts=args.max_attempts,
-                backoff=args.backoff,
-                fault_plan=fault_plan,
-                checkpoint_base=(
-                    None if args.no_checkpoint else args.checkpoint_dir
-                ),
-                telemetry=telemetry,
-                progress=progress,
-            )
-            outcome = service.run(resume=args.resume)
+        if args.trace:
+            TRACER.enable()
+        reporter = ProgressReporter() if args.progress else None
+        if reporter is not None:
+            reporter.attach()
+        started = clock.monotonic()
+        try:
+            with TelemetryLog(args.events, resume=args.resume) as telemetry:
+                service = CampaignService(
+                    modules=args.modules,
+                    tests=tuple(args.tests),
+                    scale=_SCALES[args.scale](),
+                    seed=args.seed,
+                    probe_engine=args.probe_engine,
+                    chunks_per_module=args.chunks,
+                    max_workers=args.workers,
+                    max_attempts=args.max_attempts,
+                    backoff=args.backoff,
+                    fault_plan=fault_plan,
+                    checkpoint_base=(
+                        None if args.no_checkpoint else args.checkpoint_dir
+                    ),
+                    telemetry=telemetry,
+                    progress=progress,
+                )
+                outcome = service.run(resume=args.resume)
+        finally:
+            if reporter is not None:
+                reporter.detach()
     except ConfigurationError as error:
+        TRACER.disable()
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(outcome.metrics.summary())
@@ -208,8 +235,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"/ {len(module.retention)} retention records"
         )
     if args.out:
+        outcome.study.provenance = build_provenance(
+            fingerprint=service.fingerprint,
+            probe_engine=service.probe_engine,
+            seed=args.seed,
+            cache="off",
+            wall_seconds=clock.monotonic() - started,
+            counters=REGISTRY.counter_values(),
+            tests=list(args.tests),
+            modules=list(args.modules),
+            scale=args.scale,
+        )
         save_study(outcome.study, args.out)
         print(f"study saved: {args.out}")
+    if args.trace:
+        TRACER.write_chrome_trace(args.trace)
+        # Leave the process-global tracer clean for in-process callers
+        # (tests, notebooks) that invoke main() repeatedly.
+        TRACER.disable()
+        print(f"trace written: {args.trace}", file=sys.stderr)
+    if args.metrics_out:
+        REGISTRY.write_prometheus(args.metrics_out)
+        print(f"metrics written: {args.metrics_out}", file=sys.stderr)
     if outcome.metrics.quarantined:
         print(
             "warning: quarantined modules missing from the output: "

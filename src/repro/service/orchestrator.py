@@ -48,6 +48,9 @@ from repro.core.serialization import (
 )
 from repro.core.study import TEST_TYPES, CharacterizationStudy, StudyResult
 from repro.errors import BenchFaultError, ConfigurationError
+from repro.obs import clock
+from repro.obs.metrics import REGISTRY, snapshot_delta
+from repro.obs.trace import TRACER
 from repro.service.checkpoint import (
     CheckpointStore,
     SERVICE_SCHEMA_VERSION,
@@ -63,12 +66,18 @@ from repro.service.telemetry import (
 )
 
 
-def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float]:
+def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float, Dict]:
     """Worker entry point: characterize one (module, row-chunk) unit.
 
     Module-level so it pickles into pool workers; also called directly
     in inline mode. Raises :class:`~repro.errors.BenchFaultError` when
     the (possibly injected) bench faults mid-attempt.
+
+    Besides the result and its wall clock, returns the metric delta the
+    attempt produced (baseline-relative, so forked pool workers never
+    re-report inherited registry state). The coordinator merges the
+    delta only across true process boundaries -- in inline mode the
+    increments already landed in this process's registry.
     """
     module, rows, tests, scale, seed, probe_engine, fault_spec = job
     injector = FaultInjector(fault_spec) if fault_spec is not None else None
@@ -76,9 +85,11 @@ def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float]:
         scale=scale, seed=seed, probe_engine=probe_engine,
         fault_injector=injector,
     )
-    started = time.monotonic()
+    baseline = REGISTRY.snapshot()
+    started = clock.monotonic()
     result = study.run_module(module, tests=tests, rows=list(rows))
-    return result, time.monotonic() - started
+    wall = clock.monotonic() - started
+    return result, wall, snapshot_delta(baseline, REGISTRY.snapshot())
 
 
 @dataclass
@@ -190,7 +201,7 @@ class CampaignService:
         use it to simulate a mid-run kill; an exception it raises
         propagates after durability, never before.
         """
-        started = time.monotonic()
+        started = clock.monotonic()
         units = plan_units(
             self.modules, self.scale, self.tests, self.chunks_per_module
         )
@@ -242,14 +253,19 @@ class CampaignService:
             metrics=metrics, unit_metrics=unit_metrics,
             on_unit_done=on_unit_done, store=store,
         )
-        if pending:
-            if self.max_workers <= 1:
-                self._run_inline(state)
-            else:
-                self._run_pool(state)
-
-        study = self._merge(state)
-        metrics.wall_seconds = time.monotonic() - started
+        with TRACER.span(
+            "campaign", fingerprint=self.fingerprint, units=len(units),
+            seed=self.seed, engine=self.probe_engine,
+            workers=self.max_workers,
+        ):
+            if pending:
+                if self.max_workers <= 1:
+                    self._run_inline(state)
+                else:
+                    self._run_pool(state)
+            study = self._merge(state)
+        metrics.wall_seconds = clock.monotonic() - started
+        metrics.publish()
         self.telemetry.emit(
             "campaign_finished",
             completed=metrics.units_completed,
@@ -277,7 +293,7 @@ class CampaignService:
             "seed": self.seed,
             "probe_engine": self.probe_engine,
             "chunks_per_module": self.chunks_per_module,
-            "created": time.time(),
+            "created": clock.wall(),
         }
 
     def _job(self, unit: WorkUnit, attempt: int) -> Tuple:
@@ -307,6 +323,10 @@ class CampaignService:
         record.wall_seconds = wall_seconds
         state.metrics.units_completed += 1
         PROFILER.count("service.units")
+        REGISTRY.histogram(
+            "repro_service_unit_seconds",
+            "in-worker wall clock per completed work unit",
+        ).observe(wall_seconds)
         if state.store is not None:
             with PROFILER.phase("service.checkpoint"):
                 path = state.store.write_unit({
@@ -400,7 +420,11 @@ class CampaignService:
                 self._start_attempt(state, unit, attempt)
                 try:
                     with PROFILER.phase("service.unit"):
-                        result, wall = _execute_unit(self._job(unit, attempt))
+                        # Inline attempt: the metric delta already
+                        # landed in this process's registry.
+                        result, wall, _ = _execute_unit(
+                            self._job(unit, attempt)
+                        )
                 except BenchFaultError as error:
                     if self._handle_fault(state, unit, attempt, error):
                         attempt += 1
@@ -438,11 +462,12 @@ class CampaignService:
                         self._skip_unit(state, unit)
                         continue
                     try:
-                        result, wall = future.result()
+                        result, wall, delta = future.result()
                     except BenchFaultError as error:
                         if self._handle_fault(state, unit, attempt, error):
                             submit(unit, attempt + 1)
                         continue
+                    REGISTRY.merge_snapshot(delta)
                     self._finish_unit(state, unit, result, attempt, wall)
 
     def _merge(self, state: "_RunState") -> StudyResult:

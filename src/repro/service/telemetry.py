@@ -43,13 +43,25 @@ Event vocabulary (all emitted by
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
+
+from repro.obs import clock as obs_clock
+from repro.obs import events as obs_events
+from repro.obs.metrics import REGISTRY
 
 
 class TelemetryLog:
     """JSON-lines event log with an in-memory mirror.
+
+    Since the unified observability layer landed, the log is a thin
+    sink over :mod:`repro.obs.events`: every record it writes is also
+    published on the global event bus (so the live progress reporter
+    sees orchestrated campaigns for free), and every record carries two
+    timestamps -- ``ts`` (wall clock; a human-readable label that can
+    jump under NTP/DST adjustments) and ``mono`` (monotonic seconds;
+    the one to subtract when computing durations). ``docs/SERVICE.md``
+    documents both.
 
     Parameters
     ----------
@@ -59,28 +71,37 @@ class TelemetryLog:
         Append to an existing file instead of truncating it (used by
         ``--resume`` so one campaign's history stays in one log).
     clock:
-        Timestamp source (injectable for tests); defaults to
-        :func:`time.time`.
+        Wall-timestamp source (injectable for tests); defaults to
+        :func:`repro.obs.clock.wall`.
+    monotonic:
+        Duration-safe timestamp source; defaults to
+        :func:`repro.obs.clock.monotonic`.
     """
 
     def __init__(self, path: Optional[str] = None, resume: bool = False,
-                 clock=time.time):
+                 clock=obs_clock.wall, monotonic=obs_clock.monotonic):
         self.path = path
         self.events: List[Dict[str, Any]] = []
         self._clock = clock
+        self._monotonic = monotonic
         self._handle = None
         if path:
             self._handle = open(path, "a" if resume else "w")
 
     def emit(self, event: str, **fields) -> Dict[str, Any]:
         """Record one event; returns the record that was written."""
-        record = {"event": event, "ts": round(self._clock(), 6)}
+        record = {
+            "event": event,
+            "ts": round(self._clock(), 6),
+            "mono": round(self._monotonic(), 6),
+        }
         record.update(fields)
         self.events.append(record)
         if self._handle is not None:
             json.dump(record, self._handle, sort_keys=True)
             self._handle.write("\n")
             self._handle.flush()
+        obs_events.publish(record)
         return record
 
     def close(self) -> None:
@@ -163,6 +184,27 @@ class CampaignMetrics:
             "quarantined": dict(self.quarantined),
             "wall_seconds": round(self.wall_seconds, 6),
         }
+
+    def publish(self, registry=REGISTRY) -> None:
+        """Fold the campaign totals into the central metrics registry.
+
+        Called once at campaign end (the counters are already final),
+        so re-running campaigns in one process accumulates, matching
+        counter semantics. ``as_dict``/``summary`` are unchanged.
+        """
+        for name, value in (
+            ("repro_service_units_planned_total", self.units_planned),
+            ("repro_service_units_completed_total", self.units_completed),
+            ("repro_service_units_resumed_total", self.units_resumed),
+            ("repro_service_units_failed_total", self.units_failed),
+            ("repro_service_retries_total", self.retries),
+            ("repro_service_faults_total", sum(self.faults.values())),
+            ("repro_service_quarantined_total", len(self.quarantined)),
+        ):
+            if value:
+                registry.counter(
+                    name, "orchestration-service campaign counter"
+                ).inc(value)
 
     def summary(self) -> str:
         """Human-readable end-of-campaign report."""

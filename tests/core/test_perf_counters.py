@@ -1,0 +1,86 @@
+"""ProbeCounters: field-complete merge/as_dict and registry publish.
+
+Pins the satellite fix for the chunk-merge bug where
+``ProbeCounters.merge`` silently dropped ``sweep_saved_lookups``: both
+``merge`` and ``as_dict`` are now driven by ``dataclasses.fields``, so
+these tests fail loudly if any counter -- present or future -- goes
+missing from either path.
+"""
+
+from dataclasses import fields
+
+import pytest
+
+from repro.core.perf import PROBE_METRIC_NAMES, ProbeCounters
+from repro.obs.metrics import MetricsRegistry
+
+FIELD_NAMES = tuple(spec.name for spec in fields(ProbeCounters))
+
+
+def _distinct_counters(offset=0):
+    """A ProbeCounters with a different non-zero value per field."""
+    return ProbeCounters(**{
+        name: offset + index + 1 for index, name in enumerate(FIELD_NAMES)
+    })
+
+
+def test_as_dict_covers_every_field():
+    counters = _distinct_counters()
+    payload = counters.as_dict()
+    assert set(payload) == set(FIELD_NAMES)
+    assert all(payload[name] == getattr(counters, name)
+               for name in FIELD_NAMES)
+
+
+def test_merge_accumulates_every_field():
+    total = _distinct_counters()
+    expected = {
+        name: 2 * getattr(total, name) + 100 for name in FIELD_NAMES
+    }
+    total.merge(_distinct_counters(offset=100))
+    assert total.as_dict() == expected
+
+
+def test_merge_roundtrip_preserves_sweep_saved_lookups():
+    # The regression: chunk merges once rebuilt counters field-by-field
+    # and omitted sweep_saved_lookups.
+    left = ProbeCounters(sweep_saved_lookups=7)
+    right = ProbeCounters(sweep_saved_lookups=5, hammer_probes=2)
+    left.merge(right)
+    assert left.sweep_saved_lookups == 12
+    assert left.hammer_probes == 2
+
+
+def test_every_field_has_a_registry_metric_name():
+    assert set(PROBE_METRIC_NAMES) == set(FIELD_NAMES)
+    assert all(name.startswith("repro_") and name.endswith("_total")
+               for name in PROBE_METRIC_NAMES.values())
+
+
+def test_publish_maps_fields_to_canonical_counters():
+    registry = MetricsRegistry()
+    counters = _distinct_counters()
+    counters.publish(registry=registry)
+    values = registry.counter_values()
+    for field_name, metric_name in PROBE_METRIC_NAMES.items():
+        assert values[metric_name] == getattr(counters, field_name)
+
+
+def test_publish_skips_zero_fields():
+    registry = MetricsRegistry()
+    ProbeCounters(hammer_probes=3).publish(registry=registry)
+    assert registry.counter_values() == {
+        "repro_probes_hammer_total": 3,
+    }
+
+
+def test_publish_accumulates_across_modules():
+    registry = MetricsRegistry()
+    ProbeCounters(hammer_probes=3).publish(registry=registry)
+    ProbeCounters(hammer_probes=4).publish(registry=registry)
+    assert registry.counter_values()["repro_probes_hammer_total"] == 7
+
+
+@pytest.mark.parametrize("field_name", FIELD_NAMES)
+def test_fields_default_to_zero(field_name):
+    assert getattr(ProbeCounters(), field_name) == 0

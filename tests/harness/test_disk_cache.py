@@ -16,6 +16,7 @@ from repro.harness.cache import (
     study_cache_dir,
     study_fingerprint,
 )
+from repro.obs.provenance import validate_provenance
 
 TESTS = ("rowhammer",)
 MODULES = ("C5",)
@@ -162,6 +163,104 @@ class TestFingerprint:
                            use_disk=False)
         assert second is first
         assert len(calls) == 1
+
+
+class TestProvenance:
+    """Every cached study carries a schema-valid provenance block that
+    survives the disk round trip (a tentpole acceptance criterion)."""
+
+    def test_fresh_run_is_stamped_as_a_miss(self, cache_dir, tiny_scale):
+        study = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        block = study.provenance
+        validate_provenance(block)
+        assert block["cache"] == "miss"
+        assert block["fingerprint"] == study_fingerprint(
+            TESTS, MODULES, tiny_scale, 2
+        )
+        assert block["seed"] == 2
+        assert block["tests"] == ["rowhammer"]
+        assert block["modules"] == ["C5"]
+        assert block["wall_seconds"] > 0
+
+    def test_counters_are_the_run_delta_not_process_totals(
+        self, cache_dir, tiny_scale
+    ):
+        from repro.obs.metrics import REGISTRY
+
+        # Pre-existing registry state must not leak into the block.
+        REGISTRY.counter("repro_probes_hammer_total").inc(1_000_000)
+        study = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        hammers = study.provenance["counters"]["repro_probes_hammer_total"]
+        assert 0 < hammers < 1_000_000
+
+    def test_block_survives_disk_round_trip(self, cache_dir, tiny_scale):
+        fresh = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        clear_cache()  # drop the memory layer; force the disk entry
+        reloaded = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        validate_provenance(reloaded.provenance)
+        assert reloaded.provenance == fresh.provenance
+
+    def test_block_lands_in_the_json_entry(self, cache_dir, tiny_scale):
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        (entry,) = _entries(cache_dir)
+        with open(os.path.join(cache_dir, entry)) as handle:
+            payload = json.load(handle)
+        validate_provenance(payload["provenance"])
+
+    def test_corrupt_provenance_treated_as_corrupt_entry(
+        self, cache_dir, tiny_scale, monkeypatch
+    ):
+        calls = _count_runs(monkeypatch)
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        (entry,) = _entries(cache_dir)
+        path = os.path.join(cache_dir, entry)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["provenance"]["cache"] = "warm"  # not a valid state
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        clear_cache()
+        study = get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert len(calls) == 2  # recomputed, not served corrupt
+        validate_provenance(study.provenance)
+
+    def test_preloaded_study_is_stamped(self, cache_dir, tiny_scale):
+        from repro.core.study import CharacterizationStudy
+        from repro.harness.cache import preload_study
+
+        result = CharacterizationStudy(scale=tiny_scale, seed=2).run(
+            modules=MODULES, tests=TESTS
+        )
+        assert result.provenance is None
+        preload_study(result, TESTS, MODULES, seed=2, wall_seconds=1.25)
+        validate_provenance(result.provenance)
+        assert result.provenance["wall_seconds"] == 1.25
+
+    def test_cache_traffic_counters(self, cache_dir, tiny_scale):
+        from repro.obs.metrics import REGISTRY
+
+        def deltas(before):
+            return {
+                name: value - before.get(name, 0.0)
+                for name, value in REGISTRY.counter_values().items()
+            }
+
+        before = REGISTRY.counter_values()
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        after_miss = deltas(before)
+        assert after_miss["repro_study_cache_misses_total"] == 1
+        assert after_miss["repro_study_cache_write_bytes_total"] > 0
+
+        before = REGISTRY.counter_values()
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        assert deltas(before)["repro_study_cache_memory_hits_total"] == 1
+
+        clear_cache()
+        before = REGISTRY.counter_values()
+        get_study(TESTS, MODULES, scale=tiny_scale, seed=2)
+        after_disk = deltas(before)
+        assert after_disk["repro_study_cache_disk_hits_total"] == 1
+        assert after_disk["repro_study_cache_read_bytes_total"] > 0
 
 
 class TestProbeEngineKeying:

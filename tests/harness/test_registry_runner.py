@@ -71,3 +71,44 @@ def test_cache_preload_is_used(tiny_scale):
 def test_parser_parallel_flag():
     args = build_parser().parse_args(["fig3", "--parallel", "4"])
     assert args.parallel == 4
+
+
+def test_main_observability_flags(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.prom"
+    code = main([
+        "table2", "--no-cache", "--out", str(tmp_path / "out"),
+        "--trace", str(trace_path), "--metrics-out", str(metrics_path),
+    ])
+    assert code == 0
+    capsys.readouterr()
+
+    from repro.obs.trace import TRACER
+
+    assert not TRACER.enabled  # main() cleans the global tracer up
+    document = json.loads(trace_path.read_text())
+    names = {event["name"] for event in document["traceEvents"]}
+    assert "experiment" in names
+    assert metrics_path.read_text().endswith("\n") or (
+        metrics_path.read_text() == ""
+    )
+
+    (export,) = (tmp_path / "out").glob("*.json")
+    payload = json.loads(export.read_text())
+    from repro.obs.provenance import validate_provenance
+
+    block = validate_provenance(payload["provenance"])
+    assert block["cache"] == "off"
+
+
+def test_profile_prints_span_table_when_tracing(tmp_path, capsys):
+    code = main([
+        "table2", "--no-cache", "--profile",
+        "--trace", str(tmp_path / "trace.json"),
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "-- profile" in captured.out
+    assert "-- spans" in captured.out

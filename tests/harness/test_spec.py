@@ -5,7 +5,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.harness import cache
-from repro.harness.lint import check_experiments, check_source
+from repro.harness.lint import (
+    check_clocks,
+    check_experiments,
+    check_source,
+    check_timing_source,
+)
 from repro.harness.lint import main as lint_main
 from repro.harness.plan import build_plan
 from repro.harness.registry import (
@@ -217,6 +222,49 @@ def test_lint_allows_declarative_specs():
         "                      studies=(StudyRequest(tests=('trcd',)),))\n"
     )
     assert check_source("fake.py", source) == []
+
+
+def test_clock_lint_current_tree_is_clean():
+    # repro.core and repro.service take timestamps through
+    # repro.obs.clock only (the sanctioned-clock contract).
+    assert check_clocks() == []
+
+
+def test_clock_lint_flags_direct_calls():
+    source = (
+        "import time\n"
+        "started = time.monotonic()\n"
+        "stamp = time.time()\n"
+        "precise = time.perf_counter_ns()\n"
+    )
+    violations = check_timing_source("fake.py", source)
+    assert [line for _, line, _ in violations] == [2, 3, 4]
+    assert all("repro.obs.clock" in message for _, _, message in violations)
+
+
+def test_clock_lint_flags_from_imports():
+    source = "from time import monotonic, perf_counter\n"
+    violations = check_timing_source("fake.py", source)
+    assert len(violations) == 1
+    assert "monotonic, perf_counter" in violations[0][2]
+
+
+def test_clock_lint_allows_sleep_and_sanctioned_clock():
+    source = (
+        "import time\n"
+        "from repro.obs import clock\n"
+        "time.sleep(0.1)\n"
+        "started = clock.monotonic()\n"
+    )
+    assert check_timing_source("fake.py", source) == []
+
+
+def test_clock_lint_scoped_to_given_directories(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\nnow = time.time()\n")
+    violations = check_clocks([str(tmp_path)])
+    assert len(violations) == 1
+    assert violations[0][0] == str(bad)
 
 
 def test_lint_cli_reports_ok(capsys):

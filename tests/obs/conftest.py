@@ -1,0 +1,23 @@
+"""Isolation for the process-global observability singletons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import events
+from repro.obs.trace import TRACER
+
+
+@pytest.fixture(autouse=True)
+def _isolated_tracer():
+    """Every test starts with a disabled, empty tracer and leaves no
+    spans or subscribers behind for the rest of the suite."""
+    TRACER.disable()
+    TRACER.reset()
+    before = events.subscribers()
+    yield
+    TRACER.disable()
+    TRACER.reset()
+    for sink in events.subscribers():
+        if sink not in before:
+            events.unsubscribe(sink)

@@ -1,0 +1,128 @@
+"""Event bus and the live progress reporter."""
+
+import io
+
+from repro.obs import events
+from repro.obs.metrics import REGISTRY
+from repro.obs.progress import ProgressReporter, _format_eta
+
+
+class TestEventBus:
+    def test_emit_adds_standard_timestamps(self):
+        record = events.emit("campaign_started", units=4)
+        assert record["event"] == "campaign_started"
+        assert record["units"] == 4
+        assert isinstance(record["ts"], float)
+        assert isinstance(record["mono"], float)
+
+    def test_publish_fans_out_in_subscription_order(self):
+        seen = []
+        first = events.subscribe(lambda r: seen.append(("first", r["event"])))
+        second = events.subscribe(
+            lambda r: seen.append(("second", r["event"]))
+        )
+        try:
+            events.emit("unit_finished", unit="C5")
+        finally:
+            events.unsubscribe(first)
+            events.unsubscribe(second)
+        assert seen == [
+            ("first", "unit_finished"), ("second", "unit_finished"),
+        ]
+
+    def test_unsubscribe_stops_delivery(self):
+        seen = []
+        sink = events.subscribe(seen.append)
+        events.unsubscribe(sink)
+        events.emit("unit_finished")
+        assert seen == []
+
+    def test_unsubscribe_unknown_sink_ignored(self):
+        events.unsubscribe(lambda record: None)
+
+    def test_duplicate_subscribe_registers_once(self):
+        seen = []
+        sink = seen.append
+        events.subscribe(sink)
+        events.subscribe(sink)
+        try:
+            events.emit("unit_finished")
+        finally:
+            events.unsubscribe(sink)
+        assert len(seen) == 1
+
+
+class _Stream(io.StringIO):
+    def __init__(self, tty=False):
+        super().__init__()
+        self._tty = tty
+
+    def isatty(self):
+        return self._tty
+
+
+class TestProgressReporter:
+    def _reporter(self, tty=False):
+        stream = _Stream(tty=tty)
+        return ProgressReporter(stream=stream, min_interval=0.0), stream
+
+    def test_counts_units_from_event_stream(self):
+        reporter, _ = self._reporter()
+        reporter.handle({"event": "campaign_started", "units": 3})
+        reporter.handle({"event": "unit_finished", "unit": "C5#0"})
+        reporter.handle({"event": "unit_resumed", "unit": "C5#1"})
+        reporter.handle({"event": "unit_skipped", "unit": "C5#2"})
+        assert (reporter.total, reporter.done) == (3, 3)
+        assert "[3/3] units" in reporter.render()
+
+    def test_quarantine_shown(self):
+        reporter, _ = self._reporter()
+        reporter.handle({"event": "campaign_started", "units": 2})
+        reporter.handle({"event": "module_quarantined", "module": "B3"})
+        assert "1 quarantined" in reporter.render()
+
+    def test_eta_states(self):
+        reporter, _ = self._reporter()
+        assert "eta --:--" in reporter.render()  # nothing finished yet
+        reporter.total = 4
+        reporter.done = 2
+        assert "eta " in reporter.render()
+        reporter.done = 4
+        assert "done" in reporter.render()
+
+    def test_probe_rate_uses_registry_baseline(self):
+        reporter, _ = self._reporter()
+        REGISTRY.counter("repro_probes_hammer_total").inc(500)
+        line = reporter.render()
+        assert "probes/s" in line
+
+    def test_attach_detach_wires_the_bus(self):
+        reporter, stream = self._reporter()
+        with reporter:
+            assert reporter.handle in events.subscribers()
+            events.publish({"event": "campaign_started", "units": 1})
+            events.publish({"event": "unit_finished"})
+        assert reporter.handle not in events.subscribers()
+        assert "[1/1] units" in stream.getvalue()
+
+    def test_non_tty_appends_lines(self):
+        reporter, stream = self._reporter(tty=False)
+        reporter.handle({"event": "campaign_started", "units": 1})
+        reporter.handle({"event": "campaign_finished"})
+        output = stream.getvalue()
+        assert "\r" not in output
+        assert output.count("\n") >= 1
+
+    def test_tty_rewrites_in_place_and_terminates(self):
+        reporter, stream = self._reporter(tty=True)
+        reporter.handle({"event": "campaign_started", "units": 1})
+        reporter.handle({"event": "unit_finished"})
+        reporter.detach()
+        output = stream.getvalue()
+        assert output.count("\r") >= 2
+        assert output.endswith("\n")
+
+    def test_format_eta(self):
+        assert _format_eta(59) == "0:59"
+        assert _format_eta(61) == "1:01"
+        assert _format_eta(3_725) == "1:02:05"

@@ -1,0 +1,230 @@
+"""Metrics registry: semantics, exposition, cross-process transport."""
+
+import multiprocessing
+import re
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    snapshot_delta,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9+.eE-]+(Inf)?$"
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_x_total", "help")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert registry.counter("repro_x_total") is counter
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("repro_x_total").inc(-1)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("0bad name")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_x_total")
+
+    def test_counter_values_view(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(3)
+        registry.gauge("repro_g").set(9)
+        assert registry.counter_values() == {"repro_a_total": 3}
+
+    def test_thread_safe_increments(self):
+        counter = MetricsRegistry().counter("repro_x_total")
+
+        def bump():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_inflight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_probes", buckets=(1, 4, 16)
+        )
+        for value in (0.5, 3, 3, 20):
+            histogram.observe(value)
+        lines = histogram.expose()
+        assert 'repro_probes_bucket{le="1"} 1' in lines
+        assert 'repro_probes_bucket{le="4"} 3' in lines
+        assert 'repro_probes_bucket{le="16"} 3' in lines
+        assert 'repro_probes_bucket{le="+Inf"} 4' in lines
+        assert "repro_probes_count 4" in lines
+        assert histogram.sum == pytest.approx(26.5)
+
+    def test_needs_buckets(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("repro_h", buckets=())
+
+
+class TestPrometheusText:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total", "a counter").inc(2)
+        registry.gauge("repro_a_gauge", "a gauge").set(1.5)
+        registry.histogram(
+            "repro_c_seconds", "a histogram", buckets=(0.1, 1.0)
+        ).observe(0.05)
+        return registry
+
+    def test_exposition_parses_line_by_line(self):
+        text = self._registry().prometheus_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert _SAMPLE_RE.match(line), line
+
+    def test_metrics_sorted_with_help_and_type(self):
+        text = self._registry().prometheus_text()
+        assert text.index("repro_a_gauge") < text.index("repro_b_total")
+        assert "# HELP repro_b_total a counter" in text
+        assert "# TYPE repro_c_seconds histogram" in text
+
+    def test_empty_registry_exposes_empty_document(self):
+        assert MetricsRegistry().prometheus_text() == ""
+
+    def test_write_prometheus(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        assert self._registry().write_prometheus(path) == path
+        with open(path) as handle:
+            assert "repro_b_total 2" in handle.read()
+
+
+class TestSnapshotTransport:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(10)
+        registry.gauge("repro_peak").set(3)
+        registry.histogram("repro_h", buckets=(1, 2)).observe(1.5)
+        return registry
+
+    def test_snapshot_roundtrips_through_merge(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge_snapshot(source.snapshot())
+        assert target.counter("repro_a_total").value == 10
+        assert target.gauge("repro_peak").value == 3
+        assert target.histogram("repro_h", buckets=(1, 2)).count == 1
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        target = self._populated()
+        target.merge_snapshot(self._populated().snapshot())
+        assert target.counter("repro_a_total").value == 20
+        histogram = target.histogram("repro_h", buckets=(1, 2))
+        assert histogram.count == 2
+        assert histogram.sum == pytest.approx(3.0)
+
+    def test_merge_takes_gauge_maximum(self):
+        target = self._populated()
+        other = MetricsRegistry()
+        other.gauge("repro_peak").set(7)
+        target.merge_snapshot(other.snapshot())
+        assert target.gauge("repro_peak").value == 7
+        low = MetricsRegistry()
+        low.gauge("repro_peak").set(1)
+        target.merge_snapshot(low.snapshot())
+        assert target.gauge("repro_peak").value == 7
+
+    def test_merge_empty_snapshot_is_noop(self):
+        target = self._populated()
+        target.merge_snapshot(None)
+        target.merge_snapshot({})
+        assert target.counter("repro_a_total").value == 10
+
+    def test_bucket_layout_mismatch_rejected(self):
+        target = MetricsRegistry()
+        target.histogram("repro_h", buckets=(1, 2))
+        snap = self._populated().snapshot()
+        snap["histograms"]["repro_h"]["buckets"] = [5, 6]
+        with pytest.raises(ConfigurationError):
+            target.merge_snapshot(snap)
+
+    def test_delta_excludes_baseline_state(self):
+        registry = self._populated()
+        baseline = registry.snapshot()
+        registry.counter("repro_a_total").inc(5)
+        registry.counter("repro_new_total").inc(2)
+        registry.histogram("repro_h", buckets=(1, 2)).observe(0.5)
+        delta = snapshot_delta(baseline, registry.snapshot())
+        assert delta["counters"] == {
+            "repro_a_total": 5, "repro_new_total": 2,
+        }
+        assert delta["histograms"]["repro_h"]["count"] == 1
+        assert delta["histograms"]["repro_h"]["sum"] == pytest.approx(0.5)
+
+    def test_delta_of_identical_snapshots_is_empty(self):
+        registry = self._populated()
+        delta = snapshot_delta(registry.snapshot(), registry.snapshot())
+        assert delta["counters"] == {} and delta["histograms"] == {}
+
+
+def _pool_unit(amount):
+    """One pool work unit: mutate the inherited global registry and
+    return only the delta this unit produced."""
+    baseline = REGISTRY.snapshot()
+    REGISTRY.counter("repro_pooltest_total").inc(amount)
+    REGISTRY.histogram(
+        "repro_pooltest_seconds", buckets=(1.0, 10.0)
+    ).observe(amount)
+    return snapshot_delta(baseline, REGISTRY.snapshot())
+
+
+class TestProcessPoolMerge:
+    def test_worker_deltas_merge_without_double_counting(self):
+        # Forked workers inherit whatever the parent registry already
+        # held -- exactly the long-lived-worker hazard the delta
+        # protocol exists for. Pre-populate the parent so any
+        # inherited-state leak would be visible in the merged totals.
+        REGISTRY.counter("repro_pooltest_total").inc(1000)
+        amounts = [1, 2, 3, 4]
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=2, mp_context=context
+        ) as pool:
+            deltas = list(pool.map(_pool_unit, amounts))
+        merged = MetricsRegistry()
+        for delta in deltas:
+            merged.merge_snapshot(delta)
+        assert merged.counter("repro_pooltest_total").value == sum(amounts)
+        histogram = merged.histogram(
+            "repro_pooltest_seconds", buckets=(1.0, 10.0)
+        )
+        assert histogram.count == len(amounts)
+        assert histogram.sum == pytest.approx(sum(amounts))

@@ -17,7 +17,8 @@ from repro.service.telemetry import (
 class TestTelemetryLog:
     def test_events_mirror_memory_and_disk(self, tmp_path):
         path = str(tmp_path / "events.jsonl")
-        with TelemetryLog(path, clock=lambda: 123.0) as log:
+        with TelemetryLog(path, clock=lambda: 123.0,
+                          monotonic=lambda: 42.5) as log:
             log.emit("campaign_started", units=4)
             log.emit("unit_started", unit="C5/0", attempt=0)
         assert [e["event"] for e in log.events] == [
@@ -26,7 +27,33 @@ class TestTelemetryLog:
         events = read_events(path)
         assert events == log.events
         assert events[0] == {"event": "campaign_started", "ts": 123.0,
-                             "units": 4}
+                             "mono": 42.5, "units": 4}
+
+    def test_every_record_carries_wall_and_monotonic_stamps(self):
+        # ts is a wall-clock label (can jump under NTP/DST); mono is
+        # the duration-safe timestamp documented in docs/SERVICE.md.
+        log = TelemetryLog()
+        log.emit("unit_started")
+        log.emit("unit_finished")
+        for record in log.events:
+            assert isinstance(record["ts"], float)
+            assert isinstance(record["mono"], float)
+        assert log.events[1]["mono"] >= log.events[0]["mono"]
+        log.close()
+
+    def test_records_publish_on_the_event_bus(self):
+        from repro.obs import events as obs_events
+
+        seen = []
+        sink = obs_events.subscribe(seen.append)
+        try:
+            log = TelemetryLog()
+            log.emit("campaign_started", units=2)
+            log.close()
+        finally:
+            obs_events.unsubscribe(sink)
+        assert [r["event"] for r in seen] == ["campaign_started"]
+        assert seen[0]["units"] == 2
 
     def test_each_line_is_standalone_json(self, tmp_path):
         path = str(tmp_path / "events.jsonl")
@@ -126,6 +153,45 @@ class TestServiceCli:
         assert main(BASE_ARGS + ["--fault-script", "C5/0:x:power_droop"]) == 2
         captured = capsys.readouterr()
         assert "error:" in captured.err
+
+    def test_trace_metrics_and_provenance_flags(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.prom")
+        out = str(tmp_path / "study.json")
+        code = main(BASE_ARGS + [
+            "--no-checkpoint", "--trace", trace_path,
+            "--metrics-out", metrics_path, "--out", out,
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        with open(trace_path) as handle:
+            document = json.load(handle)
+        events = document["traceEvents"]
+        names = {event["name"] for event in events}
+        assert {"campaign", "service.unit", "module"} <= names
+        assert all(event["ph"] == "X" for event in events)
+
+        with open(metrics_path) as handle:
+            text = handle.read()
+        assert "# TYPE repro_probes_hammer_total counter" in text
+        assert "# TYPE repro_service_unit_seconds histogram" in text
+        assert 'repro_service_unit_seconds_bucket{le="+Inf"}' in text
+
+        from repro.obs.provenance import validate_provenance
+
+        study = load_study(out)
+        block = validate_provenance(study.provenance)
+        assert block["cache"] == "off"
+        assert block["probe_engine"] in ("batch", "fast", "command")
+        assert block["modules"] == ["C5"]
+
+    def test_progress_flag_renders_rate_line(self, tmp_path, capsys):
+        code = main(BASE_ARGS + ["--no-checkpoint", "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "units/s" in captured.err
+        assert "probes/s" in captured.err
 
     def test_checkpointed_run_then_resume(self, tmp_path, capsys):
         args = BASE_ARGS + ["--checkpoint-dir", str(tmp_path / "ckpt")]
