@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test bench bench-check bench-all service-smoke obs-smoke artifacts examples clean
+.PHONY: install lint test bench bench-check bench-smoke bench-all service-smoke obs-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -31,6 +31,13 @@ bench: service-smoke
 # band (REPRO_BENCH_TOLERANCE to widen on noisy machines).
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py
+
+# Machine-speed-independent subset of bench-check for CI: asserts the
+# committed baseline's acceptance gates (fused >= 3x batch on the
+# V_PP ladder, fused hammer rate > fast) and the fused-vs-batch
+# bit-identity differential, without timing re-measurement.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py --smoke
 
 # One-module orchestrated campaign with one injected bench fault:
 # asserts the retry succeeds, the JSON-lines event log parses, and the

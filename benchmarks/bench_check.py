@@ -1,11 +1,25 @@
 #!/usr/bin/env python3
 """Perf-regression guard against the committed BENCH_probe.json.
 
-Re-measures the probe-throughput rates and both acceptance campaigns
-(``make bench`` writes them; see ``bench_probe.py``) and fails --
-exit 1 -- when any metric falls below its committed value by more than
-the tolerance band. Ratios (the campaign speedups) are compared with a
-tighter band than absolute probes/sec, which swing with machine load.
+Three layers, any of which fails the check (exit 1):
+
+* deterministic acceptance gates on the *committed* baseline itself:
+  the fused engine's ladder-campaign speedup over batch must hold the
+  3x target and its single-probe hammer rate must beat the fast
+  engine's (asserted on the committed numbers, so a noisy check
+  machine cannot flake the gate);
+* a differential bit-identity gate: a tiny-scale study runs on the
+  batch and fused engines and every experiment family (rowhammer,
+  tRCD, retention) must match record-for-record;
+* a perf-regression guard: re-measures the probe-throughput rates and
+  the acceptance campaigns (``make bench`` writes them; see
+  ``bench_probe.py``) and fails when any metric falls below its
+  committed value by more than the tolerance band. Ratios (the
+  campaign speedups) are compared with a tighter band than absolute
+  probes/sec, which swing with machine load.
+
+``--smoke`` runs only the first two, machine-speed-independent layers
+(the CI entry point; ``make bench-smoke``).
 
 Tolerances are fractions of the committed value and can be widened on
 noisy machines:
@@ -34,16 +48,22 @@ SPEEDUP_TOLERANCE = 0.3
 
 RATE_KEYS = (
     "hammer_probes_per_sec_batch",
+    "hammer_probes_per_sec_fused",
     "hammer_probes_per_sec_fast",
     "hammer_probes_per_sec_command",
     "retention_probes_per_sec_batch",
+    "retention_probes_per_sec_fused",
     "retention_probes_per_sec_fast",
     "retention_probes_per_sec_command",
 )
 SPEEDUP_KEYS = (
     "campaign_speedup",
     "campaign_speedup_batch_over_fast",
+    "campaign_speedup_fused_over_batch",
 )
+
+#: Experiment families covered by the differential bit-identity gate.
+FAMILIES = ("rowhammer", "trcd", "retention")
 
 
 def _tolerances():
@@ -59,6 +79,52 @@ def _tolerances():
     if not 0 <= value < 1:
         raise SystemExit("REPRO_BENCH_TOLERANCE must be in [0, 1)")
     return value, value
+
+
+def gate_baseline(committed):
+    """Acceptance floors asserted on the committed baseline itself.
+
+    These are properties of the committed numbers, not of this run's
+    machine, so they never flake: if someone regenerates
+    BENCH_probe.json on a machine where the fused engine no longer
+    clears its targets, the commit fails here deterministically.
+    """
+    failures = []
+    speedup = committed.get("campaign_speedup_fused_over_batch")
+    if speedup is not None and speedup < 3.0:
+        failures.append(
+            f"committed campaign_speedup_fused_over_batch {speedup:.2f} "
+            "below the 3x acceptance target"
+        )
+    fused = committed.get("hammer_probes_per_sec_fused")
+    fast = committed.get("hammer_probes_per_sec_fast")
+    if fused is not None and fast is not None and fused <= fast:
+        failures.append(
+            f"committed hammer_probes_per_sec_fused {fused:.2f} does not "
+            f"beat the fast engine's {fast:.2f}"
+        )
+    return failures
+
+
+def differential_check():
+    """Return the experiment families where a tiny-scale fused study
+    diverges from the batch reference (bit-identity gate)."""
+    from repro.core.scale import StudyScale
+    from repro.core.study import CharacterizationStudy
+
+    def run(engine):
+        study = CharacterizationStudy(
+            scale=StudyScale.tiny(), seed=3, probe_engine=engine
+        )
+        return study.run_module(
+            "A0", tests=FAMILIES, vpp_levels=(2.5, 2.2)
+        )
+
+    batch, fused = run("batch"), run("fused")
+    return [
+        family for family in FAMILIES
+        if getattr(batch, family) != getattr(fused, family)
+    ]
 
 
 def check(committed, measured, rate_tol, speedup_tol):
@@ -84,6 +150,12 @@ def main(argv=None) -> int:
         os.path.dirname(os.path.abspath(__file__)), "BENCH_probe.json"
     )
     parser.add_argument("--baseline", default=default_baseline)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run only the machine-speed-independent layers (committed-"
+             "baseline gates + fused-vs-batch bit-identity), skipping "
+             "the timing re-measurement (the CI entry point)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline) as handle:
@@ -93,12 +165,38 @@ def main(argv=None) -> int:
     from repro.harness.cache import set_study_cache_dir
 
     set_study_cache_dir(None)
+
+    gate_failures = gate_baseline(committed)
+    if gate_failures:
+        print("committed baseline fails its acceptance gates:",
+              file=sys.stderr)
+        for failure in gate_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+
+    print("checking fused-vs-batch bit-identity (tiny scale, all "
+          "experiment families)...")
+    mismatches = differential_check()
+    if mismatches:
+        print("fused engine diverges from the batch reference on: "
+              + ", ".join(mismatches), file=sys.stderr)
+        return 1
+    print("fused records match the batch reference bit-for-bit")
+
+    if args.smoke:
+        print("\nsmoke mode: skipping timing re-measurement")
+        return 0
+
     print("re-measuring probe throughput...")
     measured = dict(bench_probe.bench_probe_rates())
     print("re-measuring one-module bench campaign (fast vs command)...")
     measured.update(bench_probe.bench_campaign())
-    print("re-measuring characterization campaign (batch vs fast)...")
-    measured.update(bench_probe.bench_characterization_campaign(runs=1))
+    print("re-measuring characterization campaign (fast/batch/fused)...")
+    measured.update(bench_probe.bench_characterization_campaign(runs=2))
+    print("re-measuring V_PP-ladder campaign (batch vs fused)...")
+    # Ladder rounds are cheap (~4 s) and the speedup ratio is what the
+    # acceptance gate rides on, so spend full interleaved minima here.
+    measured.update(bench_probe.bench_vpp_ladder_campaign(runs=3))
 
     for key in RATE_KEYS + SPEEDUP_KEYS:
         committed_value = committed.get(key)

@@ -11,11 +11,19 @@ Measures, with both cache layers disabled:
   the acceptance metric of the probe-kernel PR (fast >= 3x command);
 * wall-clock of the *characterization campaign* -- Alg. 1 bisections
   plus Alg. 3 retention ladders over the bench row set at the paper
-  modules' physical row size (8 KiB) -- on the fast and batch engines:
-  the acceptance metric of the row-batched study kernels (batch >= 3x
-  fast). Engines are timed interleaved (min of several alternating
-  runs) because the batch engine's advantage would otherwise be
-  polluted by machine-load drift.
+  modules' physical row size (8 KiB) -- on the fast, batch and fused
+  engines: the acceptance metric of the row-batched study kernels
+  (batch >= 3x fast). Engines are timed interleaved (min of several
+  alternating runs) because the batch engine's advantage would
+  otherwise be polluted by machine-load drift;
+* wall-clock of the *V_PP-grid ladder phases* of that campaign --
+  Alg. 1 and Alg. 3 re-run at every operating point of the V_PP grid
+  -- on the batch and fused engines: the acceptance metric of the
+  fused sweep kernels (fused >= 3x batch). Setup, preheat and WCDP
+  determination run once per engine as an untimed prologue: those
+  phases execute at a single operating point, so cross-operating-point
+  fusion cannot apply to them and timing them would only dilute the
+  metric identically on both sides.
 
 The JSON is written next to this script (override with ``--out``) so
 future PRs have a perf trajectory to compare against;
@@ -33,10 +41,14 @@ import os
 import sys
 import time
 
+from repro.core import retention as retention_test
+from repro.core import rowhammer as rowhammer_test
 from repro.core.context import TestContext
 from repro.core.rowhammer import measure_ber
 from repro.core.retention import measure_retention
+from repro.core.sampling import sample_rows
 from repro.core.scale import StudyScale
+from repro.core.wcdp import retention_wcdp, rowhammer_wcdp
 from repro.dram import constants
 from repro.dram.calibration import ModuleGeometry
 from repro.dram.patterns import STANDARD_PATTERNS
@@ -55,6 +67,13 @@ CAMPAIGN_TESTS = ("rowhammer", "retention")
 CHARACTERIZATION_SCALE = dataclasses.replace(
     StudyScale.bench(),
     geometry=ModuleGeometry(row_bits=65536),
+)
+#: The V_PP-ladder campaign keeps the paper-realistic row size on an
+#: explicit two-bank module geometry (the probed bank behaves the
+#: same; the second bank keeps module generation honest about size).
+LADDER_SCALE = dataclasses.replace(
+    StudyScale.bench(),
+    geometry=ModuleGeometry(rows_per_bank=4096, banks=2, row_bits=65536),
 )
 
 
@@ -84,7 +103,7 @@ def bench_probe_rates():
     rates = {}
     hammer_pattern = STANDARD_PATTERNS[0]
     retention_pattern = STANDARD_PATTERNS[2]
-    for engine in ("batch", "fast", "command"):
+    for engine in ("batch", "fused", "fast", "command"):
         ctx = _context(engine)
         rates[f"hammer_probes_per_sec_{engine}"] = _probe_rate(
             lambda: measure_ber(ctx, 100, hammer_pattern, 300_000)
@@ -132,8 +151,11 @@ def bench_campaign():
 
 def bench_characterization_campaign(runs=2):
     """The row-batched kernel PR's acceptance campaign: batch vs fast,
-    both Alg. 1 and Alg. 3, at the paper-realistic row size."""
-    engines = ("fast", "batch")
+    both Alg. 1 and Alg. 3, at the paper-realistic row size. The fused
+    engine rides along for the end-to-end trajectory (its acceptance
+    metric is the ladder-phase campaign below, where the single-
+    operating-point prologue does not dilute the comparison)."""
+    engines = ("fast", "batch", "fused")
     for engine in engines:  # warmup: module generation, import costs
         _timed_campaign(engine, CAMPAIGN_TESTS, CHARACTERIZATION_SCALE)
     times = {engine: [] for engine in engines}
@@ -153,14 +175,88 @@ def bench_characterization_campaign(runs=2):
     return results
 
 
+def _ladder_state(engine):
+    """Untimed prologue of the ladder campaign: context, row sample,
+    preheat and both WCDP maps at nominal V_PP, shared by every timed
+    run of that engine."""
+    scale = LADDER_SCALE
+    infra = TestInfrastructure.for_module(
+        CAMPAIGN_MODULE, geometry=scale.geometry, seed=1
+    )
+    ctx = TestContext(infra, scale, probe_engine=engine)
+    rows = sample_rows(
+        scale.geometry.rows_per_bank, scale.rows_per_module,
+        scale.row_chunks,
+    )
+    preheat = getattr(ctx.engine, "preheat", None)
+    if preheat is not None:
+        preheat(ctx, rows)
+    infra.set_vpp(constants.NOMINAL_VPP)
+    infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+    wcdp_rh = {row: rowhammer_wcdp(ctx, row) for row in rows}
+    infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+    wcdp_ret = {row: retention_wcdp(ctx, row) for row in rows}
+    return ctx, rows, wcdp_rh, wcdp_ret, infra.vpp_levels(scale.vpp_step)
+
+
+def _timed_ladder(state):
+    """One pass over the V_PP grid: Alg. 1 then Alg. 3 at every level
+    (the exact phase order of ``CharacterizationStudy.run_module``)."""
+    ctx, rows, wcdp_rh, wcdp_ret, levels = state
+    infra = ctx.infra
+    started = time.monotonic()
+    infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
+    for vpp in levels:
+        infra.set_vpp(vpp)
+        rowhammer_test.characterize_rows(ctx, rows, wcdp_rh, vpp)
+    infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
+    for vpp in levels:
+        infra.set_vpp(vpp)
+        retention_test.characterize_rows(ctx, rows, wcdp_ret, vpp)
+    return time.monotonic() - started
+
+
+def bench_vpp_ladder_campaign(runs=3):
+    """The fused-kernel PR's acceptance campaign: batch vs fused over
+    the V_PP-grid ladder phases (Alg. 1 worst-BER ladders + bisections
+    and Alg. 3 retention ladders, re-run at every operating point).
+
+    The ladder phases are exactly where the batch engine re-enters one
+    bisection per operating point while the fused engine resolves the
+    whole grid against one resolved sweep; the single-operating-point
+    prologue (setup, preheat, WCDP) runs once per engine, untimed --
+    cross-operating-point fusion cannot apply there, so timing it
+    would only shift both sides by the same constant.
+    """
+    engines = ("batch", "fused")
+    states = {engine: _ladder_state(engine) for engine in engines}
+    for engine in engines:  # warmup: sweep resolution, lazy imports
+        _timed_ladder(states[engine])
+    times = {engine: [] for engine in engines}
+    for _ in range(runs):
+        for engine in engines:
+            times[engine].append(_timed_ladder(states[engine]))
+    results = {
+        f"ladder_seconds_{engine}": min(times[engine]) for engine in engines
+    }
+    results["campaign_speedup_fused_over_batch"] = (
+        results["ladder_seconds_batch"] / results["ladder_seconds_fused"]
+    )
+    return results
+
+
 REPORT_KEYS = (
-    "hammer_probes_per_sec_batch", "hammer_probes_per_sec_fast",
-    "hammer_probes_per_sec_command", "retention_probes_per_sec_batch",
+    "hammer_probes_per_sec_batch", "hammer_probes_per_sec_fused",
+    "hammer_probes_per_sec_fast", "hammer_probes_per_sec_command",
+    "retention_probes_per_sec_batch", "retention_probes_per_sec_fused",
     "retention_probes_per_sec_fast", "retention_probes_per_sec_command",
     "hammer_probe_speedup", "retention_probe_speedup",
     "campaign_seconds_fast", "campaign_seconds_command",
     "campaign_speedup", "characterization_seconds_fast",
-    "characterization_seconds_batch", "campaign_speedup_batch_over_fast",
+    "characterization_seconds_batch", "characterization_seconds_fused",
+    "campaign_speedup_batch_over_fast",
+    "ladder_seconds_batch", "ladder_seconds_fused",
+    "campaign_speedup_fused_over_batch",
 )
 
 
@@ -192,12 +288,20 @@ def main(argv=None) -> int:
             "bench-scale get_study(('rowhammer', 'retention')) at 65536-bit"
             " physical rows, interleaved min-of-2"
         ),
+        "ladder_campaign": (
+            "V_PP-grid ladder phases (Alg. 1 + Alg. 3 at every level) at"
+            " 65536-bit physical rows, batch vs fused, interleaved"
+            " min-of-3; setup/preheat/WCDP run untimed at a single"
+            " operating point"
+        ),
     }}
     payload.update(bench_probe_rates())
     print("measuring one-module bench campaigns (fast vs command)...")
     payload.update(bench_campaign())
-    print("measuring characterization campaigns (batch vs fast)...")
+    print("measuring characterization campaigns (fast vs batch vs fused)...")
     payload.update(bench_characterization_campaign())
+    print("measuring V_PP-ladder campaigns (batch vs fused)...")
+    payload.update(bench_vpp_ladder_campaign())
 
     # The registry counters spent producing these numbers travel with
     # them, so BENCH_probe.json entries are self-describing.
@@ -230,6 +334,15 @@ def main(argv=None) -> int:
     if payload["campaign_speedup_batch_over_fast"] < 3.0:
         print("WARNING: batch-over-fast characterization speedup below the "
               "3x acceptance target", file=sys.stderr)
+        failed = True
+    if payload["campaign_speedup_fused_over_batch"] < 3.0:
+        print("WARNING: fused-over-batch ladder speedup below the 3x "
+              "acceptance target", file=sys.stderr)
+        failed = True
+    if (payload["hammer_probes_per_sec_fused"]
+            <= payload["hammer_probes_per_sec_fast"]):
+        print("WARNING: fused single-probe hammer rate does not beat the "
+              "fast engine", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

@@ -88,9 +88,16 @@ class BatchHammerSession(HammerSession):
             # The operating point is fixed for the session's lifetime:
             # resolve the sorted-threshold reductions and the damage
             # coefficients once instead of re-validating per probe.
-            self._counts = self._sweep.threshold_counts()
+            self._counts = self._resolve_counts()
             self._damage_terms = self._sweep.damage_terms()
             self._cell_gen = self._bank._cells
+
+    def _resolve_counts(self):
+        """The session's count-reduction kernel (the seam the fused
+        engine overrides to substitute its cross-operating-point
+        kernel; both expose the same count/any_flip/any_decay/
+        flip_populations contract, bit-identically)."""
+        return self._sweep.threshold_counts()
 
     def _note_probe(self):
         if self._probed:
@@ -180,6 +187,104 @@ class BatchHammerSession(HammerSession):
         self._finish(evaluation, cycles)
         return float(flipped / self._size)
 
+    def ber_ladder(self, hammer_count, iterations):
+        """Alg. 1's worst-BER repetitions as one bookkeeping pass.
+
+        The simulated-clock chain is replayed add by add exactly as
+        ``iterations`` back-to-back :meth:`ber` calls would (every
+        probe's session number and elapsed time is bit-identical), while
+        the per-probe state writes -- which each probe overwrites with
+        the same or the final value -- collapse into one update, the
+        mirror of :meth:`BatchRetentionSession._count_ladder` on the
+        hammer side. ``check_communication`` is a pure V_PP check and
+        V_PP cannot change mid-session, so one check covers all."""
+        if iterations <= 0:
+            return []
+        if not self._exact:
+            return [self.ber(hammer_count) for _ in range(iterations)]
+        with TRACER.span(
+            "probe-batch", hammer_count=hammer_count, iterations=iterations,
+        ):
+            return self._ber_ladder_traced(hammer_count, iterations)
+
+    def _ber_ladder_traced(self, hammer_count, iterations):
+        engine = self._engine
+        sweep = self._sweep
+        env = self._env
+        engine._module.check_communication()
+        state = sweep.state
+        cell_gen = self._cell_gen
+        physical = sweep.physical
+        counts = self._counts
+        size = self._size
+
+        trcd_q = engine._trcd_q
+        row_io = engine._row_io
+        trp_q = engine._trp_q
+        aggressors = sweep.aggressor_states
+        cycles = hammer_count * len(aggressors)
+        hammer_add = cycles * engine._trc_q
+        # The damage terms depend only on the hammer count, which is
+        # fixed for the whole ladder.
+        _, damage_bulk, damage_outlier, terms = self._damage_terms
+        for weight, scale_bulk, scale_outlier in terms:
+            damage_bulk += hammer_count * weight / scale_bulk
+            damage_outlier += hammer_count * weight / scale_outlier
+
+        now = env.now
+        session = state.session
+        values = []
+        last_restore = state.last_restore_time
+        for _ in range(iterations):
+            session += 2
+            cell_gen.ensure_jitter_window(physical, session)
+            now += trcd_q
+            now += row_io
+            restore_time = now
+            now += trp_q
+            for aggressor_state in aggressors:
+                aggressor_state.session += 3
+                now += trcd_q
+                now += row_io
+                now += trp_q
+            now += hammer_add
+            elapsed = now - restore_time
+            flipped = counts.count(
+                damage_bulk, damage_outlier, session, elapsed
+            )
+            values.append(float(flipped / size))
+            # Read-back restore (the per-probe _finish chain).
+            last_restore = now
+            session += 1
+            now += trcd_q
+            now += row_io
+            now += trp_q
+        state.session = session
+        state.pattern_index = sweep.pattern_index
+        state.cache.pop("_flip_guard", None)
+        state.last_restore_time = last_restore
+        state.vpp_at_restore = env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        self._bank.total_activations += iterations * (
+            2 + len(aggressors) * (1 + hammer_count)
+        )
+        env.now = now
+        counters = engine.counters
+        counters.hammer_probes += iterations
+        counters.commands_issued += iterations * (
+            4 * (2 + engine._columns) + 2 * cycles
+        )
+        counters.sweep_saved_lookups += (
+            iterations if self._probed else iterations - 1
+        )
+        self._probed = True
+        PROFILER.count("hammer_probes", iterations)
+        self._pending = (
+            damage_bulk, damage_outlier, session - 1, elapsed
+        )
+        return values
+
     def any_flip(self, hammer_count: int) -> bool:
         self._note_probe()
         if not self._exact:
@@ -235,7 +340,12 @@ class BatchRetentionSession(RetentionSession):
             # Retention probes never draw jitter (the flip rule has no
             # tolerance term), so only the threshold reduction needs
             # resolving up front.
-            self._counts = self._sweep.threshold_counts()
+            self._counts = self._resolve_counts()
+
+    def _resolve_counts(self):
+        """The session's count-reduction kernel (seam for the fused
+        engine; see :meth:`BatchHammerSession._resolve_counts`)."""
+        return self._sweep.threshold_counts()
 
     def _note_probe(self):
         if self._probed:
@@ -378,6 +488,78 @@ class BatchRetentionSession(RetentionSession):
             float(counts[best] / self._size),
             self._histogram(elapsed_values[best]),
         )
+
+    def worst_ladder(self, windows, iterations):
+        if not self._exact or iterations <= 0 or not windows:
+            return super().worst_ladder(windows, iterations)
+        with TRACER.span(
+            "probe-batch", windows=len(windows), iterations=iterations,
+        ):
+            return self._worst_ladder_traced(windows, iterations)
+
+    def _worst_ladder_traced(self, windows, iterations):
+        """The whole Alg. 3 window ladder in one bookkeeping pass.
+
+        Extends :meth:`_count_ladder`'s collapse across the window
+        loop: the simulated-clock chain is still replayed add by add
+        (elapsed times depend on the running clock's float magnitude),
+        but the per-window state writes, counter updates and
+        ``check_communication`` -- a pure V_PP check, and V_PP cannot
+        change mid-session -- collapse into one each."""
+        engine = self._engine
+        sweep = self._sweep
+        env = self._env
+        engine._module.check_communication()
+        state = sweep.state
+        trcd_q = engine._trcd_q
+        row_io = engine._row_io
+        trp_q = engine._trp_q
+        now = env.now
+        elapsed_values: List[float] = []
+        last_restore = now
+        for trefw in windows:
+            for _ in range(iterations):
+                now += trcd_q
+                now += row_io
+                restore_time = now
+                now += trp_q
+                now += trefw
+                elapsed_values.append(now - restore_time)
+                last_restore = now
+                now += trcd_q
+                now += row_io
+                now += trp_q
+        probes = iterations * len(windows)
+        state.session += 3 * probes
+        state.pattern_index = sweep.pattern_index
+        state.cache.pop("_flip_guard", None)
+        state.last_restore_time = last_restore
+        state.vpp_at_restore = env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        self._bank.total_activations += 2 * probes
+        env.now = now
+        counters = engine.counters
+        counters.retention_probes += probes
+        counters.commands_issued += probes * 2 * (2 + engine._columns)
+        counters.sweep_saved_lookups += (
+            probes if self._probed else probes - 1
+        )
+        self._probed = True
+        PROFILER.count("retention_probes", probes)
+        self._pending = elapsed_values[-1]
+        counts = self._counts.count_many(elapsed_values)
+        size = self._size
+        results = []
+        for index in range(len(windows)):
+            start = index * iterations
+            window_counts = counts[start:start + iterations]
+            best = window_counts.index(max(window_counts))
+            results.append((
+                float(window_counts[best] / size),
+                self._histogram(elapsed_values[start + best]),
+            ))
+        return results
 
     def close(self) -> None:
         if self._pending is None:

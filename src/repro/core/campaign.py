@@ -102,6 +102,56 @@ def plan_row_chunks(
     return [sorted(chunk) for chunk in chunks]
 
 
+def _attach_state(handle):
+    """Worker-side attach to the coordinator's shared device state.
+
+    Returns None (fall back to private RNG derivation -- bit-identical,
+    just slower) when no state was shared or the segment is gone, e.g.
+    a resumed attempt after the owning coordinator died.
+    """
+    if handle is None:
+        return None
+    from repro.core.soa import attach_device_state
+
+    try:
+        return attach_device_state(handle)
+    except (FileNotFoundError, OSError):  # pragma: no cover - rare race
+        return None
+
+
+def _build_shared_states(names, scale, seed) -> Dict[str, object]:
+    """Coordinator-side: one shared-memory device-state block per
+    module, covering the scale's full row sample (a superset of every
+    chunk). Returns ``{}`` -- private derivation, bit-identical -- when
+    shared memory is unavailable on the platform. The caller owns the
+    returned states and must ``close(unlink=True)`` each in a finally.
+    """
+    from repro.core.soa import build_device_state
+
+    states: Dict[str, object] = {}
+    try:
+        for name in names:
+            states[name] = build_device_state(name, scale=scale, seed=seed)
+            handle = states[name].handle
+            obs_events.emit(
+                "device_state_shared", module=name,
+                bytes=states[name].nbytes,
+                rows=len(handle.physical_rows), seed=handle.seed,
+            )
+    except OSError:  # pragma: no cover - no /dev/shm (platform quirk)
+        _release_shared_states(states)
+        return {}
+    except BaseException:
+        _release_shared_states(states)
+        raise
+    return states
+
+
+def _release_shared_states(states: Dict[str, object]) -> None:
+    for state in states.values():
+        state.close(unlink=True)
+
+
 def _run_one_module(args) -> tuple:
     """Worker: characterize one module (module-level entry point so the
     function pickles cleanly).
@@ -110,12 +160,18 @@ def _run_one_module(args) -> tuple:
     forked workers inherit the parent's registry state, so only the
     baseline-relative delta is safe for the coordinator to merge.
     """
-    name, scale, seed, tests, probe_engine = args
-    study = CharacterizationStudy(
-        scale=scale, seed=seed, probe_engine=probe_engine
-    )
-    baseline = REGISTRY.snapshot()
-    module_result = study.run_module(name, tests=tests)
+    name, scale, seed, tests, probe_engine, state_handle = args
+    state = _attach_state(state_handle)
+    try:
+        study = CharacterizationStudy(
+            scale=scale, seed=seed, probe_engine=probe_engine,
+            device_state=state,
+        )
+        baseline = REGISTRY.snapshot()
+        module_result = study.run_module(name, tests=tests)
+    finally:
+        if state is not None:
+            state.close()
     return name, module_result, snapshot_delta(baseline, REGISTRY.snapshot())
 
 
@@ -125,12 +181,19 @@ def _run_one_chunk(args) -> tuple:
     Like :func:`_run_one_module`, ships the unit's metric delta back to
     the coordinator for :meth:`MetricsRegistry.merge_snapshot`.
     """
-    name, scale, seed, tests, rows, chunk_index, probe_engine = args
-    study = CharacterizationStudy(
-        scale=scale, seed=seed, probe_engine=probe_engine
-    )
-    baseline = REGISTRY.snapshot()
-    module_result = study.run_module(name, tests=tests, rows=rows)
+    name, scale, seed, tests, rows, chunk_index, probe_engine, \
+        state_handle = args
+    state = _attach_state(state_handle)
+    try:
+        study = CharacterizationStudy(
+            scale=scale, seed=seed, probe_engine=probe_engine,
+            device_state=state,
+        )
+        baseline = REGISTRY.snapshot()
+        module_result = study.run_module(name, tests=tests, rows=rows)
+    finally:
+        if state is not None:
+            state.close()
     return (
         name, chunk_index, module_result,
         snapshot_delta(baseline, REGISTRY.snapshot()),
@@ -199,6 +262,7 @@ def run_parallel(
     granularity: str = "chunk",
     chunks_per_module: int = None,
     probe_engine: str = None,
+    shared_state: bool = True,
 ) -> StudyResult:
     """Run a campaign over a process pool.
 
@@ -217,8 +281,16 @@ def run_parallel(
         that many disjoint runs).
     probe_engine:
         Probe-engine override forwarded to every worker's
-        :class:`CharacterizationStudy` (``"batch"`` / ``"fast"`` /
-        ``"command"``); None defers to the default selection policy.
+        :class:`CharacterizationStudy` (``"fused"`` / ``"batch"`` /
+        ``"fast"`` / ``"command"``); None defers to the default
+        selection policy.
+    shared_state:
+        Generate each module's per-cell parameter planes once, in this
+        process, into shared memory (:mod:`repro.core.soa`) and have
+        pool workers attach them zero-copy instead of re-deriving the
+        device model per process (default True; results are
+        bit-identical either way). Ignored on the inline fast paths,
+        and silently disabled where shared memory is unavailable.
     """
     scale = scale or StudyScale.bench()
     names = list(modules)
@@ -239,24 +311,34 @@ def run_parallel(
         return result
 
     if granularity == "module":
-        jobs = [
-            (name, scale, seed, tuple(tests), probe_engine)
-            for name in names
-        ]
-        obs_events.emit(
-            "campaign_started", units=len(jobs), seed=seed,
-            mode="parallel-module",
+        states = (
+            _build_shared_states(names, scale, seed) if shared_state else {}
         )
-        collected: Dict[str, object] = {}
-        with TRACER.span(
-            "campaign", units=len(jobs), seed=seed, mode="parallel-module",
-        ), ProcessPoolExecutor(max_workers=max_workers) as pool:
-            for name, module_result, delta in pool.map(
-                _run_one_module, jobs
-            ):
-                collected[name] = module_result
-                REGISTRY.merge_snapshot(delta)
-                obs_events.emit("unit_finished", unit=name)
+        try:
+            jobs = [
+                (
+                    name, scale, seed, tuple(tests), probe_engine,
+                    states[name].handle if name in states else None,
+                )
+                for name in names
+            ]
+            obs_events.emit(
+                "campaign_started", units=len(jobs), seed=seed,
+                mode="parallel-module",
+            )
+            collected: Dict[str, object] = {}
+            with TRACER.span(
+                "campaign", units=len(jobs), seed=seed,
+                mode="parallel-module",
+            ), ProcessPoolExecutor(max_workers=max_workers) as pool:
+                for name, module_result, delta in pool.map(
+                    _run_one_module, jobs
+                ):
+                    collected[name] = module_result
+                    REGISTRY.merge_snapshot(delta)
+                    obs_events.emit("unit_finished", unit=name)
+        finally:
+            _release_shared_states(states)
         for name in names:
             result.modules[name] = collected[name]
         obs_events.emit("campaign_finished", units=len(jobs))
@@ -282,20 +364,31 @@ def run_parallel(
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)
         return result
+    # One shared block per module serves all of its chunk workers (the
+    # full-sample block is a superset of every chunk's rows).
+    states = _build_shared_states(names, scale, seed) if shared_state else {}
+    chunk_jobs = [
+        job + ((states[job[0]].handle if job[0] in states else None),)
+        for job in chunk_jobs
+    ]
     obs_events.emit(
         "campaign_started", units=len(chunk_jobs), seed=seed,
         mode="parallel-chunk",
     )
     parts: Dict[str, Dict[int, ModuleResult]] = {name: {} for name in names}
-    with TRACER.span(
-        "campaign", units=len(chunk_jobs), seed=seed, mode="parallel-chunk",
-    ), ProcessPoolExecutor(max_workers=max_workers) as pool:
-        for name, index, module_result, delta in pool.map(
-            _run_one_chunk, chunk_jobs
-        ):
-            parts[name][index] = module_result
-            REGISTRY.merge_snapshot(delta)
-            obs_events.emit("unit_finished", unit=f"{name}#{index}")
+    try:
+        with TRACER.span(
+            "campaign", units=len(chunk_jobs), seed=seed,
+            mode="parallel-chunk",
+        ), ProcessPoolExecutor(max_workers=max_workers) as pool:
+            for name, index, module_result, delta in pool.map(
+                _run_one_chunk, chunk_jobs
+            ):
+                parts[name][index] = module_result
+                REGISTRY.merge_snapshot(delta)
+                obs_events.emit("unit_finished", unit=f"{name}#{index}")
+    finally:
+        _release_shared_states(states)
     for name in names:
         ordered = [parts[name][i] for i in sorted(parts[name])]
         result.modules[name] = merge_module_chunks(name, ordered, scale)

@@ -1,0 +1,158 @@
+"""Fused sweep kernels: cross-operating-point probe resolution.
+
+The fourth engine tier (see ``docs/PERFORMANCE.md``). The batch tier
+already collapses a probe *schedule* to scalar reductions, but it still
+pays a per-(row, pattern, operating point) setup: a fresh effective-
+threshold materialize-and-sort for every V_PP step of the study ladder,
+plus an eager charged-population tolerance sort for every (row, pattern)
+a WCDP phase merely glances at. Table-3-scale campaigns sweep the *same*
+per-cell threshold populations across every V_PP operating point, so
+that setup is pure re-derivation.
+
+This tier removes it structurally:
+
+* **Retention** -- V_PP, temperature and data pattern enter the
+  effective retention thresholds only as positive scalar factors on the
+  per-cell base retention times. Positive scalar multiplication is
+  weakly monotone in IEEE floats, so one ascending-retention sort per
+  row (grouped by the per-cell V_PP-sensitivity exponent, which selects
+  the ``margin ** sensitivity`` scalar) serves **every** operating
+  point: stepping V_PP costs one scalar chain and one multiply per
+  group (:class:`~repro.dram.bank._FusedRetentionCounts`), and a count
+  is a ``searchsorted`` per group.
+* **Hammer** -- ``any_flip`` bisections need only the charged
+  populations' tolerance *minima* (cached per row/pattern, operating-
+  point independent); exact counts run as one-shot broadcast passes
+  until a (row, pattern) pair proves it will be probed repeatedly, at
+  which point the batch tier's prefix statics are built once and shared
+  (:class:`~repro.dram.bank._FusedHammerCounts`).
+
+Everything else -- session bookkeeping, simulated-time chains, jitter
+session lattices, deferred data materialization -- is inherited from
+:mod:`repro.core.batch` unchanged, which is what keeps the fused tier
+bit-identical to the batch/fast/command tiers (asserted per experiment
+family by ``tests/core/test_fused_engine.py`` and the
+``test_probe_equivalence`` differential machinery).
+
+:meth:`FusedProbeEngine.retention_grid` exposes the fused layout
+directly: one ``(points x cells)`` threshold stack answering a whole
+V_PP x refresh-window grid of decay counts without touching the
+device's operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.batch import BatchHammerSession, BatchRetentionSession
+from repro.core.probe import BatchProbeEngine
+
+
+class FusedHammerSession(BatchHammerSession):
+    """Alg. 1 schedule against the deferred-statics hammer kernel."""
+
+    def _resolve_counts(self):
+        return self._sweep.fused_counts()
+
+
+class FusedRetentionSession(BatchRetentionSession):
+    """Alg. 3 ladder against the group-decomposed retention kernel."""
+
+    def _resolve_counts(self):
+        return self._sweep.fused_counts()
+
+
+class FusedProbeEngine(BatchProbeEngine):
+    """Cross-operating-point engine: one presorted layout, all V_PP
+    points.
+
+    Selection: ``probe_engine="fused"`` or ``REPRO_PROBE_ENGINE=fused``
+    (TRR modules still force the command tier). The one-off probe
+    entry points (``hammer_ber`` via the batch override,
+    ``retention_ber``/``retention_probe`` here) are routed through
+    sessions so WCDP tie-break ranking hits the fused kernels instead
+    of the fast tier's full-vector fallback.
+    """
+
+    name = "fused"
+
+    def hammer_session(self, ctx, row, pattern):
+        return FusedHammerSession(self, ctx, row, pattern)
+
+    def retention_session(self, ctx, row, pattern):
+        return FusedRetentionSession(self, ctx, row, pattern)
+
+    def retention_ber(self, ctx, row, pattern, trefw):
+        """One-off retention BER through a (one-probe) fused session:
+        a group-counted ``searchsorted`` instead of the fast tier's
+        full-vector decay mask."""
+        with self.retention_session(ctx, row, pattern) as session:
+            return session.ber(trefw)
+
+    def retention_probe(self, ctx, row, pattern, trefw):
+        """One-off (BER, word histogram) probe through a fused session
+        (``worst_probe`` over a single iteration is exactly one
+        probe)."""
+        with self.retention_session(ctx, row, pattern) as session:
+            return session.worst_probe(trefw, 1)
+
+    def preheat(self, ctx, rows) -> int:
+        """Warm both stacked sort passes for a row set: the batch
+        tier's tolerance orders plus the retention orders every fused
+        operating point re-slices. Returns the number of rows whose
+        tolerance order was newly warmed (the batch-tier contract)."""
+        bank = self._module.bank(ctx.bank)
+        warmed = bank.preheat_tolerance_orders(rows)
+        bank.preheat_retention_orders(rows)
+        return warmed
+
+    def retention_grid(
+        self,
+        ctx,
+        row: int,
+        pattern,
+        vpp_levels: Sequence[float],
+        windows: Sequence[float],
+    ) -> np.ndarray:
+        """Decayed-cell counts over a V_PP x refresh-window grid.
+
+        Builds the fused ``(points x cells)`` effective-threshold stack
+        for ``row``/``pattern`` -- each group's presorted base retention
+        times broadcast against the per-level scalar chains -- and
+        reduces every (level, window) pair from it. Pure analysis: the
+        device's operating point, simulated clock and row state are
+        untouched (this is the kernel the probe sessions replay with
+        bookkeeping; its counts match theirs bit-for-bit at equal
+        elapsed times, ``windows`` being elapsed waits measured from
+        the restore). Returns an ``(len(vpp_levels), len(windows))``
+        int64 array.
+        """
+        bank = self._module.bank(ctx.bank)
+        sweep = self._sweep(ctx, "retention", row, pattern)
+        model = bank._cal.retention
+        env = self._env
+        thermal = np.float32(model.temperature_factor(env.temperature))
+        scalar = bank._cached(
+            sweep.state, sweep.physical, "retention_pattern_factors"
+        )[sweep.pattern_index]
+        margins = np.array(
+            [model.margin_factor(vpp) for vpp in vpp_levels],
+            dtype=np.float32,
+        )
+        needles = np.asarray(windows, dtype=np.float64)
+        counts = np.zeros((len(vpp_levels), len(windows)), dtype=np.int64)
+        for value, _, times in sweep.retention_groups():
+            exponents = np.power(margins, value)
+            base = times * thermal
+            # The (points x cells) stack: broadcasting the float32
+            # multiplies evaluates, per element, the same scalar chain
+            # the per-point kernels run; the float64 pattern factor
+            # promotes last, exactly as in _FusedRetentionCounts.
+            thresholds = (base[None, :] * exponents[:, None]) * scalar
+            for point in range(margins.size):
+                counts[point] += np.searchsorted(
+                    thresholds[point], needles, side="left"
+                )
+        return counts

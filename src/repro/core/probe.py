@@ -7,7 +7,7 @@ of thousands of times per module:
   aggressors, hammer, read back), and
 * the write-wait-read retention probe of Alg. 3.
 
-Three engine tiers implement them (see ``docs/PERFORMANCE.md``):
+Four engine tiers implement them (see ``docs/PERFORMANCE.md``):
 
 * :class:`CommandProbeEngine` runs each probe as a full SoftMC
   :class:`~repro.softmc.program.Program` through the host -- the
@@ -27,6 +27,12 @@ Three engine tiers implement them (see ``docs/PERFORMANCE.md``):
   threshold_counts`) -- a few scalar multiplies and binary searches per
   probe -- with the full per-cell flip mask materialized once per
   session instead of once per probe. See :mod:`repro.core.batch`.
+* :class:`~repro.core.fused.FusedProbeEngine` resolves all V_PP
+  operating points of a schedule over *one* presorted layout: V_PP,
+  temperature and data pattern only reparameterize monotone scalar
+  factors on per-row sorted threshold vectors, so stepping the
+  operating point costs a handful of scalar multiplies instead of a
+  fresh materialize-and-sort. See :mod:`repro.core.fused`.
 
 Bit-identity rests on three properties of the device model (verified by
 the differential tests in ``tests/core/test_probe_equivalence.py``):
@@ -56,7 +62,7 @@ from __future__ import annotations
 
 import os
 from collections import Counter, OrderedDict
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -77,14 +83,32 @@ ENGINE_ENV_VAR = "REPRO_PROBE_ENGINE"
 #: Environment variable overriding the sweep-LRU capacity.
 SWEEP_CACHE_ENV_VAR = "REPRO_SWEEP_CACHE"
 
+#: Environment variable overriding the sweep-LRU byte budget.
+SWEEP_CACHE_BYTES_ENV_VAR = "REPRO_SWEEP_CACHE_BYTES"
+
 #: Default cap on cached (row, pattern) sweeps. The V_PP ladder revisits
-#: every sampled row once per level, so the cap must cover a whole
-#: bench-scale row set (96 rows) or each level rebuilds every sweep --
-#: the classic LRU sequential-scan worst case. A sweep holds ~100 KB of
-#: per-cell vectors at 8 Kb rows, so 192 entries stay under ~20 MB;
-#: paper-scale row sets overflow the cap, but rebuilds there only pay
-#: dict hits against the row-state caches.
-_SWEEP_CACHE_SIZE = 192
+#: every sampled row once per level and per probe kind, so the cap must
+#: cover a whole row set *times* the schedules touching it (rows x
+#: patterns x hammer/retention) or each level rebuilds every sweep --
+#: the classic LRU sequential-scan worst case; a bench-scale
+#: characterization alone walks 96 rows x 4 WCDP patterns x 2 kinds =
+#: 768 distinct sweeps. Since the byte budget below took over as the
+#: memory bound, the entry cap is sized generously and only backstops
+#: campaigns with pathologically many tiny sweeps.
+_SWEEP_CACHE_SIZE = 1024
+
+#: Default byte budget of the sweep LRU (per engine), measured over the
+#: per-operating-point arrays the resident sweeps own
+#: (:meth:`repro.dram.bank.ProbeSweep.cache_nbytes`). At 8 Kb rows the
+#: entry cap binds first; at 65536-bit rows one sweep's arrays reach
+#: ~1.5 MB, so 192 entries would quietly hold ~300 MB -- the byte bound
+#: keeps such campaigns under a predictable ceiling. Occupancy is
+#: exported as the ``repro_sweep_cache_bytes`` gauge.
+_SWEEP_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Metric name of the sweep-LRU occupancy gauge (bytes owned by the
+#: resident sweeps of the engine that most recently updated the cache).
+SWEEP_CACHE_GAUGE = "repro_sweep_cache_bytes"
 
 
 def sweep_cache_capacity(override: int = None) -> int:
@@ -107,6 +131,35 @@ def sweep_cache_capacity(override: int = None) -> int:
     if override < 1:
         raise ConfigurationError(
             f"sweep cache capacity must be >= 1, got {override}"
+        )
+    return override
+
+
+def sweep_cache_byte_capacity(override: int = None) -> int:
+    """Resolve the sweep-LRU byte budget of the kernelized engines.
+
+    ``override`` (the ``TestContext.sweep_cache_bytes`` knob) wins when
+    given; otherwise the ``REPRO_SWEEP_CACHE_BYTES`` environment
+    variable applies, defaulting to :data:`_SWEEP_CACHE_BYTES`. The
+    budget bounds the bytes *owned* by resident sweeps (shared row-state
+    caches are not charged); at least one sweep always stays resident,
+    so a tiny budget degrades to per-schedule caching rather than
+    failing.
+    """
+    if override is None:
+        raw = os.environ.get(SWEEP_CACHE_BYTES_ENV_VAR)
+        if not raw:
+            return _SWEEP_CACHE_BYTES
+        try:
+            override = int(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"{SWEEP_CACHE_BYTES_ENV_VAR} must be an integer, got "
+                f"{raw!r}"
+            ) from None
+    if override < 1:
+        raise ConfigurationError(
+            f"sweep cache byte budget must be >= 1, got {override}"
         )
     return override
 
@@ -145,6 +198,13 @@ class HammerSession:
         return self._engine.hammer_ber(
             self._ctx, self._row, self._pattern, hammer_count
         )
+
+    def ber_ladder(self, hammer_count: int, iterations: int) -> List[float]:
+        """``iterations`` consecutive BER probes at one hammer count
+        (Alg. 1's worst-BER repetitions). The generic implementation
+        probes one at a time; schedule-level engines override it with a
+        fused bookkeeping pass that returns bit-identical values."""
+        return [self.ber(hammer_count) for _ in range(iterations)]
 
     def any_flip(self, hammer_count: int) -> bool:
         """One double-sided probe; did anything flip? (bisection use)."""
@@ -196,6 +256,18 @@ class RetentionSession:
                 worst_ber = ber
                 worst_histogram = histogram
         return worst_ber, worst_histogram
+
+    def worst_ladder(
+        self, windows: Sequence[float], iterations: int
+    ) -> List[Tuple[float, Dict[int, int]]]:
+        """Alg. 3's whole window ladder: the worst probe of every
+        refresh window, in ladder order. The generic implementation
+        walks the windows one :meth:`worst_probe` at a time;
+        schedule-level engines override it with one fused bookkeeping
+        pass that returns bit-identical values."""
+        return [
+            self.worst_probe(trefw, iterations) for trefw in windows
+        ]
 
 
 class ProbeEngine:
@@ -355,6 +427,11 @@ class FastProbeEngine(ProbeEngine):
         self._sweep_capacity = sweep_cache_capacity(
             getattr(ctx, "sweep_cache", None)
         )
+        self._sweep_byte_capacity = sweep_cache_byte_capacity(
+            getattr(ctx, "sweep_cache_bytes", None)
+        )
+        self._sweep_gauge = None
+        self._sweep_budget_tick = 0
 
     def _sweep(self, ctx, kind, row, pattern):
         key = (kind, ctx.bank, row, pattern.fill_byte)
@@ -376,7 +453,39 @@ class FastProbeEngine(ProbeEngine):
         if len(self._sweeps) > self._sweep_capacity:
             self._sweeps.popitem(last=False)
             self.counters.sweep_evictions += 1
+        # Walking every resident is O(capacity): amortize it over the
+        # miss stream for big caches, but stay exact while the cache is
+        # small (where tests -- and tiny byte budgets -- live).
+        self._sweep_budget_tick += 1
+        if len(self._sweeps) <= 16 or self._sweep_budget_tick >= 16:
+            self._sweep_budget_tick = 0
+            self._enforce_byte_budget()
         return sweep
+
+    def _enforce_byte_budget(self) -> None:
+        """Evict oldest sweeps while the residents' owned bytes exceed
+        the byte budget (at least one sweep always survives), then
+        publish the occupancy gauge. Runs on the miss path only: byte
+        ownership grows when a sweep first touches an operating point,
+        so the measured total lags a probe or two, but misses are when
+        occupancy can jump and the budget is a bound on retained -- not
+        instantaneous -- memory."""
+        total = sum(
+            sweep.cache_nbytes() for sweep in self._sweeps.values()
+        )
+        while total > self._sweep_byte_capacity and len(self._sweeps) > 1:
+            _, evicted = self._sweeps.popitem(last=False)
+            total -= evicted.cache_nbytes()
+            self.counters.sweep_evictions += 1
+        gauge = self._sweep_gauge
+        if gauge is None:
+            from repro.obs.metrics import REGISTRY  # local: keep obs optional
+
+            gauge = self._sweep_gauge = REGISTRY.gauge(
+                SWEEP_CACHE_GAUGE,
+                "Bytes owned by the probe-engine sweep LRU's residents",
+            )
+        gauge.set(total)
 
     def hammer_session(self, ctx, row, pattern):
         return _SweepHammerSession(self, ctx, row, pattern)
@@ -534,6 +643,20 @@ class BatchProbeEngine(FastProbeEngine):
 
         return BatchRetentionSession(self, ctx, row, pattern)
 
+    def hammer_ber(self, ctx, row, pattern, hammer_count):
+        """One-off hammer BER, routed through a batch session.
+
+        The fast engine's per-probe path evaluates a full-row flip mask
+        per probe; wrapping the single probe in a (one-probe) batch
+        session answers it from the presorted threshold reductions
+        instead. This is what the one-off callers -- WCDP tie-break
+        ranking, the per-probe benchmark loop -- hit, and it is why the
+        batch tier's per-probe hammer rate now beats the fast tier's
+        (see docs/PERFORMANCE.md).
+        """
+        with self.hammer_session(ctx, row, pattern) as session:
+            return session.ber(hammer_count)
+
     def preheat(self, ctx, rows) -> int:
         """Warm the row set's per-row sort orders in one stacked
         ``(rows, cells)`` pass; returns the number of rows warmed."""
@@ -550,10 +673,10 @@ def engine_selection(kind: str = None) -> str:
     study-cache fingerprint, the service checkpoint manifest) record.
     """
     kind = kind or os.environ.get(ENGINE_ENV_VAR) or "batch"
-    if kind not in ("batch", "fast", "command"):
+    if kind not in ("fused", "batch", "fast", "command"):
         raise ConfigurationError(
-            f"unknown probe engine {kind!r}; expected 'batch', 'fast' or "
-            f"'command'"
+            f"unknown probe engine {kind!r}; expected 'fused', 'batch', "
+            f"'fast' or 'command'"
         )
     return kind
 
@@ -562,8 +685,8 @@ def make_engine(ctx: "TestContext", kind: str = None) -> ProbeEngine:
     """Build the probe engine for a context.
 
     ``kind`` (or the ``REPRO_PROBE_ENGINE`` environment variable) picks
-    ``"batch"``, ``"fast"`` or ``"command"``; default is batch.
-    TRR-enabled modules always get the command engine, whose
+    ``"fused"``, ``"batch"``, ``"fast"`` or ``"command"``; default is
+    batch. TRR-enabled modules always get the command engine, whose
     per-activation stream drives the defense model.
     """
     kind = engine_selection(kind)
@@ -573,4 +696,8 @@ def make_engine(ctx: "TestContext", kind: str = None) -> ProbeEngine:
         return CommandProbeEngine(ctx)
     if kind == "fast":
         return FastProbeEngine(ctx)
+    if kind == "fused":
+        from repro.core.fused import FusedProbeEngine  # local: cycle
+
+        return FusedProbeEngine(ctx)
     return BatchProbeEngine(ctx)

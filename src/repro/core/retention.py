@@ -9,8 +9,9 @@ Figure 11).
 
 The worst case over iterations (largest BER) is recorded, consistent
 with the paper's methodology. A row's whole window ladder runs as one
-engine probe session, which is what lets the batch engine resolve all
-``trefw`` levels against one sorted threshold vector.
+engine probe session -- and one ``worst_ladder`` call, so the
+schedule-level engines resolve all ``trefw`` levels against one sorted
+threshold vector in a single bookkeeping pass.
 """
 
 from __future__ import annotations
@@ -46,27 +47,23 @@ def characterize_row(
     worst iteration per window.
     """
     windows = windows if windows is not None else list(ctx.scale.retention_windows)
-    results: List[RetentionRowResult] = []
     with TRACER.span(
         "retention-ladder", row=row, windows=len(windows),
     ), ctx.engine.retention_session(ctx, row, pattern) as session:
-        for trefw in windows:
-            ber, histogram = session.worst_probe(
-                trefw, ctx.scale.iterations
-            )
-            results.append(
-                RetentionRowResult(
-                    module=ctx.module_name,
-                    bank=ctx.bank,
-                    row=row,
-                    vpp=vpp,
-                    trefw=trefw,
-                    wcdp_index=pattern.index,
-                    ber=ber,
-                    word_flip_histogram=histogram,
-                )
-            )
-    return results
+        worst = session.worst_ladder(windows, ctx.scale.iterations)
+    return [
+        RetentionRowResult(
+            module=ctx.module_name,
+            bank=ctx.bank,
+            row=row,
+            vpp=vpp,
+            trefw=trefw,
+            wcdp_index=pattern.index,
+            ber=ber,
+            word_flip_histogram=histogram,
+        )
+        for trefw, (ber, histogram) in zip(windows, worst)
+    ]
 
 
 def characterize_rows(

@@ -57,9 +57,7 @@ def measure_worst_ber(
     iteration (the ``sweep_saved_lookups`` counter tracks the savings).
     """
     with ctx.engine.hammer_session(ctx, row, pattern) as probe:
-        values = tuple(
-            probe.ber(hammer_count) for _ in range(iterations)
-        )
+        values = tuple(probe.ber_ladder(hammer_count, iterations))
     return max(values), values
 
 
@@ -72,16 +70,20 @@ def bisect_hcfirst(
     moves up while no flip occurs and down once one does, the step
     halving each round until it falls below the termination step; a
     non-positive count resets to the termination step. Any flip in any
-    of the ``iterations`` repetitions counts (the ``any`` short-circuit
-    makes the probe count data-dependent, which is why the engines
-    resolve probes one at a time). Returns the smallest flipping count,
+    of the ``iterations`` repetitions counts (the short-circuit on the
+    first flip makes the probe count data-dependent, which is why the
+    engines resolve probes one at a time). Returns the smallest flipping count,
     or None when nothing ever flipped (censored row).
     """
     hc = scale.hcfirst_initial
     step = scale.hcfirst_step
     lowest_flipping: Optional[int] = None
     while step >= scale.hcfirst_min_step:
-        flipped = any(any_flip(hc) for _ in range(iterations))
+        flipped = False
+        for _ in range(iterations):
+            if any_flip(hc):
+                flipped = True
+                break
         if flipped:
             lowest_flipping = hc if lowest_flipping is None else min(
                 lowest_flipping, hc

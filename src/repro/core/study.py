@@ -94,6 +94,15 @@ class CharacterizationStudy:
         :class:`~repro.errors.BenchFaultError`; nothing about the device
         state survives the abort, so a retried run from the same seed is
         bit-identical to an undisturbed one.
+    device_state:
+        Optional pre-generated per-cell parameter planes -- a
+        :class:`repro.core.soa.DeviceState` (single module) or a
+        ``{module name: DeviceState}`` mapping. Installed into each
+        matching module's bank at context-build time; preloaded vectors
+        are bit-identical to the RNG derivation they shadow, so results
+        are unchanged. Pool workers use this to share one
+        shared-memory block instead of re-deriving the device model
+        per process.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class CharacterizationStudy:
         progress: Optional[Callable[[str], None]] = None,
         probe_engine: str = None,
         fault_injector=None,
+        device_state=None,
     ):
         self.scale = scale or StudyScale.bench()
         self.seed = seed
@@ -111,6 +121,7 @@ class CharacterizationStudy:
         self._progress = progress or (lambda message: None)
         self.probe_engine = probe_engine
         self.fault_injector = fault_injector
+        self.device_state = device_state
 
     # -- module-level runs --------------------------------------------------------
 
@@ -123,7 +134,25 @@ class CharacterizationStudy:
         ctx = TestContext(infra, self.scale, probe_engine=self.probe_engine)
         if self._reverse_engineer:
             ctx.adjacency = ReverseEngineeredAdjacency(infra)
+        self._install_device_state(name, ctx)
         return ctx
+
+    def _install_device_state(self, name: str, ctx: TestContext) -> None:
+        """Preload shared per-cell planes into the fresh context, if a
+        matching :class:`~repro.core.soa.DeviceState` was supplied."""
+        state = self.device_state
+        if state is None:
+            return
+        if isinstance(state, dict):
+            state = state.get(name)
+            if state is None:
+                return
+        if state.handle.seed != self.seed:
+            raise ConfigurationError(
+                f"device state was generated under seed "
+                f"{state.handle.seed}, not this study's seed {self.seed}"
+            )
+        state.install(ctx)
 
     def run_module(
         self, name: str, tests: Sequence[str] = TEST_TYPES,

@@ -55,6 +55,13 @@ _DISTANCE1_WEIGHT = 0.5
 #: :meth:`Bank.preheat_tolerance_orders`).
 _TOL_ORDER_KEY = "_tol_order"
 
+#: Row-state cache key of the retention sort statics: the ascending-
+#: retention cell order and the float32 retention times in that order
+#: (pure per-row properties; see :meth:`Bank.preheat_retention_orders`).
+#: The fused probe engine's cross-operating-point kernels re-slice this
+#: one order for every V_PP point instead of re-sorting per point.
+_RET_ORDER_KEY = "_ret_order"
+
 
 class Bank:
     """A single DRAM bank of a simulated module."""
@@ -104,6 +111,13 @@ class Bank:
     def trr(self):
         """The bank's TRR defense model, if installed (None otherwise)."""
         return self._trr
+
+    @property
+    def cells(self) -> CellParameterGenerator:
+        """The bank's deterministic per-cell parameter factory (the
+        shared-memory device state of :mod:`repro.core.soa` preloads
+        vectors into it)."""
+        return self._cells
 
     def _check_row(self, row: int) -> None:
         if not 0 <= row < self._geometry.rows_per_bank:
@@ -667,6 +681,50 @@ class Bank:
             state.cache[_TOL_ORDER_KEY] = (order, tol_sorted, outlier[order])
         return len(physicals)
 
+    def preheat_retention_orders(self, logical_rows: Sequence[int]) -> int:
+        """Warm the per-row retention sort orders for a whole row set.
+
+        The fused probe engine's cross-operating-point reductions walk
+        each row's charged cells in ascending-retention order (see
+        :class:`_FusedRetentionCounts`): V_PP, temperature and data
+        pattern only reparameterize monotone scalar factors on the
+        presorted per-cell retention times, so one sort per row serves
+        *every* operating point. Like
+        :meth:`preheat_tolerance_orders`, a row set computes the orders
+        in one stacked ``(rows, cells)`` argsort; the retention time /
+        V_PP-sensitivity structure pair is generated in a single RNG
+        replay per row (half the cost of the two single-field
+        accessors). Returns the number of rows actually warmed.
+        """
+        physicals: List[int] = []
+        states: List[RowState] = []
+        for logical in logical_rows:
+            self._check_row(logical)
+            physical = self._mapping.to_physical(logical)
+            state = self._state(physical)
+            if (
+                "cell_retention_times" not in state.cache
+                or "cell_retention_vpp_sensitivity" not in state.cache
+            ):
+                times, sensitivity = self._cells.retention_structure_pair(
+                    physical
+                )
+                state.cache["cell_retention_times"] = times
+                state.cache["cell_retention_vpp_sensitivity"] = sensitivity
+            if _RET_ORDER_KEY not in state.cache:
+                physicals.append(physical)
+                states.append(state)
+        if not physicals:
+            return 0
+        stacked = np.stack([
+            state.cache["cell_retention_times"] for state in states
+        ])
+        orders = np.argsort(stacked, axis=1)
+        sorted_times = np.take_along_axis(stacked, orders, axis=1)
+        for state, order, row_sorted in zip(states, orders, sorted_times):
+            state.cache[_RET_ORDER_KEY] = (order, row_sorted)
+        return len(physicals)
+
     def sensing_corruption(
         self, logical_row: int, trcd: float
     ) -> Optional[np.ndarray]:
@@ -749,6 +807,8 @@ class ProbeSweep:
         self._retention_thresholds = None
         self._counts = None
         self._counts_key = None
+        self._fused = None
+        self._fused_key = None
         #: Operating point at which sensing is known data-independently
         #: clean (see Bank.sensing_certainly_clean); batch sessions key
         #: their per-session corruption verdict on this.
@@ -765,6 +825,87 @@ class ProbeSweep:
             )
             self._op_key = key
         return self._retention_thresholds
+
+    def retention_groups(self) -> tuple:
+        """Per-V_PP-sensitivity decomposition of the charged cells.
+
+        Returns a tuple of ``(sensitivity, indices, times)`` groups:
+        cell indices and base retention times (80 degC, nominal V_PP) of
+        the charged cells sharing one sensitivity exponent, each group
+        ascending in retention time. Within a group the effective
+        retention threshold is the base time multiplied by *scalars*
+        (thermal factor, ``margin ** sensitivity``, pattern factor), and
+        positive scalar multiplication is weakly monotone in IEEE
+        floats, so every operating point reuses the same presorted
+        groups -- the heart of the fused cross-V_PP kernel. Cached on
+        the row state per pattern; the candidate sensitivity values come
+        from the calibration profile's retention tiers (plus the bulk
+        value 1), which is exactly the set the cell generator assigns.
+        """
+        state = self.state
+        key = ("_ret_groups", self.pattern)
+        groups = state.cache.get(key)
+        if groups is not None:
+            return groups
+        bank = self._bank
+        row_static = state.cache.get(_RET_ORDER_KEY)
+        if row_static is None:
+            times = bank._cached(
+                state, self.physical, "cell_retention_times"
+            )
+            order = np.argsort(times)
+            row_static = (order, times[order])
+            state.cache[_RET_ORDER_KEY] = row_static
+        order, times_sorted = row_static
+        charged_sorted = self.charged[order]
+        indices = order[charged_sorted]
+        times_charged = times_sorted[charged_sorted]
+        sensitivity = bank._cached(
+            state, self.physical, "cell_retention_vpp_sensitivity"
+        )[indices]
+        candidates = {np.float32(1.0)}
+        for tier in bank._cal.profile.retention_tiers:
+            candidates.add(np.float32(tier.vpp_sensitivity))
+        groups = []
+        covered = 0
+        for value in sorted(candidates):
+            member = sensitivity == value
+            count = int(np.count_nonzero(member))
+            if count == 0:
+                continue
+            covered += count
+            if count == sensitivity.size:
+                groups.append((value, indices, times_charged))
+            else:
+                groups.append(
+                    (value, indices[member], times_charged[member])
+                )
+        if covered != sensitivity.size:  # pragma: no cover - defensive
+            # A sensitivity value outside the calibration profile's tier
+            # set: rebuild the candidate list from the data itself.
+            groups = []
+            for value in np.unique(sensitivity):
+                member = sensitivity == value
+                groups.append(
+                    (value, indices[member], times_charged[member])
+                )
+        groups = tuple(groups)
+        state.cache[key] = groups
+        return groups
+
+    def cache_nbytes(self) -> int:
+        """Approximate bytes of per-operating-point arrays owned by this
+        sweep (the effective-retention vector and the counts objects'
+        sorted slices). Row-state caches are excluded: they are shared
+        across sweeps and survive eviction anyway. The probe engines'
+        byte-bounded LRU sums this over its residents."""
+        total = 0
+        if self._retention_thresholds is not None:
+            total += self._retention_thresholds.nbytes
+        for counts in (self._counts, self._fused):
+            if counts is not None:
+                total += counts.nbytes()
+        return total
 
 
 class HammerSweep(ProbeSweep):
@@ -883,6 +1024,19 @@ class HammerSweep(ProbeSweep):
             self._counts_key = key
         return self._counts
 
+    def fused_counts(self) -> "_FusedHammerCounts":
+        """Deferred-statics hammer reductions at the current operating
+        point (the fused probe engine's kernel; see
+        :class:`_FusedHammerCounts`). Cached separately from
+        :meth:`threshold_counts` so mixing engines on one sweep cannot
+        alias the two."""
+        env = self._bank._env
+        key = (env.vpp, env.temperature)
+        if self._fused is None or self._fused_key != key:
+            self._fused = _FusedHammerCounts(self)
+            self._fused_key = key
+        return self._fused
+
     def flip_counts(
         self, counts: Sequence[int], session: int, elapsed: float
     ) -> np.ndarray:
@@ -940,6 +1094,17 @@ class RetentionSweep(ProbeSweep):
             self._counts_key = key
         return self._counts
 
+    def fused_counts(self) -> "_FusedRetentionCounts":
+        """Group-decomposed retention reductions at the current
+        operating point (the fused probe engine's kernel; see
+        :class:`_FusedRetentionCounts`)."""
+        env = self._bank._env
+        key = (env.vpp, env.temperature)
+        if self._fused is None or self._fused_key != key:
+            self._fused = _FusedRetentionCounts(self)
+            self._fused_key = key
+        return self._fused
+
 
 _EMPTY_INDICES = np.empty(0, dtype=np.intp)
 
@@ -971,6 +1136,119 @@ def _flip_prefix(tol64: np.ndarray, factor, damage: float) -> int:
     return low + 1
 
 
+def _hammer_static(sweep: "HammerSweep") -> tuple:
+    """The per-(row, pattern) charged-population prefix statics:
+    ``((bulk_indices, bulk_tol64), (outlier_indices, outlier_tol64))``.
+
+    The population index arrays and presorted float64 tolerances are
+    operating-point independent: they are cached on the row state (keyed
+    by pattern) so V_PP steps and sweep-LRU evictions only pay dict
+    hits. Shared between :class:`_HammerCounts` (which builds them
+    eagerly) and :class:`_FusedHammerCounts` (which defers them until a
+    probe schedule proves it needs repeated exact counts).
+    """
+    state = sweep.state
+    static_key = ("_hammer_static", sweep.pattern)
+    static = state.cache.get(static_key)
+    if static is None:
+        bank = sweep._bank
+        # Pattern-independent row precomputation, shared across
+        # pattern statics: the ascending-tolerance cell order, the
+        # float64 tolerances in that order, and the outlier mask in
+        # that order. Tie order within equal tolerances is
+        # irrelevant (every prefix cutoff compares values only, so
+        # tied cells enter or leave a flip set together) -- the
+        # sorts can use the default unstable kind.
+        row_static = state.cache.get(_TOL_ORDER_KEY)
+        if row_static is None:
+            tolerance = bank._cached(
+                state, sweep.physical, "cell_tolerances"
+            )
+            order = np.argsort(tolerance)
+            row_static = (
+                order,
+                tolerance[order].astype(np.float64),
+                sweep._outlier_mask[order],
+            )
+            state.cache[_TOL_ORDER_KEY] = row_static
+        order, tol_sorted, outlier_sorted = row_static
+        # Filter once down to the charged cells, then split by the
+        # outlier flag at half width -- relative (ascending
+        # tolerance) order survives both filters.
+        charged_sorted = sweep.charged[order]
+        idx_charged = order[charged_sorted]
+        tol_charged = tol_sorted[charged_sorted]
+        out_charged = outlier_sorted[charged_sorted]
+        bulk_flag = ~out_charged
+        static = (
+            (idx_charged[bulk_flag], tol_charged[bulk_flag]),
+            (idx_charged[out_charged], tol_charged[out_charged]),
+        )
+        state.cache[static_key] = static
+    return static
+
+
+def _retention_guard(sweep: ProbeSweep) -> tuple:
+    """``(min retention, min sensitivity, max sensitivity)`` over the
+    charged cells, cached on the row state per pattern (``(inf, 0, 0)``
+    when nothing is charged). Pure row/pattern properties -- the inputs
+    of the analytic retention lower bound below."""
+    state = sweep.state
+    guard_key = ("_retention_guard", sweep.pattern)
+    guard = state.cache.get(guard_key)
+    if guard is None:
+        bank = sweep._bank
+        retention = bank._cached(
+            state, sweep.physical, "cell_retention_times"
+        )
+        sensitivity = bank._cached(
+            state, sweep.physical, "cell_retention_vpp_sensitivity"
+        )
+        if sweep.charged.any():
+            charged_sensitivity = sensitivity[sweep.charged]
+            guard = (
+                float(retention[sweep.charged].min()),
+                float(charged_sensitivity.min()),
+                float(charged_sensitivity.max()),
+            )
+        else:
+            guard = (math.inf, 0.0, 0.0)
+        state.cache[guard_key] = guard
+    return guard
+
+
+def _retention_lower_bound(sweep: ProbeSweep) -> float:
+    """A sound scalar lower bound on the charged cells' effective
+    retention at the current operating point.
+
+    Retention decay cannot fire below it (hammer probes wait micro- to
+    milliseconds, retention thresholds sit orders of magnitude higher),
+    so the per-cell retention evaluation is deferred -- usually forever.
+    The bound is analytic:
+
+    ``min_i r_i * thermal * margin^s_i * pattern
+      >= min(r) * thermal * min(margin^min(s), margin^max(s)) * pattern``
+
+    (``margin^s`` is monotone in ``s``), deflated by 1e-5 to absorb the
+    float32 rounding of the vectorized expression."""
+    retention_min, sensitivity_min, sensitivity_max = _retention_guard(sweep)
+    if math.isinf(retention_min):
+        return math.inf
+    bank = sweep._bank
+    model = bank._cal.retention
+    env = bank._env
+    margin = model.margin_factor(env.vpp)
+    thermal = model.temperature_factor(env.temperature)
+    pattern_scalar = float(bank._cached(
+        sweep.state, sweep.physical, "retention_pattern_factors"
+    )[sweep.pattern_index])
+    return (
+        retention_min * thermal
+        * min(margin ** sensitivity_min, margin ** sensitivity_max)
+        * pattern_scalar * (1.0 - 1e-5)
+    )
+
+
 class _HammerCounts:
     """Exact hammer-probe flip *counts* from scalar reductions.
 
@@ -994,95 +1272,14 @@ class _HammerCounts:
         state = sweep.state
         self._cells = bank._cells
         self._physical = sweep.physical
-        # The population index arrays and presorted float64 tolerances
-        # are operating-point independent: cache them on the row state
-        # (keyed by pattern) so V_PP steps and sweep-LRU evictions only
-        # pay for the per-op-point retention slice below.
-        static_key = ("_hammer_static", sweep.pattern)
-        static = state.cache.get(static_key)
-        if static is None:
-            # Pattern-independent row precomputation, shared across
-            # pattern statics: the ascending-tolerance cell order, the
-            # float64 tolerances in that order, and the outlier mask in
-            # that order. Tie order within equal tolerances is
-            # irrelevant (every prefix cutoff compares values only, so
-            # tied cells enter or leave a flip set together) -- the
-            # sorts can use the default unstable kind.
-            row_static = state.cache.get(_TOL_ORDER_KEY)
-            if row_static is None:
-                tolerance = bank._cached(
-                    state, sweep.physical, "cell_tolerances"
-                )
-                order = np.argsort(tolerance)
-                row_static = (
-                    order,
-                    tolerance[order].astype(np.float64),
-                    sweep._outlier_mask[order],
-                )
-                state.cache[_TOL_ORDER_KEY] = row_static
-            order, tol_sorted, outlier_sorted = row_static
-            # Filter once down to the charged cells, then split by the
-            # outlier flag at half width -- relative (ascending
-            # tolerance) order survives both filters.
-            charged_sorted = sweep.charged[order]
-            idx_charged = order[charged_sorted]
-            tol_charged = tol_sorted[charged_sorted]
-            out_charged = outlier_sorted[charged_sorted]
-            bulk_flag = ~out_charged
-            static = (
-                (idx_charged[bulk_flag], tol_charged[bulk_flag]),
-                (idx_charged[out_charged], tol_charged[out_charged]),
-            )
-            state.cache[static_key] = static
-        self._bulk, self._outlier = static
+        self._bulk, self._outlier = _hammer_static(sweep)
         self._hammer_pattern = bank._cached(
             state, sweep.physical, "pattern_factors"
         )[sweep.pattern_index]
-        # Retention decay cannot fire below a sound scalar lower bound
-        # on the charged cells' effective retention (hammer probes wait
-        # micro- to milliseconds, retention thresholds sit orders of
-        # magnitude higher), so the full per-cell retention vector is
-        # materialized lazily -- usually never. The bound is analytic:
-        #   min_i r_i * thermal * margin^s_i * pattern
-        #     >= min(r) * thermal * min(margin^min(s), margin^max(s))
-        #        * pattern
-        # (margin^s is monotone in s), deflated by 1e-5 to absorb the
-        # float32 rounding of the vectorized expression.
-        guard_key = ("_retention_guard", sweep.pattern)
-        guard = state.cache.get(guard_key)
-        if guard is None:
-            retention = bank._cached(
-                state, sweep.physical, "cell_retention_times"
-            )
-            sensitivity = bank._cached(
-                state, sweep.physical, "cell_retention_vpp_sensitivity"
-            )
-            if sweep.charged.any():
-                charged_sensitivity = sensitivity[sweep.charged]
-                guard = (
-                    float(retention[sweep.charged].min()),
-                    float(charged_sensitivity.min()),
-                    float(charged_sensitivity.max()),
-                )
-            else:
-                guard = (math.inf, 0.0, 0.0)
-            state.cache[guard_key] = guard
-        retention_min, sensitivity_min, sensitivity_max = guard
-        if math.isinf(retention_min):
-            self._retention_bound = math.inf
-        else:
-            model = bank._cal.retention
-            env = bank._env
-            margin = model.margin_factor(env.vpp)
-            thermal = model.temperature_factor(env.temperature)
-            pattern_scalar = float(bank._cached(
-                state, sweep.physical, "retention_pattern_factors"
-            )[sweep.pattern_index])
-            self._retention_bound = (
-                retention_min * thermal
-                * min(margin ** sensitivity_min, margin ** sensitivity_max)
-                * pattern_scalar * (1.0 - 1e-5)
-            )
+        # Retention decay cannot fire below the analytic lower bound, so
+        # the full per-cell retention vector is materialized lazily --
+        # usually never (see _retention_lower_bound).
+        self._retention_bound = _retention_lower_bound(sweep)
         self._sweep = sweep
         self._retention_sorted = None
         self._effective_retention = None
@@ -1184,6 +1381,18 @@ class _HammerCounts:
                 parts.append(indices[:prefix])
         return parts
 
+    def nbytes(self) -> int:
+        """Bytes of the operating-point-specific arrays this object
+        owns (the lazily sorted retention slices; the prefix statics
+        live on the shared row state and are not counted)."""
+        total = 0
+        if self._retention_sorted is not None:
+            total += self._retention_sorted.nbytes
+        for retention in self._pop_retention:
+            if retention is not None:
+                total += retention.nbytes
+        return total
+
 
 class _RetentionCounts:
     """Exact retention-probe flip counts: one sorted threshold vector,
@@ -1277,3 +1486,370 @@ class _RetentionCounts:
             for v, c in enumerate(histogram)
             if v and c
         }
+
+    def nbytes(self) -> int:
+        """Bytes of the operating-point-specific arrays this object owns
+        (the sorted charged thresholds and the lazily materialized flip
+        threshold slice; the base slice is state-cached and shared)."""
+        total = self._retention_sorted.nbytes
+        if self._thresholds is not None:
+            total += self._thresholds.nbytes
+        return total
+
+
+def _fused_group_prefix(
+    times: np.ndarray, thermal, margin_pow, scalar, factor: float,
+    elapsed: float,
+) -> int:
+    """Decayed-cell count of one sensitivity group: the exact partition
+    point of ``eff(times[k]) < elapsed`` over ascending base times,
+    where ``eff`` is the rounded float32/float64 scalar chain
+    ``((t * thermal) * margin_pow) * scalar``.
+
+    Two C-speed ``searchsorted`` calls against the *base* times bracket
+    the boundary -- the inverse needle ``elapsed / factor`` is exact up
+    to a few float32 ulps of forward-chain rounding, and the 1e-5
+    relative window dominates that by >10x -- then a binary search
+    inside the bracket replays ``eff`` elementwise (numpy scalar ops
+    round identically to their vector twins), so the count is
+    bit-identical to ``searchsorted`` over the materialized effective
+    thresholds without ever materializing them.
+    """
+    n = times.shape[0]
+    if n == 0:
+        return 0
+    needle = elapsed / factor
+    # float32 needles keep searchsorted on the base times' own dtype (a
+    # float64 needle would upcast -- i.e. copy -- the whole array per
+    # call); the cast moves each bracket by at most one float32 ulp,
+    # two orders of magnitude inside the 1e-5 margin.
+    lo = int(times.searchsorted(np.float32(needle * (1.0 - 1e-5)), "left"))
+    hi = int(times.searchsorted(np.float32(needle * (1.0 + 1e-5)), "right"))
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if ((times[mid] * thermal) * margin_pow) * scalar < elapsed:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class _FusedRetentionCounts:
+    """Cross-operating-point retention reductions over the sensitivity
+    group decomposition -- the fused probe engine's kernel.
+
+    :class:`_RetentionCounts` materializes and sorts a fresh effective-
+    threshold vector per (row, pattern, operating point). Here V_PP,
+    temperature and pattern only *reparameterize* the presorted per-
+    group base retention times (:meth:`ProbeSweep.retention_groups`):
+    each group's effective thresholds are its ascending base times
+    multiplied by three positive scalars, so an operating point costs
+    just the scalar chain (no per-cell work at all) and every count
+    resolves against the shared base-time arrays by needle inversion
+    (:func:`_fused_group_prefix`). The boundary correction replays the
+    exact float32/float64 operations of the vectorized
+    ``retention * thermal * margin**sensitivity * pattern`` chain
+    elementwise, so counts, flip sets and histograms are bit-identical
+    to :class:`_RetentionCounts`; the fused engine's differential tests
+    assert exactly that. The kernel owns *no* per-operating-point
+    arrays -- fused retention sweeps are weightless under the sweep
+    LRU's byte budget, so V_PP ladders keep every row resident.
+    """
+
+    def __init__(self, sweep: ProbeSweep):
+        bank = sweep._bank
+        env = bank._env
+        model = bank._cal.retention
+        margin = np.float32(model.margin_factor(env.vpp))
+        thermal = np.float32(model.temperature_factor(env.temperature))
+        scalar = bank._cached(
+            sweep.state, sweep.physical, "retention_pattern_factors"
+        )[sweep.pattern_index]
+        groups = sweep.retention_groups()
+        self._indices = tuple(indices for _, indices, _ in groups)
+        self._times = tuple(times for _, _, times in groups)
+        # Word numbers of the group cells, for the histogram reduction:
+        # shifted once per (row, pattern) and shared through the row
+        # state's cache exactly like the group decomposition itself.
+        words_key = ("_ret_words", sweep.pattern)
+        words = sweep.state.cache.get(words_key)
+        if words is None:
+            words = tuple(indices >> 6 for indices in self._indices)
+            sweep.state.cache[words_key] = words
+        self._words = words
+        powers = tuple(np.power(margin, value) for value, _, _ in groups)
+        self._scalars = tuple(
+            (thermal, margin_pow, scalar) for margin_pow in powers
+        )
+        self._factors = tuple(
+            float(thermal) * float(margin_pow) * float(scalar)
+            for margin_pow in powers
+        )
+        # An Alg. 3 ladder re-asks the same elapsed times many times
+        # over (every iteration of a worst-probe shares one elapsed;
+        # the histogram and session close re-use the winner), so the
+        # resolved per-group prefixes are memoized per elapsed.
+        self._memo: Dict[float, tuple] = {}
+
+    def _resolve(self, elapsed: float) -> tuple:
+        cached = self._memo.get(elapsed)
+        if cached is None:
+            prefixes = tuple(
+                _fused_group_prefix(times, *scalars, factor, elapsed)
+                for times, scalars, factor in zip(
+                    self._times, self._scalars, self._factors
+                )
+            )
+            cached = (sum(prefixes), prefixes)
+            self._memo[elapsed] = cached
+        return cached
+
+    def count(self, elapsed: float) -> int:
+        if elapsed <= 0:
+            return 0
+        return self._resolve(elapsed)[0]
+
+    def count_many(self, elapsed_values: Sequence[float]) -> List[int]:
+        """Per-value :meth:`count` for a fused probe ladder.
+
+        Alg. 3 ladders ask one elapsed time per iteration and the
+        iterations of a window share it, so consecutive repeats resolve
+        once."""
+        counts: List[int] = []
+        last_elapsed = None
+        last_count = 0
+        for elapsed in elapsed_values:
+            if elapsed != last_elapsed:
+                last_elapsed = elapsed
+                last_count = self.count(elapsed)
+            counts.append(last_count)
+        return counts
+
+    def flip_indices(self, elapsed: float) -> np.ndarray:
+        """The decayed cells' indices (``flip_mask``'s nonzero set, in
+        group order rather than index order -- every consumer treats the
+        result as a set)."""
+        if elapsed <= 0:
+            return _EMPTY_INDICES
+        parts = []
+        for indices, prefix in zip(self._indices, self._resolve(elapsed)[1]):
+            if prefix == indices.size:
+                parts.append(indices)
+            elif prefix:
+                parts.append(indices[:prefix])
+        if not parts:
+            return _EMPTY_INDICES
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def word_histogram(self, elapsed: float) -> "Dict[int, int]":
+        """``{flips-per-64-bit-word: word count}`` over affected words,
+        identical to :meth:`_RetentionCounts.word_histogram`."""
+        if elapsed <= 0:
+            return {}
+        prefixes = self._resolve(elapsed)[1]
+        parts = [
+            words if prefix == words.size else words[:prefix]
+            for words, prefix in zip(self._words, prefixes)
+            if prefix
+        ]
+        if not parts:
+            return {}
+        flipped_words = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        per_word = np.bincount(flipped_words)
+        histogram = np.bincount(per_word[per_word > 0])
+        return {
+            int(v): int(c)
+            for v, c in enumerate(histogram)
+            if v and c
+        }
+
+    def nbytes(self) -> int:
+        """Always 0: needle inversion resolves counts against the
+        state-cached base-time arrays, so the kernel owns no
+        per-operating-point arrays at all."""
+        return 0
+
+
+class _FusedHammerCounts:
+    """Hammer-probe reductions with *deferred* sort statics.
+
+    :class:`_HammerCounts` pays an eager per-(row, pattern) charged-
+    population sort the first time a pattern is probed -- dominant in
+    WCDP phases, where most (row, pattern) pairs answer a handful of
+    probes and never amortize it. This kernel answers
+
+    * ``any_flip`` from two cached population minima (no vectors),
+    * retention decay from the shared group decomposition
+      (:class:`_FusedRetentionCounts` -- no per-point sort), and
+    * exact ``count``/``flip_populations`` from a one-shot vector
+      evaluation until a (row, pattern) pair has asked for
+      :data:`STATIC_BUILD_THRESHOLD` of them, at which point it builds
+      the same prefix statics as :class:`_HammerCounts` (shared cache
+      key) and switches to scalar binary searches.
+
+    Every path replays the scalar/broadcast expressions of
+    :meth:`HammerSweep.flip_mask` exactly, so results stay bit-identical
+    to the batch/fast/command tiers.
+    """
+
+    #: Exact-count/flip-set calls per (row, pattern) -- accumulated
+    #: across operating points -- after which the prefix statics are
+    #: built. Below it, one-shot vector evaluations are cheaper than the
+    #: sort; a WCDP tie-break session (one BER probe plus its close)
+    #: stays one-shot, while a grid bisection crosses the threshold on
+    #: its first operating point and amortizes the sort over the rest.
+    STATIC_BUILD_THRESHOLD = 3
+
+    def __init__(self, sweep: HammerSweep):
+        bank = sweep._bank
+        state = sweep.state
+        self._sweep = sweep
+        self._bank = bank
+        self._cells = bank._cells
+        self._physical = sweep.physical
+        self._hammer_pattern = bank._cached(
+            state, sweep.physical, "pattern_factors"
+        )[sweep.pattern_index]
+        # Population minima: enough to answer any_flip exactly (the
+        # batch kernel compares tol64[0] * factor <= damage; float() of
+        # the float32 minimum is the same float64 value).
+        minima_key = ("_hammer_minima", sweep.pattern)
+        minima = state.cache.get(minima_key)
+        if minima is None:
+            static = state.cache.get(("_hammer_static", sweep.pattern))
+            if static is not None:
+                minima = tuple(
+                    float(tol64[0]) if tol64.shape[0] else math.inf
+                    for _, tol64 in static
+                )
+            else:
+                tolerance = bank._cached(
+                    state, sweep.physical, "cell_tolerances"
+                )
+                charged = sweep.charged
+                outlier = sweep._outlier_mask
+                values = []
+                for mask in (charged & ~outlier, charged & outlier):
+                    values.append(
+                        float(tolerance[mask].min())
+                        if mask.any() else math.inf
+                    )
+                minima = tuple(values)
+            state.cache[minima_key] = minima
+        self._min_bulk, self._min_outlier = minima
+        self._retention_bound = _retention_lower_bound(sweep)
+        self._retention = None
+
+    def _factor(self, session: int):
+        jitter = self._cells.measurement_jitter(self._physical, session)
+        return self._hammer_pattern * jitter
+
+    def _retention_counts(self) -> _FusedRetentionCounts:
+        if self._retention is None:
+            self._retention = _FusedRetentionCounts(self._sweep)
+        return self._retention
+
+    def any_decay(self, elapsed: float) -> bool:
+        """True when the probe's wait decays at least one charged cell
+        (group-counted; no per-operating-point sort)."""
+        return (
+            elapsed > 0
+            and elapsed > self._retention_bound
+            and self._retention_counts().count(elapsed) > 0
+        )
+
+    def any_flip(
+        self, damage_bulk: float, damage_outlier: float, session: int,
+        elapsed: float,
+    ) -> bool:
+        """``flip_mask(...).any()`` from the two population minima."""
+        if self.any_decay(elapsed):
+            return True
+        factor = self._factor(session)
+        return (
+            self._min_bulk * factor <= damage_bulk
+            or self._min_outlier * factor <= damage_outlier
+        )
+
+    def _statics(self):
+        """The prefix statics, or None while the pair is below the build
+        threshold (callers then fall back to a one-shot vector pass)."""
+        state = self._sweep.state
+        static = state.cache.get(("_hammer_static", self._sweep.pattern))
+        if static is not None:
+            return static
+        uses_key = ("_fused_static_uses", self._sweep.pattern)
+        uses = state.cache.get(uses_key, 0) + 1
+        state.cache[uses_key] = uses
+        if uses < self.STATIC_BUILD_THRESHOLD:
+            return None
+        return _hammer_static(self._sweep)
+
+    def _damage_mask(
+        self, damage_bulk: float, damage_outlier: float, factor
+    ) -> np.ndarray:
+        """``flip_mask``'s damage term, verbatim (one broadcast pass)."""
+        sweep = self._sweep
+        tolerance = self._bank._cached(
+            sweep.state, sweep.physical, "cell_tolerances"
+        )
+        damage = np.where(
+            sweep._outlier_mask, damage_outlier, damage_bulk
+        )
+        return sweep.charged & (damage >= tolerance * factor)
+
+    def count(
+        self, damage_bulk: float, damage_outlier: float, session: int,
+        elapsed: float,
+    ) -> int:
+        """``np.count_nonzero(flip_mask(...))``, statics-free until the
+        build threshold."""
+        factor = self._factor(session)
+        decayed = 0
+        if elapsed > 0 and elapsed > self._retention_bound:
+            decayed = self._retention_counts().count(elapsed)
+        if decayed:
+            # Rare: decay during a hammer probe. Evaluate the union
+            # exactly by scattering the group flip set over the damage
+            # mask -- equivalent to flip_mask's |= accumulation.
+            flips = self._damage_mask(damage_bulk, damage_outlier, factor)
+            flips[self._retention_counts().flip_indices(elapsed)] = True
+            return int(np.count_nonzero(flips))
+        static = self._statics()
+        if static is not None:
+            total = 0
+            for (_, tol64), damage in (
+                (static[0], damage_bulk), (static[1], damage_outlier)
+            ):
+                total += _flip_prefix(tol64, factor, damage)
+            return total
+        return int(np.count_nonzero(
+            self._damage_mask(damage_bulk, damage_outlier, factor)
+        ))
+
+    def flip_populations(
+        self, damage_bulk: float, damage_outlier: float, session: int
+    ) -> List[np.ndarray]:
+        """Index arrays of the damage-flipped cells (set semantics; see
+        :meth:`_HammerCounts.flip_populations`)."""
+        factor = self._factor(session)
+        static = self._statics()
+        if static is not None:
+            parts = []
+            for (indices, tol64), damage in (
+                (static[0], damage_bulk), (static[1], damage_outlier)
+            ):
+                prefix = _flip_prefix(tol64, factor, damage)
+                if prefix:
+                    parts.append(indices[:prefix])
+            return parts
+        mask = self._damage_mask(damage_bulk, damage_outlier, factor)
+        if not mask.any():
+            return []
+        return [np.flatnonzero(mask)]
+
+    def nbytes(self) -> int:
+        """Bytes of the owned per-operating-point arrays."""
+        return 0 if self._retention is None else self._retention.nbytes()

@@ -93,6 +93,13 @@ class CellParameterGenerator:
         # Per-row high-water mark of the prefetched session lattice
         # (see ensure_jitter_window).
         self._jitter_horizon: Dict[int, int] = {}
+        # Externally supplied per-cell vectors, keyed (physical_row,
+        # fieldname). Populated by adopt_preloaded (the shared-memory
+        # struct-of-arrays device state of :mod:`repro.core.soa`);
+        # consulted before any RNG derivation. Preloaded vectors were
+        # produced by an identical generator, so a hit and a fresh draw
+        # are bit-identical.
+        self._preload: Dict[Tuple[int, str], np.ndarray] = {}
 
     def _rng(self, physical_row: int, fieldname: str) -> np.random.Generator:
         return self._hub.generator(
@@ -206,24 +213,31 @@ class CellParameterGenerator:
         draws = self._hub.standard_normals(
             [prefix + str(session) for session in missing]
         )
+        # One vectorized exp over the block (bit-identical to the
+        # per-draw scalar exp: same ufunc, same float64 inputs).
         sigma = self._cal.measurement_sigma
-        for session, draw in zip(missing, draws):
-            cache[(physical_row, session)] = float(np.exp(sigma * draw))
+        values = np.exp(np.asarray(draws) * sigma)
+        for session, value in zip(missing, values.tolist()):
+            cache[(physical_row, session)] = value
         return len(missing)
 
     #: Sessions per initial prefetched jitter block. A hammer probe
     #: advances the victim's session by 3 (+2 before the evaluation,
-    #: +1 after), so a block covers 20 consecutive probes -- sized to
-    #: one Alg. 1 bisection per operating point (worst-BER repetitions
-    #: plus the ~16 bisection rounds), because an external restore
-    #: between operating points shifts the session lattice and strands
-    #: a block's unconsumed tail.
+    #: +1 after), so a block covers 20 consecutive probes -- one Alg. 1
+    #: bisection per operating point (worst-BER repetitions plus the
+    #: ~16 bisection rounds).
     JITTER_WINDOW_SPAN = 3 * 19
-    #: Sessions per extension block when a schedule runs past its
-    #: initial window on the *same* lattice: short, because only the
-    #: tail of an unusually long bisection lands here and the stranded
-    #: remainder is pure waste.
-    JITTER_EXTEND_SPAN = 3 * 7
+    #: Sessions per extension block once a row is past its initial
+    #: window. Every probe schedule advances a row's session by a
+    #: multiple of 3, so in practice the stride-3 lattice persists for
+    #: a row's entire campaign and almost all prefetches are extends --
+    #: a V_PP ladder walks one row through hundreds of probes. The
+    #: derivation kernel's cost is dominated by a fixed per-call term
+    #: (:meth:`repro.rng.RngHub.standard_normals` batches arbitrarily
+    #: wide), so extends are sized to cover several operating points
+    #: per call; the stranded tail, at most one block per row per
+    #: campaign, is noise by comparison.
+    JITTER_EXTEND_SPAN = 3 * 127
 
     def ensure_jitter_window(self, physical_row: int, session: int) -> None:
         """Guarantee the jitter block covering ``session`` is prefetched.
@@ -255,6 +269,30 @@ class CellParameterGenerator:
         """True cell rows store 1 as charge; anti rows store 0."""
         return bool(physical_row % 2)
 
+    # -- preloaded (shared-memory) vectors ---------------------------------------
+
+    def adopt_preloaded(
+        self, vectors: Dict[Tuple[int, str], np.ndarray]
+    ) -> int:
+        """Install externally generated per-cell vectors.
+
+        ``vectors`` maps ``(physical_row, fieldname)`` to an ndarray --
+        typically read-only views into a shared-memory struct-of-arrays
+        block built by :func:`repro.core.soa.build_device_state`. The
+        vectors must come from a generator with the same calibration,
+        seed and bank index; they then shadow the RNG derivation
+        bit-identically. Returns the number of vectors adopted.
+        """
+        self._preload.update(vectors)
+        return len(vectors)
+
+    def _preloaded(
+        self, physical_row: int, fieldname: str
+    ) -> Optional[np.ndarray]:
+        if not self._preload:
+            return None
+        return self._preload.get((physical_row, fieldname))
+
     # -- per-cell vectors --------------------------------------------------------
 
     def cell_tolerances(self, physical_row: int) -> np.ndarray:
@@ -265,6 +303,9 @@ class CellParameterGenerator:
         the 300K-hammer BER), overlaid with a Poisson-sparse set of
         outlier defect cells whose much lower tolerances set HC_first.
         """
+        preloaded = self._preloaded(physical_row, "cell_tolerances")
+        if preloaded is not None:
+            return preloaded
         rng = self._rng(physical_row, "tolerance")
         weakness = self.row_weakness(physical_row)
         draws = rng.standard_normal(self._cells).astype(np.float32)
@@ -292,6 +333,9 @@ class CellParameterGenerator:
         the mask marks exactly the cells whose tolerance was replaced by
         an outlier draw.
         """
+        preloaded = self._preloaded(physical_row, "cell_outlier_mask")
+        if preloaded is not None:
+            return preloaded
         # Reproduce the outlier placement deterministically.
         rng = self._rng(physical_row, "tolerance")
         weakness = self.row_weakness(physical_row)
@@ -370,17 +414,44 @@ class CellParameterGenerator:
             sensitivity[positions[replace]] = tier.vpp_sensitivity
         return times, sensitivity
 
+    def retention_structure_pair(self, physical_row: int):
+        """``(retention times, V_PP sensitivity)`` in one generation pass.
+
+        The two vectors come from the same RNG replay, so callers that
+        need both (the fused probe engine's preheat, the SoA device-state
+        builder) should use this accessor instead of the two single-field
+        ones -- it halves the generation cost.
+        """
+        times = self._preloaded(physical_row, "cell_retention_times")
+        sensitivity = self._preloaded(
+            physical_row, "cell_retention_vpp_sensitivity"
+        )
+        if times is not None and sensitivity is not None:
+            return times, sensitivity
+        return self._retention_structure(physical_row)
+
     def cell_retention_times(self, physical_row: int) -> np.ndarray:
         """Per-cell retention times at 80 degC and nominal V_PP [s]."""
+        preloaded = self._preloaded(physical_row, "cell_retention_times")
+        if preloaded is not None:
+            return preloaded
         return self._retention_structure(physical_row)[0]
 
     def cell_retention_vpp_sensitivity(self, physical_row: int) -> np.ndarray:
         """Per-cell margin-exponent multipliers (1 for bulk cells)."""
+        preloaded = self._preloaded(
+            physical_row, "cell_retention_vpp_sensitivity"
+        )
+        if preloaded is not None:
+            return preloaded
         return self._retention_structure(physical_row)[1]
 
     def cell_trcd_factors(self, physical_row: int) -> np.ndarray:
         """Per-cell activation-latency factors, normalized so the row's
         worst cell sits at ~1.0 relative to the row factor."""
+        preloaded = self._preloaded(physical_row, "cell_trcd_factors")
+        if preloaded is not None:
+            return preloaded
         rng = self._rng(physical_row, "trcd_cell")
         draws = rng.standard_normal(self._cells).astype(np.float32)
         factors = np.exp(self._trcd_cell_sigma * draws) / self._trcd_cell_norm

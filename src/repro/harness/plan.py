@@ -40,7 +40,10 @@ class PreloadPlan:
     def preload_parallel(self, max_workers: int) -> None:
         """Pre-run every planned study with worker processes
         ((module, row-chunk) granularity), priming the in-process and
-        on-disk caches for the experiments that follow."""
+        on-disk caches for the experiments that follow. Workers attach
+        each module's per-cell parameter planes from a shared-memory
+        device-state block (:mod:`repro.core.soa`) instead of
+        re-deriving them per process."""
         for request in self.requests:
             cache.preload_parallel(
                 [request.tests], modules=request.modules,
@@ -58,7 +61,9 @@ class PreloadPlan:
     ) -> List[str]:
         """Run every planned study through the orchestration service
         (checkpointed, resumable, fault-tolerant) and install the merged
-        studies in the cache. Returns the quarantined module names."""
+        studies in the cache; pool workers preload shared-memory device
+        state (:mod:`repro.core.soa`). Returns the quarantined module
+        names."""
         from repro.service.orchestrator import CampaignService
 
         quarantined: List[str] = []

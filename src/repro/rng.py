@@ -56,6 +56,13 @@ def _hash_schedule(init: int, mult: int, steps: int) -> np.ndarray:
 _MIX_SCHEDULE = _hash_schedule(int(_INIT_A), _MULT_A, 16)
 #: Output-phase constants: 8 generated state words.
 _OUT_SCHEDULE = _hash_schedule(int(_INIT_B), _MULT_B, 8)
+#: Destination rows per mixing source; within one source iteration the
+#: three destination updates never read each other, so they run stacked.
+_MIX_DSTS = [
+    np.array([dst for dst in range(4) if dst != src]) for src in range(4)
+]
+#: Output words draw round-robin from the pool rows.
+_OUT_ROWS = np.array([0, 1, 2, 3, 0, 1, 2, 3])
 
 
 def _bulk_pcg64_states(seeds: Sequence[int]) -> List[Tuple[int, int]]:
@@ -80,22 +87,21 @@ def _bulk_pcg64_states(seeds: Sequence[int]) -> List[Tuple[int, int]]:
     pool = values ^ (values >> _XSHIFT)
     step = 4
     for src in range(4):
-        for dst in range(4):
-            if src != dst:
-                values = (pool[src] ^ _MIX_SCHEDULE[step, 0]) * (
-                    _MIX_SCHEDULE[step, 1]
-                )
-                step += 1
-                mixed = pool[dst] * _MIX_MULT_L - (
-                    values ^ (values >> _XSHIFT)
-                ) * _MIX_MULT_R
-                pool[dst] = mixed ^ (mixed >> _XSHIFT)
+        # One source feeds three destinations with consecutive schedule
+        # constants, and no destination reads another within the
+        # iteration -- so hash and mix all three lanes in (3, n) blocks.
+        consts = _MIX_SCHEDULE[step:step + 3]
+        step += 3
+        values = (pool[src] ^ consts[:, :1]) * consts[:, 1:]
+        dsts = _MIX_DSTS[src]
+        mixed = pool[dsts] * _MIX_MULT_L - (
+            values ^ (values >> _XSHIFT)
+        ) * _MIX_MULT_R
+        pool[dsts] = mixed ^ (mixed >> _XSHIFT)
 
     # Output pass, stacked over the 8 generated words (word i draws
     # from pool row i % 4).
-    values = (
-        np.concatenate((pool, pool), axis=0) ^ _OUT_SCHEDULE[:, :1]
-    ) * _OUT_SCHEDULE[:, 1:]
+    values = (pool[_OUT_ROWS] ^ _OUT_SCHEDULE[:, :1]) * _OUT_SCHEDULE[:, 1:]
     words = values ^ (values >> _XSHIFT)
     halves = [
         ((words[2 * i + 1].astype(np.uint64) << np.uint64(32))

@@ -37,7 +37,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.campaign import merge_module_chunks
+from repro.core.campaign import (
+    _attach_state,
+    _build_shared_states,
+    _release_shared_states,
+    merge_module_chunks,
+)
 from repro.core.perf import PROFILER
 from repro.core.probe import engine_selection
 from repro.core.results import ModuleResult
@@ -79,16 +84,22 @@ def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float, Dict]:
     delta only across true process boundaries -- in inline mode the
     increments already landed in this process's registry.
     """
-    module, rows, tests, scale, seed, probe_engine, fault_spec = job
+    module, rows, tests, scale, seed, probe_engine, fault_spec, \
+        state_handle = job
     injector = FaultInjector(fault_spec) if fault_spec is not None else None
-    study = CharacterizationStudy(
-        scale=scale, seed=seed, probe_engine=probe_engine,
-        fault_injector=injector,
-    )
-    baseline = REGISTRY.snapshot()
-    started = clock.monotonic()
-    result = study.run_module(module, tests=tests, rows=list(rows))
-    wall = clock.monotonic() - started
+    state = _attach_state(state_handle)
+    try:
+        study = CharacterizationStudy(
+            scale=scale, seed=seed, probe_engine=probe_engine,
+            fault_injector=injector, device_state=state,
+        )
+        baseline = REGISTRY.snapshot()
+        started = clock.monotonic()
+        result = study.run_module(module, tests=tests, rows=list(rows))
+        wall = clock.monotonic() - started
+    finally:
+        if state is not None:
+            state.close()
     return result, wall, snapshot_delta(baseline, REGISTRY.snapshot())
 
 
@@ -138,6 +149,13 @@ class CampaignService:
         in-memory log.
     progress:
         Optional ``(message: str) -> None`` callback for live progress.
+    shared_state:
+        Generate each module's per-cell parameter planes once, in the
+        coordinator, into shared memory (:mod:`repro.core.soa`) and
+        have pool workers attach them zero-copy instead of re-deriving
+        the device model per process and per retry attempt (default
+        True; results are bit-identical either way). Only used in pool
+        mode; silently disabled where shared memory is unavailable.
     """
 
     def __init__(
@@ -156,6 +174,7 @@ class CampaignService:
         checkpoint_base: Optional[str] = None,
         telemetry: Optional[TelemetryLog] = None,
         progress: Optional[Callable[[str], None]] = None,
+        shared_state: bool = True,
     ):
         if max_attempts < 1:
             raise ConfigurationError(
@@ -177,6 +196,8 @@ class CampaignService:
         self.max_attempts = max_attempts
         self.backoff = backoff
         self.fault_plan = fault_plan
+        self.shared_state = shared_state
+        self._device_states: Dict[str, object] = {}
         self.telemetry = telemetry or TelemetryLog()
         self._progress = progress or (lambda message: None)
         self.fingerprint = campaign_fingerprint(
@@ -300,9 +321,11 @@ class CampaignService:
         spec: Optional[FaultSpec] = None
         if self.fault_plan is not None:
             spec = self.fault_plan.spec_for(unit.unit_id, attempt)
+        state = self._device_states.get(unit.module)
         return (
             unit.module, unit.rows, unit.tests, self.scale, self.seed,
             self.probe_engine, spec,
+            state.handle if state is not None else None,
         )
 
     def _start_attempt(
@@ -434,6 +457,27 @@ class CampaignService:
                 break
 
     def _run_pool(self, state: "_RunState") -> None:
+        if self.shared_state:
+            # One shared-memory block per module with pending units;
+            # every worker attempt (including retries) attaches it
+            # instead of re-deriving the device model.
+            pending_modules = sorted({u.module for u in state.pending})
+            self._device_states = _build_shared_states(
+                pending_modules, self.scale, self.seed
+            )
+            for module, shared in self._device_states.items():
+                self.telemetry.emit(
+                    "device_state_shared", module=module,
+                    bytes=shared.nbytes,
+                    rows=len(shared.handle.physical_rows),
+                )
+        try:
+            self._drain_pool(state)
+        finally:
+            _release_shared_states(self._device_states)
+            self._device_states = {}
+
+    def _drain_pool(self, state: "_RunState") -> None:
         queue = deque(state.pending)
         inflight: Dict = {}
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:

@@ -1,23 +1,25 @@
 """Differential tests: the kernelized probe engines vs the command path.
 
-The fast and batch engines must be *bit-identical* to the validated
-``Program``/``SoftMCHost`` reference for every quantity the studies
-record -- HC_first, RowHammer BER (including per-iteration values) and
-retention BER/histograms -- across modules of all three vendors and
-multiple V_PP levels. Any divergence here means a kernel's replay of
-the command schedule (session counters, simulated-time offsets, damage
-deposit order, sorted-threshold reductions) has drifted from the host's
-semantics.
+The fast, batch and fused engines must be *bit-identical* to the
+validated ``Program``/``SoftMCHost`` reference for every quantity the
+studies record -- HC_first, RowHammer BER (including per-iteration
+values) and retention BER/histograms -- across modules of all three
+vendors and multiple V_PP levels. Any divergence here means a kernel's
+replay of the command schedule (session counters, simulated-time
+offsets, damage deposit order, sorted-threshold reductions) has drifted
+from the host's semantics.
 """
 
 import pytest
 
 from repro.core.context import TestContext
+from repro.core.fused import FusedProbeEngine
 from repro.core.probe import (
     BatchProbeEngine,
     CommandProbeEngine,
     FastProbeEngine,
     make_engine,
+    sweep_cache_byte_capacity,
     sweep_cache_capacity,
 )
 from repro.core.scale import StudyScale
@@ -46,37 +48,50 @@ def _run(name, engine_kind):
 
 
 @pytest.fixture(scope="module", params=MODULES)
-def engine_trio(request):
+def engine_quartet(request):
     name = request.param
-    return name, _run(name, "command"), _run(name, "fast"), _run(name, "batch")
+    return (
+        name,
+        _run(name, "command"),
+        _run(name, "fast"),
+        _run(name, "batch"),
+        _run(name, "fused"),
+    )
 
 
 class TestStudyEquivalence:
-    def test_rowhammer_records_identical(self, engine_trio):
-        name, command, fast, batch = engine_trio
+    def test_rowhammer_records_identical(self, engine_quartet):
+        name, command, fast, batch, fused = engine_quartet
         assert len(command.rowhammer) == len(fast.rowhammer)
         assert len(command.rowhammer) == len(batch.rowhammer)
+        assert len(command.rowhammer) == len(fused.rowhammer)
         assert {r.vpp for r in fast.rowhammer} == set(VPP_LEVELS)
-        for reference, kernel, batched in zip(
-            command.rowhammer, fast.rowhammer, batch.rowhammer
+        for reference, kernel, batched, cross in zip(
+            command.rowhammer, fast.rowhammer, batch.rowhammer,
+            fused.rowhammer,
         ):
             # Frozen dataclasses: equality covers hcfirst, ber and every
             # per-iteration BER value exactly (no tolerance).
             assert kernel == reference
             assert batched == reference
+            assert cross == reference
 
-    def test_retention_records_identical(self, engine_trio):
-        name, command, fast, batch = engine_trio
+    def test_retention_records_identical(self, engine_quartet):
+        name, command, fast, batch, fused = engine_quartet
         assert len(command.retention) == len(fast.retention)
         assert len(command.retention) == len(batch.retention)
-        for reference, kernel, batched in zip(
-            command.retention, fast.retention, batch.retention
+        assert len(command.retention) == len(fused.retention)
+        for reference, kernel, batched, cross in zip(
+            command.retention, fast.retention, batch.retention,
+            fused.retention,
         ):
             assert kernel == reference
             assert batched == reference
+            assert cross == reference
             assert (
                 batched.word_flip_histogram == reference.word_flip_histogram
             )
+            assert cross.word_flip_histogram == reference.word_flip_histogram
 
     def test_batch_engine_selected_by_default(self, monkeypatch):
         monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
@@ -201,6 +216,21 @@ class TestEngineSelection:
         with pytest.raises(ConfigurationError, match="batch"):
             TestContext(infra, StudyScale.tiny(), probe_engine="warp")
 
+    def test_fused_engine_selected_explicitly(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROBE_ENGINE", raising=False)
+        study = CharacterizationStudy(
+            scale=StudyScale.tiny(), seed=3, probe_engine="fused"
+        )
+        ctx = study.build_context("A0")
+        assert isinstance(ctx.engine, FusedProbeEngine)
+        assert ctx.engine.name == "fused"
+
+    def test_fused_engine_selected_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROBE_ENGINE", "fused")
+        study = CharacterizationStudy(scale=StudyScale.tiny(), seed=3)
+        ctx = study.build_context("A0")
+        assert isinstance(ctx.engine, FusedProbeEngine)
+
     def test_trr_forces_command_engine(self):
         infra = TestInfrastructure.for_module(
             "A0", geometry=StudyScale.tiny().geometry, seed=3,
@@ -208,6 +238,14 @@ class TestEngineSelection:
         )
         ctx = TestContext(infra, StudyScale.tiny())
         assert isinstance(make_engine(ctx), CommandProbeEngine)
+
+    def test_trr_forces_command_even_when_fused_requested(self):
+        infra = TestInfrastructure.for_module(
+            "A0", geometry=StudyScale.tiny().geometry, seed=3,
+            trr_enabled=True,
+        )
+        ctx = TestContext(infra, StudyScale.tiny())
+        assert isinstance(make_engine(ctx, kind="fused"), CommandProbeEngine)
 
     def test_probe_counters_recorded(self):
         study = CharacterizationStudy(scale=StudyScale.tiny(), seed=3)
@@ -232,7 +270,7 @@ class TestSweepCache:
 
     def test_capacity_default_and_override(self, monkeypatch):
         monkeypatch.delenv("REPRO_SWEEP_CACHE", raising=False)
-        assert sweep_cache_capacity() == 192
+        assert sweep_cache_capacity() == 1024
         assert sweep_cache_capacity(7) == 7
         monkeypatch.setenv("REPRO_SWEEP_CACHE", "12")
         assert sweep_cache_capacity() == 12
@@ -288,3 +326,84 @@ class TestSweepCache:
         ctx.engine.hammer_ber(ctx, 5, STANDARD_PATTERNS[0], 1_000)
         summary = ctx.engine.counters.as_dict()
         assert summary["sweep_misses"] == 1
+
+
+class TestSweepCacheByteBudget:
+    """The byte-bounded side of the sweep LRU (``REPRO_SWEEP_CACHE_BYTES``)."""
+
+    def _context(self, sweep_cache_bytes=None, probe_engine="fast"):
+        infra = TestInfrastructure.for_module(
+            "A0", geometry=StudyScale.tiny().geometry, seed=3
+        )
+        return TestContext(infra, StudyScale.tiny(),
+                           probe_engine=probe_engine,
+                           sweep_cache_bytes=sweep_cache_bytes)
+
+    def test_byte_capacity_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_BYTES", raising=False)
+        assert sweep_cache_byte_capacity() == 256 * 1024 * 1024
+        assert sweep_cache_byte_capacity(4096) == 4096
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_BYTES", "65536")
+        assert sweep_cache_byte_capacity() == 65536
+        assert sweep_cache_byte_capacity(1024) == 1024
+
+    def test_byte_capacity_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_BYTES", "plenty")
+        with pytest.raises(ConfigurationError):
+            sweep_cache_byte_capacity()
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_BYTES", raising=False)
+        with pytest.raises(ConfigurationError):
+            sweep_cache_byte_capacity(0)
+
+    def test_tiny_budget_evicts_but_keeps_newest(self):
+        ctx = self._context(sweep_cache_bytes=1)
+        pattern = STANDARD_PATTERNS[0]
+        ctx.engine.hammer_ber(ctx, 5, pattern, 1_000)
+        ctx.engine.hammer_ber(ctx, 9, pattern, 1_000)
+        counters = ctx.engine.counters
+        # A 1-byte budget can never hold two resident sweeps, but the
+        # newest always survives (a session must be able to finish).
+        assert counters.sweep_evictions >= 1
+        assert len(ctx.engine._sweeps) == 1
+        ctx.engine.hammer_ber(ctx, 9, pattern, 1_000)
+        assert counters.sweep_hits == 1
+
+    def test_generous_budget_never_evicts(self):
+        ctx = self._context(sweep_cache_bytes=1 << 30)
+        pattern = STANDARD_PATTERNS[0]
+        for row in (5, 9, 13):
+            ctx.engine.hammer_ber(ctx, row, pattern, 1_000)
+        assert ctx.engine.counters.sweep_evictions == 0
+        assert len(ctx.engine._sweeps) == 3
+
+    def test_occupancy_gauge_published(self):
+        from repro.obs.metrics import REGISTRY
+
+        ctx = self._context(sweep_cache_bytes=1 << 30)
+        # The gauge is refreshed on the miss path, so it reflects the
+        # kernel state resident *before* the newest sweep: probe two
+        # rows so the first sweep's bytes are visible.
+        ctx.engine.hammer_ber(ctx, 5, STANDARD_PATTERNS[0], 1_000)
+        ctx.engine.hammer_ber(ctx, 9, STANDARD_PATTERNS[0], 1_000)
+        gauges = REGISTRY.snapshot()["gauges"]
+        assert gauges.get("repro_sweep_cache_bytes", 0.0) > 0
+
+    def test_fused_residents_are_weightless(self):
+        # The fused kernels resolve probes against state-cached base
+        # arrays by needle inversion, so resident fused sweeps own no
+        # per-operating-point bytes: even a 1-byte budget keeps a whole
+        # retention row set resident, where the batch tier's
+        # materialized threshold stacks would evict down to one sweep.
+        ctx = self._context(sweep_cache_bytes=1, probe_engine="fused")
+        pattern = STANDARD_PATTERNS[2]
+        ctx.infra.set_temperature(80.0)
+        ctx.engine.retention_ber(ctx, 5, pattern, 0.5)
+        ctx.engine.retention_ber(ctx, 9, pattern, 0.5)
+        assert ctx.engine.counters.sweep_evictions == 0
+        assert len(ctx.engine._sweeps) == 2
+        batch_ctx = self._context(sweep_cache_bytes=1, probe_engine="batch")
+        batch_ctx.infra.set_temperature(80.0)
+        batch_ctx.engine.retention_ber(batch_ctx, 5, pattern, 0.5)
+        batch_ctx.engine.retention_ber(batch_ctx, 9, pattern, 0.5)
+        assert batch_ctx.engine.counters.sweep_evictions >= 1
+        assert len(batch_ctx.engine._sweeps) == 1
