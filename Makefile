@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test bench bench-check bench-smoke bench-all service-smoke obs-smoke artifacts examples clean
+.PHONY: install lint test bench bench-check bench-smoke bench-all service-smoke service-load api-smoke obs-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -35,15 +35,32 @@ bench-check:
 # Machine-speed-independent subset of bench-check for CI: asserts the
 # committed baseline's acceptance gates (fused >= 3x batch on the
 # V_PP ladder, fused hammer rate > fast) and the fused-vs-batch
-# bit-identity differential, without timing re-measurement.
+# bit-identity differential, without timing re-measurement. The API
+# load smoke rides along: a reduced-job concurrent run with the
+# deterministic served-study-vs-direct-run gate.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py --smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_load.py --smoke \
+		--out /tmp/BENCH_service_smoke.json
 
 # One-module orchestrated campaign with one injected bench fault:
 # asserts the retry succeeds, the JSON-lines event log parses, and the
 # merged study matches the sequential reference bit-for-bit.
 service-smoke:
 	$(PYTHON) benchmarks/service_smoke.py
+
+# API load benchmark: >= 1000 concurrent tiny-campaign jobs against an
+# in-process server; records p50/p99 request latency and jobs/sec into
+# the "load" section of benchmarks/BENCH_service.json and gates on the
+# served study being bit-identical to a direct run.
+service-load:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_load.py
+
+# Full HTTP round trip of the characterization API (submit/SSE/poll/
+# fetch), the determinism gate, the store short-circuit, the HTTP error
+# mapping, and the shared CLI exit-code contract.
+api-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/api_smoke.py
 
 # Tiny traced campaign validating every observability surface against
 # the schemas in docs/OBSERVABILITY.md: Chrome-trace JSON (nested

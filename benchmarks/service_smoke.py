@@ -125,6 +125,18 @@ def main(argv=None) -> int:
             StudyScale.tiny(), os.path.join(tmp, "events.jsonl")
         )
 
+    # Preserve sections other benchmarks own (bench_service_load.py
+    # writes the "load" key into the same file).
+    if os.path.isfile(args.out):
+        try:
+            with open(args.out) as handle:
+                previous = json.load(handle)
+            for key in ("load",):
+                if key in previous and key not in payload:
+                    payload[key] = previous[key]
+        except ValueError:
+            pass
+
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

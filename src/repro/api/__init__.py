@@ -1,0 +1,32 @@
+"""Characterization-as-a-service: the HTTP/JSON front end.
+
+``python -m repro.api`` serves campaign submission, polling, live SSE
+telemetry, and content-addressed study retrieval over a stdlib asyncio
+HTTP server; behind it sit a multi-tenant priority
+:class:`~repro.api.queue.JobQueue`, worker threads running jobs through
+the :class:`~repro.service.orchestrator.CampaignService`, and the
+shared :class:`~repro.harness.store.StudyStore`.
+
+Determinism contract: a study served by ``GET /v1/studies/<fp>`` is
+bit-identical to the study a direct
+:class:`~repro.core.study.CharacterizationStudy` run of the same
+request produces -- the fingerprint *is* the request hash, and the
+load benchmark's ``--smoke`` gate re-verifies the equality on every CI
+run. ``docs/API.md`` is the full reference.
+"""
+
+from repro.api.client import ApiClient, ApiError
+from repro.api.jobs import Job, JobSpec, run_job
+from repro.api.queue import JobQueue
+from repro.api.server import ApiServer, BackgroundServer
+
+__all__ = [
+    "ApiClient",
+    "ApiError",
+    "ApiServer",
+    "BackgroundServer",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "run_job",
+]

@@ -1,0 +1,158 @@
+"""Blocking Python client for the characterization API.
+
+A thin, dependency-free (stdlib ``http.client``) wrapper used by the
+round-trip tests, the load benchmark's correctness gate, and anyone
+scripting against a running ``python -m repro.api``. One connection per
+request (the server speaks ``Connection: close``).
+
+::
+
+    client = ApiClient(port=8642)
+    job = client.submit_job({"modules": ["C5"], "tests": ["rowhammer"],
+                             "scale": "tiny"})
+    job = client.wait_job(job["id"])
+    study = client.get_study(job["fingerprint"])
+
+Non-2xx responses raise :class:`ApiError` carrying the HTTP status and
+the server's JSON error body.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ReproError
+from repro.obs import clock
+
+
+class ApiError(ReproError):
+    """A non-2xx API response."""
+
+    def __init__(self, status: int, body: Any):
+        self.status = status
+        self.body = body
+        detail = body.get("error") if isinstance(body, dict) else body
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ApiClient:
+    """Blocking client for one server address."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 tenant: str = "default", timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport --------------------------------------------------------------
+
+    def request(
+        self, method: str, path: str,
+        payload: Optional[Dict] = None,
+    ) -> Any:
+        """One request/response cycle; raises :class:`ApiError` on
+        non-2xx, returns the decoded JSON (or raw text) body."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(payload) if payload is not None else None
+            connection.request(
+                method, path, body=body,
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Repro-Tenant": self.tenant,
+                },
+            )
+            response = connection.getresponse()
+            raw = response.read().decode("utf-8")
+        finally:
+            connection.close()
+        content_type = response.getheader("Content-Type", "")
+        decoded: Any = raw
+        if "json" in content_type:
+            decoded = json.loads(raw) if raw else {}
+        if not 200 <= response.status < 300:
+            raise ApiError(response.status, decoded)
+        return decoded
+
+    # -- jobs -------------------------------------------------------------------
+
+    def submit_job(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /v1/jobs``; returns the accepted job document."""
+        return self.request("POST", "/v1/jobs", payload)["job"]
+
+    def get_job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        path = "/v1/jobs" + (f"?tenant={tenant}" if tenant else "")
+        return self.request("GET", path)["jobs"]
+
+    def cancel_job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel")["job"]
+
+    def wait_job(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; raises ``TimeoutError``."""
+        deadline = clock.monotonic() + timeout
+        while True:
+            job = self.get_job(job_id)
+            if job["state"] in ("completed", "failed", "cancelled"):
+                return job
+            if clock.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # -- studies / observability ------------------------------------------------
+
+    def get_study(self, fingerprint: str) -> Dict[str, Any]:
+        """The raw study document published under ``fingerprint``."""
+        return self.request("GET", f"/v1/studies/{fingerprint}")
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def metrics_text(self) -> str:
+        """The server's ``/metrics`` Prometheus exposition."""
+        return self.request("GET", "/metrics")
+
+    def events(self, job_id: str, timeout: float = 300.0) -> Iterator[Dict]:
+        """Stream the job's SSE telemetry; yields decoded records and
+        returns once the server sends its terminal ``end`` frame."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout
+        )
+        try:
+            connection.request(
+                "GET", f"/v1/jobs/{job_id}/events",
+                headers={"X-Repro-Tenant": self.tenant},
+            )
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read().decode("utf-8")
+                try:
+                    raw = json.loads(raw)
+                except ValueError:
+                    pass
+                raise ApiError(response.status, raw)
+            ending = False
+            for line in response:
+                line = line.strip()
+                if line == b"event: end":
+                    ending = True
+                    continue
+                if line.startswith(b"data: "):
+                    record = json.loads(line[len(b"data: "):])
+                    if ending:
+                        return
+                    yield record
+        finally:
+            connection.close()

@@ -1,0 +1,489 @@
+"""API job model: specs, lifecycle, durable state, and the runner.
+
+A *job* is one characterization campaign submitted over HTTP. Its spec
+is either given explicitly (modules / tests / scale / seed / engine) or
+derived from a registered experiment's declared campaign
+(``{"experiment": "fig3"}`` -- the same
+:class:`~repro.harness.spec.StudyRequest` resolution the runner uses),
+so the API can never drift from what the experiments actually fetch.
+
+Lifecycle::
+
+    queued -> running -> completed
+                      -> failed      (quarantine, configuration, crash)
+                      -> cancelled   (client request, at unit boundary)
+
+Every transition persists the job as one atomic JSON file under
+``<state_dir>/jobs/``, so a restarted server recovers its queue:
+terminal jobs stay queryable, interrupted ``running``/``queued`` jobs
+are re-enqueued and -- because the orchestrator checkpoints completed
+work units under a per-campaign-fingerprint directory -- resume instead
+of recomputing.
+
+The runner itself is deliberately thin glue over
+:class:`~repro.service.orchestrator.CampaignService`: same planner,
+same retries/quarantine, same bit-identical merge. A completed study is
+published to the content-addressed :class:`~repro.harness.store.
+StudyStore` under its request fingerprint; a job whose fingerprint is
+already published short-circuits without running anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.scale import scale_preset
+from repro.core.study import TEST_TYPES
+from repro.errors import ConfigurationError, JobCancelledError
+from repro.harness.cache import (
+    BENCH_MODULES,
+    attach_provenance,
+    study_fingerprint,
+)
+from repro.harness.store import StudyStore
+from repro.harness.validation import (
+    validate_modules,
+    validate_subset,
+    validate_tests,
+)
+from repro.obs import clock
+from repro.obs.metrics import REGISTRY
+from repro.service.checkpoint import MANIFEST_NAME, campaign_dir
+from repro.service.orchestrator import CampaignService
+from repro.service.telemetry import TelemetryLog
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can never leave.
+TERMINAL_STATES = (COMPLETED, FAILED, CANCELLED)
+
+#: Priorities outside this band are clamped-by-rejection (400).
+MAX_PRIORITY = 9
+
+
+def _positive(payload: Dict, key: str, default=None):
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+            or value <= 0:
+        raise ConfigurationError(f"{key} must be a positive number: {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Validated campaign request of one job (JSON round-trippable)."""
+
+    tests: tuple
+    modules: tuple
+    scale: str = "tiny"
+    seed: int = 0
+    probe_engine: Optional[str] = None
+    chunks: Optional[int] = None
+    workers: int = 0
+    priority: int = 0
+    max_attempts: int = 3
+    unit_timeout: Optional[float] = None
+    #: Experiment id the spec was expanded from, for provenance only.
+    experiment: Optional[str] = None
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Dict[str, Any],
+        allowed_modules: Optional[Sequence[str]] = None,
+        allowed_experiments: Optional[Sequence[str]] = None,
+    ) -> "JobSpec":
+        """Parse and validate one ``POST /v1/jobs`` body.
+
+        Raises :class:`~repro.errors.ConfigurationError` (HTTP 400) on
+        any unknown id, bad type, or allowlist violation.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError("job payload must be a JSON object")
+        experiment = payload.get("experiment")
+        if experiment is not None:
+            return cls._from_experiment(
+                payload, experiment, allowed_modules, allowed_experiments
+            )
+        tests = validate_tests(payload.get("tests", list(TEST_TYPES)))
+        modules = validate_modules(
+            payload.get("modules", list(BENCH_MODULES))
+        )
+        validate_subset(modules, allowed_modules, "modules")
+        return cls._finish(payload, tests, modules, experiment=None)
+
+    @classmethod
+    def _from_experiment(
+        cls, payload, experiment, allowed_modules, allowed_experiments
+    ) -> "JobSpec":
+        from repro.harness.registry import get_spec
+        from repro.harness.validation import validate_experiments
+
+        validate_experiments([experiment])
+        validate_subset([experiment], allowed_experiments, "experiments")
+        spec = get_spec(experiment)
+        if not spec.studies:
+            raise ConfigurationError(
+                f"experiment {experiment!r} declares no campaign; "
+                "submit an explicit modules/tests job instead"
+            )
+        modules = payload.get("modules")
+        if modules is not None:
+            modules = validate_modules(modules)
+        index = payload.get("study", 0)
+        resolved = spec.resolved_studies(
+            modules=modules, seed=int(payload.get("seed", 0))
+        )
+        if not isinstance(index, int) or not 0 <= index < len(resolved):
+            raise ConfigurationError(
+                f"study index {index!r} out of range; {experiment!r} "
+                f"declares {len(resolved)} campaign(s)"
+            )
+        study = resolved[index]
+        validate_subset(study.modules, allowed_modules, "modules")
+        return cls._finish(
+            payload, tuple(study.tests), tuple(study.modules),
+            experiment=experiment,
+        )
+
+    @classmethod
+    def _finish(cls, payload, tests, modules, experiment) -> "JobSpec":
+        scale = payload.get("scale", "tiny")
+        scale_preset(scale)  # raises on unknown names
+        engine = payload.get("probe_engine")
+        if engine is not None and engine not in ("batch", "fast", "command"):
+            raise ConfigurationError(
+                f"unknown probe_engine {engine!r}; "
+                "expected batch, fast or command"
+            )
+        priority = payload.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool) \
+                or not 0 <= priority <= MAX_PRIORITY:
+            raise ConfigurationError(
+                f"priority must be an integer in [0, {MAX_PRIORITY}]: "
+                f"{priority!r}"
+            )
+        seed = payload.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ConfigurationError(f"seed must be an integer: {seed!r}")
+        workers = payload.get("workers", 0)
+        if not isinstance(workers, int) or isinstance(workers, bool) \
+                or workers < 0:
+            raise ConfigurationError(
+                f"workers must be a non-negative integer: {workers!r}"
+            )
+        chunks = _positive(payload, "chunks")
+        max_attempts = payload.get("max_attempts", 3)
+        if not isinstance(max_attempts, int) or max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be an integer >= 1: {max_attempts!r}"
+            )
+        return cls(
+            tests=tuple(tests),
+            modules=tuple(modules),
+            scale=scale,
+            seed=seed,
+            probe_engine=engine,
+            chunks=int(chunks) if chunks else None,
+            workers=workers,
+            priority=priority,
+            max_attempts=max_attempts,
+            unit_timeout=_positive(payload, "unit_timeout"),
+            experiment=experiment,
+        )
+
+    def fingerprint(self) -> str:
+        """The campaign's study-store fingerprint (content hash of the
+        request -- the API's determinism contract hangs off this)."""
+        return study_fingerprint(
+            self.tests, self.modules, scale_preset(self.scale),
+            self.seed, self.probe_engine,
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "tests": list(self.tests),
+            "modules": list(self.modules),
+            "scale": self.scale,
+            "seed": self.seed,
+            "probe_engine": self.probe_engine,
+            "chunks": self.chunks,
+            "workers": self.workers,
+            "priority": self.priority,
+            "max_attempts": self.max_attempts,
+            "unit_timeout": self.unit_timeout,
+            "experiment": self.experiment,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        """Rehydrate a persisted spec (already validated at submit)."""
+        return cls(
+            tests=tuple(payload["tests"]),
+            modules=tuple(payload["modules"]),
+            scale=payload["scale"],
+            seed=payload["seed"],
+            probe_engine=payload.get("probe_engine"),
+            chunks=payload.get("chunks"),
+            workers=payload.get("workers", 0),
+            priority=payload.get("priority", 0),
+            max_attempts=payload.get("max_attempts", 3),
+            unit_timeout=payload.get("unit_timeout"),
+            experiment=payload.get("experiment"),
+        )
+
+
+@dataclass
+class Job:
+    """One submitted campaign and its current state."""
+
+    id: str
+    tenant: str
+    spec: JobSpec
+    state: str = QUEUED
+    created: float = 0.0
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    fingerprint: str = ""
+    #: "hit" when the store already held the study, "miss" when the
+    #: job actually ran the campaign, "resume" when checkpoints helped.
+    cache: Optional[str] = None
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Guards transitions; cancellation races job completion.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    #: Set by ``cancel`` while running; checked at unit boundaries.
+    cancel_requested: bool = field(default=False, compare=False)
+
+    @classmethod
+    def create(cls, spec: JobSpec, tenant: str) -> "Job":
+        fingerprint = spec.fingerprint()
+        return cls(
+            id=f"job-{uuid.uuid4().hex[:12]}",
+            tenant=tenant,
+            spec=spec,
+            created=clock.wall(),
+            fingerprint=fingerprint,
+        )
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "spec": self.spec.as_dict(),
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+            "fingerprint": self.fingerprint,
+            "cache": self.cache,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Job":
+        return cls(
+            id=payload["id"],
+            tenant=payload["tenant"],
+            spec=JobSpec.from_dict(payload["spec"]),
+            state=payload["state"],
+            created=payload.get("created", 0.0),
+            started=payload.get("started"),
+            finished=payload.get("finished"),
+            error=payload.get("error"),
+            fingerprint=payload.get("fingerprint", ""),
+            cache=payload.get("cache"),
+            metrics=payload.get("metrics", {}),
+        )
+
+
+class JobStateDir:
+    """Atomic per-job JSON persistence under ``<state_dir>/jobs/``."""
+
+    def __init__(self, state_dir: str):
+        self.directory = os.path.join(state_dir, "jobs")
+
+    def path(self, job_id: str) -> str:
+        return os.path.join(self.directory, f"{job_id}.json")
+
+    def save(self, job: Job) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(job.as_dict(), handle, sort_keys=True)
+            os.replace(tmp, self.path(job.id))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load_all(self) -> List[Job]:
+        """Every persisted job (corrupt files are skipped, not fatal)."""
+        if not os.path.isdir(self.directory):
+            return []
+        jobs = []
+        for entry in sorted(os.listdir(self.directory)):
+            if not entry.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(self.directory, entry)) as handle:
+                    jobs.append(Job.from_dict(json.load(handle)))
+            except (OSError, ValueError, KeyError):
+                continue
+        return jobs
+
+
+class JobTelemetry(TelemetryLog):
+    """In-memory telemetry log that stamps every record with its job id.
+
+    The stamp is what lets the server's event-bus subscriber route
+    records from concurrent jobs into the right SSE stream.
+    """
+
+    def __init__(self, job_id: str):
+        super().__init__(path=None)
+        self.job_id = job_id
+
+    def emit(self, event: str, **fields) -> Dict[str, Any]:
+        fields.setdefault("job", self.job_id)
+        return super().emit(event, **fields)
+
+
+def run_job(
+    job: Job,
+    store: StudyStore,
+    checkpoint_base: Optional[str] = None,
+) -> None:
+    """Execute one job through the orchestrator, in the calling thread.
+
+    Mutates ``job`` to its terminal state (the caller persists it). The
+    produced study is published to ``store`` under the job's request
+    fingerprint; a fingerprint already published short-circuits the
+    whole campaign (the store is content-addressed -- running it again
+    would produce identical bytes).
+    """
+    spec = job.spec
+    telemetry = JobTelemetry(job.id)
+    if store.contains(job.fingerprint):
+        job.cache = "hit"
+        job.state = COMPLETED
+        job.finished = clock.wall()
+        telemetry.emit("job_finished", state=COMPLETED, cache="hit",
+                       fingerprint=job.fingerprint)
+        _count_outcome(COMPLETED)
+        return
+    service = CampaignService(
+        modules=list(spec.modules),
+        tests=spec.tests,
+        scale=scale_preset(spec.scale),
+        seed=spec.seed,
+        probe_engine=spec.probe_engine,
+        chunks_per_module=spec.chunks,
+        max_workers=spec.workers,
+        max_attempts=spec.max_attempts,
+        unit_timeout=spec.unit_timeout,
+        checkpoint_base=checkpoint_base,
+        telemetry=telemetry,
+    )
+    resume = False
+    if checkpoint_base:
+        manifest = os.path.join(
+            campaign_dir(checkpoint_base, service.fingerprint),
+            MANIFEST_NAME,
+        )
+        resume = os.path.isfile(manifest)
+
+    def _check_cancel(unit_id: str, done: int) -> None:
+        if job.cancel_requested:
+            raise JobCancelledError(
+                f"job {job.id} cancelled after unit {unit_id} "
+                f"({done} unit(s) checkpointed)"
+            )
+
+    try:
+        outcome = service.run(resume=resume, on_unit_done=_check_cancel)
+    except JobCancelledError as error:
+        job.state = CANCELLED
+        job.error = str(error)
+        job.finished = clock.wall()
+        telemetry.emit("job_finished", state=CANCELLED)
+        _count_outcome(CANCELLED)
+        return
+    except ConfigurationError as error:
+        job.state = FAILED
+        job.error = str(error)
+        job.finished = clock.wall()
+        telemetry.emit("job_finished", state=FAILED, error=str(error))
+        _count_outcome(FAILED)
+        return
+    job.metrics = outcome.metrics.as_dict()
+    job.cache = "resume" if outcome.metrics.units_resumed else "miss"
+    if outcome.metrics.quarantined:
+        # An incomplete study must never be published under the
+        # fingerprint: the store promises full, bit-identical content.
+        job.state = FAILED
+        job.error = (
+            "quarantined modules: "
+            + ", ".join(sorted(outcome.metrics.quarantined))
+        )
+        job.finished = clock.wall()
+        telemetry.emit("job_finished", state=FAILED, error=job.error)
+        _count_outcome(FAILED)
+        return
+    study = outcome.study
+    attach_provenance(
+        study, spec.tests, spec.modules, spec.seed,
+        outcome.metrics.wall_seconds, probe_engine=spec.probe_engine,
+    )
+    store.store(study, job.fingerprint)
+    job.state = COMPLETED
+    job.finished = clock.wall()
+    telemetry.emit("job_finished", state=COMPLETED, cache=job.cache,
+                   fingerprint=job.fingerprint)
+    _count_outcome(COMPLETED)
+
+
+def _count_outcome(state: str) -> None:
+    REGISTRY.counter(
+        f"repro_api_jobs_{state}_total",
+        f"API jobs that reached the {state} state",
+    ).inc()
+
+
+__all__ = [
+    "CANCELLED",
+    "COMPLETED",
+    "FAILED",
+    "Job",
+    "JobSpec",
+    "JobStateDir",
+    "JobTelemetry",
+    "MAX_PRIORITY",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "run_job",
+]

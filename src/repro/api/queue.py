@@ -1,0 +1,187 @@
+"""Multi-tenant priority job queue.
+
+Scheduling contract (pinned by ``tests/api/test_queue.py``):
+
+* higher ``priority`` first (0 is the default, :data:`~repro.api.jobs.
+  MAX_PRIORITY` the ceiling);
+* FIFO *within* a priority -- ties break on submission order, so two
+  equal-priority tenants cannot starve each other by resubmitting;
+* per-tenant admission quota -- a tenant may hold at most ``quota``
+  non-terminal (queued + running) jobs; the next submit is rejected
+  with :class:`~repro.errors.QuotaExceededError` (HTTP 429), keeping
+  one noisy tenant from filling the queue;
+* cancellation -- a queued job is marked cancelled immediately and
+  lazily skipped when a worker would have popped it; a running job gets
+  its ``cancel_requested`` flag set and the orchestrator aborts at the
+  next unit boundary (work already checkpointed is kept for resume).
+
+The queue is plain ``threading`` (a heap under a condition variable):
+workers are threads, and the asyncio front end only touches it through
+quick non-blocking calls.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Dict, List, Optional
+
+from repro.api.jobs import CANCELLED, QUEUED, RUNNING, Job
+from repro.errors import QuotaExceededError
+from repro.obs.metrics import REGISTRY
+
+#: Per-tenant cap on non-terminal jobs when none is configured.
+DEFAULT_TENANT_QUOTA = 64
+
+
+class JobQueue:
+    """Thread-safe priority queue with tenant quotas and cancellation."""
+
+    def __init__(self, tenant_quota: int = DEFAULT_TENANT_QUOTA):
+        if tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1: {tenant_quota}")
+        self.tenant_quota = tenant_quota
+        self._condition = threading.Condition()
+        self._heap: List = []  # (-priority, seq, job_id)
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._closed = False
+
+    # -- introspection ----------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job by id, queued/running/terminal alike; None if unknown."""
+        with self._condition:
+            return self._jobs.get(job_id)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        """Every known job (optionally one tenant's), newest first."""
+        with self._condition:
+            found = [
+                job for job in self._jobs.values()
+                if tenant is None or job.tenant == tenant
+            ]
+        return sorted(found, key=lambda job: job.created, reverse=True)
+
+    def depth(self) -> int:
+        """Jobs currently waiting (excludes cancelled-in-heap)."""
+        with self._condition:
+            return sum(
+                1 for job in self._jobs.values() if job.state == QUEUED
+            )
+
+    def active(self, tenant: str) -> int:
+        """The tenant's non-terminal job count (the quota basis)."""
+        with self._condition:
+            return self._active_locked(tenant)
+
+    def _active_locked(self, tenant: str) -> int:
+        return sum(
+            1 for job in self._jobs.values()
+            if job.tenant == tenant and not job.terminal
+        )
+
+    # -- producers --------------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Admit one job; raises :class:`QuotaExceededError` over quota."""
+        with self._condition:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            active = self._active_locked(job.tenant)
+            if active >= self.tenant_quota:
+                REGISTRY.counter(
+                    "repro_api_quota_rejections_total",
+                    "job submissions rejected by the tenant quota",
+                ).inc()
+                raise QuotaExceededError(
+                    f"tenant {job.tenant!r} has {active} active job(s); "
+                    f"quota is {self.tenant_quota}"
+                )
+            self._jobs[job.id] = job
+            heapq.heappush(
+                self._heap, (-job.spec.priority, next(self._seq), job.id)
+            )
+            self._gauge()
+            self._condition.notify()
+        return job
+
+    def adopt(self, job: Job) -> None:
+        """Register a recovered job (restart path) without quota checks;
+        non-terminal jobs are re-queued."""
+        with self._condition:
+            self._jobs[job.id] = job
+            if not job.terminal:
+                job.state = QUEUED
+                job.cancel_requested = False
+                heapq.heappush(
+                    self._heap,
+                    (-job.spec.priority, next(self._seq), job.id),
+                )
+                self._condition.notify()
+            self._gauge()
+
+    # -- consumers --------------------------------------------------------------
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Block for the next runnable job; ``None`` on timeout/close.
+
+        The popped job is transitioned to ``running`` under the queue
+        lock, so depth/active accounting never sees a gap.
+        """
+        with self._condition:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    job = self._jobs.get(job_id)
+                    if job is None or job.state != QUEUED:
+                        continue  # cancelled (or vanished) while queued
+                    job.state = RUNNING
+                    self._gauge()
+                    return job
+                if self._closed:
+                    return None
+                if not self._condition.wait(timeout=timeout):
+                    return None
+
+    # -- cancellation / shutdown ------------------------------------------------
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job, or None if unknown.
+
+        Queued jobs become ``cancelled`` immediately; running jobs get
+        the flag and reach ``cancelled`` at their next unit boundary;
+        terminal jobs are returned unchanged (the caller reports 409).
+        """
+        with self._condition:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.error = "cancelled while queued"
+                self._gauge()
+            elif job.state == RUNNING:
+                job.cancel_requested = True
+            return job
+
+    def refresh(self) -> None:
+        """Re-publish the depth/running gauges (workers call this after
+        finishing a job; terminal transitions happen outside the lock)."""
+        with self._condition:
+            self._gauge()
+
+    def close(self) -> None:
+        """Wake every blocked consumer for shutdown."""
+        with self._condition:
+            self._closed = True
+            self._condition.notify_all()
+
+    def _gauge(self) -> None:
+        REGISTRY.gauge(
+            "repro_api_queue_depth", "jobs waiting in the API queue"
+        ).set(sum(1 for j in self._jobs.values() if j.state == QUEUED))
+        REGISTRY.gauge(
+            "repro_api_jobs_running", "API jobs currently executing"
+        ).set(sum(1 for j in self._jobs.values() if j.state == RUNNING))

@@ -114,3 +114,26 @@ class StudyScale:
             retention_windows=(ms(64.0), ms(256.0), 1.024, 4.096),
             geometry=ModuleGeometry(rows_per_bank=512, banks=1, row_bits=2048),
         )
+
+
+#: Name -> constructor map of the three scale presets. The CLIs
+#: (``repro.service``, ``repro.api``) and the API job schema resolve
+#: scale *names* through this single table so they can never drift.
+SCALE_PRESETS = {
+    "tiny": StudyScale.tiny,
+    "bench": StudyScale.bench,
+    "paper": StudyScale.paper,
+}
+
+
+def scale_preset(name: str) -> StudyScale:
+    """Build a preset scale by name (:class:`~repro.errors.
+    ConfigurationError` on unknown names)."""
+    try:
+        factory = SCALE_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; expected one of "
+            f"{sorted(SCALE_PRESETS)}"
+        ) from None
+    return factory()

@@ -84,6 +84,30 @@ class HostDisconnectError(BenchFaultError):
     """The host lost its link to the FPGA board mid-program."""
 
 
+class WorkerTimeoutError(BenchFaultError):
+    """A pool worker exceeded its per-unit wall-clock deadline.
+
+    Raised *by the coordinator*, not the worker: the orchestrator's
+    ``unit_timeout`` reaper declares an attempt dead when its deadline
+    passes (e.g. the worker's host link hung instead of failing fast),
+    kills the stuck worker process, and retries the unit like any other
+    transient bench fault.
+    """
+
+
+class QuotaExceededError(ReproError):
+    """A tenant tried to exceed its admission quota on the job queue."""
+
+
+class JobCancelledError(ReproError):
+    """A queued or running API job was cancelled by its owner.
+
+    For running jobs the cancellation takes effect at the next work-unit
+    boundary (after the unit's checkpoint is durable), so a cancelled
+    job can later be resubmitted and resume from its checkpoints.
+    """
+
+
 class SpiceError(ReproError):
     """Base class for errors raised by the SPICE-class circuit simulator."""
 

@@ -17,6 +17,13 @@ runner or benchmark invocations -- including across processes -- load
 them instead of recomputing. The library default is *off* (imports have
 no filesystem side effects); the runner enables it by default and
 exposes ``--no-cache`` / ``--cache-dir``.
+
+The disk layer is a content-addressed :class:`~repro.harness.store.
+StudyStore` -- the same store the characterization API serves
+``GET /v1/studies/<fingerprint>`` from. Concurrent jobs writing one
+fingerprint serialize on a per-fingerprint lockfile and publish with an
+atomic rename, so a reader (or a racing writer) never observes a torn
+entry; see :mod:`repro.harness.store` for the guarantees.
 """
 
 from __future__ import annotations
@@ -24,20 +31,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.probe import engine_selection
-from repro.errors import AnalysisError
 from repro.core.scale import StudyScale
-from repro.core.serialization import (
-    SCHEMA_VERSION,
-    _scale_to_dict,
-    load_study,
-    save_study,
-)
+from repro.core.serialization import SCHEMA_VERSION, _scale_to_dict
 from repro.core.study import CharacterizationStudy, StudyResult
-from repro.obs import build_provenance, clock, validate_provenance
+from repro.harness.store import StudyStore
+from repro.obs import build_provenance, clock
 from repro.obs.metrics import REGISTRY
 
 #: Default module subset used by the benchmark harness: two per vendor,
@@ -120,62 +121,18 @@ def study_fingerprint(
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
 
-def _disk_path(tests, modules, scale, seed) -> Optional[str]:
-    directory = study_cache_dir()
+def study_store(directory: Optional[str] = None) -> Optional[StudyStore]:
+    """The content-addressed store over the active cache directory.
+
+    With an explicit ``directory`` the store is built over it
+    regardless of the cache configuration (the API server points this
+    at its own ``--store-dir``); otherwise the active cache directory
+    applies, and ``None`` is returned when the disk layer is off.
+    """
+    directory = directory or study_cache_dir()
     if not directory:
         return None
-    fingerprint = study_fingerprint(tests, modules, scale, seed)
-    return os.path.join(directory, f"study-{fingerprint}.json")
-
-
-def _disk_load(path: str) -> Optional[StudyResult]:
-    if not os.path.isfile(path):
-        return None
-    try:
-        size = os.path.getsize(path)
-        study = load_study(path)
-        if study.provenance is not None:
-            # load_study already schema-checked the block; re-validate
-            # here so a corrupted-but-parseable entry is treated like
-            # any other corrupt entry (dropped and recomputed).
-            validate_provenance(study.provenance)
-    except (OSError, ValueError, KeyError, TypeError, AnalysisError):
-        # Corrupt or stale entry: drop it and recompute.
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
-        return None
-    REGISTRY.counter(
-        "repro_study_cache_read_bytes_total",
-        "bytes read from the on-disk study cache",
-    ).inc(size)
-    return study
-
-
-def _disk_store(study: StudyResult, path: str) -> None:
-    directory = os.path.dirname(path) or "."
-    os.makedirs(directory, exist_ok=True)
-    # Atomic publish: concurrent writers (parallel benchmark shards)
-    # never expose a half-written entry.
-    fd, tmp_path = tempfile.mkstemp(
-        dir=directory, prefix=".tmp-", suffix=".json"
-    )
-    try:
-        os.close(fd)
-        save_study(study, tmp_path)
-        written = os.path.getsize(tmp_path)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
-    REGISTRY.counter(
-        "repro_study_cache_write_bytes_total",
-        "bytes written to the on-disk study cache",
-    ).inc(written)
+    return StudyStore(directory)
 
 
 def _cache_event(kind: str) -> None:
@@ -185,18 +142,26 @@ def _cache_event(kind: str) -> None:
     ).inc()
 
 
-def _attach_provenance(
+def attach_provenance(
     study: StudyResult,
     tests: Sequence[str],
     modules: Sequence[str],
     seed: int,
     wall_seconds: float,
     counters: Optional[Dict[str, float]] = None,
+    probe_engine: Optional[str] = None,
 ) -> None:
-    """Stamp a freshly produced study with its provenance block."""
+    """Stamp a freshly produced study with its provenance block.
+
+    Shared by the cache miss path, the parallel preloader and the API
+    job runner, so every stored study carries the same schema-valid
+    block (fingerprinted by the campaign *request*).
+    """
     study.provenance = build_provenance(
-        fingerprint=study_fingerprint(tests, modules, study.scale, seed),
-        probe_engine=engine_selection(),
+        fingerprint=study_fingerprint(
+            tests, modules, study.scale, seed, probe_engine
+        ),
+        probe_engine=engine_selection(probe_engine),
         seed=seed,
         cache="miss",
         wall_seconds=wall_seconds,
@@ -206,6 +171,10 @@ def _attach_provenance(
         tests=sorted(tests),
         modules=sorted(modules),
     )
+
+
+#: Backwards-compatible private alias (pre-API name).
+_attach_provenance = attach_provenance
 
 
 # -- lookup -----------------------------------------------------------------------
@@ -231,17 +200,15 @@ def get_study(
     if key in _CACHE:
         _cache_event("memory_hits")
         return _CACHE[key]
-    if use_disk is False:
-        path = None
-    else:
-        path = _disk_path(tests, modules, scale, seed)
-        if path is None and use_disk:
-            path = os.path.join(
-                DEFAULT_CACHE_DIR,
-                f"study-{study_fingerprint(tests, modules, scale, seed)}.json",
-            )
-    if path is not None:
-        study = _disk_load(path)
+    store = None
+    fingerprint = None
+    if use_disk is not False:
+        store = study_store()
+        if store is None and use_disk:
+            store = study_store(DEFAULT_CACHE_DIR)
+    if store is not None:
+        fingerprint = study_fingerprint(tests, modules, scale, seed)
+        study = store.load(fingerprint)
         if study is not None:
             _cache_event("disk_hits")
             _CACHE[key] = study
@@ -257,10 +224,10 @@ def get_study(
         for name, value in REGISTRY.counter_values().items()
         if value - baseline.get(name, 0.0)
     }
-    _attach_provenance(result, tests, modules, seed, wall, counters=spent)
+    attach_provenance(result, tests, modules, seed, wall, counters=spent)
     _CACHE[key] = result
-    if path is not None:
-        _disk_store(result, path)
+    if store is not None:
+        store.store(result, fingerprint)
     return result
 
 
@@ -280,12 +247,15 @@ def preload_study(
     through), so every disk-cache entry carries provenance.
     """
     if study.provenance is None:
-        _attach_provenance(study, tests, modules, seed, wall_seconds)
+        attach_provenance(study, tests, modules, seed, wall_seconds)
     _CACHE[_key(tests, modules, study.scale, seed)] = study
     if write_disk:
-        path = _disk_path(tests, modules, study.scale, seed)
-        if path is not None:
-            _disk_store(study, path)
+        store = study_store()
+        if store is not None:
+            store.store(
+                study,
+                study_fingerprint(tests, modules, study.scale, seed),
+            )
 
 
 def preload_parallel(
@@ -307,9 +277,11 @@ def preload_parallel(
         if key in _CACHE:
             _cache_event("memory_hits")
             continue
-        path = _disk_path(tests, modules, scale, seed)
-        if path is not None:
-            study = _disk_load(path)
+        store = study_store()
+        if store is not None:
+            study = store.load(
+                study_fingerprint(tests, modules, scale, seed)
+            )
             if study is not None:
                 _cache_event("disk_hits")
                 _CACHE[key] = study
@@ -339,10 +311,11 @@ def invalidate_study(
     anything was actually removed."""
     scale = scale or StudyScale.bench()
     removed = _CACHE.pop(_key(tests, modules, scale, seed), None) is not None
-    path = _disk_path(tests, modules, scale, seed)
-    if path is not None and os.path.isfile(path):
-        os.unlink(path)
-        removed = True
+    store = study_store()
+    if store is not None:
+        removed = store.delete(
+            study_fingerprint(tests, modules, scale, seed)
+        ) or removed
     return removed
 
 
@@ -356,13 +329,7 @@ def clear_cache() -> None:
 def clear_disk_cache() -> List[str]:
     """Delete every entry in the active disk-cache directory; returns
     the removed paths."""
-    directory = study_cache_dir()
-    removed: List[str] = []
-    if not directory or not os.path.isdir(directory):
-        return removed
-    for entry in sorted(os.listdir(directory)):
-        if entry.startswith("study-") and entry.endswith(".json"):
-            path = os.path.join(directory, entry)
-            os.unlink(path)
-            removed.append(path)
-    return removed
+    store = study_store()
+    if store is None:
+        return []
+    return store.clear()

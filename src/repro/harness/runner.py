@@ -31,13 +31,14 @@ from repro.core.probe import engine_selection
 from repro.harness.cache import DEFAULT_CACHE_DIR, set_study_cache_dir
 from repro.harness.export import export_output
 from repro.harness.plan import build_plan
+from repro.errors import ConfigurationError
 from repro.harness.registry import (
     EXPERIMENT_IDS,
     all_specs,
     get_spec,
     run_experiment,
-    unknown_experiments,
 )
+from repro.harness.validation import validate_experiments, validate_modules
 from repro.obs import ProgressReporter, build_provenance, clock
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
@@ -215,13 +216,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not ids:
         build_parser().print_help()
         return 2
-    unknown = unknown_experiments(ids)
-    if unknown:
-        print(
-            "error: unknown experiment id(s): " + ", ".join(unknown),
-            file=sys.stderr,
-        )
-        print("known ids: " + ", ".join(EXPERIMENT_IDS), file=sys.stderr)
+    try:
+        validate_experiments(ids)
+        if args.modules:
+            validate_modules(args.modules)
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
         return 2
     if args.parallel and args.orchestrate is not None:
         print("error: --parallel and --orchestrate are mutually exclusive",

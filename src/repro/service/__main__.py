@@ -25,23 +25,18 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.core.scale import StudyScale
+from repro.core.scale import SCALE_PRESETS
 from repro.core.serialization import save_study
 from repro.core.study import TEST_TYPES
 from repro.errors import ConfigurationError
 from repro.harness.cache import BENCH_MODULES
+from repro.harness.validation import validate_modules
 from repro.obs import ProgressReporter, build_provenance, clock
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 from repro.service.faults import FAULT_KINDS, FaultPlan
 from repro.service.orchestrator import CampaignService
 from repro.service.telemetry import TelemetryLog
-
-_SCALES = {
-    "tiny": StudyScale.tiny,
-    "bench": StudyScale.bench,
-    "paper": StudyScale.paper,
-}
 
 #: Default base directory for checkpoints (one subdirectory per
 #: campaign fingerprint).
@@ -86,7 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="test types to run (default: all three)",
     )
     parser.add_argument(
-        "--scale", choices=sorted(_SCALES), default="bench",
+        "--scale", choices=sorted(SCALE_PRESETS), default="bench",
         help="study scale preset (default: bench)",
     )
     parser.add_argument("--seed", type=int, default=0,
@@ -112,6 +107,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--backoff", type=float, default=0.1, metavar="SECONDS",
         help="base retry backoff; attempt n waits backoff*2^(n-1) "
              "(default 0.1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt deadline for pool-mode work units; a hung "
+             "worker is reaped and the unit retried (default: none)",
     )
     parser.add_argument(
         "--checkpoint-dir", default=DEFAULT_CHECKPOINT_BASE, metavar="DIR",
@@ -180,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     try:
+        validate_modules(args.modules)
         scripted = _parse_fault_script(args.fault_script)
         fault_plan = None
         if scripted or args.fault_rate > 0:
@@ -204,13 +205,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 service = CampaignService(
                     modules=args.modules,
                     tests=tuple(args.tests),
-                    scale=_SCALES[args.scale](),
+                    scale=SCALE_PRESETS[args.scale](),
                     seed=args.seed,
                     probe_engine=args.probe_engine,
                     chunks_per_module=args.chunks,
                     max_workers=args.workers,
                     max_attempts=args.max_attempts,
                     backoff=args.backoff,
+                    unit_timeout=args.timeout,
                     fault_plan=fault_plan,
                     checkpoint_base=(
                         None if args.no_checkpoint else args.checkpoint_dir

@@ -37,6 +37,7 @@ bit-identical to one that never faulted. The differential tests in
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Tuple
 
@@ -95,15 +96,28 @@ class FaultSpec:
     ``after`` counts operations at the kind's site (supply setpoints,
     host program launches, FPGA command slots); the injector raises on
     the ``after``-th tick.
+
+    ``hang_seconds`` models the nastier failure mode where the bench
+    does not fail fast but *stalls* (a host link that silently drops
+    packets, an FPGA stuck in a handshake): the injector sleeps that
+    long at the trigger point before raising. Combined with the
+    orchestrator's ``unit_timeout`` reaper this rehearses hung-worker
+    recovery -- the coordinator declares the attempt dead, kills the
+    stuck worker process, and retries.
     """
 
     kind: str
     after: int = 1
+    hang_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         _check_kind(self.kind)
         if self.after < 1:
             raise ConfigurationError(f"after must be >= 1: {self.after}")
+        if self.hang_seconds < 0:
+            raise ConfigurationError(
+                f"hang_seconds must be >= 0: {self.hang_seconds}"
+            )
 
     @property
     def site(self) -> str:
@@ -204,5 +218,10 @@ class FaultInjector:
         self._ticks += 1
         if self._ticks >= spec.after:
             self.fired = True
+            if spec.hang_seconds:
+                # A stalling fault: the bench goes quiet instead of
+                # failing fast. Only the coordinator's unit_timeout
+                # reaper (or the hang running its course) ends this.
+                time.sleep(spec.hang_seconds)
             error_cls, message = _ERROR_OF_KIND[spec.kind]
             raise error_cls(message)

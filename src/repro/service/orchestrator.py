@@ -52,7 +52,11 @@ from repro.core.serialization import (
     module_result_to_dict,
 )
 from repro.core.study import TEST_TYPES, CharacterizationStudy, StudyResult
-from repro.errors import BenchFaultError, ConfigurationError
+from repro.errors import (
+    BenchFaultError,
+    ConfigurationError,
+    WorkerTimeoutError,
+)
 from repro.obs import clock
 from repro.obs.metrics import REGISTRY, snapshot_delta
 from repro.obs.trace import TRACER
@@ -156,6 +160,18 @@ class CampaignService:
         the device model per process and per retry attempt (default
         True; results are bit-identical either way). Only used in pool
         mode; silently disabled where shared memory is unavailable.
+    unit_timeout:
+        Per-attempt wall-clock deadline (seconds) in pool mode. An
+        attempt that exceeds it is declared hung: the pool's worker
+        processes are killed (a :class:`~concurrent.futures.
+        ProcessPoolExecutor` cannot reap a single worker), the unit is
+        charged a :class:`~repro.errors.WorkerTimeoutError` fault and
+        retried like any transient bench fault, and innocent in-flight
+        units are restarted at the same attempt -- every rebuilt bench
+        replays bit-identically, so neither reaping nor restarting can
+        change the merged study. ``None`` (default) disables the
+        reaper; inline mode ignores it (a hung inline unit shares our
+        process and cannot be reaped).
     """
 
     def __init__(
@@ -175,6 +191,7 @@ class CampaignService:
         telemetry: Optional[TelemetryLog] = None,
         progress: Optional[Callable[[str], None]] = None,
         shared_state: bool = True,
+        unit_timeout: Optional[float] = None,
     ):
         if max_attempts < 1:
             raise ConfigurationError(
@@ -182,6 +199,10 @@ class CampaignService:
             )
         if backoff < 0:
             raise ConfigurationError(f"backoff must be >= 0: {backoff}")
+        if unit_timeout is not None and unit_timeout <= 0:
+            raise ConfigurationError(
+                f"unit_timeout must be > 0 (or None): {unit_timeout}"
+            )
         if checkpoint_dir and checkpoint_base:
             raise ConfigurationError(
                 "pass checkpoint_dir or checkpoint_base, not both"
@@ -197,6 +218,7 @@ class CampaignService:
         self.backoff = backoff
         self.fault_plan = fault_plan
         self.shared_state = shared_state
+        self.unit_timeout = unit_timeout
         self._device_states: Dict[str, object] = {}
         self.telemetry = telemetry or TelemetryLog()
         self._progress = progress or (lambda message: None)
@@ -453,8 +475,45 @@ class CampaignService:
                         attempt += 1
                         continue
                     break
-                self._finish_unit(state, unit, result, attempt, wall)
+                self._deliver_result(state, unit, attempt, result, wall)
                 break
+
+    def _deliver_result(
+        self,
+        state: "_RunState",
+        unit: WorkUnit,
+        attempt: int,
+        result: ModuleResult,
+        wall_seconds: float,
+        delta: Optional[Dict] = None,
+    ) -> bool:
+        """Accept one successful attempt's outcome, exactly once per unit.
+
+        A unit can deliver more than once in degenerate schedules: an
+        attempt declared hung is reaped and re-queued, and the original
+        outcome surfaces later anyway (the worker was mid-return when
+        the reaper fired). Outcomes are bit-identical by construction,
+        so the duplicate is dropped *whole* -- in particular its metric
+        delta is never merged, keeping ``repro_probes_*`` (and every
+        other counter) exact: one planned unit, one unit's worth of
+        telemetry. Dedup is keyed on the unit id.
+        """
+        if unit.unit_id in state.completed:
+            state.metrics.duplicates_dropped += 1
+            REGISTRY.counter(
+                "repro_service_duplicate_results_total",
+                "late duplicate unit outcomes dropped by the coordinator",
+            ).inc()
+            self.telemetry.emit(
+                "unit_duplicate_dropped", unit=unit.unit_id,
+                module=unit.module, attempt=attempt,
+            )
+            return False
+        if delta is not None and unit.unit_id not in state.merged_units:
+            REGISTRY.merge_snapshot(delta)
+            state.merged_units.add(unit.unit_id)
+        self._finish_unit(state, unit, result, attempt, wall_seconds)
+        return True
 
     def _run_pool(self, state: "_RunState") -> None:
         if self.shared_state:
@@ -478,27 +537,37 @@ class CampaignService:
             self._device_states = {}
 
     def _drain_pool(self, state: "_RunState") -> None:
-        queue = deque(state.pending)
-        inflight: Dict = {}
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-
-            def submit(unit: WorkUnit, attempt: int) -> None:
-                self._start_attempt(state, unit, attempt)
-                future = pool.submit(_execute_unit, self._job(unit, attempt))
-                inflight[future] = (unit, attempt)
-
+        queue = deque((unit, 0) for unit in state.pending)
+        inflight: Dict = {}  # future -> (unit, attempt, deadline)
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        try:
             while queue or inflight:
                 while queue and len(inflight) < self.max_workers:
-                    unit = queue.popleft()
+                    unit, attempt = queue.popleft()
                     if unit.module in state.metrics.quarantined:
                         self._skip_unit(state, unit)
                         continue
-                    submit(unit, 0)
+                    self._start_attempt(state, unit, attempt)
+                    deadline = (
+                        clock.monotonic() + self.unit_timeout
+                        if self.unit_timeout else None
+                    )
+                    future = pool.submit(
+                        _execute_unit, self._job(unit, attempt)
+                    )
+                    inflight[future] = (unit, attempt, deadline)
                 if not inflight:
                     break
-                done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                timeout = None
+                if self.unit_timeout:
+                    next_deadline = min(
+                        deadline for _, _, deadline in inflight.values()
+                    )
+                    timeout = max(0.02, next_deadline - clock.monotonic())
+                done, _ = wait(inflight, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
                 for future in done:
-                    unit, attempt = inflight.pop(future)
+                    unit, attempt, _ = inflight.pop(future)
                     if unit.module in state.metrics.quarantined:
                         # A sibling unit quarantined the module while
                         # this one was in flight; drop its outcome.
@@ -509,10 +578,81 @@ class CampaignService:
                         result, wall, delta = future.result()
                     except BenchFaultError as error:
                         if self._handle_fault(state, unit, attempt, error):
-                            submit(unit, attempt + 1)
+                            queue.appendleft((unit, attempt + 1))
                         continue
-                    REGISTRY.merge_snapshot(delta)
-                    self._finish_unit(state, unit, result, attempt, wall)
+                    self._deliver_result(
+                        state, unit, attempt, result, wall, delta
+                    )
+                if self.unit_timeout:
+                    now = clock.monotonic()
+                    overdue = [
+                        future
+                        for future, (_, _, deadline) in inflight.items()
+                        if now >= deadline and not future.done()
+                    ]
+                    if overdue:
+                        pool = self._reap(
+                            pool, state, inflight, overdue, queue
+                        )
+        finally:
+            if any(not future.done() for future in inflight):
+                # Exceptional exit with workers still running (or
+                # hung): never block shutdown on them.
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True)
+
+    def _reap(
+        self,
+        pool: ProcessPoolExecutor,
+        state: "_RunState",
+        inflight: Dict,
+        overdue: List,
+        queue: deque,
+    ) -> ProcessPoolExecutor:
+        """Kill a pool with hung workers and reschedule its in-flight
+        units; returns the replacement pool.
+
+        Overdue units are charged a :class:`~repro.errors.
+        WorkerTimeoutError` fault (retry or quarantine, like any bench
+        fault). The executor cannot terminate a single worker, so the
+        whole pool is torn down: innocent in-flight units are
+        re-queued at the *same* attempt -- their rebuilt benches replay
+        bit-identically, and :meth:`_deliver_result` drops any late
+        duplicate outcome that slipped out before the teardown.
+        """
+        reaped, restarted = [], []
+        for future in overdue:
+            unit, attempt, _ = inflight.pop(future)
+            reaped.append(unit.unit_id)
+            error = WorkerTimeoutError(
+                f"unit {unit.unit_id} attempt {attempt} exceeded "
+                f"unit_timeout={self.unit_timeout}s; worker reaped"
+            )
+            if self._handle_fault(state, unit, attempt, error):
+                queue.appendleft((unit, attempt + 1))
+        for future, (unit, attempt, _) in list(inflight.items()):
+            restarted.append(unit.unit_id)
+            self.telemetry.emit(
+                "unit_restarted", unit=unit.unit_id, module=unit.module,
+                attempt=attempt, reason="pool reaped",
+            )
+            queue.appendleft((unit, attempt))
+        inflight.clear()
+        _terminate_pool(pool)
+        REGISTRY.counter(
+            "repro_service_worker_timeouts_total",
+            "pool workers reaped after exceeding unit_timeout",
+        ).inc(len(reaped))
+        self.telemetry.emit(
+            "pool_reaped", reaped=reaped, restarted=restarted,
+            timeout_seconds=self.unit_timeout,
+        )
+        self._progress(
+            f"reaped {len(reaped)} hung worker attempt(s) "
+            f"({', '.join(reaped)}); pool rebuilt"
+        )
+        return ProcessPoolExecutor(max_workers=self.max_workers)
 
     def _merge(self, state: "_RunState") -> StudyResult:
         study = StudyResult(scale=self.scale, seed=self.seed)
@@ -535,6 +675,27 @@ class CampaignService:
         return study
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on its (possibly hung) workers.
+
+    ``ProcessPoolExecutor`` offers no per-worker reaping, so hung-worker
+    recovery kills every worker process and abandons the executor; the
+    brief join afterwards just prevents zombie processes.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # already dead / never started
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:
+            pass
+
+
 @dataclass
 class _RunState:
     """Mutable bookkeeping of one ``run()`` invocation."""
@@ -546,6 +707,10 @@ class _RunState:
     unit_metrics: Dict[str, UnitMetrics]
     on_unit_done: Optional[Callable[[str, int], None]]
     store: Optional[CheckpointStore]
+    #: Unit ids whose worker metric delta was already folded into the
+    #: coordinator registry -- the dedup set that keeps re-queued /
+    #: duplicate deliveries from inflating ``repro_probes_*``.
+    merged_units: set = field(default_factory=set)
 
     def quarantine(self, module: str, reason: str) -> None:
         """Mark a module as quarantined (idempotent)."""

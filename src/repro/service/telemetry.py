@@ -32,6 +32,13 @@ Event vocabulary (all emitted by
     a unit exhausted its attempts; the module is dropped, not fatal.
 ``unit_skipped``
     sibling unit dropped because its module was quarantined.
+``pool_reaped`` / ``unit_restarted``
+    the ``unit_timeout`` reaper killed a pool with hung workers; the
+    overdue units were charged a ``WorkerTimeoutError`` fault, the
+    innocent in-flight units restart at the same attempt.
+``unit_duplicate_dropped``
+    a late duplicate outcome for an already-completed unit was dropped
+    whole (its metric delta never merged -- no double counting).
 ``checkpoint_written``
     one unit's results persisted (atomic).
 ``campaign_finished``
@@ -164,6 +171,9 @@ class CampaignMetrics:
     units_resumed: int = 0
     units_failed: int = 0
     retries: int = 0
+    #: Late duplicate unit outcomes dropped by the coordinator (the
+    #: delta-merge dedup; see ``CampaignService._deliver_result``).
+    duplicates_dropped: int = 0
     faults: Dict[str, int] = field(default_factory=dict)
     quarantined: Dict[str, str] = field(default_factory=dict)
     wall_seconds: float = 0.0
@@ -180,6 +190,7 @@ class CampaignMetrics:
             "units_resumed": self.units_resumed,
             "units_failed": self.units_failed,
             "retries": self.retries,
+            "duplicates_dropped": self.duplicates_dropped,
             "faults": dict(self.faults),
             "quarantined": dict(self.quarantined),
             "wall_seconds": round(self.wall_seconds, 6),

@@ -1,0 +1,62 @@
+"""Shared CLI contract: unknown identifiers exit 2 on every front end.
+
+``python -m repro.api``, ``python -m repro.service``, and the harness
+runner all validate module/experiment ids through
+:mod:`repro.harness.validation`, so a typo fails fast with exit code 2
+and a diagnostic on stderr -- before any socket binds or bench builds.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def run_cli(*argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return subprocess.run(
+        [sys.executable, *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO,
+        timeout=120,
+    )
+
+
+@pytest.mark.parametrize("argv", [
+    ("-m", "repro.api", "--modules", "ZZ9"),
+    ("-m", "repro.api", "--experiments", "not-registered"),
+    ("-m", "repro.api", "--tenant-quota", "0"),
+    ("-m", "repro.service", "--modules", "ZZ9"),
+    ("-m", "repro.harness.runner", "not-an-experiment"),
+])
+def test_unknown_ids_exit_2(argv):
+    result = run_cli(*argv)
+    assert result.returncode == 2, result.stderr
+    assert result.stderr.strip()  # a diagnostic, not a silent failure
+
+
+def test_service_rejects_non_positive_timeout():
+    result = run_cli(
+        "-m", "repro.service", "--modules", "C5", "--scale", "tiny",
+        "--timeout", "0",
+    )
+    assert result.returncode == 2, result.stderr
+    assert "timeout" in result.stderr.lower()
+
+
+def test_service_help_mentions_timeout():
+    result = run_cli("-m", "repro.service", "--help")
+    assert result.returncode == 0
+    assert "--timeout" in result.stdout
+
+
+def test_api_help_mentions_tenancy():
+    result = run_cli("-m", "repro.api", "--help")
+    assert result.returncode == 0
+    assert "--tenant-quota" in result.stdout

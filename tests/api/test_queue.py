@@ -1,0 +1,147 @@
+"""JobQueue scheduling contract: priority, FIFO, quotas, cancellation."""
+
+import pytest
+
+from repro.api.jobs import (
+    CANCELLED,
+    COMPLETED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobSpec,
+)
+from repro.api.queue import JobQueue
+from repro.errors import QuotaExceededError
+
+
+def make_job(priority: int = 0, tenant: str = "default") -> Job:
+    spec = JobSpec.from_payload({
+        "modules": ["C5"], "tests": ["rowhammer"], "scale": "tiny",
+        "priority": priority,
+    })
+    return Job.create(spec, tenant)
+
+
+class TestScheduling:
+    def test_higher_priority_first(self):
+        queue = JobQueue()
+        low = queue.submit(make_job(priority=0))
+        high = queue.submit(make_job(priority=5))
+        mid = queue.submit(make_job(priority=3))
+        order = [queue.pop(timeout=0.1).id for _ in range(3)]
+        assert order == [high.id, mid.id, low.id]
+
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        submitted = [queue.submit(make_job(priority=2)) for _ in range(4)]
+        popped = [queue.pop(timeout=0.1).id for _ in range(4)]
+        assert popped == [job.id for job in submitted]
+
+    def test_pop_marks_running(self):
+        queue = JobQueue()
+        queue.submit(make_job())
+        job = queue.pop(timeout=0.1)
+        assert job.state == RUNNING
+        assert queue.depth() == 0
+
+    def test_pop_times_out_empty(self):
+        assert JobQueue().pop(timeout=0.05) is None
+
+    def test_close_wakes_consumers(self):
+        queue = JobQueue()
+        queue.close()
+        assert queue.pop(timeout=5.0) is None
+        with pytest.raises(RuntimeError):
+            queue.submit(make_job())
+
+
+class TestTenantQuota:
+    def test_quota_rejects_submission(self):
+        queue = JobQueue(tenant_quota=2)
+        queue.submit(make_job(tenant="alice"))
+        queue.submit(make_job(tenant="alice"))
+        with pytest.raises(QuotaExceededError):
+            queue.submit(make_job(tenant="alice"))
+
+    def test_quota_is_per_tenant(self):
+        queue = JobQueue(tenant_quota=1)
+        queue.submit(make_job(tenant="alice"))
+        queue.submit(make_job(tenant="bob"))  # must not raise
+        with pytest.raises(QuotaExceededError):
+            queue.submit(make_job(tenant="bob"))
+
+    def test_terminal_jobs_release_quota(self):
+        queue = JobQueue(tenant_quota=1)
+        queue.submit(make_job(tenant="alice"))
+        job = queue.pop(timeout=0.1)
+        job.state = COMPLETED
+        queue.submit(make_job(tenant="alice"))  # must not raise
+
+    def test_running_jobs_count_toward_quota(self):
+        queue = JobQueue(tenant_quota=1)
+        queue.submit(make_job(tenant="alice"))
+        queue.pop(timeout=0.1)  # now running, still active
+        with pytest.raises(QuotaExceededError):
+            queue.submit(make_job(tenant="alice"))
+
+    def test_rejects_silly_quota(self):
+        with pytest.raises(ValueError):
+            JobQueue(tenant_quota=0)
+
+
+class TestCancellation:
+    def test_cancel_queued_is_immediate_and_skipped(self):
+        queue = JobQueue()
+        doomed = queue.submit(make_job())
+        survivor = queue.submit(make_job())
+        cancelled = queue.cancel(doomed.id)
+        assert cancelled.state == CANCELLED
+        assert queue.pop(timeout=0.1).id == survivor.id
+        assert queue.pop(timeout=0.05) is None
+
+    def test_cancel_running_sets_flag(self):
+        queue = JobQueue()
+        queue.submit(make_job())
+        job = queue.pop(timeout=0.1)
+        returned = queue.cancel(job.id)
+        assert returned.state == RUNNING
+        assert returned.cancel_requested
+
+    def test_cancel_unknown_returns_none(self):
+        assert JobQueue().cancel("job-nope") is None
+
+
+class TestAdoption:
+    def test_adopt_requeues_interrupted_jobs(self):
+        queue = JobQueue()
+        job = make_job()
+        job.state = RUNNING  # persisted mid-run before a crash
+        job.cancel_requested = True
+        queue.adopt(job)
+        recovered = queue.pop(timeout=0.1)
+        assert recovered.id == job.id
+        assert not recovered.cancel_requested
+
+    def test_adopt_keeps_terminal_jobs_queryable(self):
+        queue = JobQueue()
+        job = make_job()
+        job.state = COMPLETED
+        queue.adopt(job)
+        assert queue.get(job.id).state == COMPLETED
+        assert queue.pop(timeout=0.05) is None
+
+    def test_jobs_listing_filters_by_tenant(self):
+        queue = JobQueue()
+        queue.submit(make_job(tenant="alice"))
+        queue.submit(make_job(tenant="bob"))
+        assert {job.tenant for job in queue.jobs()} == {"alice", "bob"}
+        assert all(j.tenant == "bob" for j in queue.jobs("bob"))
+        assert queue.jobs("bob")
+
+    def test_depth_counts_only_queued(self):
+        queue = JobQueue()
+        queue.submit(make_job())
+        queue.submit(make_job())
+        assert queue.depth() == 2
+        queue.pop(timeout=0.1)
+        assert queue.depth() == 1

@@ -1,0 +1,242 @@
+"""API server: routes, round trips, SSE, restart recovery, determinism.
+
+Route semantics are tested through :meth:`ApiServer.handle` (no socket
+needed); the full HTTP/SSE path and the differential gate -- the job
+the API serves must be bit-identical to a direct study run -- go over
+a real socket via :class:`BackgroundServer` + :class:`ApiClient`.
+"""
+
+import os
+
+import pytest
+
+from repro.api import ApiClient, ApiError, ApiServer, BackgroundServer
+from repro.core.scale import StudyScale
+from repro.core.serialization import study_to_dict
+from repro.core.study import CharacterizationStudy
+from repro.harness.cache import attach_provenance
+
+PAYLOAD = {
+    "modules": ["C5"], "tests": ["rowhammer"], "scale": "tiny", "seed": 0,
+}
+
+
+@pytest.fixture
+def api(tmp_path):
+    """An ApiServer with no workers started (sync route testing)."""
+    return ApiServer(
+        str(tmp_path / "store"), str(tmp_path / "state"), workers=1
+    )
+
+
+def submit(api, payload=None, tenant="default"):
+    status, document = api.handle(
+        "POST", "/v1/jobs", {}, payload or dict(PAYLOAD), tenant
+    )
+    return status, document
+
+
+class TestRoutes:
+    def test_submit_accepts_with_202(self, api):
+        status, document = submit(api)
+        assert status == 202
+        job = document["job"]
+        assert job["state"] == "queued"
+        assert job["fingerprint"]
+        # persisted for restart recovery
+        assert os.path.isfile(api.state.path(job["id"]))
+
+    def test_submit_unknown_module_is_400(self, api):
+        status, document = submit(api, {"modules": ["ZZ9"]})
+        assert status == 400
+        assert "ZZ9" in document["error"]
+
+    def test_submit_over_quota_is_429(self, tmp_path):
+        api = ApiServer(
+            str(tmp_path / "s"), str(tmp_path / "st"), tenant_quota=1
+        )
+        assert submit(api, tenant="alice")[0] == 202
+        status, document = submit(api, tenant="alice")
+        assert status == 429
+        assert "quota" in document["error"]
+        assert submit(api, tenant="bob")[0] == 202  # per-tenant
+
+    def test_poll_unknown_job_is_404(self, api):
+        status, _ = api.handle("GET", "/v1/jobs/job-nope", {}, None, "t")
+        assert status == 404
+
+    def test_unknown_study_is_404(self, api):
+        status, _ = api.handle(
+            "GET", f"/v1/studies/{'0' * 32}", {}, None, "t"
+        )
+        assert status == 404
+
+    def test_unknown_route_is_404(self, api):
+        assert api.handle("GET", "/v2/nope", {}, None, "t")[0] == 404
+
+    def test_wrong_method_is_405(self, api):
+        assert api.handle("PUT", "/v1/jobs", {}, {}, "t")[0] == 405
+
+    def test_job_listing_filters_by_tenant(self, api):
+        submit(api, tenant="alice")
+        submit(api, tenant="bob")
+        status, document = api.handle(
+            "GET", "/v1/jobs", {"tenant": "bob"}, None, "t"
+        )
+        assert status == 200
+        assert [job["tenant"] for job in document["jobs"]] == ["bob"]
+
+    def test_cancel_queued_job(self, api):
+        _, document = submit(api)
+        job_id = document["job"]["id"]
+        status, document = api.handle(
+            "POST", f"/v1/jobs/{job_id}/cancel", {}, None, "t"
+        )
+        assert status == 200
+        assert document["job"]["state"] == "cancelled"
+        # cancelling again is idempotent
+        status, _ = api.handle(
+            "POST", f"/v1/jobs/{job_id}/cancel", {}, None, "t"
+        )
+        assert status == 200
+
+    def test_healthz_reports_config(self, api):
+        status, document = api.handle("GET", "/v1/healthz", {}, None, "t")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["workers"] == 1
+
+
+class TestRestartRecovery:
+    def test_interrupted_jobs_resume_after_restart(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        state_dir = str(tmp_path / "state")
+        first = ApiServer(store_dir, state_dir)  # workers never started
+        _, document = submit(first)
+        job_id = document["job"]["id"]
+        fingerprint = document["job"]["fingerprint"]
+        # "Restart": a new server over the same state recovers the job.
+        second = ApiServer(store_dir, state_dir)
+        assert second._recovered == 1
+        recovered = second.queue.get(job_id)
+        assert recovered is not None and recovered.state == "queued"
+        second.start_workers()
+        try:
+            client_side = _wait_terminal(second, job_id)
+        finally:
+            second.stop_workers()
+        assert client_side.state == "completed"
+        assert second.store.contains(fingerprint)
+
+    def test_terminal_jobs_stay_queryable_after_restart(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        state_dir = str(tmp_path / "state")
+        first = ApiServer(store_dir, state_dir)
+        _, document = submit(first)
+        job_id = document["job"]["id"]
+        first.queue.cancel(job_id)
+        first.state.save(first.queue.get(job_id))
+        second = ApiServer(store_dir, state_dir)
+        assert second._recovered == 0  # nothing to re-queue
+        status, document = second.handle(
+            "GET", f"/v1/jobs/{job_id}", {}, None, "t"
+        )
+        assert status == 200
+        assert document["job"]["state"] == "cancelled"
+
+
+def _wait_terminal(api, job_id, timeout=300.0):
+    import time
+
+    from repro.obs import clock
+
+    deadline = clock.monotonic() + timeout
+    while True:
+        job = api.queue.get(job_id)
+        if job.terminal:
+            return job
+        if clock.monotonic() >= deadline:
+            raise TimeoutError(f"job {job_id} still {job.state}")
+        time.sleep(0.02)
+
+
+class TestHttpRoundTrip:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("api-http")
+        with BackgroundServer(
+            str(tmp / "store"), str(tmp / "state"), workers=2
+        ) as background:
+            yield background
+
+    @pytest.fixture(scope="class")
+    def client(self, server):
+        return ApiClient(port=server.port)
+
+    @pytest.fixture(scope="class")
+    def finished_job(self, client):
+        job = client.submit_job(dict(PAYLOAD))
+        return client.wait_job(job["id"])
+
+    def test_job_completes_over_http(self, finished_job):
+        assert finished_job["state"] == "completed"
+        assert finished_job["metrics"]["units_completed"] > 0
+
+    def test_served_study_bit_identical_to_direct_run(
+        self, client, finished_job
+    ):
+        """The acceptance differential: same request -> the API serves
+        exactly the study a direct runner invocation produces."""
+        served = client.get_study(finished_job["fingerprint"])
+        direct = CharacterizationStudy(
+            scale=StudyScale.tiny(), seed=PAYLOAD["seed"]
+        ).run(modules=PAYLOAD["modules"], tests=tuple(PAYLOAD["tests"]))
+        attach_provenance(
+            direct, PAYLOAD["tests"], PAYLOAD["modules"],
+            PAYLOAD["seed"], wall_seconds=0.0,
+        )
+        direct_doc = study_to_dict(direct)
+        assert (
+            served["provenance"]["fingerprint"]
+            == direct_doc["provenance"]["fingerprint"]
+            == finished_job["fingerprint"]
+        )
+        strip = lambda doc: {
+            key: value for key, value in doc.items()
+            if key != "provenance"
+        }
+        assert strip(served) == strip(direct_doc)
+
+    def test_sse_replays_full_history(self, client, finished_job):
+        """A subscriber arriving after completion still sees the whole
+        campaign story, every record stamped with the job id."""
+        records = list(client.events(finished_job["id"]))
+        kinds = [record["event"] for record in records]
+        assert kinds[0] == "campaign_started"
+        assert "unit_finished" in kinds
+        assert kinds[-1] == "job_finished"
+        assert all(r["job"] == finished_job["id"] for r in records)
+
+    def test_resubmission_hits_store(self, client, finished_job):
+        job = client.wait_job(client.submit_job(dict(PAYLOAD))["id"])
+        assert job["state"] == "completed"
+        assert job["cache"] == "hit"
+        assert job["fingerprint"] == finished_job["fingerprint"]
+
+    def test_error_statuses_over_http(self, client):
+        with pytest.raises(ApiError) as excinfo:
+            client.submit_job({"modules": ["ZZ9"]})
+        assert excinfo.value.status == 400
+        with pytest.raises(ApiError) as excinfo:
+            client.get_job("job-nope")
+        assert excinfo.value.status == 404
+
+    def test_metrics_exposition(self, client):
+        text = client.metrics_text()
+        assert "repro_api_requests_total" in text
+        assert "repro_api_request_seconds" in text
+
+    def test_health_over_http(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["studies"] >= 1

@@ -1,0 +1,242 @@
+"""StudyStore: content addressing, atomic publish, cross-process races.
+
+The multi-process tests pin the store's two guarantees -- readers never
+observe a torn entry, and two writers racing on one fingerprint
+serialize on the lockfile (the late one adopting the published entry)
+-- by actually racing OS processes on one directory.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.core.scale import StudyScale
+from repro.core.study import CharacterizationStudy
+from repro.harness.cache import attach_provenance, study_fingerprint
+from repro.harness.store import StudyStore, entry_name
+
+TESTS = ("rowhammer",)
+MODULE = "C5"
+
+
+def build_study(scale):
+    study = CharacterizationStudy(scale=scale, seed=0).run(
+        modules=[MODULE], tests=TESTS
+    )
+    attach_provenance(study, TESTS, [MODULE], 0, wall_seconds=0.1)
+    return study
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return build_study(StudyScale.tiny())
+
+
+@pytest.fixture
+def fingerprint():
+    return study_fingerprint(TESTS, [MODULE], StudyScale.tiny(), 0)
+
+
+class TestBasics:
+    def test_round_trip(self, tmp_path, tiny_study, fingerprint):
+        store = StudyStore(str(tmp_path))
+        path = store.store(tiny_study, fingerprint)
+        assert os.path.basename(path) == entry_name(fingerprint)
+        assert store.contains(fingerprint)
+        assert store.fingerprints() == [fingerprint]
+        loaded = store.load(fingerprint)
+        assert loaded.modules[MODULE].rowhammer == (
+            tiny_study.modules[MODULE].rowhammer
+        )
+
+    def test_load_dict_serves_raw_document(
+        self, tmp_path, tiny_study, fingerprint
+    ):
+        store = StudyStore(str(tmp_path))
+        store.store(tiny_study, fingerprint)
+        document = store.load_dict(fingerprint)
+        assert document["provenance"]["fingerprint"] == fingerprint
+        assert MODULE in document["modules"]
+
+    def test_missing_entry_is_none(self, tmp_path):
+        store = StudyStore(str(tmp_path))
+        assert store.load("f" * 32) is None
+        assert store.load_dict("f" * 32) is None
+
+    def test_corrupt_entry_dropped(self, tmp_path, fingerprint):
+        store = StudyStore(str(tmp_path))
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(store.path(fingerprint), "w") as handle:
+            handle.write('{"schema_version": 1, "trunca')
+        assert store.load(fingerprint) is None
+        assert not store.contains(fingerprint)  # unlinked, recomputable
+
+    def test_delete_and_clear(self, tmp_path, tiny_study, fingerprint):
+        store = StudyStore(str(tmp_path))
+        store.store(tiny_study, fingerprint)
+        assert store.delete(fingerprint)
+        assert not store.delete(fingerprint)
+        store.store(tiny_study, fingerprint)
+        assert store.clear() == [store.path(fingerprint)]
+        assert store.fingerprints() == []
+
+
+class TestLockfile:
+    def test_held_lock_times_out(self, tmp_path, tiny_study, fingerprint):
+        store = StudyStore(
+            str(tmp_path), lock_timeout=0.15, stale_lock_seconds=3600
+        )
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(store._lock_path(fingerprint), "w") as handle:
+            handle.write("someone-else")
+        with pytest.raises(TimeoutError):
+            store.store(tiny_study, fingerprint)
+
+    def test_stale_lock_broken(self, tmp_path, tiny_study, fingerprint):
+        store = StudyStore(
+            str(tmp_path), lock_timeout=5.0, stale_lock_seconds=0.01
+        )
+        os.makedirs(str(tmp_path), exist_ok=True)
+        lock = store._lock_path(fingerprint)
+        with open(lock, "w") as handle:
+            handle.write("dead-writer")
+        os.utime(lock, (time.time() - 60, time.time() - 60))
+        store.store(tiny_study, fingerprint)  # breaks the lock, publishes
+        assert store.contains(fingerprint)
+        assert not os.path.exists(lock)
+
+    def test_waiter_adopts_published_entry(
+        self, tmp_path, tiny_study, fingerprint
+    ):
+        """A writer that finds the entry already published while waiting
+        on the lock returns without re-serializing."""
+        store = StudyStore(str(tmp_path), lock_timeout=2.0)
+        store.store(tiny_study, fingerprint)
+        published = os.path.getmtime(store.path(fingerprint))
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(store._lock_path(fingerprint), "w") as handle:
+            handle.write("racing-writer")
+        try:
+            path = store.store(tiny_study, fingerprint)
+        finally:
+            os.unlink(store._lock_path(fingerprint))
+        assert path == store.path(fingerprint)
+        assert os.path.getmtime(path) == published  # not rewritten
+
+
+def _race_writer(directory, barrier, failures):
+    """Child process: build the study independently, then race the
+    sibling writer on the shared fingerprint."""
+    try:
+        scale = StudyScale.tiny()
+        study = build_study(scale)
+        fingerprint = study_fingerprint(TESTS, [MODULE], scale, 0)
+        store = StudyStore(directory, lock_timeout=30.0)
+        barrier.wait(timeout=120)
+        store.store(study, fingerprint)
+    except Exception as error:  # pragma: no cover - failure reporting
+        failures.put(f"writer: {type(error).__name__}: {error}")
+
+
+def _race_reader(directory, fingerprint, stop, failures):
+    """Child process: hammer reads during the race; every observed
+    entry must be complete and schema-valid (no torn reads)."""
+    try:
+        store = StudyStore(directory)
+        path = store.path(fingerprint)
+        while not stop.is_set():
+            if os.path.isfile(path):
+                with open(path) as handle:
+                    raw = handle.read()
+                if not raw:
+                    failures.put("reader: observed an empty entry")
+                    return
+                document = json.loads(raw)  # torn JSON raises here
+                if "modules" not in document:
+                    failures.put("reader: entry missing modules")
+                    return
+            time.sleep(0.001)
+    except Exception as error:  # pragma: no cover - failure reporting
+        failures.put(f"reader: {type(error).__name__}: {error}")
+
+
+class TestCrossProcessRace:
+    def test_two_writers_one_reader_race_free(self, tmp_path):
+        """Two processes publish the same fingerprint concurrently while
+        a third reads: no torn reads, one valid entry, no leaked state."""
+        directory = str(tmp_path)
+        scale = StudyScale.tiny()
+        fingerprint = study_fingerprint(TESTS, [MODULE], scale, 0)
+        barrier = multiprocessing.Barrier(2)
+        stop = multiprocessing.Event()
+        failures = multiprocessing.Queue()
+        writers = [
+            multiprocessing.Process(
+                target=_race_writer, args=(directory, barrier, failures)
+            )
+            for _ in range(2)
+        ]
+        reader = multiprocessing.Process(
+            target=_race_reader,
+            args=(directory, fingerprint, stop, failures),
+        )
+        reader.start()
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=300)
+            assert writer.exitcode == 0
+        stop.set()
+        reader.join(timeout=30)
+        assert reader.exitcode == 0
+        assert failures.empty(), failures.get()
+        # Exactly one complete, loadable entry; no lock or temp debris.
+        store = StudyStore(directory)
+        assert store.fingerprints() == [fingerprint]
+        loaded = store.load(fingerprint)
+        assert loaded is not None
+        assert loaded.provenance["fingerprint"] == fingerprint
+        debris = [
+            entry for entry in os.listdir(directory)
+            if entry.startswith((".lock-", ".tmp-"))
+        ]
+        assert debris == []
+
+    def test_race_is_bit_identical_to_solo_write(
+        self, tmp_path, tiny_study
+    ):
+        """The entry surviving a race carries exactly the bytes a lone
+        writer would have produced (content addressing is honest)."""
+        scale = StudyScale.tiny()
+        fingerprint = study_fingerprint(TESTS, [MODULE], scale, 0)
+        solo = StudyStore(str(tmp_path / "solo"))
+        solo.store(tiny_study, fingerprint)
+        raced = StudyStore(str(tmp_path / "raced"))
+        barrier = multiprocessing.Barrier(2)
+        failures = multiprocessing.Queue()
+        writers = [
+            multiprocessing.Process(
+                target=_race_writer,
+                args=(str(tmp_path / "raced"), barrier, failures),
+            )
+            for _ in range(2)
+        ]
+        for writer in writers:
+            writer.start()
+        for writer in writers:
+            writer.join(timeout=300)
+            assert writer.exitcode == 0
+        assert failures.empty(), failures.get()
+        solo_doc = solo.load_dict(fingerprint)
+        raced_doc = raced.load_dict(fingerprint)
+        strip = lambda doc: {
+            key: value for key, value in doc.items() if key != "provenance"
+        }
+        assert strip(solo_doc) == strip(raced_doc)
+        assert (
+            solo_doc["provenance"]["fingerprint"]
+            == raced_doc["provenance"]["fingerprint"]
+        )
