@@ -2,17 +2,25 @@
 
 PYTHON ?= python3
 
-.PHONY: install lint test bench bench-check bench-smoke bench-all service-smoke service-load api-smoke obs-smoke artifacts examples clean
+.PHONY: install lint test bench bench-check bench-smoke bench-all service-smoke service-load api-smoke obs-smoke dsl-smoke artifacts examples clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 # AST-based contract checks: experiment modules must declare campaign
-# needs on their SPEC instead of calling get_study directly, and code
+# needs on their SPEC instead of calling get_study directly, code
 # under repro.core / repro.service must take timestamps through
-# repro.obs.clock rather than time.time()/time.monotonic().
+# repro.obs.clock rather than time.time()/time.monotonic(), and
+# hammer schedules must come from repro.progdsl / the Program builder
+# macros rather than hand-rolled ACT or hammer/REF loops.
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.harness.lint
+
+# Compiles and runs every registered DRAM-program DSL program on a
+# small module: canonical-text round trips, cross-engine bit-identity,
+# fingerprint stability (see docs/PROGRAMS.md).
+dsl-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/dsl_smoke.py
 
 test: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/

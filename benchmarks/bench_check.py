@@ -55,11 +55,14 @@ RATE_KEYS = (
     "retention_probes_per_sec_fused",
     "retention_probes_per_sec_fast",
     "retention_probes_per_sec_command",
+    "program_probes_per_sec_batch",
+    "program_probes_per_sec_command",
 )
 SPEEDUP_KEYS = (
     "campaign_speedup",
     "campaign_speedup_batch_over_fast",
     "campaign_speedup_fused_over_batch",
+    "program_probe_speedup",
 )
 
 #: Experiment families covered by the differential bit-identity gate.
@@ -95,6 +98,12 @@ def gate_baseline(committed):
         failures.append(
             f"committed campaign_speedup_fused_over_batch {speedup:.2f} "
             "below the 3x acceptance target"
+        )
+    program = committed.get("program_probe_speedup")
+    if program is not None and program < 3.0:
+        failures.append(
+            f"committed program_probe_speedup {program:.2f} below the "
+            "3x acceptance target (compiled DSL path vs command fallback)"
         )
     fused = committed.get("hammer_probes_per_sec_fused")
     fast = committed.get("hammer_probes_per_sec_fast")
@@ -189,6 +198,8 @@ def main(argv=None) -> int:
 
     print("re-measuring probe throughput...")
     measured = dict(bench_probe.bench_probe_rates())
+    print("re-measuring DSL-program probe throughput...")
+    measured.update(bench_probe.bench_program_rates())
     print("re-measuring one-module bench campaign (fast vs command)...")
     measured.update(bench_probe.bench_campaign())
     print("re-measuring characterization campaign (fast/batch/fused)...")

@@ -77,12 +77,14 @@ LADDER_SCALE = dataclasses.replace(
 )
 
 
-def _context(probe_engine):
+def _context(probe_engine, program=None):
     scale = StudyScale(rows_per_module=8, iterations=1,
                        hcfirst_min_step=8000, geometry=GEOMETRY)
     infra = TestInfrastructure.for_module(MODULE, geometry=GEOMETRY, seed=1)
     infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
-    return TestContext(infra, scale, probe_engine=probe_engine)
+    return TestContext(
+        infra, scale, probe_engine=probe_engine, program=program
+    )
 
 
 def _probe_rate(probe, warmup=3, seconds=1.0):
@@ -119,6 +121,30 @@ def bench_probe_rates():
     rates["retention_probe_speedup"] = (
         rates["retention_probes_per_sec_fast"]
         / rates["retention_probes_per_sec_command"]
+    )
+    return rates
+
+
+def bench_program_rates():
+    """DSL-program probe throughput: the compiled path (a non-default
+    4-sided program lowered onto the batch kernels) vs the fallback
+    path (the same program emitted as an instruction stream on the
+    command engine) -- the program-DSL PR's acceptance metric
+    (compiled >= 3x command)."""
+    from repro.core.probe import one_shot_hammer_ber
+    from repro.progdsl import compile_program
+
+    program = compile_program("quad-sided")
+    pattern = STANDARD_PATTERNS[0]
+    rates = {}
+    for engine in ("batch", "command"):
+        ctx = _context(engine, program=program)
+        rates[f"program_probes_per_sec_{engine}"] = _probe_rate(
+            lambda: one_shot_hammer_ber(ctx, 100, pattern, 300_000)
+        )
+    rates["program_probe_speedup"] = (
+        rates["program_probes_per_sec_batch"]
+        / rates["program_probes_per_sec_command"]
     )
     return rates
 
@@ -251,6 +277,8 @@ REPORT_KEYS = (
     "retention_probes_per_sec_batch", "retention_probes_per_sec_fused",
     "retention_probes_per_sec_fast", "retention_probes_per_sec_command",
     "hammer_probe_speedup", "retention_probe_speedup",
+    "program_probes_per_sec_batch", "program_probes_per_sec_command",
+    "program_probe_speedup",
     "campaign_seconds_fast", "campaign_seconds_command",
     "campaign_speedup", "characterization_seconds_fast",
     "characterization_seconds_batch", "characterization_seconds_fused",
@@ -296,6 +324,8 @@ def main(argv=None) -> int:
         ),
     }}
     payload.update(bench_probe_rates())
+    print("measuring DSL-program probe throughput (compiled vs command)...")
+    payload.update(bench_program_rates())
     print("measuring one-module bench campaigns (fast vs command)...")
     payload.update(bench_campaign())
     print("measuring characterization campaigns (fast vs batch vs fused)...")
@@ -338,6 +368,10 @@ def main(argv=None) -> int:
     if payload["campaign_speedup_fused_over_batch"] < 3.0:
         print("WARNING: fused-over-batch ladder speedup below the 3x "
               "acceptance target", file=sys.stderr)
+        failed = True
+    if payload["program_probe_speedup"] < 3.0:
+        print("WARNING: compiled-program-over-command probe speedup below "
+              "the 3x acceptance target", file=sys.stderr)
         failed = True
     if (payload["hammer_probes_per_sec_fused"]
             <= payload["hammer_probes_per_sec_fast"]):

@@ -49,6 +49,7 @@ from repro.harness.cache import (
 from repro.harness.store import StudyStore
 from repro.harness.validation import (
     validate_modules,
+    validate_program,
     validate_subset,
     validate_tests,
 )
@@ -96,6 +97,9 @@ class JobSpec:
     priority: int = 0
     max_attempts: int = 3
     unit_timeout: Optional[float] = None
+    #: Registered DSL program name the campaign's probe schedules run
+    #: through (:mod:`repro.progdsl`); None is the paper's schedule.
+    program: Optional[str] = None
     #: Experiment id the spec was expanded from, for provenance only.
     experiment: Optional[str] = None
 
@@ -164,11 +168,14 @@ class JobSpec:
         scale = payload.get("scale", "tiny")
         scale_preset(scale)  # raises on unknown names
         engine = payload.get("probe_engine")
-        if engine is not None and engine not in ("batch", "fast", "command"):
+        if engine is not None and engine not in (
+            "fused", "batch", "fast", "command"
+        ):
             raise ConfigurationError(
                 f"unknown probe_engine {engine!r}; "
-                "expected batch, fast or command"
+                "expected fused, batch, fast or command"
             )
+        program = validate_program(payload.get("program"))
         priority = payload.get("priority", 0)
         if not isinstance(priority, int) or isinstance(priority, bool) \
                 or not 0 <= priority <= MAX_PRIORITY:
@@ -202,6 +209,7 @@ class JobSpec:
             priority=priority,
             max_attempts=max_attempts,
             unit_timeout=_positive(payload, "unit_timeout"),
+            program=program,
             experiment=experiment,
         )
 
@@ -210,7 +218,7 @@ class JobSpec:
         request -- the API's determinism contract hangs off this)."""
         return study_fingerprint(
             self.tests, self.modules, scale_preset(self.scale),
-            self.seed, self.probe_engine,
+            self.seed, self.probe_engine, program=self.program,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -225,6 +233,7 @@ class JobSpec:
             "priority": self.priority,
             "max_attempts": self.max_attempts,
             "unit_timeout": self.unit_timeout,
+            "program": self.program,
             "experiment": self.experiment,
         }
 
@@ -242,6 +251,7 @@ class JobSpec:
             priority=payload.get("priority", 0),
             max_attempts=payload.get("max_attempts", 3),
             unit_timeout=payload.get("unit_timeout"),
+            program=payload.get("program"),
             experiment=payload.get("experiment"),
         )
 
@@ -407,6 +417,7 @@ def run_job(
         unit_timeout=spec.unit_timeout,
         checkpoint_base=checkpoint_base,
         telemetry=telemetry,
+        program=spec.program,
     )
     resume = False
     if checkpoint_base:
@@ -457,6 +468,7 @@ def run_job(
     attach_provenance(
         study, spec.tests, spec.modules, spec.seed,
         outcome.metrics.wall_seconds, probe_engine=spec.probe_engine,
+        program=spec.program,
     )
     store.store(study, job.fingerprint)
     job.state = COMPLETED

@@ -168,9 +168,9 @@ def execute_attack(
                                inverse=True)
     if interleave_refresh:
         per_round = max(1, per_aggressor // pattern.rounds)
-        for _ in range(pattern.rounds):
-            program.hammer_doublesided(bank, aggressors, per_round)
-            program.ref()
+        program.hammer_rounds(
+            bank, aggressors, [per_round] * pattern.rounds, refresh=True
+        )
     else:
         program.hammer_doublesided(bank, aggressors, per_aggressor)
     read_index = program.read_row(bank, victim)

@@ -73,12 +73,17 @@ class BatchHammerSession(HammerSession):
 
     def __init__(self, engine, ctx, row, pattern):
         super().__init__(engine, ctx, row, pattern)
-        self._sweep = engine._sweep(ctx, "hammer", row, pattern)
+        self._sweep = self._make_sweep(engine, ctx, row, pattern)
         self._bank = engine._module.bank(ctx.bank)
         self._env = engine._env
         self._size = self._sweep.bits.size
         self._pending = None
         self._probed = False
+        # Per-probe commands that do not scale with the hammer count
+        # (the row WRITE/READ instructions: victim init + 2 aggressor
+        # inits + read-back; program sessions override with their row
+        # count).
+        self._static_commands = 4 * (2 + engine._columns)
         # Corruption policy for this operating point: one verdict covers
         # the whole session (V_PP cannot change mid-session). The fast
         # path sets pattern_index before each check; replicate that.
@@ -91,6 +96,19 @@ class BatchHammerSession(HammerSession):
             self._counts = self._resolve_counts()
             self._damage_terms = self._sweep.damage_terms()
             self._cell_gen = self._bank._cells
+
+    def _make_sweep(self, engine, ctx, row, pattern):
+        """The session's sweep (the seam program sessions override to
+        substitute the program's resolved row list)."""
+        return engine._sweep(ctx, "hammer", row, pattern)
+
+    def _probe_fallback(self, hammer_count: int) -> float:
+        """Exact per-probe path used when activation corruption could
+        fire (the seam program sessions override with the program
+        replay)."""
+        return self._engine._hammer_probe(
+            self._ctx, self._sweep, hammer_count
+        )
 
     def _resolve_counts(self):
         """The session's count-reduction kernel (the seam the fused
@@ -172,16 +190,14 @@ class BatchHammerSession(HammerSession):
         env.now = now
         counters = engine.counters
         counters.hammer_probes += 1
-        counters.commands_issued += 4 * (2 + engine._columns) + 2 * cycles
+        counters.commands_issued += self._static_commands + 2 * cycles
         PROFILER.count("hammer_probes")
         self._pending = evaluation
 
     def ber(self, hammer_count: int) -> float:
         self._note_probe()
         if not self._exact:
-            return self._engine._hammer_probe(
-                self._ctx, self._sweep, hammer_count
-            )
+            return self._probe_fallback(hammer_count)
         evaluation, cycles = self._evaluate(hammer_count)
         flipped = self._counts.count(*evaluation)
         self._finish(evaluation, cycles)
@@ -273,7 +289,7 @@ class BatchHammerSession(HammerSession):
         counters = engine.counters
         counters.hammer_probes += iterations
         counters.commands_issued += iterations * (
-            4 * (2 + engine._columns) + 2 * cycles
+            self._static_commands + 2 * cycles
         )
         counters.sweep_saved_lookups += (
             iterations if self._probed else iterations - 1
@@ -288,9 +304,7 @@ class BatchHammerSession(HammerSession):
     def any_flip(self, hammer_count: int) -> bool:
         self._note_probe()
         if not self._exact:
-            return self._engine._hammer_probe(
-                self._ctx, self._sweep, hammer_count
-            ) > 0
+            return self._probe_fallback(hammer_count) > 0
         evaluation, cycles = self._evaluate(hammer_count)
         flipped = self._counts.any_flip(*evaluation)
         self._finish(evaluation, cycles)
@@ -318,6 +332,180 @@ class BatchHammerSession(HammerSession):
             ):
                 data[indices] = sweep.discharged_value
         sweep.state.data = data
+
+
+class ProgramBatchHammerSession(BatchHammerSession):
+    """A compiled DSL program's hammer schedule against the
+    sorted-threshold reductions.
+
+    Generalizes :class:`BatchHammerSession` along three axes while
+    keeping its deferred-materialization and sensing-fallback
+    machinery: the sweep spans the program's full resolved row list
+    (decoys first, matching the emitted initialization order), only the
+    aggressor suffix hammers, and the per-probe hammer count is split
+    across the program's bursts -- whose simulated-time advances and
+    damage deposits are replayed burst by burst, because the command
+    path runs one HAMMER instruction per burst and float addition does
+    not distribute over the split.  Degenerates op-for-op to the base
+    class for a single-burst, zero-decoy, double-sided program.
+    """
+
+    def __init__(self, engine, ctx, row, pattern, program):
+        self._program = program
+        self._resolved = program.resolve_for(ctx, row)
+        self._decoys = len(self._resolved.decoy_rows)
+        self._rounds = program.spec.rounds
+        super().__init__(engine, ctx, row, pattern)
+        self._static_commands = (
+            (2 + len(self._sweep.aggressor_states)) * (2 + engine._columns)
+        )
+
+    def _make_sweep(self, engine, ctx, row, pattern):
+        return engine._program_sweep(ctx, self._program, row, pattern)
+
+    def _probe_fallback(self, hammer_count: int) -> float:
+        return self._engine._program_hammer_probe(
+            self._ctx, self._sweep, self._decoys,
+            self._program.round_counts(hammer_count),
+        )
+
+    def _evaluate(self, hammer_count: int):
+        engine = self._engine
+        sweep = self._sweep
+        env = self._env
+        engine._module.check_communication()
+        state = sweep.state
+
+        state.session += 2
+        session = state.session
+        self._cell_gen.ensure_jitter_window(sweep.physical, session)
+
+        trcd_q = engine._trcd_q
+        row_io = engine._row_io
+        trp_q = engine._trp_q
+        trc_q = engine._trc_q
+        now = env.now
+        now += trcd_q
+        now += row_io
+        restore_time = now
+        now += trp_q
+        states = sweep.aggressor_states
+        decoys = self._decoys
+        rounds = self._rounds
+        # Init chain for every non-victim row; session totals collapse
+        # to the init position (decoys are never hammered, aggressors
+        # restore once per burst).
+        for index, row_state in enumerate(states):
+            row_state.session += 2 + (rounds if index >= decoys else 0)
+            now += trcd_q
+            now += row_io
+            now += trp_q
+        counts = self._program.round_counts(hammer_count)
+        hammered = len(states) - decoys
+        total_cycles = 0
+        for count in counts:
+            cycles = count * hammered
+            total_cycles += cycles
+            now += cycles * trc_q
+        env.now = now
+        self._bank.total_activations += (
+            1 + len(states) + hammered * hammer_count
+        )
+
+        elapsed = now - restore_time
+        _, damage_bulk, damage_outlier, terms = self._damage_terms
+        aggressor_terms = terms[decoys:]
+        for count in counts:
+            for weight, scale_bulk, scale_outlier in aggressor_terms:
+                damage_bulk += count * weight / scale_bulk
+                damage_outlier += count * weight / scale_outlier
+        return (damage_bulk, damage_outlier, session, elapsed), total_cycles
+
+    def _ber_ladder_traced(self, hammer_count, iterations):
+        engine = self._engine
+        sweep = self._sweep
+        env = self._env
+        engine._module.check_communication()
+        state = sweep.state
+        cell_gen = self._cell_gen
+        physical = sweep.physical
+        count_kernel = self._counts
+        size = self._size
+
+        trcd_q = engine._trcd_q
+        row_io = engine._row_io
+        trp_q = engine._trp_q
+        trc_q = engine._trc_q
+        states = sweep.aggressor_states
+        decoys = self._decoys
+        rounds = self._rounds
+        counts = self._program.round_counts(hammer_count)
+        hammered = len(states) - decoys
+        total_cycles = 0
+        for count in counts:
+            total_cycles += count * hammered
+        # Damage depends only on the (fixed) hammer count.
+        _, damage_bulk, damage_outlier, terms = self._damage_terms
+        aggressor_terms = terms[decoys:]
+        for count in counts:
+            for weight, scale_bulk, scale_outlier in aggressor_terms:
+                damage_bulk += count * weight / scale_bulk
+                damage_outlier += count * weight / scale_outlier
+
+        now = env.now
+        session = state.session
+        values = []
+        last_restore = state.last_restore_time
+        for _ in range(iterations):
+            session += 2
+            cell_gen.ensure_jitter_window(physical, session)
+            now += trcd_q
+            now += row_io
+            restore_time = now
+            now += trp_q
+            for index, row_state in enumerate(states):
+                row_state.session += 2 + (rounds if index >= decoys else 0)
+                now += trcd_q
+                now += row_io
+                now += trp_q
+            for count in counts:
+                now += (count * hammered) * trc_q
+            elapsed = now - restore_time
+            flipped = count_kernel.count(
+                damage_bulk, damage_outlier, session, elapsed
+            )
+            values.append(float(flipped / size))
+            # Read-back restore (the per-probe _finish chain).
+            last_restore = now
+            session += 1
+            now += trcd_q
+            now += row_io
+            now += trp_q
+        state.session = session
+        state.pattern_index = sweep.pattern_index
+        state.cache.pop("_flip_guard", None)
+        state.last_restore_time = last_restore
+        state.vpp_at_restore = env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        self._bank.total_activations += iterations * (
+            2 + len(states) + hammered * hammer_count
+        )
+        env.now = now
+        counters = engine.counters
+        counters.hammer_probes += iterations
+        counters.commands_issued += iterations * (
+            self._static_commands + 2 * total_cycles
+        )
+        counters.sweep_saved_lookups += (
+            iterations if self._probed else iterations - 1
+        )
+        self._probed = True
+        PROFILER.count("hammer_probes", iterations)
+        self._pending = (
+            damage_bulk, damage_outlier, session - 1, elapsed
+        )
+        return values
 
 
 class BatchRetentionSession(RetentionSession):

@@ -60,12 +60,15 @@ def module_mapping(name: str, scale: StudyScale) -> RowMapping:
 
 
 def plan_row_chunks(
-    rows: Sequence[int], mapping: RowMapping, max_chunks: int
+    rows: Sequence[int], mapping: RowMapping, max_chunks: int,
+    gap: int = CHUNK_GAP,
 ) -> List[List[int]]:
     """Partition sampled rows into independent, balanced chunks.
 
     Rows are grouped by physical adjacency: two rows closer than
-    :data:`CHUNK_GAP` physical addresses must share a chunk (their
+    ``gap`` physical addresses (default :data:`CHUNK_GAP`, the
+    double-sided bound; wider-reach DSL programs pass their own via
+    :func:`repro.progdsl.program_chunk_gap`) must share a chunk (their
     probes couple through aggressor restore sessions). Groups are then
     packed, in physical order, into at most ``max_chunks`` chunks of
     roughly equal size. Each chunk lists its rows in ascending logical
@@ -78,8 +81,10 @@ def plan_row_chunks(
     ordered = sorted(rows, key=mapping.to_physical)
     groups: List[List[int]] = [[ordered[0]]]
     for row in ordered[1:]:
-        gap = mapping.to_physical(row) - mapping.to_physical(groups[-1][-1])
-        if gap >= CHUNK_GAP:
+        distance = mapping.to_physical(row) - mapping.to_physical(
+            groups[-1][-1]
+        )
+        if distance >= gap:
             groups.append([row])
         else:
             groups[-1].append(row)
@@ -160,12 +165,12 @@ def _run_one_module(args) -> tuple:
     forked workers inherit the parent's registry state, so only the
     baseline-relative delta is safe for the coordinator to merge.
     """
-    name, scale, seed, tests, probe_engine, state_handle = args
+    name, scale, seed, tests, probe_engine, program, state_handle = args
     state = _attach_state(state_handle)
     try:
         study = CharacterizationStudy(
             scale=scale, seed=seed, probe_engine=probe_engine,
-            device_state=state,
+            device_state=state, program=program,
         )
         baseline = REGISTRY.snapshot()
         module_result = study.run_module(name, tests=tests)
@@ -181,13 +186,13 @@ def _run_one_chunk(args) -> tuple:
     Like :func:`_run_one_module`, ships the unit's metric delta back to
     the coordinator for :meth:`MetricsRegistry.merge_snapshot`.
     """
-    name, scale, seed, tests, rows, chunk_index, probe_engine, \
+    name, scale, seed, tests, rows, chunk_index, probe_engine, program, \
         state_handle = args
     state = _attach_state(state_handle)
     try:
         study = CharacterizationStudy(
             scale=scale, seed=seed, probe_engine=probe_engine,
-            device_state=state,
+            device_state=state, program=program,
         )
         baseline = REGISTRY.snapshot()
         module_result = study.run_module(name, tests=tests, rows=rows)
@@ -263,6 +268,7 @@ def run_parallel(
     chunks_per_module: int = None,
     probe_engine: str = None,
     shared_state: bool = True,
+    program: str = None,
 ) -> StudyResult:
     """Run a campaign over a process pool.
 
@@ -291,7 +297,15 @@ def run_parallel(
         device model per process (default True; results are
         bit-identical either way). Ignored on the inline fast paths,
         and silently disabled where shared memory is unavailable.
+    program:
+        Optional registered DSL program name (:mod:`repro.progdsl`)
+        forwarded to every worker's study; chunk boundaries widen to
+        the program's coupling reach so chunked and sequential runs
+        stay record-identical. None runs the paper's schedules.
     """
+    from repro.progdsl import compile_program, program_chunk_gap
+
+    compile_program(program)  # validate the name before fanning out
     scale = scale or StudyScale.bench()
     names = list(modules)
     if granularity not in ("chunk", "module"):
@@ -304,7 +318,8 @@ def run_parallel(
         # Inline path: run_module mutates this process's registry
         # directly, so no snapshot merging (it would double count).
         study = CharacterizationStudy(
-            scale=scale, seed=seed, probe_engine=probe_engine
+            scale=scale, seed=seed, probe_engine=probe_engine,
+            program=program,
         )
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)
@@ -317,7 +332,7 @@ def run_parallel(
         try:
             jobs = [
                 (
-                    name, scale, seed, tuple(tests), probe_engine,
+                    name, scale, seed, tuple(tests), probe_engine, program,
                     states[name].handle if name in states else None,
                 )
                 for name in names
@@ -351,15 +366,20 @@ def run_parallel(
             mapping.num_rows, scale.rows_per_module, scale.row_chunks
         )
         chunks = plan_row_chunks(
-            rows, mapping, chunks_per_module or scale.row_chunks
+            rows, mapping, chunks_per_module or scale.row_chunks,
+            gap=program_chunk_gap(program),
         )
         for index, chunk in enumerate(chunks):
             chunk_jobs.append(
-                (name, scale, seed, tuple(tests), chunk, index, probe_engine)
+                (
+                    name, scale, seed, tuple(tests), chunk, index,
+                    probe_engine, program,
+                )
             )
     if len(chunk_jobs) <= 1:
         study = CharacterizationStudy(
-            scale=scale, seed=seed, probe_engine=probe_engine
+            scale=scale, seed=seed, probe_engine=probe_engine,
+            program=program,
         )
         for name in names:
             result.modules[name] = study.run_module(name, tests=tests)

@@ -37,6 +37,11 @@ class TestContext:
     #: ``FastProbeEngine._enforce_byte_budget``); None defers to
     #: ``REPRO_SWEEP_CACHE_BYTES`` / the built-in default.
     sweep_cache_bytes: int = None
+    #: Compiled DSL program (:class:`repro.progdsl.compile.
+    #: CompiledProgram`) the measurement loops route probe sessions
+    #: through; None runs the paper's double-sided / scale-driven
+    #: schedules unchanged.
+    program: object = None
 
     def __post_init__(self) -> None:
         if self.adjacency is None:

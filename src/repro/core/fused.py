@@ -46,12 +46,25 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.batch import BatchHammerSession, BatchRetentionSession
+from repro.core.batch import (
+    BatchHammerSession,
+    BatchRetentionSession,
+    ProgramBatchHammerSession,
+)
 from repro.core.probe import BatchProbeEngine
 
 
 class FusedHammerSession(BatchHammerSession):
     """Alg. 1 schedule against the deferred-statics hammer kernel."""
+
+    def _resolve_counts(self):
+        return self._sweep.fused_counts()
+
+
+class ProgramFusedHammerSession(ProgramBatchHammerSession):
+    """A compiled DSL program's schedule against the deferred-statics
+    hammer kernel (same three-line seam as
+    :class:`FusedHammerSession`)."""
 
     def _resolve_counts(self):
         return self._sweep.fused_counts()
@@ -83,6 +96,9 @@ class FusedProbeEngine(BatchProbeEngine):
 
     def retention_session(self, ctx, row, pattern):
         return FusedRetentionSession(self, ctx, row, pattern)
+
+    def program_hammer_session(self, ctx, row, pattern, program):
+        return ProgramFusedHammerSession(self, ctx, row, pattern, program)
 
     def retention_ber(self, ctx, row, pattern, trefw):
         """One-off retention BER through a (one-probe) fused session:

@@ -270,6 +270,23 @@ class RetentionSession:
         ]
 
 
+def _program_damage(sweep, decoy_count, counts):
+    """Victim damage one DSL-program probe deposits, replayed in the
+    command path's exact deposit order: the initialization base (one
+    activation per non-victim row, decoys first) from
+    :meth:`~repro.dram.bank.HammerSweep.damage_terms`, then round-major
+    aggressor-minor hammer deposits -- per-round sums, not a single
+    total-count multiply, because float addition does not distribute
+    over the burst split."""
+    _, damage_bulk, damage_outlier, terms = sweep.damage_terms()
+    hammered = terms[decoy_count:]
+    for count in counts:
+        for weight, scale_bulk, scale_outlier in hammered:
+            damage_bulk += count * weight / scale_bulk
+            damage_outlier += count * weight / scale_outlier
+    return damage_bulk, damage_outlier
+
+
 class ProbeEngine:
     """Interface of the Alg. 1 / Alg. 3 probe primitives."""
 
@@ -308,6 +325,16 @@ class ProbeEngine:
     ) -> RetentionSession:
         """Open a probe session for one row's Alg. 3 schedule."""
         return RetentionSession(self, ctx, row, pattern)
+
+    def program_hammer_session(
+        self, ctx: "TestContext", row: int, pattern: DataPattern, program
+    ) -> HammerSession:
+        """Open a probe session for a compiled DSL program's hammer
+        schedule (``program`` is a
+        :class:`repro.progdsl.compile.CompiledProgram`).  Engines
+        without a kernelized program path execute the program's emitted
+        instruction stream probe by probe -- exact by construction."""
+        return _ProgramStreamHammerSession(self, ctx, row, pattern, program)
 
 
 class CommandProbeEngine(ProbeEngine):
@@ -403,6 +430,60 @@ class _SweepRetentionSession(RetentionSession):
         return float(np.count_nonzero(mismatches) / mismatches.size)
 
 
+class _ProgramStreamHammerSession(HammerSession):
+    """Fallback program session: every probe executes the program's
+    emitted instruction stream through the host.
+
+    This is the exact backend: refresh-interleaved programs (REF steps
+    the refresh cursor and feeds TRR samplers -- data-dependent) and
+    every program on the command engine run here.  Rows are resolved
+    once per session; the burst schedule is re-unrolled per probe from
+    the hammer count.
+    """
+
+    def __init__(self, engine, ctx, row, pattern, program):
+        super().__init__(engine, ctx, row, pattern)
+        self._program = program
+        self._resolved = program.resolve_for(ctx, row)
+        self._expected = pattern.row_bits(ctx.row_bits)
+
+    def ber(self, hammer_count):
+        ctx = self._ctx
+        program, read_index = self._program.emit_probe(
+            ctx.bank, self._resolved, self._pattern, ctx.row_bits,
+            hammer_count,
+        )
+        result = ctx.infra.host.execute(program)
+        counters = self._engine.counters
+        counters.hammer_probes += 1
+        counters.commands_issued += result.commands_issued
+        PROFILER.count("hammer_probes")
+        return bit_error_rate(self._expected, result.data(read_index))
+
+
+class _ProgramSweepHammerSession(HammerSession):
+    """Fast-engine program session: per-probe replay of the emitted
+    command stream against the row's hammer sweep (decoys and
+    aggressors share one sweep; only the aggressor terms hammer)."""
+
+    def __init__(self, engine, ctx, row, pattern, program):
+        super().__init__(engine, ctx, row, pattern)
+        self._program = program
+        self._resolved = program.resolve_for(ctx, row)
+        self._decoys = len(self._resolved.decoy_rows)
+        self._sweep = engine._program_sweep(ctx, program, row, pattern)
+        self._probed = False
+
+    def ber(self, hammer_count):
+        if self._probed:
+            self._engine.counters.sweep_saved_lookups += 1
+        self._probed = True
+        return self._engine._program_hammer_probe(
+            self._ctx, self._sweep, self._decoys,
+            self._program.round_counts(hammer_count),
+        )
+
+
 class FastProbeEngine(ProbeEngine):
     """Kernelized engine: same schedule, batched flip evaluation."""
 
@@ -433,22 +514,15 @@ class FastProbeEngine(ProbeEngine):
         self._sweep_gauge = None
         self._sweep_budget_tick = 0
 
-    def _sweep(self, ctx, kind, row, pattern):
-        key = (kind, ctx.bank, row, pattern.fill_byte)
+    def _cached_sweep(self, key):
         sweep = self._sweeps.get(key)
         if sweep is not None:
             self._sweeps.move_to_end(key)
             self.counters.sweep_hits += 1
-            return sweep
+        return sweep
+
+    def _admit_sweep(self, key, sweep):
         self.counters.sweep_misses += 1
-        bank = self._module.bank(ctx.bank)
-        if kind == "hammer":
-            aggressors = ctx.adjacency.neighbors(ctx.bank, row)
-            if not aggressors:
-                raise AnalysisError(f"row {row} has no physical neighbors")
-            sweep = bank.hammer_sweep(row, aggressors, pattern)
-        else:
-            sweep = bank.retention_sweep(row, pattern)
         self._sweeps[key] = sweep
         if len(self._sweeps) > self._sweep_capacity:
             self._sweeps.popitem(last=False)
@@ -461,6 +535,39 @@ class FastProbeEngine(ProbeEngine):
             self._sweep_budget_tick = 0
             self._enforce_byte_budget()
         return sweep
+
+    def _sweep(self, ctx, kind, row, pattern):
+        key = (kind, ctx.bank, row, pattern.fill_byte)
+        sweep = self._cached_sweep(key)
+        if sweep is not None:
+            return sweep
+        bank = self._module.bank(ctx.bank)
+        if kind == "hammer":
+            aggressors = ctx.adjacency.neighbors(ctx.bank, row)
+            if not aggressors:
+                raise AnalysisError(f"row {row} has no physical neighbors")
+            sweep = bank.hammer_sweep(row, aggressors, pattern)
+        else:
+            sweep = bank.retention_sweep(row, pattern)
+        return self._admit_sweep(key, sweep)
+
+    def _program_sweep(self, ctx, program, row, pattern):
+        """A DSL program's hammer sweep over its full row list (decoys
+        first, matching the emitted initialization order).  Cached in
+        the same LRU as the double-sided sweeps, keyed by the program's
+        structural identity so two names for one schedule share an
+        entry."""
+        key = (
+            "program", program.spec.schedule_key(), ctx.bank, row,
+            pattern.fill_byte,
+        )
+        sweep = self._cached_sweep(key)
+        if sweep is not None:
+            return sweep
+        bank = self._module.bank(ctx.bank)
+        resolved = program.resolve_for(ctx, row)
+        sweep = bank.hammer_sweep(row, list(resolved.rows), pattern)
+        return self._admit_sweep(key, sweep)
 
     def _enforce_byte_budget(self) -> None:
         """Evict oldest sweeps while the residents' owned bytes exceed
@@ -563,6 +670,85 @@ class FastProbeEngine(ProbeEngine):
         PROFILER.count("hammer_probes")
         return float(np.count_nonzero(mismatches) / mismatches.size)
 
+    def _program_hammer_probe(self, ctx, sweep, decoy_count, counts):
+        """One DSL-program probe: the generalization of
+        :meth:`_hammer_probe` to n-sided patterns, decoy rows and
+        multi-burst schedules.  ``sweep`` covers every non-victim row
+        (decoys first); ``counts`` is the per-burst hammer schedule.
+        The command stream is replayed bookkeeping-for-bookkeeping:
+        decoys are initialized but never hammered, and each burst's
+        simulated-time advance and damage deposits stay separate adds
+        (the command path runs one HAMMER instruction per burst)."""
+        self._module.check_communication()
+        bank = self._module.bank(ctx.bank)
+        env = self._env
+        state = sweep.state
+
+        # WRITE_ROW victim.
+        state.session += 2
+        bank.total_activations += 1
+        env.advance(self._trcd_q)
+        env.advance(self._row_io)
+        restore_time = env.now
+        env.advance(self._trp_q)
+
+        # WRITE_ROW per non-victim row (decoys, then aggressors).
+        for row_state in sweep.aggressor_states:
+            row_state.session += 2
+            bank.total_activations += 1
+            env.advance(self._trcd_q)
+            env.advance(self._row_io)
+            env.advance(self._trp_q)
+
+        # HAMMER bursts: aggressor rows only, one restore per row per
+        # burst.
+        hammered = sweep.aggressor_states[decoy_count:]
+        total_cycles = 0
+        for count in counts:
+            for row_state in hammered:
+                row_state.session += 1
+                bank.total_activations += count
+            cycles = count * len(hammered)
+            total_cycles += cycles
+            env.advance(cycles * self._trc_q)
+
+        # READ_ROW: evaluate pending flips at the read's ACT, restore.
+        elapsed = env.now - restore_time
+        damage_bulk, damage_outlier = _program_damage(
+            sweep, decoy_count, counts
+        )
+        flips = sweep.flip_mask(
+            damage_bulk, damage_outlier, state.session, elapsed
+        )
+        data = sweep.bits.copy()
+        if flips.any():
+            data[flips] = sweep.discharged_value
+        state.data = data
+        state.pattern_index = sweep.pattern_index
+        state.cache.pop("_flip_guard", None)
+        state.last_restore_time = env.now
+        state.vpp_at_restore = env.vpp
+        state.damage_bulk = 0.0
+        state.damage_outlier = 0.0
+        state.session += 1
+        bank.total_activations += 1
+        corrupt = bank.sensing_corruption(sweep.row, self._trcd_q)
+        env.advance(self._trcd_q)
+        env.advance(self._row_io)
+        env.advance(self._trp_q)
+
+        mismatches = flips if corrupt is None else (flips | corrupt)
+        self.counters.hammer_probes += 1
+        self.counters.commands_issued += (
+            (2 + len(sweep.aggressor_states)) * (2 + self._columns)
+            + 2 * total_cycles
+        )
+        PROFILER.count("hammer_probes")
+        return float(np.count_nonzero(mismatches) / mismatches.size)
+
+    def program_hammer_session(self, ctx, row, pattern, program):
+        return _ProgramSweepHammerSession(self, ctx, row, pattern, program)
+
     def _retention_mismatches(self, ctx, sweep, trefw):
         self._module.check_communication()
         bank = self._module.bank(ctx.bank)
@@ -643,6 +829,11 @@ class BatchProbeEngine(FastProbeEngine):
 
         return BatchRetentionSession(self, ctx, row, pattern)
 
+    def program_hammer_session(self, ctx, row, pattern, program):
+        from repro.core.batch import ProgramBatchHammerSession  # local: cycle
+
+        return ProgramBatchHammerSession(self, ctx, row, pattern, program)
+
     def hammer_ber(self, ctx, row, pattern, hammer_count):
         """One-off hammer BER, routed through a batch session.
 
@@ -661,6 +852,32 @@ class BatchProbeEngine(FastProbeEngine):
         """Warm the row set's per-row sort orders in one stacked
         ``(rows, cells)`` pass; returns the number of rows warmed."""
         return self._module.bank(ctx.bank).preheat_tolerance_orders(rows)
+
+
+def open_hammer_session(
+    ctx: "TestContext", row: int, pattern: DataPattern
+) -> HammerSession:
+    """Open the Alg. 1 probe session the context calls for: the
+    attached compiled DSL program's session when one is present
+    (``ctx.program``), else the engine's double-sided session.  This is
+    the single seam through which the measurement loops
+    (:mod:`repro.core.rowhammer`, :mod:`repro.core.wcdp`) pick up
+    declarative programs -- no engine-layer changes per program."""
+    program = getattr(ctx, "program", None)
+    if program is not None and program.kind == "hammer":
+        return program.hammer_session(ctx, row, pattern)
+    return ctx.engine.hammer_session(ctx, row, pattern)
+
+
+def one_shot_hammer_ber(
+    ctx: "TestContext", row: int, pattern: DataPattern, hammer_count: int
+) -> float:
+    """One-off hammer BER through the context's routed schedule (the
+    single-probe counterpart of :func:`open_hammer_session`)."""
+    program = getattr(ctx, "program", None)
+    if program is not None and program.kind == "hammer":
+        return program.hammer_ber(ctx, row, pattern, hammer_count)
+    return ctx.engine.hammer_ber(ctx, row, pattern, hammer_count)
 
 
 def engine_selection(kind: str = None) -> str:

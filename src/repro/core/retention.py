@@ -43,14 +43,23 @@ def characterize_row(
 ) -> List[RetentionRowResult]:
     """Full Alg. 3 characterization of one row at the current V_PP.
 
-    Measures every refresh window in the scale's sweep, keeping the
-    worst iteration per window.
+    Measures every refresh window in the scale's sweep (or the
+    context's compiled retention program's override), keeping the worst
+    iteration per window.
     """
-    windows = windows if windows is not None else list(ctx.scale.retention_windows)
+    program = getattr(ctx, "program", None)
+    if program is not None and program.kind == "retention":
+        if windows is None:
+            windows = list(program.windows(ctx.scale))
+        iterations = program.iterations(ctx.scale)
+    else:
+        iterations = ctx.scale.iterations
+    if windows is None:
+        windows = list(ctx.scale.retention_windows)
     with TRACER.span(
         "retention-ladder", row=row, windows=len(windows),
     ), ctx.engine.retention_session(ctx, row, pattern) as session:
-        worst = session.worst_ladder(windows, ctx.scale.iterations)
+        worst = session.worst_ladder(windows, iterations)
     return [
         RetentionRowResult(
             module=ctx.module_name,

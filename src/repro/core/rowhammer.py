@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.context import TestContext
 from repro.core.perf import PROFILER
+from repro.core.probe import one_shot_hammer_ber, open_hammer_session
 from repro.core.results import RowHammerRowResult
 from repro.core.scale import StudyScale
 from repro.dram.patterns import DataPattern
@@ -40,9 +41,10 @@ def measure_ber(
 
     Returns the fraction of the victim row's cells that flipped. The
     probe runs on the context's engine (the batched kernel by default,
-    the SoftMC command path as the validated reference).
+    the SoftMC command path as the validated reference), through the
+    context's compiled DSL program when one is attached.
     """
-    return ctx.engine.hammer_ber(ctx, row, pattern, hammer_count)
+    return one_shot_hammer_ber(ctx, row, pattern, hammer_count)
 
 
 def measure_worst_ber(
@@ -56,7 +58,7 @@ def measure_worst_ber(
     once for all repetitions instead of re-entering its cache per
     iteration (the ``sweep_saved_lookups`` counter tracks the savings).
     """
-    with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+    with open_hammer_session(ctx, row, pattern) as probe:
         values = tuple(probe.ber_ladder(hammer_count, iterations))
     return max(values), values
 
@@ -117,7 +119,7 @@ def find_hcfirst(
             probes += 1
             return probe.any_flip(hammer_count)
 
-        with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+        with open_hammer_session(ctx, row, pattern) as probe:
             hcfirst = bisect_hcfirst(scale, iterations, counted_any_flip)
         span.set(probes=probes, hcfirst=hcfirst)
     REGISTRY.histogram(

@@ -94,6 +94,14 @@ class CharacterizationStudy:
         :class:`~repro.errors.BenchFaultError`; nothing about the device
         state survives the abort, so a retried run from the same seed is
         bit-identical to an undisturbed one.
+    program:
+        Optional DRAM-program selection (:mod:`repro.progdsl`): a
+        registered program name, a :class:`~repro.progdsl.spec.
+        ProgramSpec` or an already-compiled program. Structurally
+        default programs (the paper's double-sided hammer schedule,
+        a retention ladder with no overrides) are normalized to None
+        at context-build time so their runs -- and their cached study
+        fingerprints -- are bit-identical to the pre-DSL paths.
     device_state:
         Optional pre-generated per-cell parameter planes -- a
         :class:`repro.core.soa.DeviceState` (single module) or a
@@ -114,7 +122,10 @@ class CharacterizationStudy:
         probe_engine: str = None,
         fault_injector=None,
         device_state=None,
+        program=None,
     ):
+        from repro.progdsl import compile_program  # local: keep core light
+
         self.scale = scale or StudyScale.bench()
         self.seed = seed
         self._reverse_engineer = reverse_engineer_adjacency
@@ -122,6 +133,7 @@ class CharacterizationStudy:
         self.probe_engine = probe_engine
         self.fault_injector = fault_injector
         self.device_state = device_state
+        self.program = compile_program(program)
 
     # -- module-level runs --------------------------------------------------------
 
@@ -131,7 +143,15 @@ class CharacterizationStudy:
             name, geometry=self.scale.geometry, seed=self.seed,
             fault_injector=self.fault_injector,
         )
-        ctx = TestContext(infra, self.scale, probe_engine=self.probe_engine)
+        program = self.program
+        if program is not None and program.is_default:
+            # Structurally the paper's schedule: run the pre-DSL path so
+            # results and fingerprints stay byte-identical to it.
+            program = None
+        ctx = TestContext(
+            infra, self.scale, probe_engine=self.probe_engine,
+            program=program,
+        )
         if self._reverse_engineer:
             ctx.adjacency = ReverseEngineeredAdjacency(infra)
         self._install_device_state(name, ctx)

@@ -20,6 +20,7 @@ import math
 from typing import List, Sequence
 
 from repro.core.context import TestContext
+from repro.core.probe import open_hammer_session
 from repro.dram.patterns import STANDARD_PATTERNS, DataPattern
 
 
@@ -33,7 +34,7 @@ def _coarse_hcfirst(
     step = ctx.scale.hcfirst_step
     floor = max(ctx.scale.hcfirst_min_step, ctx.scale.hcfirst_initial // 32)
     lowest = math.inf
-    with ctx.engine.hammer_session(ctx, row, pattern) as probe:
+    with open_hammer_session(ctx, row, pattern) as probe:
         while step >= floor:
             if probe.any_flip(hc):
                 lowest = min(lowest, hc)

@@ -59,7 +59,7 @@ _UNSET = object()
 _disk_dir = _UNSET
 
 
-def _key(tests, modules, scale, seed) -> Tuple:
+def _key(tests, modules, scale, seed, program=None) -> Tuple:
     # Both tuples are order-normalized: ("A0", "B3") and ("B3", "A0")
     # request the same campaign. The resolved probe-engine selection
     # participates too: command-engine and fast-engine runs are
@@ -67,8 +67,25 @@ def _key(tests, modules, scale, seed) -> Tuple:
     # fast-path one (or vice versa) when the engines are being compared.
     return (
         tuple(sorted(tests)), tuple(sorted(modules)), scale, seed,
-        engine_selection(),
+        engine_selection(), _program_key(program),
     )
+
+
+def _program_key(program):
+    """Structural cache identity of a DSL program selection.
+
+    None for the default (no program, or one structurally identical to
+    the paper's schedules) -- so default-program requests share cache
+    entries, and fingerprints, with pre-DSL ones byte-for-byte.
+    Non-default programs key on their name-normalized schedule, so a
+    renamed-but-identical program reuses the same campaign.
+    """
+    from repro.progdsl import compile_program
+
+    compiled = compile_program(program)
+    if compiled is None or compiled.is_default:
+        return None
+    return compiled.spec.schedule_key()
 
 
 # -- disk layer -------------------------------------------------------------------
@@ -100,6 +117,7 @@ def study_fingerprint(
     scale: StudyScale,
     seed: int,
     probe_engine: str = None,
+    program: str = None,
 ) -> str:
     """Content fingerprint of a campaign request.
 
@@ -107,7 +125,10 @@ def study_fingerprint(
     request -- including the resolved probe-engine selection
     (``probe_engine`` param, else ``REPRO_PROBE_ENGINE``, else the batch
     default) -- so cache entries are automatically invalidated when the
-    request, the engine, or the on-disk format changes.
+    request, the engine, or the on-disk format changes. A non-default
+    DSL ``program`` contributes its canonicalized (name-normalized)
+    schedule; the default program leaves the payload -- and so the
+    fingerprint -- byte-identical to a pre-DSL request.
     """
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -117,6 +138,9 @@ def study_fingerprint(
         "seed": seed,
         "probe_engine": engine_selection(probe_engine),
     }
+    program_key = _program_key(program)
+    if program_key is not None:
+        payload["program"] = program_key
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
@@ -150,6 +174,7 @@ def attach_provenance(
     wall_seconds: float,
     counters: Optional[Dict[str, float]] = None,
     probe_engine: Optional[str] = None,
+    program: Optional[str] = None,
 ) -> None:
     """Stamp a freshly produced study with its provenance block.
 
@@ -159,7 +184,7 @@ def attach_provenance(
     """
     study.provenance = build_provenance(
         fingerprint=study_fingerprint(
-            tests, modules, study.scale, seed, probe_engine
+            tests, modules, study.scale, seed, probe_engine, program
         ),
         probe_engine=engine_selection(probe_engine),
         seed=seed,
@@ -186,6 +211,7 @@ def get_study(
     scale: StudyScale = None,
     seed: int = 0,
     use_disk: bool = None,
+    program: str = None,
 ) -> StudyResult:
     """Run (or reuse) a campaign for the given tests and modules.
 
@@ -193,10 +219,13 @@ def get_study(
     directory is active), then a fresh run -- which is written through
     to both layers. ``use_disk=False`` bypasses the disk layer for this
     call; ``use_disk=True`` forces it on, defaulting the directory to
-    :data:`DEFAULT_CACHE_DIR` when none is configured.
+    :data:`DEFAULT_CACHE_DIR` when none is configured. ``program``
+    selects a registered DSL program for the campaign's probe schedules
+    (None, and any structurally-default program, is the pre-DSL path
+    and shares its cache entries).
     """
     scale = scale or StudyScale.bench()
-    key = _key(tests, modules, scale, seed)
+    key = _key(tests, modules, scale, seed, program)
     if key in _CACHE:
         _cache_event("memory_hits")
         return _CACHE[key]
@@ -207,7 +236,9 @@ def get_study(
         if store is None and use_disk:
             store = study_store(DEFAULT_CACHE_DIR)
     if store is not None:
-        fingerprint = study_fingerprint(tests, modules, scale, seed)
+        fingerprint = study_fingerprint(
+            tests, modules, scale, seed, program=program
+        )
         study = store.load(fingerprint)
         if study is not None:
             _cache_event("disk_hits")
@@ -216,7 +247,7 @@ def get_study(
     _cache_event("misses")
     baseline = REGISTRY.counter_values()
     started = clock.monotonic()
-    study = CharacterizationStudy(scale=scale, seed=seed)
+    study = CharacterizationStudy(scale=scale, seed=seed, program=program)
     result = study.run(modules=modules, tests=tuple(tests))
     wall = clock.monotonic() - started
     spent = {
@@ -224,7 +255,9 @@ def get_study(
         for name, value in REGISTRY.counter_values().items()
         if value - baseline.get(name, 0.0)
     }
-    attach_provenance(result, tests, modules, seed, wall, counters=spent)
+    attach_provenance(
+        result, tests, modules, seed, wall, counters=spent, program=program
+    )
     _CACHE[key] = result
     if store is not None:
         store.store(result, fingerprint)
@@ -238,6 +271,7 @@ def preload_study(
     seed: int = 0,
     write_disk: bool = True,
     wall_seconds: float = 0.0,
+    program: str = None,
 ) -> None:
     """Install an externally-produced study (parallel campaign, loaded
     from disk) so subsequent ``get_study`` calls reuse it.
@@ -247,14 +281,18 @@ def preload_study(
     through), so every disk-cache entry carries provenance.
     """
     if study.provenance is None:
-        attach_provenance(study, tests, modules, seed, wall_seconds)
-    _CACHE[_key(tests, modules, study.scale, seed)] = study
+        attach_provenance(
+            study, tests, modules, seed, wall_seconds, program=program
+        )
+    _CACHE[_key(tests, modules, study.scale, seed, program)] = study
     if write_disk:
         store = study_store()
         if store is not None:
             store.store(
                 study,
-                study_fingerprint(tests, modules, study.scale, seed),
+                study_fingerprint(
+                    tests, modules, study.scale, seed, program=program
+                ),
             )
 
 
@@ -264,6 +302,7 @@ def preload_parallel(
     scale: StudyScale = None,
     seed: int = 0,
     max_workers: int = None,
+    program: str = None,
 ) -> None:
     """Run the campaigns the figure experiments will need, with work
     fanned out over (module, row-chunk) units, and install them in the
@@ -273,14 +312,16 @@ def preload_parallel(
 
     scale = scale or StudyScale.bench()
     for tests in tests_list:
-        key = _key(tests, modules, scale, seed)
+        key = _key(tests, modules, scale, seed, program)
         if key in _CACHE:
             _cache_event("memory_hits")
             continue
         store = study_store()
         if store is not None:
             study = store.load(
-                study_fingerprint(tests, modules, scale, seed)
+                study_fingerprint(
+                    tests, modules, scale, seed, program=program
+                )
             )
             if study is not None:
                 _cache_event("disk_hits")
@@ -290,11 +331,11 @@ def preload_parallel(
         started = clock.monotonic()
         study = run_parallel(
             modules, scale=scale, seed=seed, tests=tuple(tests),
-            max_workers=max_workers,
+            max_workers=max_workers, program=program,
         )
         preload_study(
             study, tests, modules, seed=seed,
-            wall_seconds=clock.monotonic() - started,
+            wall_seconds=clock.monotonic() - started, program=program,
         )
 
 
@@ -306,15 +347,18 @@ def invalidate_study(
     modules: Sequence[str] = BENCH_MODULES,
     scale: StudyScale = None,
     seed: int = 0,
+    program: str = None,
 ) -> bool:
     """Drop one campaign from both cache layers. Returns True when
     anything was actually removed."""
     scale = scale or StudyScale.bench()
-    removed = _CACHE.pop(_key(tests, modules, scale, seed), None) is not None
+    removed = _CACHE.pop(
+        _key(tests, modules, scale, seed, program), None
+    ) is not None
     store = study_store()
     if store is not None:
         removed = store.delete(
-            study_fingerprint(tests, modules, scale, seed)
+            study_fingerprint(tests, modules, scale, seed, program=program)
         ) or removed
     return removed
 

@@ -18,6 +18,7 @@ from repro.core.wcdp import retention_wcdp
 from repro.dram import constants
 from repro.harness.output import ExperimentTable
 from repro.harness.spec import ExperimentSpec
+from repro.progdsl import compile_program
 from repro.softmc.infrastructure import TestInfrastructure
 from repro.units import ms, seconds_to_ms
 
@@ -31,6 +32,10 @@ def _any_flip(ctx, rows, wcdp, window) -> bool:
 def _analyze(output, studies, *, modules, scale, seed, resolution):
     """Bisect the exact failing refresh window at V_PPmin."""
     scale = scale or StudyScale.bench()
+    # The coarse pass is the registered ``retention-ladder`` DSL program
+    # (the paper's power-of-two window schedule); only the bisection
+    # below its resolution is bespoke to this experiment.
+    ladder = compile_program("retention-ladder")
     table = output.add_table(
         ExperimentTable(
             "Exact failing windows",
@@ -43,7 +48,7 @@ def _analyze(output, studies, *, modules, scale, seed, resolution):
         infra = TestInfrastructure.for_module(
             name, geometry=scale.geometry, seed=seed
         )
-        ctx = TestContext(infra, scale)
+        ctx = TestContext(infra, scale, program=ladder)
         infra.set_temperature(constants.RETENTION_TEST_TEMPERATURE)
         rows = sample_rows(
             infra.module.geometry.rows_per_bank,
@@ -55,7 +60,7 @@ def _analyze(output, studies, *, modules, scale, seed, resolution):
 
         # Coarse pass: the paper's power-of-two sweep.
         coarse = None
-        for window in scale.retention_windows:
+        for window in ladder.windows(scale):
             if _any_flip(ctx, rows, wcdp, window):
                 coarse = window
                 break

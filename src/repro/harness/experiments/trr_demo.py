@@ -5,6 +5,11 @@ all TRR implementations need refresh windows to act. This experiment
 shows the substrate reproduces that: with TRR installed, a double-sided
 attack succeeds when REF is withheld and is neutralized when the
 controller refreshes periodically (the tracker refreshes the victims).
+
+Both attack schedules are registered DRAM-program DSL programs
+(``double-sided`` and ``double-sided-refresh``, see docs/PROGRAMS.md)
+compiled down to the same instruction streams this experiment used to
+build by hand.
 """
 
 from __future__ import annotations
@@ -19,8 +24,14 @@ from repro.dram.profiles import module_profile
 from repro.dram.trr import TrrConfig
 from repro.harness.output import ExperimentTable
 from repro.harness.spec import ExperimentSpec
+from repro.progdsl import compile_program, resolve_rows
 from repro.softmc.infrastructure import TestInfrastructure
-from repro.softmc.program import Program
+
+#: REF policy -> the registered DSL program that encodes it.
+POLICY_PROGRAMS = {
+    "withheld": "double-sided",
+    "interleaved": "double-sided-refresh",
+}
 
 
 def _analyze(output, studies, *, modules, scale, seed, hammer_count):
@@ -35,7 +46,7 @@ def _analyze(output, studies, *, modules, scale, seed, hammer_count):
     name = modules[0]
     pattern = STANDARD_PATTERNS[0]
     data = {}
-    for policy in ("withheld", "interleaved"):
+    for policy, program_name in POLICY_PROGRAMS.items():
         module = DramModule(
             module_profile(name), geometry=scale.geometry, seed=seed,
             trr_enabled=True, trr_config=TrrConfig(action_threshold=2048),
@@ -44,23 +55,14 @@ def _analyze(output, studies, *, modules, scale, seed, hammer_count):
         infra.set_temperature(constants.ROWHAMMER_TEST_TEMPERATURE)
         bank = module.bank(0)
         victim = 64
-        aggressors = bank.mapping.physical_neighbors(victim)
         hc = hammer_count or scale.ber_hammer_count
         row_bits = module.geometry.row_bits
 
-        program = Program()
-        program.initialize_row(0, victim, pattern, row_bits)
-        for aggressor in aggressors:
-            program.initialize_row(0, aggressor, pattern, row_bits,
-                                   inverse=True)
-        if policy == "withheld":
-            program.hammer_doublesided(0, aggressors, hc)
-        else:
-            chunks = 32
-            for _ in range(chunks):
-                program.hammer_doublesided(0, aggressors, hc // chunks)
-                program.ref()
-        read_index = program.read_row(0, victim)
+        compiled = compile_program(program_name)
+        resolved = resolve_rows(compiled.spec, bank.mapping, victim)
+        program, read_index = compiled.emit_probe(
+            0, resolved, pattern, row_bits, hc
+        )
         result = infra.host.execute(program)
         flips = int(
             np.count_nonzero(result.data(read_index) != pattern.row_bits(row_bits))

@@ -20,6 +20,17 @@ telemetry and profiles. ``time.sleep`` is fine -- it is not a
 timestamp. The checker flags both direct calls and ``from time
 import time/monotonic/perf_counter``.
 
+**Program-DSL contract.** Hammer schedules belong to the DRAM-program
+DSL (:mod:`repro.progdsl`) or the :class:`~repro.softmc.program.
+Program` builder macros -- never hand-rolled ACT loops. Outside
+``repro/progdsl`` and ``repro/softmc`` the checker flags:
+
+* any ``.act(...)`` call (raw ACT streams are the builders' job), and
+* any ``for``/``while`` loop whose body both hammers
+  (``.hammer``/``.hammer_doublesided``) and refreshes (``.ref``) --
+  the ad-hoc burst-schedule shape; use a registered DSL program or
+  ``Program.hammer_rounds`` instead (see docs/PROGRAMS.md).
+
 Run via ``make lint`` or ``python -m repro.harness.lint``; exits
 non-zero when a violation is found.
 """
@@ -118,6 +129,47 @@ def check_timing_source(path: str, source: str) -> List[Violation]:
     return violations
 
 
+#: Attribute-call names that mean "this loop hammers".
+_HAMMER_ATTRS = ("hammer", "hammer_doublesided")
+
+
+def check_program_source(path: str, source: str) -> List[Violation]:
+    """Flag hand-rolled hammer schedules (program-DSL contract; see
+    the module docstring)."""
+    violations: List[Violation] = []
+    tree = ast.parse(source, filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "act":
+                violations.append((
+                    path, node.lineno,
+                    "builds a raw ACT stream with .act(); use the "
+                    "Program builder macros or a registered DSL program "
+                    "(repro.progdsl)",
+                ))
+        elif isinstance(node, (ast.For, ast.While)):
+            hammers = refreshes = None
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                func = child.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr in _HAMMER_ATTRS:
+                    hammers = child.lineno
+                elif func.attr == "ref":
+                    refreshes = child.lineno
+            if hammers is not None and refreshes is not None:
+                violations.append((
+                    path, node.lineno,
+                    "hand-rolls a refresh-interleaved hammer schedule; "
+                    "use a registered DSL program (repro.progdsl) or "
+                    "Program.hammer_rounds",
+                ))
+    return violations
+
+
 def _walk_python_files(directory: str):
     for root, _dirs, files in os.walk(directory):
         for filename in sorted(files):
@@ -136,6 +188,30 @@ def check_experiments(directory: Optional[str] = None) -> List[Violation]:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
         violations.extend(check_source(path, source))
+    return violations
+
+
+def check_programs(directories: Optional[List[str]] = None) -> List[Violation]:
+    """Lint the whole ``repro`` package -- minus the sanctioned
+    ``progdsl`` and ``softmc`` zones -- for hand-rolled hammer
+    schedules."""
+    if directories is None:
+        base = _package_dir("repro")
+        sanctioned = {
+            os.path.join(base, "progdsl"), os.path.join(base, "softmc"),
+        }
+        directories = [
+            os.path.join(base, entry)
+            for entry in sorted(os.listdir(base))
+            if os.path.isdir(os.path.join(base, entry))
+            and os.path.join(base, entry) not in sanctioned
+        ]
+    violations: List[Violation] = []
+    for directory in directories:
+        for path in _walk_python_files(directory):
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            violations.extend(check_program_source(path, source))
     return violations
 
 
@@ -160,6 +236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     directory = argv[0] if argv else None
     violations = check_experiments(directory)
     violations.extend(check_clocks() if directory is None else [])
+    violations.extend(check_programs() if directory is None else [])
     for path, line, message in violations:
         print(f"{path}:{line}: {message}", file=sys.stderr)
     if violations:

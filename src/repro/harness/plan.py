@@ -48,7 +48,7 @@ class PreloadPlan:
             cache.preload_parallel(
                 [request.tests], modules=request.modules,
                 scale=request.scale, seed=request.seed,
-                max_workers=max_workers,
+                max_workers=max_workers, program=request.program,
             )
 
     def orchestrate(
@@ -78,6 +78,7 @@ class PreloadPlan:
                 scale=request.scale, seed=request.seed,
                 max_workers=max_workers, checkpoint_base=checkpoint_base,
                 telemetry=telemetry, progress=progress,
+                program=request.program,
             )
             outcome = service.run(resume=resume)
             quarantined.extend(sorted(outcome.metrics.quarantined))
@@ -85,6 +86,7 @@ class PreloadPlan:
                 outcome.study, request.tests, request.modules,
                 seed=request.seed,
                 wall_seconds=outcome.metrics.wall_seconds,
+                program=request.program,
             )
         return quarantined
 
@@ -94,6 +96,7 @@ def build_plan(
     modules: Optional[Sequence[str]] = None,
     scale: Optional[StudyScale] = None,
     seed: int = 0,
+    program: Optional[str] = None,
 ) -> PreloadPlan:
     """Resolve the declared study needs of ``experiment_ids`` under the
     given run arguments, deduplicated on the cache key in first-use
@@ -104,7 +107,7 @@ def build_plan(
     requests: List[ResolvedStudy] = []
     for experiment_id in experiment_ids:
         spec = get_spec(experiment_id)
-        for resolved in spec.resolved_studies(modules, scale, seed):
+        for resolved in spec.resolved_studies(modules, scale, seed, program):
             key = resolved.cache_key()
             if key not in seen:
                 seen.add(key)

@@ -38,7 +38,11 @@ from repro.harness.registry import (
     get_spec,
     run_experiment,
 )
-from repro.harness.validation import validate_experiments, validate_modules
+from repro.harness.validation import (
+    validate_experiments,
+    validate_modules,
+    validate_program,
+)
 from repro.obs import ProgressReporter, build_provenance, clock
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
@@ -75,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="root seed (default 0)"
+    )
+    parser.add_argument(
+        "--program", default=None, metavar="NAME",
+        help="registered DRAM-program DSL name the campaigns' probe "
+             "schedules run through (default: the paper's schedules); "
+             "see docs/PROGRAMS.md",
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR",
@@ -220,6 +230,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         validate_experiments(ids)
         if args.modules:
             validate_modules(args.modules)
+        validate_program(args.program)
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -247,9 +258,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     kwargs = {"seed": args.seed}
     if args.modules:
         kwargs["modules"] = tuple(args.modules)
+    if args.program:
+        kwargs["program"] = args.program
     if args.parallel or args.orchestrate is not None:
         plan = build_plan(
-            ids, modules=kwargs.get("modules"), seed=args.seed
+            ids, modules=kwargs.get("modules"), seed=args.seed,
+            program=args.program,
         )
     if args.parallel:
         if not plan:

@@ -53,12 +53,17 @@ class StudyRequest:
     modules: Optional[Tuple[str, ...]] = None
     scale: Optional[StudyScale] = None
     seed: Optional[int] = None
+    #: Registered DSL program name (:mod:`repro.progdsl`) the campaign's
+    #: probe schedules run through. None (the default) is the paper's
+    #: schedule -- and the pre-DSL cache identity.
+    program: Optional[str] = None
 
     def resolve(
         self,
         modules: Optional[Tuple[str, ...]] = None,
         scale: Optional[StudyScale] = None,
         seed: int = 0,
+        program: Optional[str] = None,
     ) -> "ResolvedStudy":
         """Fill the request's holes with run-time values."""
         resolved_modules = self.modules if self.modules is not None else modules
@@ -69,6 +74,7 @@ class StudyRequest:
             modules=tuple(resolved_modules),
             scale=self.scale if self.scale is not None else scale,
             seed=self.seed if self.seed is not None else seed,
+            program=self.program if self.program is not None else program,
         )
 
 
@@ -81,18 +87,23 @@ class ResolvedStudy:
     modules: Tuple[str, ...]
     scale: Optional[StudyScale]
     seed: int
+    program: Optional[str] = None
 
     @property
     def label(self) -> str:
         """Human-readable campaign label, e.g. ``"rowhammer+trcd"``."""
-        return "+".join(self.tests)
+        label = "+".join(self.tests)
+        if self.program is not None:
+            label = f"{label}@{self.program}"
+        return label
 
     def cache_key(self) -> Tuple:
         """Order-normalized identity, mirroring the study cache's key
-        (same campaign => same key, regardless of declaration order)."""
+        (same campaign => same key, regardless of declaration order;
+        a default-schedule program normalizes to the pre-DSL key)."""
         return (
             tuple(sorted(self.tests)), tuple(sorted(self.modules)),
-            self.scale, self.seed,
+            self.scale, self.seed, cache._program_key(self.program),
         )
 
     def fetch(self):
@@ -102,7 +113,7 @@ class ResolvedStudy:
         # ``cache.get_study`` and observe/redirect every fetch.
         return cache.get_study(
             self.tests, modules=self.modules, scale=self.scale,
-            seed=self.seed,
+            seed=self.seed, program=self.program,
         )
 
 
@@ -126,6 +137,10 @@ class ExperimentSpec:
     analyze: AnalysisFn
     studies: Tuple[StudyRequest, ...] = ()
     default_modules: Optional[Tuple[str, ...]] = None
+    #: Default DSL program name applied to this spec's study requests
+    #: (individual :class:`StudyRequest.program` pins still win); the
+    #: runner's ``--program`` overrides this default at run time.
+    program: Optional[str] = None
     knobs: Mapping[str, Any] = field(default_factory=dict)
     #: False for experiments whose results do not depend on the module
     #: selection (static tables, SPICE circuit studies); the runner
@@ -150,13 +165,15 @@ class ExperimentSpec:
         modules: Optional[Sequence[str]] = None,
         scale: Optional[StudyScale] = None,
         seed: int = 0,
+        program: Optional[str] = None,
     ) -> Tuple[ResolvedStudy, ...]:
         """The exact campaigns one invocation will fetch, in declaration
         order. This is what preload planning and the drift-guard test
         consume."""
         resolved_modules = self.resolve_modules(modules)
+        effective_program = program if program is not None else self.program
         return tuple(
-            request.resolve(resolved_modules, scale, seed)
+            request.resolve(resolved_modules, scale, seed, effective_program)
             for request in self.studies
         )
 
@@ -191,6 +208,7 @@ class ExperimentSpec:
         modules: Optional[Sequence[str]] = None,
         scale: Optional[StudyScale] = None,
         seed: int = 0,
+        program: Optional[str] = None,
         **overrides: Any,
     ) -> ExperimentOutput:
         """Run the experiment: resolve knobs and modules, fetch the
@@ -200,7 +218,9 @@ class ExperimentSpec:
         resolved_modules = self.resolve_modules(modules)
         studies = tuple(
             resolved.fetch()
-            for resolved in self.resolved_studies(modules, scale, seed)
+            for resolved in self.resolved_studies(
+                modules, scale, seed, program
+            )
         )
         output = ExperimentOutput(
             experiment_id=self.id,

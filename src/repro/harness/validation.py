@@ -59,6 +59,25 @@ def validate_tests(tests: Sequence[str]) -> Tuple[str, ...]:
     return tuple(tests)
 
 
+def validate_program(name: Optional[str]) -> Optional[str]:
+    """Check a DSL program name against the program registry.
+
+    None (no program requested) passes through. Imported lazily for the
+    same reason as :func:`validate_experiments` -- front ends that never
+    see a ``--program`` should not pay the import.
+    """
+    if name is None:
+        return None
+    from repro.progdsl import is_known_program, program_names
+
+    if not is_known_program(name):
+        raise ConfigurationError(
+            f"unknown program id(s): {name}"
+            + "; available: " + ", ".join(program_names())
+        )
+    return name
+
+
 def validate_experiments(ids: Sequence[str]) -> Tuple[str, ...]:
     """Check every experiment id against the registry.
 

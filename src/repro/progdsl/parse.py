@@ -1,0 +1,154 @@
+"""Parser for the DRAM-program DSL's canonical text form.
+
+The grammar is deliberately small -- line-oriented ``key value...``
+statements, ``#`` comments, and blank lines (see ``docs/PROGRAMS.md``
+for the full grammar).  :meth:`ProgramSpec.canonical` emits this form
+deterministically, and the round-trip ``spec -> canonical -> parse``
+is pinned to the identity by ``tests/progdsl/test_roundtrip.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.progdsl.spec import ProgramSpec
+
+_HAMMER_KEYS = frozenset(
+    {"aggressors", "decoys", "rounds", "refresh",
+     "aggressor-data", "decoy-data"}
+)
+_RETENTION_KEYS = frozenset({"windows", "iterations"})
+
+
+def _parse_offsets(key: str, operands: List[str], line_no: int) -> Tuple[int, ...]:
+    offsets = []
+    for token in operands:
+        try:
+            offsets.append(int(token, 10))
+        except ValueError:
+            raise ConfigurationError(
+                f"line {line_no}: {key} operand {token!r} is not an "
+                f"integer offset"
+            ) from None
+    return tuple(offsets)
+
+
+def _parse_int(key: str, operands: List[str], line_no: int) -> int:
+    if len(operands) != 1:
+        raise ConfigurationError(
+            f"line {line_no}: {key} takes exactly one operand"
+        )
+    try:
+        return int(operands[0], 10)
+    except ValueError:
+        raise ConfigurationError(
+            f"line {line_no}: {key} operand {operands[0]!r} is not an "
+            f"integer"
+        ) from None
+
+
+def _parse_flag(key: str, operands: List[str], line_no: int) -> bool:
+    if len(operands) != 1 or operands[0] not in ("on", "off"):
+        raise ConfigurationError(
+            f"line {line_no}: {key} must be 'on' or 'off'"
+        )
+    return operands[0] == "on"
+
+
+def _parse_word(key: str, operands: List[str], line_no: int) -> str:
+    if len(operands) != 1:
+        raise ConfigurationError(
+            f"line {line_no}: {key} takes exactly one operand"
+        )
+    return operands[0]
+
+
+def _parse_windows(operands: List[str], line_no: int) -> Tuple[float, ...]:
+    windows = []
+    for token in operands:
+        try:
+            windows.append(float(token))
+        except ValueError:
+            raise ConfigurationError(
+                f"line {line_no}: windows operand {token!r} is not a "
+                f"number (seconds)"
+            ) from None
+    return tuple(windows)
+
+
+def parse_program(text: str) -> ProgramSpec:
+    """Parse one program's DSL text into a validated
+    :class:`ProgramSpec`.
+
+    Raises :class:`repro.errors.ConfigurationError` on malformed input
+    (unknown statement, duplicate statement, missing ``program`` /
+    ``kind`` header, operands of the wrong shape) and propagates the
+    spec's own semantic validation errors.
+    """
+    statements: Dict[str, Tuple[List[str], int]] = {}
+    order: List[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        key, operands = tokens[0], tokens[1:]
+        if key in statements:
+            raise ConfigurationError(
+                f"line {line_no}: duplicate statement {key!r}"
+            )
+        statements[key] = (operands, line_no)
+        order.append(key)
+
+    if not order:
+        raise ConfigurationError("empty program text")
+    if order[0] != "program":
+        raise ConfigurationError(
+            "program text must start with a 'program <name>' statement"
+        )
+
+    operands, line_no = statements.pop("program")
+    name = _parse_word("program", operands, line_no)
+
+    kind = "hammer"
+    if "kind" in statements:
+        operands, line_no = statements.pop("kind")
+        kind = _parse_word("kind", operands, line_no)
+
+    allowed = _HAMMER_KEYS if kind == "hammer" else _RETENTION_KEYS
+    unknown = sorted(set(statements) - allowed)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown statement(s) for kind {kind!r}: {', '.join(unknown)}"
+        )
+
+    fields: Dict[str, object] = {"name": name, "kind": kind}
+    if "aggressors" in statements:
+        operands, line_no = statements["aggressors"]
+        fields["aggressors"] = _parse_offsets("aggressors", operands, line_no)
+    if "decoys" in statements:
+        operands, line_no = statements["decoys"]
+        fields["decoys"] = _parse_offsets("decoys", operands, line_no)
+    if "rounds" in statements:
+        operands, line_no = statements["rounds"]
+        fields["rounds"] = _parse_int("rounds", operands, line_no)
+    if "refresh" in statements:
+        operands, line_no = statements["refresh"]
+        fields["refresh"] = _parse_flag("refresh", operands, line_no)
+    if "aggressor-data" in statements:
+        operands, line_no = statements["aggressor-data"]
+        fields["aggressor_data"] = _parse_word(
+            "aggressor-data", operands, line_no
+        )
+    if "decoy-data" in statements:
+        operands, line_no = statements["decoy-data"]
+        fields["decoy_data"] = _parse_word("decoy-data", operands, line_no)
+    if "windows" in statements:
+        operands, line_no = statements["windows"]
+        fields["windows"] = _parse_windows(operands, line_no)
+    if "iterations" in statements:
+        operands, line_no = statements["iterations"]
+        fields["iterations"] = _parse_int("iterations", operands, line_no)
+
+    return ProgramSpec(**fields)  # type: ignore[arg-type]

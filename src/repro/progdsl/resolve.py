@@ -1,0 +1,82 @@
+"""Row resolution: program offsets -> logical aggressor/decoy rows.
+
+A :class:`ProgramSpec` names aggressors and decoys by *physical*
+distance from the victim (the coupling geometry the paper reasons in);
+real modules scramble the interface addresses, so each offset is pushed
+through the module's logical<->physical row mapping before any command
+touches the bank.
+
+Edge behaviour mirrors :meth:`RowMapping.physical_neighbors`: offsets
+that fall off either end of the bank are dropped, so an edge victim of
+a double-sided program degenerates to single-sided exactly like the
+pre-DSL schedule did.  A program whose *every* aggressor falls off the
+edge cannot run and raises :class:`AnalysisError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.dram.mapping import RowMapping
+from repro.errors import AnalysisError
+from repro.progdsl.spec import ProgramSpec
+
+
+@dataclass(frozen=True)
+class ResolvedProgram:
+    """A hammer program's spec pinned to one victim row on one mapping.
+
+    ``decoy_rows``/``aggressor_rows`` are *logical* interface addresses
+    in spec-offset order (after dropping out-of-bank offsets); the
+    initialization order of the emitted command stream -- and therefore
+    the damage-term order of the lowered kernels -- is decoys first,
+    then aggressors, matching :meth:`rows`.
+    """
+
+    spec: ProgramSpec
+    victim: int
+    decoy_rows: Tuple[int, ...]
+    aggressor_rows: Tuple[int, ...]
+
+    @property
+    def rows(self) -> Tuple[int, ...]:
+        """All non-victim rows in initialization order."""
+        return self.decoy_rows + self.aggressor_rows
+
+
+def _map_offsets(
+    offsets: Tuple[int, ...], victim_physical: int, mapping: RowMapping
+) -> Tuple[int, ...]:
+    rows = []
+    for offset in offsets:
+        candidate = victim_physical + offset
+        if 0 <= candidate < mapping.num_rows:
+            rows.append(mapping.to_logical(candidate))
+    return tuple(rows)
+
+
+def resolve_rows(
+    spec: ProgramSpec, mapping: RowMapping, victim_row: int
+) -> ResolvedProgram:
+    """Resolve a hammer spec's physical offsets against ``mapping`` for
+    the given logical victim row."""
+    if spec.kind != "hammer":
+        raise AnalysisError(
+            f"cannot resolve rows for {spec.kind!r} program {spec.name!r}"
+        )
+    victim_physical = mapping.to_physical(victim_row)
+    aggressor_rows = _map_offsets(spec.aggressors, victim_physical, mapping)
+    if not aggressor_rows:
+        raise AnalysisError(
+            f"program {spec.name!r}: no aggressor offsets of "
+            f"{spec.aggressors} are in-bank for victim row {victim_row} "
+            f"(physical {victim_physical}, {mapping.num_rows} rows)"
+        )
+    decoy_rows = _map_offsets(spec.decoys, victim_physical, mapping)
+    return ResolvedProgram(
+        spec=spec,
+        victim=victim_row,
+        decoy_rows=decoy_rows,
+        aggressor_rows=aggressor_rows,
+    )

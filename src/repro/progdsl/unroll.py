@@ -1,0 +1,55 @@
+"""ACT-stream unrolling: hammer count -> per-round burst schedule.
+
+A hammer program splits its total per-aggressor hammer count across
+``rounds`` bursts, deterministic largest-remainder (``count // rounds``
+each, the first ``count % rounds`` bursts taking one extra, so the
+bursts always sum to the requested count).  Refresh-interleaved
+programs issue one REF after every burst -- the pre-DSL TRR demo's
+ordering, where the trailing REF gives the in-DRAM tracker its final
+chance to heal the last burst's victims.
+
+Because the schedule is a pure function of ``(spec, hammer_count)``,
+the unrolled op stream is also the object the round-trip property test
+compares: ``unroll(spec, hc) == unroll(parse(canonical(spec)), hc)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.progdsl.spec import ProgramSpec
+
+
+def round_counts(hammer_count: int, rounds: int) -> Tuple[int, ...]:
+    """Split ``hammer_count`` activations across ``rounds`` bursts,
+    largest-remainder first.  ``sum(round_counts(hc, r)) == hc`` always;
+    zero-count bursts are kept (they are exact no-ops on every engine
+    tier, preserving bit-identity of the replayed session schedule)."""
+    if hammer_count < 0:
+        raise ConfigurationError(
+            f"hammer_count must be >= 0, got {hammer_count}"
+        )
+    if rounds < 1:
+        raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+    base, extra = divmod(hammer_count, rounds)
+    return tuple(base + (1 if i < extra else 0) for i in range(rounds))
+
+
+def unroll_schedule(
+    spec: ProgramSpec, hammer_count: int
+) -> Tuple[Tuple, ...]:
+    """The program's deterministic op stream for one probe, as
+    ``("hammer", count)`` / ``("ref",)`` tuples in execution order.
+    Row-independent: resolution binds the rows, this binds the bursts.
+    """
+    if spec.kind != "hammer":
+        raise ConfigurationError(
+            f"cannot unroll {spec.kind!r} program {spec.name!r}"
+        )
+    ops = []
+    for count in round_counts(hammer_count, spec.rounds):
+        ops.append(("hammer", count))
+        if spec.refresh:
+            ops.append(("ref",))
+    return tuple(ops)

@@ -30,7 +30,7 @@ from repro.core.serialization import save_study
 from repro.core.study import TEST_TYPES
 from repro.errors import ConfigurationError
 from repro.harness.cache import BENCH_MODULES
-from repro.harness.validation import validate_modules
+from repro.harness.validation import validate_modules, validate_program
 from repro.obs import ProgressReporter, build_provenance, clock
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
@@ -87,8 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0,
                         help="root campaign seed (default 0)")
     parser.add_argument(
-        "--probe-engine", choices=("batch", "fast", "command"), default=None,
+        "--probe-engine", choices=("fused", "batch", "fast", "command"),
+        default=None,
         help="probe engine override (default: REPRO_PROBE_ENGINE or batch)",
+    )
+    parser.add_argument(
+        "--program", default=None, metavar="NAME",
+        help="registered DRAM-program DSL name the probe schedules run "
+             "through (default: the paper's schedules); see "
+             "docs/PROGRAMS.md",
     )
     parser.add_argument(
         "--workers", type=int, default=0, metavar="N",
@@ -181,6 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         validate_modules(args.modules)
+        validate_program(args.program)
         scripted = _parse_fault_script(args.fault_script)
         fault_plan = None
         if scripted or args.fault_rate > 0:
@@ -219,6 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     ),
                     telemetry=telemetry,
                     progress=progress,
+                    program=args.program,
                 )
                 outcome = service.run(resume=args.resume)
         finally:

@@ -45,12 +45,15 @@ def campaign_fingerprint(
     seed: int,
     probe_engine: str,
     chunks_per_module: Optional[int],
+    program: Optional[str] = None,
 ) -> str:
     """Content fingerprint of an orchestrated-campaign request.
 
     Everything that can change the merged result -- or the unit
     decomposition -- participates, so checkpoints from a different
-    request never get merged together.
+    request never get merged together. A non-default DSL program
+    contributes its name-normalized schedule; the default leaves the
+    payload identical to a pre-DSL request.
     """
     payload = {
         "service_schema": SERVICE_SCHEMA_VERSION,
@@ -62,6 +65,12 @@ def campaign_fingerprint(
         "probe_engine": probe_engine,
         "chunks_per_module": chunks_per_module,
     }
+    if program is not None:
+        from repro.progdsl import compile_program
+
+        compiled = compile_program(program)
+        if not compiled.is_default:
+            payload["program"] = compiled.spec.schedule_key()
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 

@@ -45,15 +45,19 @@ def plan_units(
     scale: StudyScale = None,
     tests: Sequence[str] = TEST_TYPES,
     chunks_per_module: Optional[int] = None,
+    program: Optional[str] = None,
 ) -> List[WorkUnit]:
     """Decompose a campaign into independent work units.
 
     Rows are the scale's standard sample (what a sequential
     ``run_module`` would visit), partitioned into at most
     ``chunks_per_module`` (default: the scale's ``row_chunks``)
-    gap-separated chunks. Units are ordered by module (in the given
-    order) then chunk index.
+    gap-separated chunks -- the gap widened to the DSL ``program``'s
+    coupling reach when one is selected. Units are ordered by module
+    (in the given order) then chunk index.
     """
+    from repro.progdsl import program_chunk_gap
+
     scale = scale or StudyScale.bench()
     tests = tuple(tests)
     for test in tests:
@@ -72,7 +76,8 @@ def plan_units(
             mapping.num_rows, scale.rows_per_module, scale.row_chunks
         )
         chunks = plan_row_chunks(
-            rows, mapping, chunks_per_module or scale.row_chunks
+            rows, mapping, chunks_per_module or scale.row_chunks,
+            gap=program_chunk_gap(program),
         )
         for index, chunk in enumerate(chunks):
             units.append(

@@ -88,14 +88,14 @@ def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float, Dict]:
     delta only across true process boundaries -- in inline mode the
     increments already landed in this process's registry.
     """
-    module, rows, tests, scale, seed, probe_engine, fault_spec, \
+    module, rows, tests, scale, seed, probe_engine, program, fault_spec, \
         state_handle = job
     injector = FaultInjector(fault_spec) if fault_spec is not None else None
     state = _attach_state(state_handle)
     try:
         study = CharacterizationStudy(
             scale=scale, seed=seed, probe_engine=probe_engine,
-            fault_injector=injector, device_state=state,
+            fault_injector=injector, device_state=state, program=program,
         )
         baseline = REGISTRY.snapshot()
         started = clock.monotonic()
@@ -172,6 +172,13 @@ class CampaignService:
         change the merged study. ``None`` (default) disables the
         reaper; inline mode ignores it (a hung inline unit shares our
         process and cannot be reaped).
+    program:
+        Optional registered DSL program name (:mod:`repro.progdsl`)
+        every worker's study runs its probe schedules through; chunk
+        planning widens its gap to the program's coupling reach, and
+        the campaign fingerprint (hence checkpoint identity)
+        incorporates the canonicalized schedule. None (and any
+        structurally-default program) is the paper's schedule.
     """
 
     def __init__(
@@ -192,7 +199,11 @@ class CampaignService:
         progress: Optional[Callable[[str], None]] = None,
         shared_state: bool = True,
         unit_timeout: Optional[float] = None,
+        program: Optional[str] = None,
     ):
+        from repro.progdsl import compile_program
+
+        compile_program(program)  # fail fast on unknown program names
         if max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1: {max_attempts}"
@@ -219,12 +230,14 @@ class CampaignService:
         self.fault_plan = fault_plan
         self.shared_state = shared_state
         self.unit_timeout = unit_timeout
+        self.program = program
         self._device_states: Dict[str, object] = {}
         self.telemetry = telemetry or TelemetryLog()
         self._progress = progress or (lambda message: None)
         self.fingerprint = campaign_fingerprint(
             self.tests, self.modules, self.scale, self.seed,
             self.probe_engine, self.chunks_per_module,
+            program=self.program,
         )
         if checkpoint_base:
             checkpoint_dir = campaign_dir(checkpoint_base, self.fingerprint)
@@ -246,7 +259,8 @@ class CampaignService:
         """
         started = clock.monotonic()
         units = plan_units(
-            self.modules, self.scale, self.tests, self.chunks_per_module
+            self.modules, self.scale, self.tests, self.chunks_per_module,
+            program=self.program,
         )
         metrics = CampaignMetrics(units_planned=len(units))
         unit_metrics = {
@@ -336,6 +350,7 @@ class CampaignService:
             "seed": self.seed,
             "probe_engine": self.probe_engine,
             "chunks_per_module": self.chunks_per_module,
+            "program": self.program,
             "created": clock.wall(),
         }
 
@@ -346,7 +361,7 @@ class CampaignService:
         state = self._device_states.get(unit.module)
         return (
             unit.module, unit.rows, unit.tests, self.scale, self.seed,
-            self.probe_engine, spec,
+            self.probe_engine, self.program, spec,
             state.handle if state is not None else None,
         )
 

@@ -95,18 +95,42 @@ class Program:
             Instruction(Opcode.WRITE_ROW, bank=bank, row=row, data=np.asarray(bits))
         )
 
+    def hammer(self, bank: int, rows: Sequence[int], count: int) -> int:
+        """``count`` alternating ACT/PRE cycles per row, interleaved
+        round-robin over ``rows`` -- the general n-sided hammer burst
+        the program DSL lowers to (:mod:`repro.progdsl`)."""
+        if len(rows) == 0:
+            raise ProgramError("hammer requires at least one aggressor row")
+        return self._append(
+            Instruction(Opcode.HAMMER, bank=bank, rows=tuple(rows), count=count)
+        )
+
     def hammer_doublesided(
         self, bank: int, aggressors: Sequence[int], count: int
     ) -> int:
         """``hammer_doublesided`` of Alg. 1: ``count`` alternating
         ACT/PRE cycles per aggressor row."""
-        if len(aggressors) == 0:
-            raise ProgramError("double-sided hammer requires aggressor rows")
-        return self._append(
-            Instruction(
-                Opcode.HAMMER, bank=bank, rows=tuple(aggressors), count=count
-            )
-        )
+        return self.hammer(bank, aggressors, count)
+
+    def hammer_rounds(
+        self,
+        bank: int,
+        rows: Sequence[int],
+        counts: Sequence[int],
+        refresh: bool = False,
+    ) -> int:
+        """A burst schedule: one hammer burst per entry of ``counts``,
+        each followed by a REF when ``refresh`` is set (the ordering TRR
+        trackers see from a refresh-compliant controller). This is the
+        only sanctioned way to build multi-burst hammer schedules by
+        hand -- ``make lint`` rejects ad-hoc hammer/REF loops elsewhere;
+        prefer a registered :mod:`repro.progdsl` program."""
+        index = len(self.instructions) - 1
+        for count in counts:
+            index = self.hammer(bank, rows, count)
+            if refresh:
+                index = self.ref()
+        return index
 
     def read_row(self, bank: int, row: int) -> int:
         """ACT + all-column RD + PRE; the index keys the row's read bits."""

@@ -45,12 +45,13 @@ def test_declared_studies_match_actual_fetches(monkeypatch, tiny_scale):
     real_get_study = cache.get_study
 
     def recorder(tests, modules=cache.BENCH_MODULES, scale=None, seed=0,
-                 use_disk=None):
+                 use_disk=None, program=None):
         fetched.append(
-            (tuple(sorted(tests)), tuple(sorted(modules)), scale, seed)
+            (tuple(sorted(tests)), tuple(sorted(modules)), scale, seed,
+             cache._program_key(program))
         )
         return real_get_study(tests, modules=modules, scale=scale,
-                              seed=seed, use_disk=use_disk)
+                              seed=seed, use_disk=use_disk, program=program)
 
     monkeypatch.setattr(cache, "get_study", recorder)
     for spec in all_specs().values():

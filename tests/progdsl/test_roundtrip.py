@@ -1,0 +1,184 @@
+"""Program-DSL spec/parse/unroll round-trip properties.
+
+The canonical text form is the identity the fingerprint layer hashes
+(via ``schedule_key``), so ``spec -> canonical() -> parse_program`` must
+be the identity -- and the unrolled burst schedule, being a pure
+function of the spec, must survive the trip bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.progdsl import (
+    ProgramSpec,
+    parse_program,
+    program_names,
+    get_program,
+    round_counts,
+    unroll_schedule,
+)
+
+_offsets = st.lists(
+    st.integers(min_value=-4, max_value=4).filter(lambda o: o != 0),
+    min_size=1, max_size=5, unique=True,
+)
+
+
+@st.composite
+def hammer_specs(draw):
+    offsets = draw(
+        st.lists(
+            st.integers(min_value=-5, max_value=5).filter(lambda o: o != 0),
+            min_size=1, max_size=8, unique=True,
+        )
+    )
+    split = draw(st.integers(min_value=1, max_value=len(offsets)))
+    aggressors, decoys = tuple(offsets[:split]), tuple(offsets[split:])
+    return ProgramSpec(
+        name=draw(st.sampled_from(("p", "my-program", "p2.x"))),
+        aggressors=aggressors,
+        decoys=decoys,
+        rounds=draw(st.integers(min_value=1, max_value=64)),
+        refresh=draw(st.booleans()),
+        aggressor_data=draw(st.sampled_from(("victim", "inverse"))),
+        decoy_data=draw(st.sampled_from(("victim", "inverse"))),
+    )
+
+
+@st.composite
+def retention_specs(draw):
+    windows = draw(
+        st.none() | st.lists(
+            st.floats(min_value=0.001, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=6, unique=True,
+        ).map(lambda ws: tuple(sorted(ws)))
+    )
+    return ProgramSpec(
+        name="ladder-x",
+        kind="retention",
+        windows=windows,
+        iterations=draw(st.none() | st.integers(min_value=1, max_value=9)),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(spec=hammer_specs(), hc=st.integers(min_value=0, max_value=500_000))
+    def test_hammer_spec_round_trips(self, spec, hc):
+        parsed = parse_program(spec.canonical())
+        assert parsed == spec
+        assert parsed.schedule_key() == spec.schedule_key()
+        assert unroll_schedule(parsed, hc) == unroll_schedule(spec, hc)
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=retention_specs())
+    def test_retention_spec_round_trips(self, spec):
+        parsed = parse_program(spec.canonical())
+        assert parsed == spec
+        assert parsed.schedule_key() == spec.schedule_key()
+
+    def test_registered_programs_round_trip(self):
+        for name in program_names():
+            spec = get_program(name)
+            assert parse_program(spec.canonical()) == spec
+
+
+class TestRoundCounts:
+    @settings(max_examples=200, deadline=None)
+    @given(hc=st.integers(min_value=0, max_value=1_000_000),
+           rounds=st.integers(min_value=1, max_value=128))
+    def test_counts_partition_the_total(self, hc, rounds):
+        counts = round_counts(hc, rounds)
+        assert len(counts) == rounds
+        assert sum(counts) == hc
+        assert max(counts) - min(counts) <= 1
+        assert sorted(counts, reverse=True) == list(counts)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            round_counts(-1, 4)
+        with pytest.raises(ConfigurationError):
+            round_counts(100, 0)
+
+
+class TestUnroll:
+    def test_refresh_program_refs_after_every_burst(self):
+        spec = ProgramSpec(name="r", rounds=3, refresh=True)
+        assert unroll_schedule(spec, 7) == (
+            ("hammer", 3), ("ref",),
+            ("hammer", 2), ("ref",),
+            ("hammer", 2), ("ref",),
+        )
+
+    def test_plain_program_is_one_burst(self):
+        spec = ProgramSpec(name="p")
+        assert unroll_schedule(spec, 300_000) == (("hammer", 300_000),)
+
+    def test_retention_specs_do_not_unroll(self):
+        spec = ProgramSpec(name="l", kind="retention")
+        with pytest.raises(ConfigurationError):
+            unroll_schedule(spec, 100)
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "kind hammer\nprogram late\n",           # header not first
+        "program p\nprogram q\n",                # duplicate statement
+        "program p\nwobble 3\n",                 # unknown statement
+        "program p\nwindows 0.064\n",            # retention key on hammer
+        "program p\nkind retention\nrounds 2\n",  # hammer key on retention
+        "program p\naggressors one two\n",       # non-integer offsets
+        "program p\nrefresh maybe\n",            # bad flag
+        "program p\nrounds 1 2\n",               # operand arity
+        "program two words\n",                   # name arity
+    ])
+    def test_malformed_text_is_a_configuration_error(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_program(text)
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        text = (
+            "# a four-sided pattern\n"
+            "program commented\n"
+            "\n"
+            "aggressors -2 -1 +1 +2   # distance 1 and 2\n"
+        )
+        spec = parse_program(text)
+        assert spec.aggressors == (-2, -1, 1, 2)
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"aggressors": ()},
+        {"aggressors": (0,)},
+        {"aggressors": (1, 1)},
+        {"aggressors": (1,), "decoys": (1,)},
+        {"rounds": 0},
+        {"aggressor_data": "random"},
+        {"kind": "anneal"},
+        {"name": "has space"},
+        {"name": ""},
+        {"windows": (0.1,)},                      # retention-only field
+        {"kind": "retention", "rounds": 2},
+        {"kind": "retention", "windows": ()},
+        {"kind": "retention", "windows": (0.2, 0.1)},
+        {"kind": "retention", "iterations": 0},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        base = {"name": "x"}
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            ProgramSpec(**base)
+
+    def test_schedule_key_excludes_the_name(self):
+        spec = get_program("quad-sided")
+        assert spec.renamed("other").schedule_key() == spec.schedule_key()
+
+    def test_default_schedule_detection(self):
+        assert get_program("double-sided").is_default_schedule()
+        assert not get_program("single-sided").is_default_schedule()
+        assert not ProgramSpec(name="d", rounds=2).is_default_schedule()
