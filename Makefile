@@ -25,6 +25,10 @@ dsl-smoke:
 test: lint
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
+# Where bench-smoke writes the API load-smoke record (CI points this
+# into its artifact directory so the run uploads as a workflow artifact).
+BENCH_SMOKE_OUT ?= /tmp/BENCH_service_smoke.json
+
 # Perf trajectory: hot-primitive micro-benchmarks plus the probe-kernel
 # benchmark, which writes benchmarks/BENCH_probe.json (probes/sec and
 # campaign wall-clock for the batched and command engines), plus the
@@ -48,8 +52,9 @@ bench-check:
 # deterministic served-study-vs-direct-run gate.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py --smoke
+	mkdir -p $(dir $(BENCH_SMOKE_OUT))
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_service_load.py --smoke \
-		--out /tmp/BENCH_service_smoke.json
+		--out $(BENCH_SMOKE_OUT)
 
 # One-module orchestrated campaign with one injected bench fault:
 # asserts the retry succeeds, the JSON-lines event log parses, and the
@@ -72,10 +77,13 @@ api-smoke:
 
 # Tiny traced campaign validating every observability surface against
 # the schemas in docs/OBSERVABILITY.md: Chrome-trace JSON (nested
-# spans), Prometheus text exposition, ts+mono telemetry events, and
-# the study provenance disk round trip.
+# spans), Prometheus text exposition, ts+mono telemetry events, the
+# study provenance disk round trip, and the stitched cross-process
+# trace of an API-submitted pooled job. Set OBS_SMOKE_ARTIFACTS to a
+# directory to also write the traces + metrics text for CI upload.
 obs-smoke:
-	$(PYTHON) benchmarks/obs_smoke.py
+	$(PYTHON) benchmarks/obs_smoke.py \
+		$(if $(OBS_SMOKE_ARTIFACTS),--artifacts $(OBS_SMOKE_ARTIFACTS))
 
 # Every artifact-regeneration benchmark (slow).
 bench-all:

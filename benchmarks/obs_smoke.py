@@ -15,15 +15,23 @@ validates every surface of the unified observability layer
 * telemetry events carry both the ``ts`` (wall) and ``mono``
   (duration-safe) timestamps;
 * the study JSON written through the disk cache carries a
-  schema-valid provenance block that survives a cache-hit round trip.
+  schema-valid provenance block that survives a cache-hit round trip;
+* an API-submitted pooled job yields ONE stitched cross-process trace:
+  the same trace id from HTTP admission (``api.admission``) through the
+  worker thread (``api.job``), the orchestrator (``campaign``) and the
+  pool workers' ``work-unit`` spans, with flow events over the queue
+  hop and per-tenant SLO histograms on the exposition.
 
-Exits non-zero on any violation.
+Exits non-zero on any violation. ``--artifacts DIR`` additionally
+copies the Chrome traces (inline + stitched) and the Prometheus text
+into DIR for CI upload.
 
 Run:  PYTHONPATH=src python benchmarks/obs_smoke.py
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import re
@@ -185,7 +193,92 @@ def validate_cache_provenance(tmp: str, scale: StudyScale) -> None:
     print("  provenance: schema-valid, disk round trip OK")
 
 
-def main() -> int:
+def validate_stitched_api_trace(tmp: str) -> dict:
+    """An API-submitted ``workers: 2`` job must produce one stitched
+    trace spanning HTTP admission -> orchestrator -> pool workers."""
+    from repro.api.jobs import run_job
+    from repro.api.server import ApiServer
+    from repro.obs import context as obs_context
+
+    TRACER.reset()
+    TRACER.label = "repro.api coordinator"
+    TRACER.enable()
+    obs_context.clear_fragments()
+    api = ApiServer(
+        os.path.join(tmp, "store"), os.path.join(tmp, "state"), workers=1
+    )
+    status, document = api.handle("POST", "/v1/jobs", {}, {
+        "modules": [MODULE], "tests": list(TESTS), "scale": "tiny",
+        "seed": SEED, "workers": 2,
+    }, "smoke")
+    check(status == 202, f"job submission failed: {document}")
+    trace_id = document["job"]["trace"]["trace_id"]
+    check(bool(trace_id), "admitted job carries no trace id")
+    job = api.queue.pop(timeout=1.0)
+    check(job is not None, "submitted job never became poppable")
+    run_job(job, api.store, api.checkpoint_base,
+            flight_base=api.flight_base)
+    check(job.state == "completed", f"api job failed: {job.error}")
+    status, payload = api.handle(
+        "GET", f"/v1/jobs/{job.id}/trace", {}, None, "smoke"
+    )
+    check(status == 200, f"trace endpoint failed: {payload}")
+    stitched = payload["trace"]
+    slices = [e for e in stitched["traceEvents"] if e["ph"] == "X"]
+    names = {e["name"] for e in slices}
+    expected = {"api.admission", "api.job", "campaign", "work-unit"}
+    check(expected <= names,
+          f"stitched trace misses spans: {sorted(expected - names)}")
+    trace_ids = {e["args"].get("trace") for e in slices}
+    check(trace_ids == {trace_id},
+          f"stitched trace mixes trace ids: {trace_ids}")
+    pids = {e["pid"] for e in slices}
+    check(len(pids) >= 2,
+          "stitched trace has a single process lane (no worker spans)")
+    flows = [
+        e for e in stitched["traceEvents"]
+        if e.get("cat") == "repro.flow"
+    ]
+    check(bool(flows), "no cross-process flow events over the queue hop")
+    text = REGISTRY.prometheus_text()
+    for needle in (
+        'repro_api_queue_wait_seconds_bucket{tenant="smoke"',
+        'repro_api_job_seconds_count{tenant="smoke"',
+    ):
+        check(needle in text,
+              f"per-tenant SLO series missing from /metrics: {needle}")
+    TRACER.disable()
+    obs_context.clear_fragments()
+    print(f"  stitched: one trace ({trace_id[:8]}...) across "
+          f"{len(pids)} processes, {len(flows) // 2} queue-hop flows, "
+          "per-tenant SLO series exposed")
+    return stitched
+
+
+def _emit_artifacts(directory, inline_trace_path, stitched) -> None:
+    os.makedirs(directory, exist_ok=True)
+    with open(inline_trace_path) as handle:
+        inline = handle.read()
+    with open(os.path.join(directory, "trace-inline.json"), "w") as out:
+        out.write(inline)
+    with open(
+        os.path.join(directory, "trace-stitched.json"), "w"
+    ) as out:
+        json.dump(stitched, out)
+    with open(os.path.join(directory, "metrics.prom"), "w") as out:
+        out.write(REGISTRY.prometheus_text())
+    print(f"  artifacts: trace-inline.json, trace-stitched.json, "
+          f"metrics.prom -> {directory}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="also write the Chrome traces and Prometheus text here "
+             "(CI uploads these as workflow artifacts)",
+    )
+    args = parser.parse_args(argv)
     scale = StudyScale.tiny()
     TRACER.reset()
     TRACER.enable()
@@ -205,7 +298,11 @@ def main() -> int:
         validate_prometheus(REGISTRY.prometheus_text())
         validate_events(events)
         validate_cache_provenance(tmp, scale)
-    print("obs smoke: trace + metrics + events + provenance OK")
+        stitched = validate_stitched_api_trace(tmp)
+        if args.artifacts:
+            _emit_artifacts(args.artifacts, trace_path, stitched)
+    print("obs smoke: trace + metrics + events + provenance + "
+          "stitched API trace OK")
     return 0
 
 

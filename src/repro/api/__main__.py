@@ -77,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiments", nargs="+", default=None, metavar="ID",
         help="allowlist: experiments jobs may expand (default: all)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help=(
+            "enable span tracing: every admitted job gets a trace "
+            "context and GET /v1/jobs/<id>/trace serves the stitched "
+            "cross-process Chrome trace"
+        ),
+    )
     return parser
 
 
@@ -107,6 +115,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ConfigurationError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.trace:
+        from repro.obs.trace import TRACER
+
+        TRACER.label = "repro.api server"
+        TRACER.enable()
     print(
         f"repro.api serving on http://{args.host}:{args.port} "
         f"(store: {args.store_dir}, state: {args.state_dir}, "

@@ -120,6 +120,16 @@ class ApiClient:
     def health(self) -> Dict[str, Any]:
         return self.request("GET", "/v1/healthz")
 
+    def ops(self) -> Dict[str, Any]:
+        """The ``GET /v1/ops`` operational rollup (queue depth,
+        per-tenant quota usage, worker liveness, flight recorder)."""
+        return self.request("GET", "/v1/ops")
+
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """``GET /v1/jobs/<id>/trace``: the stitched cross-process
+        Chrome-trace document for one job's trace id."""
+        return self.request("GET", f"/v1/jobs/{job_id}/trace")
+
     def metrics_text(self) -> str:
         """The server's ``/metrics`` Prometheus exposition."""
         return self.request("GET", "/metrics")

@@ -38,6 +38,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.probe import engine_selection
 from repro.core.scale import scale_preset
 from repro.core.study import TEST_TYPES
 from repro.errors import ConfigurationError, JobCancelledError
@@ -54,7 +55,10 @@ from repro.harness.validation import (
     validate_tests,
 )
 from repro.obs import clock
+from repro.obs import context as obs_context
+from repro.obs.flightrec import recent_dumps
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 from repro.service.checkpoint import MANIFEST_NAME, campaign_dir
 from repro.service.orchestrator import CampaignService
 from repro.service.telemetry import TelemetryLog
@@ -273,6 +277,12 @@ class Job:
     #: job actually ran the campaign, "resume" when checkpoints helped.
     cache: Optional[str] = None
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Trace context minted at admission (``{"trace_id", "span_id"}``);
+    #: the runner re-activates it so the whole campaign -- including
+    #: pool-worker spans -- parents under the admission span.
+    trace: Optional[Dict[str, Any]] = None
+    #: Flight-recorder dump paths collected when the job failed.
+    flightrec: List[str] = field(default_factory=list)
     #: Guards transitions; cancellation races job completion.
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -308,6 +318,8 @@ class Job:
             "fingerprint": self.fingerprint,
             "cache": self.cache,
             "metrics": self.metrics,
+            "trace": self.trace,
+            "flightrec": list(self.flightrec),
         }
 
     @classmethod
@@ -324,6 +336,8 @@ class Job:
             fingerprint=payload.get("fingerprint", ""),
             cache=payload.get("cache"),
             metrics=payload.get("metrics", {}),
+            trace=payload.get("trace"),
+            flightrec=list(payload.get("flightrec", ())),
         )
 
 
@@ -386,6 +400,7 @@ def run_job(
     job: Job,
     store: StudyStore,
     checkpoint_base: Optional[str] = None,
+    flight_base: Optional[str] = None,
 ) -> None:
     """Execute one job through the orchestrator, in the calling thread.
 
@@ -394,7 +409,48 @@ def run_job(
     fingerprint; a fingerprint already published short-circuits the
     whole campaign (the store is content-addressed -- running it again
     would produce identical bytes).
+
+    Observability: the trace context minted at admission (``job.trace``)
+    is re-activated around an ``api.job`` span, so the orchestrator's
+    campaign span -- and every pool worker's spans -- parent under the
+    submitting request. ``flight_base`` (when given) gets a per-job
+    flight-recorder directory whose dumps are listed in
+    ``job.flightrec`` if the job ends in an error state. The per-tenant
+    run-duration SLO histogram ``repro_api_job_seconds`` is observed at
+    every terminal transition, labeled by tenant and engine tier.
     """
+    started = clock.monotonic()
+    flight_dir = (
+        os.path.join(flight_base, job.id) if flight_base else None
+    )
+    ctx = obs_context.TraceContext.from_dict(job.trace)
+    try:
+        with obs_context.activate(ctx):
+            with TRACER.span("api.job", job=job.id, tenant=job.tenant,
+                             fingerprint=job.fingerprint):
+                _execute_job(job, store, checkpoint_base, flight_dir)
+    finally:
+        engine = job.spec.probe_engine or engine_selection()
+        REGISTRY.histogram(
+            "repro_api_job_seconds",
+            "job run duration (queue pop to terminal state) by tenant "
+            "and engine tier",
+            labels=("tenant", "engine"),
+        ).labels(tenant=job.tenant, engine=engine).observe(
+            clock.monotonic() - started
+        )
+        if flight_dir and job.error:
+            job.flightrec = [
+                dump["path"] for dump in recent_dumps(flight_dir)
+            ]
+
+
+def _execute_job(
+    job: Job,
+    store: StudyStore,
+    checkpoint_base: Optional[str],
+    flight_dir: Optional[str],
+) -> None:
     spec = job.spec
     telemetry = JobTelemetry(job.id)
     if store.contains(job.fingerprint):
@@ -418,6 +474,7 @@ def run_job(
         checkpoint_base=checkpoint_base,
         telemetry=telemetry,
         program=spec.program,
+        flight_dir=flight_dir,
     )
     resume = False
     if checkpoint_base:

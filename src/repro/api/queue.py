@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 from repro.api.jobs import CANCELLED, QUEUED, RUNNING, Job
 from repro.errors import QuotaExceededError
+from repro.obs import clock
 from repro.obs.metrics import REGISTRY
 
 #: Per-tenant cap on non-terminal jobs when none is configured.
@@ -81,6 +82,25 @@ class JobQueue:
             1 for job in self._jobs.values()
             if job.tenant == tenant and not job.terminal
         )
+
+    def tenants(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant rollup for ``GET /v1/ops``: active (the quota
+        basis), queued, running, total known, and the shared quota."""
+        with self._condition:
+            summary: Dict[str, Dict[str, int]] = {}
+            for job in self._jobs.values():
+                row = summary.setdefault(job.tenant, {
+                    "active": 0, "queued": 0, "running": 0, "jobs": 0,
+                    "quota": self.tenant_quota,
+                })
+                row["jobs"] += 1
+                if not job.terminal:
+                    row["active"] += 1
+                if job.state == QUEUED:
+                    row["queued"] += 1
+                elif job.state == RUNNING:
+                    row["running"] += 1
+            return summary
 
     # -- producers --------------------------------------------------------------
 
@@ -139,6 +159,14 @@ class JobQueue:
                         continue  # cancelled (or vanished) while queued
                     job.state = RUNNING
                     self._gauge()
+                    REGISTRY.histogram(
+                        "repro_api_queue_wait_seconds",
+                        "seconds a job waited queued before a worker "
+                        "popped it",
+                        labels=("tenant",),
+                    ).labels(tenant=job.tenant).observe(
+                        max(0.0, clock.wall() - job.created)
+                    )
                     return job
                 if self._closed:
                     return None

@@ -14,8 +14,11 @@ Routes (``docs/API.md`` is the full reference)::
     GET  /v1/jobs/<id>           poll one job               -> 200/404
     POST /v1/jobs/<id>/cancel    cancel (unit boundary)     -> 200/404/409
     GET  /v1/jobs/<id>/events    live telemetry (SSE)       -> 200/404
+    GET  /v1/jobs/<id>/trace     stitched Chrome trace      -> 200/404
     GET  /v1/studies/<fp>        fetch a study by           -> 200/404
                                  provenance fingerprint
+    GET  /v1/ops                 operational rollup         -> 200
+                                 (?format=html for a page)
     GET  /v1/healthz             liveness + config          -> 200
     GET  /metrics                Prometheus text            -> 200
 
@@ -36,11 +39,21 @@ Restart recovery: jobs persist under ``<state_dir>/jobs`` on every
 transition; a restarted server re-queues interrupted jobs, and the
 orchestrator's per-fingerprint checkpoints turn the re-run into a
 resume.
+
+Tracing: :meth:`ApiServer.submit` mints one
+:class:`~repro.obs.context.TraceContext` per admitted job and records
+an ``api.admission`` span under it (when the process tracer is
+enabled); the context rides the job record through the worker thread
+and the orchestrator's pool, so ``GET /v1/jobs/<id>/trace`` can return
+one stitched Chrome trace spanning HTTP admission to pool-worker probe
+batches. Flight-recorder dumps land under ``<state_dir>/flightrec/
+<job id>/`` and surface on ``GET /v1/ops``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import html
 import json
 import threading
 from collections import deque
@@ -59,8 +72,11 @@ from repro.api.queue import DEFAULT_TENANT_QUOTA, JobQueue
 from repro.errors import ConfigurationError, QuotaExceededError
 from repro.harness.store import StudyStore
 from repro.obs import clock
+from repro.obs import context as obs_context
 from repro.obs import events as obs_events
+from repro.obs.flightrec import recent_dumps
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 
 #: Default bind address/port of ``python -m repro.api``.
 DEFAULT_HOST = "127.0.0.1"
@@ -112,6 +128,7 @@ class ApiServer:
         self.store = StudyStore(store_dir)
         self.state = JobStateDir(state_dir)
         self.checkpoint_base = f"{state_dir.rstrip('/')}/checkpoints"
+        self.flight_base = f"{state_dir.rstrip('/')}/flightrec"
         self.queue = JobQueue(tenant_quota=tenant_quota)
         self.allowed_modules = (
             tuple(allowed_modules) if allowed_modules else None
@@ -170,7 +187,10 @@ class ApiServer:
             job.started = clock.wall()
             self.state.save(job)
             try:
-                run_job(job, self.store, self.checkpoint_base)
+                run_job(
+                    job, self.store, self.checkpoint_base,
+                    flight_base=self.flight_base,
+                )
             except Exception as error:  # noqa: BLE001 - job must terminate
                 job.state = FAILED
                 job.error = f"{type(error).__name__}: {error}"
@@ -204,12 +224,24 @@ class ApiServer:
     # -- request dispatch (sync; called from the async handler) -----------------
 
     def submit(self, payload: Dict, tenant: str) -> Tuple[int, Dict]:
-        spec = JobSpec.from_payload(
-            payload, self.allowed_modules, self.allowed_experiments
-        )
-        job = Job.create(spec, tenant)
-        self.queue.submit(job)
-        self.state.save(job)
+        # One trace per admitted job, minted here at the edge. The
+        # admission span (recorded only while the tracer is enabled)
+        # becomes the remote parent every downstream hop -- worker
+        # thread, orchestrator, pool workers -- re-parents under.
+        context = obs_context.new_context()
+        with obs_context.activate(context):
+            with TRACER.span("api.admission", tenant=tenant) as admission:
+                spec = JobSpec.from_payload(
+                    payload, self.allowed_modules, self.allowed_experiments
+                )
+                job = Job.create(spec, tenant)
+                admission.set(job=job.id)
+                job.trace = obs_context.TraceContext(
+                    trace_id=context.trace_id,
+                    span_id=admission.span_id,
+                ).to_dict()
+                self.queue.submit(job)
+                self.state.save(job)
         return 202, {"job": job.as_dict()}
 
     def handle(
@@ -242,6 +274,17 @@ class ApiServer:
                 if method != "POST":
                     return 405, {"error": "method not allowed"}
                 return self._cancel(parts[2])
+            if (
+                len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                and parts[3] == "trace"
+            ):
+                if method != "GET":
+                    return 405, {"error": "method not allowed"}
+                return self._job_trace(parts[2])
+            if path == "/v1/ops":
+                if method != "GET":
+                    return 405, {"error": "method not allowed"}
+                return 200, self.ops()
             if len(parts) == 3 and parts[:2] == ["v1", "studies"]:
                 if method != "GET":
                     return 405, {"error": "method not allowed"}
@@ -278,6 +321,93 @@ class ApiServer:
         self.state.save(job)
         return 200, {"job": job.as_dict()}
 
+    def _job_trace(self, job_id: str) -> Tuple[int, Dict]:
+        """One stitched Chrome trace filtered to the job's trace id."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return 404, {"error": f"unknown job {job_id!r}"}
+        trace_id = (job.trace or {}).get("trace_id")
+        if not trace_id:
+            return 404, {
+                "error": f"job {job_id} carries no trace context "
+                "(submitted before tracing was wired?)"
+            }
+        return 200, {
+            "job": job_id,
+            "trace_id": trace_id,
+            "trace": obs_context.stitched_trace(trace_id=trace_id),
+        }
+
+    def ops(self) -> Dict[str, Any]:
+        """The ``GET /v1/ops`` rollup: queue depth, per-tenant quota
+        usage, worker liveness, cache hit counters, tracing state and
+        recent flight-recorder dumps -- one glanceable document."""
+        jobs = self.queue.jobs()
+        by_state: Dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+        counters = REGISTRY.counter_values()
+        cache = {
+            name: value
+            for name, value in sorted(counters.items())
+            if "cache" in name
+        }
+        return {
+            "version": __version__,
+            "queue": {
+                "depth": self.queue.depth(),
+                "jobs_by_state": by_state,
+            },
+            "tenants": self.queue.tenants(),
+            "workers": {
+                "configured": self.workers,
+                "alive": sum(1 for t in self._threads if t.is_alive()),
+            },
+            "cache": cache,
+            "tracing": {
+                "enabled": TRACER.enabled,
+                "fragments": len(obs_context.fragments()),
+            },
+            "flight_recorder": {
+                "dir": self.flight_base,
+                "recent": recent_dumps(self.flight_base),
+            },
+            "recovered_jobs": self._recovered,
+            "studies": len(self.store.fingerprints()),
+        }
+
+    def _ops_html(self) -> str:
+        """Minimal human rendering of :meth:`ops` (``?format=html``)."""
+        doc = self.ops()
+        tenants = "".join(
+            f"<tr><td>{html.escape(name)}</td>"
+            f"<td>{row['active']}/{row['quota']}</td>"
+            f"<td>{row['queued']}</td><td>{row['running']}</td>"
+            f"<td>{row['jobs']}</td></tr>"
+            for name, row in sorted(doc["tenants"].items())
+        ) or '<tr><td colspan="5">no jobs yet</td></tr>'
+        dumps = "".join(
+            f"<li><code>{html.escape(str(dump['reason']))}</code> "
+            f"pid {dump['pid']} ({dump['entries']} entries)</li>"
+            for dump in doc["flight_recorder"]["recent"]
+        ) or "<li>none</li>"
+        tracing = "on" if doc["tracing"]["enabled"] else "off"
+        return (
+            "<!doctype html><title>repro ops</title>"
+            "<h1>repro.api ops</h1>"
+            f"<p>queue depth {doc['queue']['depth']} &middot; workers "
+            f"{doc['workers']['alive']}/{doc['workers']['configured']} "
+            f"alive &middot; tracing {tracing} &middot; "
+            f"{doc['studies']} studies published</p>"
+            "<h2>Tenants</h2>"
+            '<table border="1"><tr><th>tenant</th><th>active/quota</th>'
+            "<th>queued</th><th>running</th><th>total</th></tr>"
+            f"{tenants}</table>"
+            f"<h2>Flight-recorder dumps</h2><ul>{dumps}</ul>"
+            "<h2>Raw</h2>"
+            f"<pre>{html.escape(json.dumps(doc, indent=2))}</pre>"
+        )
+
     # -- asyncio front end ------------------------------------------------------
 
     async def serve(
@@ -312,6 +442,16 @@ class ApiServer:
                 return
             if path == "/metrics" and method == "GET":
                 self._respond_text(writer, 200, REGISTRY.prometheus_text())
+                status = 200
+                return
+            if path == "/v1/ops" and method == "GET" and (
+                query.get("format") == "html"
+                or "text/html" in headers.get("accept", "")
+            ):
+                self._write_body(
+                    writer, 200, self._ops_html().encode("utf-8"),
+                    "text/html; charset=utf-8",
+                )
                 status = 200
                 return
             payload = None
@@ -436,12 +576,21 @@ class ApiServer:
             b"Cache-Control: no-cache\r\n"
             b"Connection: close\r\n\r\n"
         )
+        lag = REGISTRY.histogram(
+            "repro_api_sse_lag_seconds",
+            "delay between a telemetry record's emission and its SSE "
+            "delivery",
+            labels=("tenant",),
+        ).labels(tenant=job.tenant)
         cursor = 0
         while True:
             records = self.job_events(job_id, cursor)
             for record in records:
                 data = json.dumps(record, sort_keys=True)
                 writer.write(f"data: {data}\n\n".encode("utf-8"))
+                emitted = record.get("ts")
+                if isinstance(emitted, (int, float)):
+                    lag.observe(max(0.0, clock.wall() - emitted))
             cursor += len(records)
             await writer.drain()
             if job.terminal and not self.job_events(job_id, cursor):

@@ -44,6 +44,7 @@ from repro.harness.validation import (
     validate_program,
 )
 from repro.obs import ProgressReporter, build_provenance, clock
+from repro.obs import context as obs_context
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 
@@ -255,62 +256,70 @@ def main(argv: Optional[List[str]] = None) -> int:
     reporter = ProgressReporter() if args.progress else None
     if reporter is not None:
         reporter.attach()
-    kwargs = {"seed": args.seed}
-    if args.modules:
-        kwargs["modules"] = tuple(args.modules)
-    if args.program:
-        kwargs["program"] = args.program
-    if args.parallel or args.orchestrate is not None:
-        plan = build_plan(
-            ids, modules=kwargs.get("modules"), seed=args.seed,
-            program=args.program,
-        )
-    if args.parallel:
-        if not plan:
-            print("no shared campaigns needed; skipping pre-run")
-        else:
-            print(f"pre-running the {plan.describe()} campaigns with "
-                  f"{args.parallel} workers...")
-            plan.preload_parallel(max_workers=args.parallel)
-    if args.orchestrate is not None:
-        if not plan:
-            print("no shared campaigns needed; skipping orchestration")
-        else:
-            from repro.service.telemetry import TelemetryLog
-
-            with TelemetryLog(args.events, resume=args.resume) as telemetry:
-                quarantined = plan.orchestrate(
-                    max_workers=args.orchestrate,
-                    checkpoint_base=args.service_dir,
-                    telemetry=telemetry, resume=args.resume,
-                )
-            if quarantined:
-                print(
-                    "warning: quarantined modules: "
-                    + ", ".join(quarantined),
-                    file=sys.stderr,
-                )
-    for experiment_id in ids:
-        started = clock.monotonic()
-        counters_before = REGISTRY.counter_values()
-        with TRACER.span("experiment", experiment=experiment_id):
-            output = run_experiment(experiment_id, **kwargs)
-        elapsed = clock.monotonic() - started
-        print(output.render())
-        print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
-        if args.out:
-            provenance = _experiment_provenance(
-                experiment_id, args.seed, args.modules, elapsed,
-                counters_before, REGISTRY.counter_values(),
-                cache_enabled=not args.no_cache,
+    try:
+        kwargs = {"seed": args.seed}
+        if args.modules:
+            kwargs["modules"] = tuple(args.modules)
+        if args.program:
+            kwargs["program"] = args.program
+        if args.parallel or args.orchestrate is not None:
+            plan = build_plan(
+                ids, modules=kwargs.get("modules"), seed=args.seed,
+                program=args.program,
             )
-            with PROFILER.phase("export"):
-                written = export_output(
-                    output, args.out, provenance=provenance
+        if args.parallel:
+            if not plan:
+                print("no shared campaigns needed; skipping pre-run")
+            else:
+                print(f"pre-running the {plan.describe()} campaigns with "
+                      f"{args.parallel} workers...")
+                plan.preload_parallel(max_workers=args.parallel)
+        if args.orchestrate is not None:
+            if not plan:
+                print("no shared campaigns needed; skipping orchestration")
+            else:
+                from repro.service.telemetry import TelemetryLog
+
+                with TelemetryLog(
+                    args.events, resume=args.resume
+                ) as telemetry:
+                    quarantined = plan.orchestrate(
+                        max_workers=args.orchestrate,
+                        checkpoint_base=args.service_dir,
+                        telemetry=telemetry, resume=args.resume,
+                    )
+                if quarantined:
+                    print(
+                        "warning: quarantined modules: "
+                        + ", ".join(quarantined),
+                        file=sys.stderr,
+                    )
+        for experiment_id in ids:
+            started = clock.monotonic()
+            counters_before = REGISTRY.counter_values()
+            with TRACER.span("experiment", experiment=experiment_id):
+                output = run_experiment(experiment_id, **kwargs)
+            elapsed = clock.monotonic() - started
+            print(output.render())
+            print(f"[{experiment_id} completed in {elapsed:.1f}s]\n")
+            if args.out:
+                provenance = _experiment_provenance(
+                    experiment_id, args.seed, args.modules, elapsed,
+                    counters_before, REGISTRY.counter_values(),
+                    cache_enabled=not args.no_cache,
                 )
-            print("exported: " + ", ".join(written) + "\n")
-    if reporter is not None:
-        reporter.detach()
+                with PROFILER.phase("export"):
+                    written = export_output(
+                        output, args.out, provenance=provenance
+                    )
+                print("exported: " + ", ".join(written) + "\n")
+    finally:
+        # The reporter must detach even when an experiment raises:
+        # leaving its bus subscription behind would have the *next*
+        # in-process main() call (tests, notebooks) painting progress
+        # for a reporter whose output stream is long gone.
+        if reporter is not None:
+            reporter.detach()
     if args.profile:
         # Phases timed inside --parallel worker processes stay in the
         # workers; the report covers this process's share.
@@ -319,10 +328,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(TRACER.report())
         PROFILER.disable()
     if args.trace:
-        TRACER.write_chrome_trace(args.trace)
+        if obs_context.fragments():
+            # Stitched: the local document plus the fragments deposited
+            # by --orchestrate pool workers, on one timeline with flow
+            # arrows.
+            obs_context.write_stitched_trace(args.trace)
+        else:
+            TRACER.write_chrome_trace(args.trace)
         # Leave the process-global tracer clean for in-process callers
         # (tests, notebooks) that invoke main() repeatedly.
         TRACER.disable()
+        obs_context.clear_fragments()
         print(f"trace written: {args.trace}", file=sys.stderr)
     if args.metrics_out:
         REGISTRY.write_prometheus(args.metrics_out)

@@ -20,7 +20,12 @@ cache and orchestration service (see ``docs/OBSERVABILITY.md``):
   study/result JSON (:mod:`repro.obs.provenance`);
 * :mod:`repro.obs.clock` -- the sanctioned ``wall``/``monotonic`` time
   sources (``make lint`` forbids direct ``time.time()`` timing in
-  ``repro.core`` and ``repro.service``).
+  ``repro.core`` and ``repro.service``);
+* :mod:`repro.obs.context` -- cross-process trace propagation
+  (:class:`TraceContext`, fragment collection, Chrome-trace stitching);
+* :data:`RECORDER` -- the flight recorder, a bounded ring of recent
+  spans/events/metric deltas flushed to JSON dumps by failure paths
+  (:mod:`repro.obs.flightrec`).
 
 Everything is a no-op by default: the tracer hands out a shared null
 span while disabled, the event bus iterates an empty sink list, and
@@ -31,12 +36,25 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.obs import clock, events
+from repro.obs import clock, context, events
+from repro.obs.context import (
+    TraceContext,
+    activate_context,
+    current_context,
+    new_context,
+    stitch_traces,
+    stitched_trace,
+    write_stitched_trace,
+)
+from repro.obs.flightrec import FlightRecorder, RECORDER, recent_dumps
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
+    LabeledCounter,
+    LabeledGauge,
+    LabeledHistogram,
     MetricsRegistry,
     REGISTRY,
     prometheus_text,
@@ -49,30 +67,45 @@ from repro.obs.provenance import (
     code_version,
     validate_provenance,
 )
-from repro.obs.trace import Span, TRACER, Tracer
+from repro.obs.trace import Span, TRACER, Tracer, current_span_id
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LabeledCounter",
+    "LabeledGauge",
+    "LabeledHistogram",
     "MetricsRegistry",
     "PROVENANCE_SCHEMA",
     "ProgressReporter",
+    "RECORDER",
     "REGISTRY",
     "Span",
     "TRACER",
+    "TraceContext",
     "Tracer",
+    "activate_context",
     "build_provenance",
     "clock",
     "code_version",
+    "context",
+    "current_context",
+    "current_span_id",
     "events",
     "merge_snapshot",
+    "new_context",
     "prometheus_text",
+    "recent_dumps",
     "snapshot",
     "snapshot_delta",
     "span",
+    "stitch_traces",
+    "stitched_trace",
     "validate_provenance",
+    "write_stitched_trace",
 ]
 
 

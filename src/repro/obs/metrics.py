@@ -14,6 +14,14 @@ so collection costs nothing measurable -- and exposition is on demand:
   produced (:func:`snapshot_delta`) and the coordinator folds it in
   (counters and histograms add; gauges keep the maximum).
 
+Metrics may carry **labels** (per-tenant SLO histograms, per-engine
+unit timings): request them with ``REGISTRY.histogram(name, labels=
+("tenant",))`` and record through ``.labels(tenant="acme").observe(x)``.
+A labeled family exposes one sample line per label combination with
+escaped label values, snapshots as a ``{"labels": [...], "series":
+{...}}`` payload, and is created on merge when a worker delta mentions
+a family the coordinator has never seen.
+
 ``docs/OBSERVABILITY.md`` tables every metric the reproduction emits.
 """
 
@@ -27,6 +35,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Joiner for label-value tuples inside snapshot ``series`` keys (a
+#: control character no real tenant/engine name contains).
+_SERIES_SEP = "\x1f"
 
 #: Default histogram buckets (seconds): covers sub-millisecond probe
 #: batches through multi-minute work units.
@@ -171,6 +184,161 @@ def _format_le(upper: float) -> str:
     return str(int(upper)) if float(upper).is_integer() else repr(upper)
 
 
+def _escape_label(value: str) -> str:
+    """Escape a label value per the text-format rules (backslash,
+    double quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+class _LabeledFamily:
+    """Shared machinery of labeled metric families.
+
+    A family owns one child metric per label-value combination; the
+    family itself cannot be mutated -- call :meth:`labels` first.
+    """
+
+    kind = ""  # overridden
+    child_cls: Any = None  # overridden
+
+    def __init__(
+        self, name: str, help_text: str = "",
+        labelnames: Sequence[str] = (), **child_kwargs,
+    ):
+        self.name = _check_name(name)
+        self.help = help_text
+        names = tuple(labelnames)
+        if not names:
+            raise ConfigurationError(
+                f"labeled metric {name!r} needs at least one label name"
+            )
+        for label in names:
+            if not _LABEL_RE.match(label):
+                raise ConfigurationError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
+        self.labelnames = names
+        self._child_kwargs = child_kwargs
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def labels(self, **labelvalues):
+        """The child metric for one label-value combination (created on
+        first use). Every declared label must be supplied."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labelvalues)}"
+            )
+        return self._child(
+            tuple(str(labelvalues[n]) for n in self.labelnames)
+        )
+
+    def _child(self, key: Tuple[str, ...]):
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self.child_cls(
+                    self.name, self.help, **self._child_kwargs
+                )
+                self._children[key] = child
+            return child
+
+    def _items(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def _label_str(self, key: Tuple[str, ...], extra: str = "") -> str:
+        parts = [
+            f'{n}="{_escape_label(v)}"'
+            for n, v in zip(self.labelnames, key)
+        ]
+        if extra:
+            parts.append(extra)
+        return ",".join(parts)
+
+    def _no_direct(self, *_args, **_kwargs):
+        raise ConfigurationError(
+            f"metric {self.name!r} is labeled "
+            f"({', '.join(self.labelnames)}); record through .labels()"
+        )
+
+    inc = observe = set = dec = _no_direct
+
+
+class LabeledCounter(_LabeledFamily):
+    """Counter family keyed by label values."""
+
+    kind = "counter"
+    child_cls = Counter
+
+    @property
+    def value(self) -> float:
+        """Sum across every label combination."""
+        return sum(child.value for _, child in self._items())
+
+    def expose(self) -> List[str]:
+        return [
+            f"{self.name}{{{self._label_str(key)}}} "
+            f"{_format_value(child.value)}"
+            for key, child in self._items()
+        ]
+
+
+class LabeledGauge(_LabeledFamily):
+    """Gauge family keyed by label values."""
+
+    kind = "gauge"
+    child_cls = Gauge
+
+    def expose(self) -> List[str]:
+        return [
+            f"{self.name}{{{self._label_str(key)}}} "
+            f"{_format_value(child.value)}"
+            for key, child in self._items()
+        ]
+
+
+class LabeledHistogram(_LabeledFamily):
+    """Histogram family keyed by label values (shared bucket layout)."""
+
+    kind = "histogram"
+    child_cls = Histogram
+
+    def __init__(
+        self, name: str, help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames, buckets=buckets)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+
+    def expose(self) -> List[str]:
+        lines: List[str] = []
+        for key, child in self._items():
+            base = self._label_str(key)
+            cumulative = 0
+            for upper, bucket_count in zip(child.buckets, child._counts):
+                cumulative += bucket_count
+                lines.append(
+                    f'{self.name}_bucket{{{base},le="{_format_le(upper)}"}}'
+                    f" {cumulative}"
+                )
+            cumulative += child._counts[-1]
+            lines.append(
+                f'{self.name}_bucket{{{base},le="+Inf"}} {cumulative}'
+            )
+            lines.append(
+                f"{self.name}_sum{{{base}}} {_format_value(child._sum)}"
+            )
+            lines.append(f"{self.name}_count{{{base}}} {child._count}")
+        return lines
+
+
 class MetricsRegistry:
     """Name-keyed collection of counters, gauges and histograms."""
 
@@ -178,34 +346,61 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._metrics: Dict[str, Any] = {}
 
-    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+    def _get_or_create(
+        self, cls, labeled_cls, name: str, help_text: str,
+        labels: Sequence[str] = (), **kwargs,
+    ):
+        labels = tuple(labels)
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:
-                metric = cls(name, help_text, **kwargs)
+                if labels:
+                    metric = labeled_cls(name, help_text, labels, **kwargs)
+                else:
+                    metric = cls(name, help_text, **kwargs)
                 self._metrics[name] = metric
-            elif not isinstance(metric, cls):
+                return metric
+            if metric.kind != cls.kind:
                 raise ConfigurationError(
                     f"metric {name!r} already registered as "
                     f"{metric.kind}, not {cls.kind}"
                 )
+            labeled = isinstance(metric, _LabeledFamily)
+            if labeled != bool(labels):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered "
+                    f"{'with' if labeled else 'without'} labels"
+                )
+            if labeled and metric.labelnames != labels:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered with labels "
+                    f"{metric.labelnames}, not {labels}"
+                )
             return metric
 
-    def counter(self, name: str, help_text: str = "") -> Counter:
-        """Get (or lazily register) a counter."""
-        return self._get_or_create(Counter, name, help_text)
+    def counter(self, name: str, help_text: str = "",
+                labels: Sequence[str] = ()):
+        """Get (or lazily register) a counter (family, with labels)."""
+        return self._get_or_create(
+            Counter, LabeledCounter, name, help_text, labels
+        )
 
-    def gauge(self, name: str, help_text: str = "") -> Gauge:
-        """Get (or lazily register) a gauge."""
-        return self._get_or_create(Gauge, name, help_text)
+    def gauge(self, name: str, help_text: str = "",
+              labels: Sequence[str] = ()):
+        """Get (or lazily register) a gauge (family, with labels)."""
+        return self._get_or_create(
+            Gauge, LabeledGauge, name, help_text, labels
+        )
 
     def histogram(
         self, name: str, help_text: str = "",
         buckets: Sequence[float] = DEFAULT_BUCKETS,
-    ) -> Histogram:
-        """Get (or lazily register) a histogram."""
+        labels: Sequence[str] = (),
+    ):
+        """Get (or lazily register) a histogram (family, with labels)."""
         return self._get_or_create(
-            Histogram, name, help_text, buckets=buckets
+            Histogram, LabeledHistogram, name, help_text, labels,
+            buckets=buckets,
         )
 
     def reset(self) -> None:
@@ -216,10 +411,14 @@ class MetricsRegistry:
     # -- exposition --------------------------------------------------------------
 
     def counter_values(self) -> Dict[str, float]:
-        """Plain name->value view of every counter."""
+        """Plain name->value view of every counter (labeled families
+        report the sum across their label combinations)."""
         with self._lock:
             metrics = list(self._metrics.values())
-        return {m.name: m.value for m in metrics if isinstance(m, Counter)}
+        return {
+            m.name: m.value for m in metrics
+            if isinstance(m, (Counter, LabeledCounter))
+        }
 
     def prometheus_text(self) -> str:
         """Version-0.0.4 Prometheus text exposition of every metric."""
@@ -242,7 +441,12 @@ class MetricsRegistry:
     # -- cross-process transport -------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """JSON-ready state of every metric (picklable, mergeable)."""
+        """JSON-ready state of every metric (picklable, mergeable).
+
+        Plain metrics snapshot by value; labeled families snapshot as
+        ``{"labels": [...], "series": {joined-values: payload}}`` so the
+        receiving registry can recreate the family wholesale.
+        """
         with self._lock:
             metrics = list(self._metrics.values())
         snap: Dict[str, Any] = {
@@ -260,6 +464,30 @@ class MetricsRegistry:
                     "sum": metric._sum,
                     "count": metric._count,
                 }
+            elif isinstance(metric, (LabeledCounter, LabeledGauge)):
+                section = (
+                    "counters" if metric.kind == "counter" else "gauges"
+                )
+                snap[section][metric.name] = {
+                    "labels": list(metric.labelnames),
+                    "series": {
+                        _SERIES_SEP.join(key): child.value
+                        for key, child in metric._items()
+                    },
+                }
+            elif isinstance(metric, LabeledHistogram):
+                snap["histograms"][metric.name] = {
+                    "labels": list(metric.labelnames),
+                    "buckets": list(metric.buckets),
+                    "series": {
+                        _SERIES_SEP.join(key): {
+                            "counts": list(child._counts),
+                            "sum": child._sum,
+                            "count": child._count,
+                        }
+                        for key, child in metric._items()
+                    },
+                }
         return snap
 
     def merge_snapshot(self, snap: Optional[Dict[str, Any]]) -> None:
@@ -267,22 +495,62 @@ class MetricsRegistry:
 
         Counters and histograms accumulate; gauges keep the maximum of
         the current and incoming values (a deterministic cross-worker
-        reduction).
+        reduction). Metrics the worker recorded but this registry has
+        never seen -- labeled or plain, histogram or counter -- are
+        created on merge rather than dropped, so the first unit a fresh
+        coordinator reaps still lands its worker-side series. A bucket
+        layout mismatch against an *existing* histogram is still a hard
+        :class:`~repro.errors.ConfigurationError`.
         """
         if not snap:
             return
         for name, value in snap.get("counters", {}).items():
-            if value:
+            if isinstance(value, dict):
+                family = self.counter(
+                    name, labels=tuple(value.get("labels", ()))
+                )
+                for key, amount in value.get("series", {}).items():
+                    if amount:
+                        family._child(
+                            tuple(key.split(_SERIES_SEP))
+                        ).inc(amount)
+            elif value:
                 self.counter(name).inc(value)
         for name, value in snap.get("gauges", {}).items():
-            gauge = self.gauge(name)
-            with gauge._lock:
-                gauge._value = max(gauge._value, value)
+            if isinstance(value, dict):
+                family = self.gauge(
+                    name, labels=tuple(value.get("labels", ()))
+                )
+                for key, incoming in value.get("series", {}).items():
+                    child = family._child(tuple(key.split(_SERIES_SEP)))
+                    with child._lock:
+                        child._value = max(child._value, incoming)
+            else:
+                gauge = self.gauge(name)
+                with gauge._lock:
+                    gauge._value = max(gauge._value, value)
         for name, payload in snap.get("histograms", {}).items():
-            histogram = self.histogram(
-                name, buckets=tuple(payload["buckets"])
-            )
-            if tuple(payload["buckets"]) != histogram.buckets:
+            buckets = tuple(payload["buckets"])
+            if "series" in payload:
+                family = self.histogram(
+                    name, labels=tuple(payload.get("labels", ())),
+                    buckets=buckets,
+                )
+                if buckets != family.buckets:
+                    raise ConfigurationError(
+                        f"histogram {name!r} bucket layout mismatch "
+                        "in merge"
+                    )
+                for key, series in payload.get("series", {}).items():
+                    child = family._child(tuple(key.split(_SERIES_SEP)))
+                    with child._lock:
+                        for i, count in enumerate(series["counts"]):
+                            child._counts[i] += count
+                        child._sum += series["sum"]
+                        child._count += series["count"]
+                continue
+            histogram = self.histogram(name, buckets=buckets)
+            if buckets != histogram.buckets:
                 raise ConfigurationError(
                     f"histogram {name!r} bucket layout mismatch in merge"
                 )
@@ -305,16 +573,71 @@ def snapshot_delta(
     delta: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
     base_counters = baseline.get("counters", {})
     for name, value in current.get("counters", {}).items():
-        changed = value - base_counters.get(name, 0.0)
+        base = base_counters.get(name)
+        if isinstance(value, dict):
+            base_series = (
+                base.get("series", {}) if isinstance(base, dict) else {}
+            )
+            series = {}
+            for key, amount in value.get("series", {}).items():
+                changed = amount - base_series.get(key, 0.0)
+                if changed:
+                    series[key] = changed
+            if series:
+                delta["counters"][name] = {
+                    "labels": list(value.get("labels", ())),
+                    "series": series,
+                }
+            continue
+        changed = value - (base if isinstance(base, (int, float)) else 0.0)
         if changed:
             delta["counters"][name] = changed
-    delta["gauges"] = dict(current.get("gauges", {}))
+    delta["gauges"] = {
+        name: (
+            {
+                "labels": list(value.get("labels", ())),
+                "series": dict(value.get("series", {})),
+            }
+            if isinstance(value, dict) else value
+        )
+        for name, value in current.get("gauges", {}).items()
+    }
     base_histograms = baseline.get("histograms", {})
     for name, payload in current.get("histograms", {}).items():
-        base = base_histograms.get(
-            name,
-            {"counts": [0] * len(payload["counts"]), "sum": 0.0, "count": 0},
-        )
+        base = base_histograms.get(name)
+        if "series" in payload:
+            base_series = (
+                base.get("series", {})
+                if isinstance(base, dict) and "series" in base else {}
+            )
+            series = {}
+            for key, cur in payload["series"].items():
+                prior = base_series.get(
+                    key,
+                    {"counts": [0] * len(cur["counts"]),
+                     "sum": 0.0, "count": 0},
+                )
+                counts = [
+                    c - b for c, b in zip(cur["counts"], prior["counts"])
+                ]
+                if any(counts):
+                    series[key] = {
+                        "counts": counts,
+                        "sum": cur["sum"] - prior["sum"],
+                        "count": cur["count"] - prior["count"],
+                    }
+            if series:
+                delta["histograms"][name] = {
+                    "labels": list(payload.get("labels", ())),
+                    "buckets": list(payload["buckets"]),
+                    "series": series,
+                }
+            continue
+        if not isinstance(base, dict) or "series" in base:
+            base = {
+                "counts": [0] * len(payload["counts"]),
+                "sum": 0.0, "count": 0,
+            }
         counts = [
             c - b for c, b in zip(payload["counts"], base["counts"])
         ]

@@ -42,7 +42,10 @@ class ProgressReporter:
     ----------
     stream:
         Where the line goes (default stderr). On a TTY the line rewrites
-        itself in place (``\\r``); otherwise one line per refresh.
+        itself in place (``\\r``); when the stream is not a TTY live
+        repainting is skipped entirely and only milestone lines
+        (quarantine, campaign end, final state at detach) are appended,
+        so piped/redirected runs aren't flooded with refreshes.
     min_interval:
         Minimum seconds between repaints (event storms coalesce).
     """
@@ -59,6 +62,12 @@ class ProgressReporter:
         self._last_paint = 0.0
         self._probe_baseline = self._probes_now()
         self._painted = False
+        self._dirty = False
+        isatty = getattr(self.stream, "isatty", None)
+        try:
+            self._tty = bool(isatty()) if callable(isatty) else False
+        except (ValueError, OSError):
+            self._tty = False
 
     # -- bus wiring --------------------------------------------------------------
 
@@ -68,8 +77,17 @@ class ProgressReporter:
         return self
 
     def detach(self) -> None:
-        """Unsubscribe and terminate the in-place line."""
+        """Unsubscribe and terminate the in-place line.
+
+        Safe on the exception path: the bus subscription is removed
+        before any terminal I/O, and a closed/broken stream never masks
+        the exception that unwound the campaign.
+        """
         events.unsubscribe(self.handle)
+        if not self._tty and self._dirty:
+            # Non-TTY streams saw no live repaints; leave one final
+            # state line so logs still record where the campaign ended.
+            self._paint(force=True)
         self._finish_line()
 
     def __enter__(self) -> "ProgressReporter":
@@ -131,20 +149,30 @@ class ProgressReporter:
         return "  ".join(parts)
 
     def _paint(self, force: bool = False) -> None:
+        self._dirty = True
+        if not self._tty and not force:
+            return
         now = clock.monotonic()
         if not force and now - self._last_paint < self.min_interval:
             return
         self._last_paint = now
         line = self.render()
-        if self.stream.isatty():
-            self.stream.write("\r\x1b[2K" + line)
-        else:
-            self.stream.write(line + "\n")
-        self.stream.flush()
+        try:
+            if self._tty:
+                self.stream.write("\r\x1b[2K" + line)
+            else:
+                self.stream.write(line + "\n")
+            self.stream.flush()
+        except (ValueError, OSError):
+            return
         self._painted = True
+        self._dirty = False
 
     def _finish_line(self) -> None:
-        if self._painted and self.stream.isatty():
-            self.stream.write("\n")
-            self.stream.flush()
+        if self._painted and self._tty:
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (ValueError, OSError):
+                pass
         self._painted = False

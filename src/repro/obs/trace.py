@@ -11,19 +11,27 @@ returns a shared no-op context manager -- hot paths stay hot. Enabled,
 each span costs two monotonic reads and one list append; nesting is
 tracked per thread, so spans opened on worker threads parent correctly.
 
-Finished spans export two ways:
+Every recorded span carries a process-unique ``span_id``, its parent's
+``parent_id`` and a ``trace_id``. Root spans adopt the thread's ambient
+:class:`~repro.obs.context.TraceContext` when one is
+:func:`~repro.obs.context.activate`\\ d -- that is how a pool worker's
+spans re-parent under the submitting job's admission span -- and fall
+back to a tracer-default trace id minted at :meth:`Tracer.enable`.
+
+Finished spans export three ways:
 
 * :meth:`Tracer.chrome_trace` / :meth:`Tracer.write_chrome_trace` --
   the Chrome trace-event JSON format (``"X"`` complete events) that
   ``chrome://tracing`` and Perfetto load directly (the runner's
   ``--trace trace.json`` flag);
+* :func:`repro.obs.context.stitched_trace` -- the same document merged
+  with worker fragments into one cross-process trace;
 * :meth:`Tracer.aggregate` / :meth:`Tracer.report` -- a per-span-name
   total-time/count table appended to ``--profile`` output.
 
-Spans recorded inside worker *processes* stay in the workers (a trace
-of the coordinating process's own spans is still consistent); the
-cross-process accounting travels through the metrics registry
-(:mod:`repro.obs.metrics`) instead.
+``Tracer.on_record`` is an optional single-subscriber hook invoked with
+each finished :class:`Span` (outside the tracer lock); the flight
+recorder (:mod:`repro.obs.flightrec`) uses it to keep its ring current.
 """
 
 from __future__ import annotations
@@ -32,9 +40,10 @@ import json
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import clock
+from repro.obs import context as obs_context
 
 
 @dataclass
@@ -52,12 +61,24 @@ class Span:
     parent: Optional[str]
     tid: int
     attrs: Dict[str, Any] = field(default_factory=dict)
+    #: Process-unique identifier of this span.
+    span_id: str = ""
+    #: ``span_id`` of the enclosing span -- the top of the thread's
+    #: stack for nested spans, the ambient trace context's ``span_id``
+    #: for roots recorded under a propagated context, else None.
+    parent_id: Optional[str] = None
+    #: Trace this span belongs to (ambient context's, or the tracer's
+    #: default minted at enable()).
+    trace_id: Optional[str] = None
 
 
 class _NullSpan:
     """No-op context manager handed out while tracing is disabled."""
 
     __slots__ = ()
+
+    #: Disabled spans have no identity.
+    span_id = None
 
     def __enter__(self) -> "_NullSpan":
         return self
@@ -68,6 +89,10 @@ class _NullSpan:
     def set(self, **attrs) -> None:
         """Ignore attributes (disabled tracer)."""
 
+    def context(self) -> None:
+        """Disabled spans carry no propagatable context."""
+        return None
+
 
 _NULL_SPAN = _NullSpan()
 
@@ -75,7 +100,10 @@ _NULL_SPAN = _NullSpan()
 class _LiveSpan:
     """An open span; records itself into the tracer on exit."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_start", "_parent", "_depth")
+    __slots__ = (
+        "_tracer", "_name", "_attrs", "_start", "_parent", "_depth",
+        "span_id", "_parent_id", "_trace_id",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
         self._tracer = tracer
@@ -84,16 +112,38 @@ class _LiveSpan:
         self._start = 0.0
         self._parent: Optional[str] = None
         self._depth = 0
+        self.span_id = ""
+        self._parent_id: Optional[str] = None
+        self._trace_id: Optional[str] = None
 
     def set(self, **attrs) -> None:
         """Attach (or overwrite) attributes on the open span."""
         self._attrs.update(attrs)
 
+    def context(self) -> Optional["obs_context.TraceContext"]:
+        """The :class:`~repro.obs.context.TraceContext` a downstream
+        hop should carry to re-parent under this span."""
+        if self._trace_id is None:
+            return None
+        return obs_context.TraceContext(
+            trace_id=self._trace_id, span_id=self.span_id
+        )
+
     def __enter__(self) -> "_LiveSpan":
-        stack = self._tracer._stack()
-        self._parent = stack[-1] if stack else None
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.span_id = obs_context.new_span_id()
+        if stack:
+            self._parent, self._parent_id, self._trace_id = stack[-1]
+        else:
+            ambient = obs_context.current()
+            if ambient is not None:
+                self._parent_id = ambient.span_id
+                self._trace_id = ambient.trace_id
+            else:
+                self._trace_id = tracer.trace_id
         self._depth = len(stack)
-        stack.append(self._name)
+        stack.append((self._name, self.span_id, self._trace_id))
         self._start = clock.monotonic()
         return self
 
@@ -101,7 +151,7 @@ class _LiveSpan:
         duration = clock.monotonic() - self._start
         tracer = self._tracer
         stack = tracer._stack()
-        if stack and stack[-1] == self._name:
+        if stack and stack[-1][1] == self.span_id:
             stack.pop()
         tracer._record(
             Span(
@@ -112,6 +162,9 @@ class _LiveSpan:
                 parent=self._parent,
                 tid=threading.get_ident(),
                 attrs=self._attrs,
+                span_id=self.span_id,
+                parent_id=self._parent_id,
+                trace_id=self._trace_id,
             )
         )
 
@@ -122,6 +175,12 @@ class Tracer:
     def __init__(self) -> None:
         self.enabled = False
         self.spans: List[Span] = []
+        #: Default trace id for roots with no ambient context.
+        self.trace_id: Optional[str] = None
+        #: Human label for this process's lane in stitched traces.
+        self.label: Optional[str] = None
+        #: Optional hook called with each finished Span (flight rec).
+        self.on_record: Optional[Callable[[Span], None]] = None
         self._epoch = clock.monotonic()
         self._epoch_wall = clock.wall()
         self._lock = threading.Lock()
@@ -134,6 +193,8 @@ class Tracer:
         if not self.enabled:
             self._epoch = clock.monotonic()
             self._epoch_wall = clock.wall()
+            if self.trace_id is None:
+                self.trace_id = obs_context.new_trace_id()
         self.enabled = True
 
     def disable(self) -> None:
@@ -145,6 +206,7 @@ class Tracer:
         with self._lock:
             self.spans.clear()
         self._local = threading.local()
+        self.trace_id = obs_context.new_trace_id() if self.enabled else None
         self._epoch = clock.monotonic()
         self._epoch_wall = clock.wall()
 
@@ -159,7 +221,14 @@ class Tracer:
             return _NULL_SPAN
         return _LiveSpan(self, name, attrs)
 
-    def _stack(self) -> List[str]:
+    def current_span_id(self) -> Optional[str]:
+        """The innermost open span's id on this thread, or None."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        return stack[-1][1]
+
+    def _stack(self) -> List[Tuple[str, str, Optional[str]]]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
@@ -169,6 +238,12 @@ class Tracer:
     def _record(self, span: Span) -> None:
         with self._lock:
             self.spans.append(span)
+        hook = self.on_record
+        if hook is not None:
+            try:
+                hook(span)
+            except Exception:  # pragma: no cover - diagnostics only
+                pass
 
     # -- export ------------------------------------------------------------------
 
@@ -178,6 +253,8 @@ class Tracer:
         Every span becomes one ``"X"`` (complete) event with
         microsecond ``ts``/``dur`` relative to the tracer epoch; the
         document loads directly in Perfetto / ``chrome://tracing``.
+        ``args`` carries the span/parent/trace identifiers the stitcher
+        (:func:`repro.obs.context.stitch_traces`) keys on.
         """
         pid = os.getpid()
         with self._lock:
@@ -192,7 +269,9 @@ class Tracer:
                 "pid": pid,
                 "tid": span.tid % 2 ** 31,
                 "args": dict(span.attrs, depth=span.depth,
-                             parent=span.parent),
+                             parent=span.parent, id=span.span_id,
+                             parent_id=span.parent_id,
+                             trace=span.trace_id),
             }
             for span in sorted(spans, key=lambda s: s.start)
         ]
@@ -202,6 +281,7 @@ class Tracer:
             "otherData": {
                 "source": "repro.obs",
                 "epoch_unix_seconds": round(self._epoch_wall, 6),
+                "process_label": self.label or f"pid-{pid}",
             },
         }
 
@@ -239,3 +319,9 @@ class Tracer:
 
 #: Process-global tracer; the runner's ``--trace`` flag enables it.
 TRACER = Tracer()
+
+
+def current_span_id() -> Optional[str]:
+    """The id of the innermost open span on this thread (global tracer),
+    or None while nothing is open / tracing is disabled."""
+    return TRACER.current_span_id()

@@ -32,6 +32,7 @@ from repro.errors import ConfigurationError
 from repro.harness.cache import BENCH_MODULES
 from repro.harness.validation import validate_modules, validate_program
 from repro.obs import ProgressReporter, build_provenance, clock
+from repro.obs import context as obs_context
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import TRACER
 from repro.service.faults import FAULT_KINDS, FaultPlan
@@ -180,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="render a live rate/ETA progress line on stderr",
     )
+    parser.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="keep a bounded in-memory flight recorder and dump it to "
+             "DIR on faults, reaped timeouts, and quarantine",
+    )
     return parser
 
 
@@ -228,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     telemetry=telemetry,
                     progress=progress,
                     program=args.program,
+                    flight_dir=args.flight_dir,
                 )
                 outcome = service.run(resume=args.resume)
         finally:
@@ -260,10 +267,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         save_study(outcome.study, args.out)
         print(f"study saved: {args.out}")
     if args.trace:
-        TRACER.write_chrome_trace(args.trace)
+        if obs_context.fragments():
+            # Pool workers returned fragments: stitch them with the
+            # coordinator's spans into one cross-process document.
+            obs_context.write_stitched_trace(args.trace)
+        else:
+            TRACER.write_chrome_trace(args.trace)
         # Leave the process-global tracer clean for in-process callers
         # (tests, notebooks) that invoke main() repeatedly.
         TRACER.disable()
+        obs_context.clear_fragments()
         print(f"trace written: {args.trace}", file=sys.stderr)
     if args.metrics_out:
         REGISTRY.write_prometheus(args.metrics_out)

@@ -218,6 +218,21 @@ class FaultInjector:
         self._ticks += 1
         if self._ticks >= spec.after:
             self.fired = True
+            # Flush the flight recorder *before* a stalling fault goes
+            # quiet: a hung worker is later SIGTERMed by the reaper and
+            # never gets another chance to write its last moments.
+            from repro.obs.flightrec import RECORDER
+
+            RECORDER.record("fault", {
+                "kind": spec.kind, "site": site, "after": spec.after,
+                "hang_seconds": spec.hang_seconds,
+            })
+            RECORDER.dump(
+                "hang_injected" if spec.hang_seconds
+                else f"fault_injected-{spec.kind}",
+                extra={"kind": spec.kind, "site": site,
+                       "hang_seconds": spec.hang_seconds},
+            )
             if spec.hang_seconds:
                 # A stalling fault: the bench goes quiet instead of
                 # failing fast. Only the coordinator's unit_timeout

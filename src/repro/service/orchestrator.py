@@ -31,6 +31,7 @@ study would make -- asserted bit-for-bit by
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -58,6 +59,8 @@ from repro.errors import (
     WorkerTimeoutError,
 )
 from repro.obs import clock
+from repro.obs import context as obs_context
+from repro.obs.flightrec import RECORDER
 from repro.obs.metrics import REGISTRY, snapshot_delta
 from repro.obs.trace import TRACER
 from repro.service.checkpoint import (
@@ -75,7 +78,9 @@ from repro.service.telemetry import (
 )
 
 
-def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float, Dict]:
+def _execute_unit(
+    job: Tuple,
+) -> Tuple[ModuleResult, float, Dict, Optional[Dict]]:
     """Worker entry point: characterize one (module, row-chunk) unit.
 
     Module-level so it pickles into pool workers; also called directly
@@ -84,27 +89,82 @@ def _execute_unit(job: Tuple) -> Tuple[ModuleResult, float, Dict]:
 
     Besides the result and its wall clock, returns the metric delta the
     attempt produced (baseline-relative, so forked pool workers never
-    re-report inherited registry state). The coordinator merges the
-    delta only across true process boundaries -- in inline mode the
-    increments already landed in this process's registry.
+    re-report inherited registry state) and -- in pool mode with trace
+    propagation active -- the worker's Chrome-trace fragment. The
+    coordinator merges the delta and collects the fragment only across
+    true process boundaries; in inline mode the increments and spans
+    already landed in this process's registry/tracer.
+
+    The job's trailing ``obs`` dict carries the propagated trace
+    context (worker spans re-parent under the submitting job) and the
+    flight-recorder dump directory. Pool-side, the worker resets the
+    inherited tracer before recording -- safe because the fragment is
+    this attempt's whole story -- and wraps the attempt in one
+    ``work-unit`` root span; inline, the coordinator's live tracer is
+    left untouched so span nesting stays exactly as PR 5 shipped it.
     """
     module, rows, tests, scale, seed, probe_engine, program, fault_spec, \
-        state_handle = job
+        state_handle, obs_cfg = job
+    obs_cfg = obs_cfg or {}
+    pool_side = bool(obs_cfg.get("pool"))
+    trace_ctx = None
+    if pool_side:
+        if obs_cfg.get("flight_dir"):
+            RECORDER.configure(obs_cfg["flight_dir"])
+            RECORDER.attach()
+        trace_ctx = obs_context.TraceContext.from_dict(
+            obs_cfg.get("trace")
+        )
+        if trace_ctx is not None:
+            TRACER.reset()
+            TRACER.label = f"repro worker pid {os.getpid()}"
+            TRACER.enable()
     injector = FaultInjector(fault_spec) if fault_spec is not None else None
     state = _attach_state(state_handle)
     try:
-        study = CharacterizationStudy(
-            scale=scale, seed=seed, probe_engine=probe_engine,
-            fault_injector=injector, device_state=state, program=program,
-        )
-        baseline = REGISTRY.snapshot()
-        started = clock.monotonic()
-        result = study.run_module(module, tests=tests, rows=list(rows))
-        wall = clock.monotonic() - started
+        with obs_context.activate(trace_ctx):
+            study = CharacterizationStudy(
+                scale=scale, seed=seed, probe_engine=probe_engine,
+                fault_injector=injector, device_state=state,
+                program=program,
+            )
+            baseline = REGISTRY.snapshot()
+            started = clock.monotonic()
+            unit_span = (
+                TRACER.span("work-unit", module=module, rows=len(rows),
+                            engine=probe_engine, pid=os.getpid())
+                if pool_side else _noop_span()
+            )
+            with unit_span:
+                result = study.run_module(
+                    module, tests=tests, rows=list(rows)
+                )
+            wall = clock.monotonic() - started
+            REGISTRY.histogram(
+                "repro_service_unit_run_seconds",
+                "in-worker wall clock per work-unit attempt by engine "
+                "tier",
+                labels=("engine",),
+            ).labels(engine=probe_engine).observe(wall)
+            delta = snapshot_delta(baseline, REGISTRY.snapshot())
     finally:
         if state is not None:
             state.close()
-    return result, wall, snapshot_delta(baseline, REGISTRY.snapshot())
+    fragment = None
+    if pool_side and trace_ctx is not None and TRACER.enabled:
+        fragment = TRACER.chrome_trace()
+        TRACER.disable()
+    return result, wall, delta, fragment
+
+
+class _noop_span:
+    """Placeholder context for inline attempts (no extra span)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
 
 
 @dataclass
@@ -114,6 +174,9 @@ class CampaignOutcome:
     study: StudyResult
     metrics: CampaignMetrics
     units: Dict[str, UnitMetrics] = field(default_factory=dict)
+    #: Chrome-trace fragments returned by pool workers (also deposited
+    #: in :mod:`repro.obs.context`'s collector for stitching).
+    trace_fragments: List[Dict] = field(default_factory=list)
 
 
 class CampaignService:
@@ -160,6 +223,14 @@ class CampaignService:
         the device model per process and per retry attempt (default
         True; results are bit-identical either way). Only used in pool
         mode; silently disabled where shared memory is unavailable.
+    flight_dir:
+        Optional directory for flight-recorder dumps. When set, the
+        coordinator's :data:`~repro.obs.flightrec.RECORDER` follows the
+        event bus and span stream for the duration of :meth:`run`, pool
+        workers configure their own recorders at the same directory,
+        and the failure paths (fault injection, the timeout reaper,
+        quarantine) flush their rings there; the resulting dump paths
+        ride on the corresponding telemetry events.
     unit_timeout:
         Per-attempt wall-clock deadline (seconds) in pool mode. An
         attempt that exceeds it is declared hung: the pool's worker
@@ -200,6 +271,7 @@ class CampaignService:
         shared_state: bool = True,
         unit_timeout: Optional[float] = None,
         program: Optional[str] = None,
+        flight_dir: Optional[str] = None,
     ):
         from repro.progdsl import compile_program
 
@@ -231,6 +303,8 @@ class CampaignService:
         self.shared_state = shared_state
         self.unit_timeout = unit_timeout
         self.program = program
+        self.flight_dir = flight_dir
+        self._trace_context: Optional[obs_context.TraceContext] = None
         self._device_states: Dict[str, object] = {}
         self.telemetry = telemetry or TelemetryLog()
         self._progress = progress or (lambda message: None)
@@ -257,6 +331,20 @@ class CampaignService:
         use it to simulate a mid-run kill; an exception it raises
         propagates after durability, never before.
         """
+        if not self.flight_dir:
+            return self._run(resume, on_unit_done)
+        RECORDER.configure(self.flight_dir)
+        RECORDER.attach()
+        try:
+            return self._run(resume, on_unit_done)
+        finally:
+            RECORDER.detach()
+
+    def _run(
+        self,
+        resume: bool,
+        on_unit_done: Optional[Callable[[str, int], None]],
+    ) -> CampaignOutcome:
         started = clock.monotonic()
         units = plan_units(
             self.modules, self.scale, self.tests, self.chunks_per_module,
@@ -314,13 +402,20 @@ class CampaignService:
             "campaign", fingerprint=self.fingerprint, units=len(units),
             seed=self.seed, engine=self.probe_engine,
             workers=self.max_workers,
-        ):
-            if pending:
-                if self.max_workers <= 1:
-                    self._run_inline(state)
-                else:
-                    self._run_pool(state)
-            study = self._merge(state)
+        ) as campaign_span:
+            # Pool workers re-parent their spans under this campaign
+            # span (which itself parents under any ambient context the
+            # API's admission span activated).
+            self._trace_context = campaign_span.context()
+            try:
+                if pending:
+                    if self.max_workers <= 1:
+                        self._run_inline(state)
+                    else:
+                        self._run_pool(state)
+                study = self._merge(state)
+            finally:
+                self._trace_context = None
         metrics.wall_seconds = clock.monotonic() - started
         metrics.publish()
         self.telemetry.emit(
@@ -334,13 +429,20 @@ class CampaignService:
         )
         self._progress(metrics.summary())
         return CampaignOutcome(study=study, metrics=metrics,
-                               units=unit_metrics)
+                               units=unit_metrics,
+                               trace_fragments=state.fragments)
 
     # -- internals --------------------------------------------------------------
 
     def _manifest(self) -> Dict:
         from repro.core.serialization import _scale_to_dict
 
+        # Informational only -- the trace id names which distributed
+        # trace this campaign ran under; it does NOT participate in the
+        # fingerprint (resume only compares fingerprints, so a resumed
+        # campaign under a new trace still restores its units).
+        ambient = obs_context.current()
+        trace_id = ambient.trace_id if ambient else TRACER.trace_id
         return {
             "service_schema": SERVICE_SCHEMA_VERSION,
             "fingerprint": self.fingerprint,
@@ -351,18 +453,28 @@ class CampaignService:
             "probe_engine": self.probe_engine,
             "chunks_per_module": self.chunks_per_module,
             "program": self.program,
+            "trace_id": trace_id,
             "created": clock.wall(),
         }
 
-    def _job(self, unit: WorkUnit, attempt: int) -> Tuple:
+    def _job(
+        self, unit: WorkUnit, attempt: int, pool: bool = False,
+    ) -> Tuple:
         spec: Optional[FaultSpec] = None
         if self.fault_plan is not None:
             spec = self.fault_plan.spec_for(unit.unit_id, attempt)
         state = self._device_states.get(unit.module)
+        obs_cfg: Dict = {"pool": pool}
+        if pool:
+            if self.flight_dir:
+                obs_cfg["flight_dir"] = self.flight_dir
+            if self._trace_context is not None:
+                obs_cfg["trace"] = self._trace_context.to_dict()
         return (
             unit.module, unit.rows, unit.tests, self.scale, self.seed,
             self.probe_engine, self.program, spec,
             state.handle if state is not None else None,
+            obs_cfg,
         )
 
     def _start_attempt(
@@ -455,8 +567,13 @@ class CampaignService:
         state.quarantine(unit.module, reason)
         record.status = "quarantined"
         state.metrics.units_failed += 1
+        dump_path = RECORDER.dump("module_quarantined", extra={
+            "module": unit.module, "unit": unit.unit_id,
+            "reason": reason,
+        })
         self.telemetry.emit("module_quarantined", module=unit.module,
-                            unit=unit.unit_id, reason=reason)
+                            unit=unit.unit_id, reason=reason,
+                            flightrec=dump_path)
         self._progress(f"QUARANTINED {unit.module}: {reason}")
         return False
 
@@ -480,9 +597,10 @@ class CampaignService:
                 self._start_attempt(state, unit, attempt)
                 try:
                     with PROFILER.phase("service.unit"):
-                        # Inline attempt: the metric delta already
-                        # landed in this process's registry.
-                        result, wall, _ = _execute_unit(
+                        # Inline attempt: the metric delta and spans
+                        # already landed in this process's registry
+                        # and tracer.
+                        result, wall, _, _ = _execute_unit(
                             self._job(unit, attempt)
                         )
                 except BenchFaultError as error:
@@ -501,6 +619,7 @@ class CampaignService:
         result: ModuleResult,
         wall_seconds: float,
         delta: Optional[Dict] = None,
+        fragment: Optional[Dict] = None,
     ) -> bool:
         """Accept one successful attempt's outcome, exactly once per unit.
 
@@ -527,6 +646,14 @@ class CampaignService:
         if delta is not None and unit.unit_id not in state.merged_units:
             REGISTRY.merge_snapshot(delta)
             state.merged_units.add(unit.unit_id)
+            RECORDER.record("metrics", {
+                "unit": unit.unit_id, "delta": delta,
+            })
+        if fragment is not None:
+            # Deposit the worker's trace fragment for stitching; the
+            # dedup above guarantees at most one fragment per unit.
+            obs_context.add_fragment(fragment)
+            state.fragments.append(fragment)
         self._finish_unit(state, unit, result, attempt, wall_seconds)
         return True
 
@@ -568,7 +695,7 @@ class CampaignService:
                         if self.unit_timeout else None
                     )
                     future = pool.submit(
-                        _execute_unit, self._job(unit, attempt)
+                        _execute_unit, self._job(unit, attempt, pool=True)
                     )
                     inflight[future] = (unit, attempt, deadline)
                 if not inflight:
@@ -590,13 +717,14 @@ class CampaignService:
                         self._skip_unit(state, unit)
                         continue
                     try:
-                        result, wall, delta = future.result()
+                        result, wall, delta, fragment = future.result()
                     except BenchFaultError as error:
                         if self._handle_fault(state, unit, attempt, error):
                             queue.appendleft((unit, attempt + 1))
                         continue
                     self._deliver_result(
-                        state, unit, attempt, result, wall, delta
+                        state, unit, attempt, result, wall, delta,
+                        fragment,
                     )
                 if self.unit_timeout:
                     now = clock.monotonic()
@@ -659,9 +787,16 @@ class CampaignService:
             "repro_service_worker_timeouts_total",
             "pool workers reaped after exceeding unit_timeout",
         ).inc(len(reaped))
+        # The coordinator's own last moments around the reap; the hung
+        # worker already flushed its ring when the stall was injected
+        # (it cannot after SIGTERM).
+        dump_path = RECORDER.dump("pool_reaped", extra={
+            "reaped": reaped, "restarted": restarted,
+            "timeout_seconds": self.unit_timeout,
+        })
         self.telemetry.emit(
             "pool_reaped", reaped=reaped, restarted=restarted,
-            timeout_seconds=self.unit_timeout,
+            timeout_seconds=self.unit_timeout, flightrec=dump_path,
         )
         self._progress(
             f"reaped {len(reaped)} hung worker attempt(s) "
@@ -726,6 +861,9 @@ class _RunState:
     #: coordinator registry -- the dedup set that keeps re-queued /
     #: duplicate deliveries from inflating ``repro_probes_*``.
     merged_units: set = field(default_factory=set)
+    #: Chrome-trace fragments accepted from pool workers, in delivery
+    #: order (one per unit at most; duplicates never reach here).
+    fragments: List[Dict] = field(default_factory=list)
 
     def quarantine(self, module: str, reason: str) -> None:
         """Mark a module as quarantined (idempotent)."""

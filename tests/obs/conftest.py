@@ -4,20 +4,28 @@ from __future__ import annotations
 
 import pytest
 
+from repro.obs import context as obs_context
 from repro.obs import events
+from repro.obs.flightrec import RECORDER
 from repro.obs.trace import TRACER
 
 
 @pytest.fixture(autouse=True)
 def _isolated_tracer():
     """Every test starts with a disabled, empty tracer and leaves no
-    spans or subscribers behind for the rest of the suite."""
+    spans, fragments, recorder state or subscribers behind for the
+    rest of the suite."""
     TRACER.disable()
     TRACER.reset()
+    obs_context.clear_fragments()
     before = events.subscribers()
     yield
     TRACER.disable()
     TRACER.reset()
+    obs_context.clear_fragments()
+    RECORDER.detach()
+    RECORDER.configure(None)
+    RECORDER.clear()
     for sink in events.subscribers():
         if sink not in before:
             events.unsubscribe(sink)

@@ -1,0 +1,235 @@
+"""Trace-context propagation and cross-process trace stitching."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import context as obs_context
+from repro.obs.context import TraceContext, new_context, stitch_traces
+from repro.obs.trace import TRACER
+
+
+class TestTraceContext:
+    def test_new_context_mints_distinct_trace_ids(self):
+        first, second = new_context(), new_context()
+        assert first.trace_id != second.trace_id
+        assert len(first.trace_id) == 32  # 128-bit hex
+        assert first.span_id is None
+
+    def test_round_trips_through_dict(self):
+        context = TraceContext(trace_id="ab" * 16, span_id="1-2-abc")
+        assert TraceContext.from_dict(context.to_dict()) == context
+
+    def test_from_dict_tolerates_missing_payloads(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"span_id": "x"}) is None
+
+    def test_child_reparents_same_trace(self):
+        context = new_context()
+        child = context.child("7-1-fff")
+        assert child.trace_id == context.trace_id
+        assert child.span_id == "7-1-fff"
+
+    def test_span_ids_are_pid_salted_and_unique(self):
+        ids = {obs_context.new_span_id() for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestAmbientActivation:
+    def test_activate_scopes_the_context_to_the_with_block(self):
+        context = new_context()
+        assert obs_context.current() is None
+        with obs_context.activate(context):
+            assert obs_context.current() == context
+        assert obs_context.current() is None
+
+    def test_activating_none_preserves_the_outer_context(self):
+        outer = new_context()
+        with obs_context.activate(outer):
+            with obs_context.activate(None):
+                assert obs_context.current() == outer
+
+    def test_root_span_adopts_the_ambient_context(self):
+        TRACER.enable()
+        context = TraceContext(trace_id="cd" * 16, span_id="1-9-aaa")
+        with obs_context.activate(context):
+            with TRACER.span("work-unit"):
+                pass
+        (span,) = TRACER.spans
+        assert span.trace_id == context.trace_id
+        assert span.parent_id == context.span_id
+
+    def test_nested_spans_inherit_the_adopted_trace(self):
+        TRACER.enable()
+        context = TraceContext(trace_id="ef" * 16, span_id="1-9-bbb")
+        with obs_context.activate(context):
+            with TRACER.span("outer") as outer:
+                with TRACER.span("inner"):
+                    pass
+        inner, recorded_outer = TRACER.spans
+        assert inner.trace_id == context.trace_id
+        assert inner.parent_id == outer.span_id
+        assert recorded_outer.parent_id == context.span_id
+
+    def test_root_span_without_context_uses_tracer_default(self):
+        TRACER.enable()
+        with TRACER.span("alone"):
+            pass
+        (span,) = TRACER.spans
+        assert span.trace_id == TRACER.trace_id
+        assert span.parent_id is None
+
+    def test_live_span_exports_its_own_context(self):
+        TRACER.enable()
+        with TRACER.span("campaign") as campaign:
+            context = campaign.context()
+        assert context.span_id == campaign.span_id
+        assert context.trace_id == TRACER.trace_id
+
+    def test_disabled_span_has_no_context(self):
+        with TRACER.span("noop") as span:
+            assert span.context() is None
+            assert span.span_id is None
+
+
+def _fragment(pid, epoch, spans):
+    """A minimal per-process Chrome-trace document."""
+    return {
+        "traceEvents": [
+            {
+                "name": name, "cat": "repro", "ph": "X",
+                "ts": ts, "dur": dur, "pid": pid, "tid": 1,
+                "args": {
+                    "id": span_id, "parent_id": parent_id,
+                    "trace": trace,
+                },
+            }
+            for name, ts, dur, span_id, parent_id, trace in spans
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "epoch_unix_seconds": epoch,
+            "process_label": f"proc-{pid}",
+        },
+    }
+
+
+class TestStitchTraces:
+    def test_empty_input_yields_an_empty_document(self):
+        document = stitch_traces([])
+        assert document["traceEvents"] == []
+        assert document["otherData"]["stitched"] == 0
+
+    def test_fragments_are_reanchored_onto_one_timebase(self):
+        trace = "aa" * 16
+        coordinator = _fragment(100, 1000.0, [
+            ("campaign", 0.0, 5_000_000.0, "64-1-aaa", None, trace),
+        ])
+        worker = _fragment(200, 1002.0, [
+            ("work-unit", 0.0, 1_000_000.0, "c8-1-bbb", "64-1-aaa", trace),
+        ])
+        document = stitch_traces([coordinator, worker])
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        # The worker's epoch is 2 s later: its span shifts by 2e6 us.
+        assert by_name["campaign"]["ts"] == 0.0
+        assert by_name["work-unit"]["ts"] == 2_000_000.0
+        assert document["otherData"]["stitched"] == 2
+        assert document["otherData"]["pids"] == [100, 200]
+
+    def test_process_lanes_are_labeled(self):
+        document = stitch_traces([
+            _fragment(7, 0.0, [("a", 0, 1, "7-1-a", None, "t" * 32)]),
+        ])
+        (metadata,) = [
+            e for e in document["traceEvents"] if e["ph"] == "M"
+        ]
+        assert metadata["name"] == "process_name"
+        assert metadata["args"]["name"] == "proc-7"
+
+    def test_cross_process_parent_emits_a_flow_pair(self):
+        trace = "bb" * 16
+        document = stitch_traces([
+            _fragment(1, 0.0, [
+                ("campaign", 0.0, 9e6, "1-1-aaa", None, trace),
+            ]),
+            _fragment(2, 0.0, [
+                ("work-unit", 1e6, 2e6, "2-1-bbb", "1-1-aaa", trace),
+            ]),
+        ])
+        flows = [
+            e for e in document["traceEvents"]
+            if e.get("cat") == "repro.flow"
+        ]
+        assert [f["ph"] for f in flows] == ["s", "f"]
+        start, finish = flows
+        assert start["pid"] == 1 and finish["pid"] == 2
+        assert start["id"] == finish["id"]
+        # The flow start is clamped into the parent slice.
+        assert 0.0 <= start["ts"] <= 9e6
+
+    def test_same_process_parents_draw_no_flows(self):
+        trace = "cc" * 16
+        document = stitch_traces([
+            _fragment(5, 0.0, [
+                ("outer", 0.0, 5e6, "5-1-a", None, trace),
+                ("inner", 1e6, 1e6, "5-2-b", "5-1-a", trace),
+            ]),
+        ])
+        assert not [
+            e for e in document["traceEvents"]
+            if e.get("cat") == "repro.flow"
+        ]
+
+    def test_trace_id_filter_drops_other_traces(self):
+        keep, drop = "dd" * 16, "ee" * 16
+        document = stitch_traces([
+            _fragment(1, 0.0, [
+                ("mine", 0.0, 1e6, "1-1-a", None, keep),
+                ("other", 0.0, 1e6, "1-2-b", None, drop),
+            ]),
+        ], trace_id=keep)
+        names = [
+            e["name"] for e in document["traceEvents"] if e["ph"] == "X"
+        ]
+        assert names == ["mine"]
+
+    def test_stitched_document_is_json_serializable(self):
+        document = stitch_traces([
+            _fragment(1, 0.0, [("a", 0, 1, "1-1-a", None, "f" * 32)]),
+        ])
+        assert json.loads(json.dumps(document)) == document
+
+
+class TestFragmentCollector:
+    def test_fragments_round_trip_and_clear(self):
+        doc = _fragment(9, 0.0, [("x", 0, 1, "9-1-a", None, "0" * 32)])
+        obs_context.add_fragment(doc)
+        assert obs_context.fragments() == [doc]
+        obs_context.clear_fragments()
+        assert obs_context.fragments() == []
+
+    def test_empty_documents_are_ignored(self):
+        obs_context.add_fragment({})
+        obs_context.add_fragment({"traceEvents": []})
+        assert obs_context.fragments() == []
+
+    def test_stitched_trace_merges_local_spans_with_fragments(self):
+        TRACER.enable()
+        context = new_context()
+        with obs_context.activate(context):
+            with TRACER.span("campaign"):
+                pass
+        (campaign,) = TRACER.spans
+        obs_context.add_fragment(_fragment(999999, 0.0, [
+            ("work-unit", 0.0, 1e6, "f423f-1-a",
+             campaign.span_id, context.trace_id),
+        ]))
+        document = obs_context.stitched_trace(trace_id=context.trace_id)
+        names = {
+            e["name"] for e in document["traceEvents"] if e["ph"] == "X"
+        }
+        assert names == {"campaign", "work-unit"}
+        assert document["otherData"]["stitched"] == 2

@@ -126,3 +126,68 @@ class TestProgressReporter:
         assert _format_eta(59) == "0:59"
         assert _format_eta(61) == "1:01"
         assert _format_eta(3_725) == "1:02:05"
+
+
+class TestProgressExceptionPath:
+    """detach() must clean up even when the stream died mid-campaign."""
+
+    def _reporter(self, tty=False):
+        stream = _Stream(tty=tty)
+        return ProgressReporter(stream=stream, min_interval=0.0), stream
+
+    def test_detach_on_closed_stream_does_not_raise(self):
+        reporter, stream = self._reporter(tty=True)
+        reporter.attach()
+        reporter.handle({"event": "campaign_started", "units": 2})
+        stream.close()
+        reporter.handle({"event": "unit_finished"})  # paint swallowed
+        reporter.detach()
+        assert reporter.handle not in events.subscribers()
+
+    def test_detach_unsubscribes_before_any_terminal_io(self):
+        class _Exploding(_Stream):
+            def write(self, text):
+                raise OSError("broken pipe")
+
+        stream = _Exploding(tty=True)
+        reporter = ProgressReporter(stream=stream, min_interval=0.0)
+        reporter.attach()
+        reporter.handle({"event": "campaign_started", "units": 1})
+        reporter.detach()  # must not raise, must unsubscribe
+        assert reporter.handle not in events.subscribers()
+
+    def test_non_tty_skips_live_repaints(self):
+        reporter, stream = self._reporter(tty=False)
+        reporter.handle({"event": "campaign_started", "units": 3})
+        for _ in range(3):
+            reporter.handle({"event": "unit_finished"})
+        # No campaign_finished yet: nothing has been painted.
+        assert stream.getvalue() == ""
+
+    def test_non_tty_detach_flushes_one_final_state_line(self):
+        reporter, stream = self._reporter(tty=False)
+        reporter.attach()
+        reporter.handle({"event": "campaign_started", "units": 2})
+        reporter.handle({"event": "unit_finished"})
+        reporter.detach()  # exception path: no campaign_finished seen
+        output = stream.getvalue()
+        assert output.count("\n") == 1
+        assert "[1/2] units" in output
+
+    def test_non_tty_detach_after_finish_adds_nothing(self):
+        reporter, stream = self._reporter(tty=False)
+        reporter.attach()
+        reporter.handle({"event": "campaign_started", "units": 1})
+        reporter.handle({"event": "unit_finished"})
+        reporter.handle({"event": "campaign_finished"})
+        painted = stream.getvalue()
+        reporter.detach()
+        assert stream.getvalue() == painted
+
+    def test_isatty_raising_counts_as_not_a_tty(self):
+        class _Hostile(_Stream):
+            def isatty(self):
+                raise ValueError("operation on closed file")
+
+        reporter = ProgressReporter(stream=_Hostile(), min_interval=0.0)
+        assert reporter._tty is False

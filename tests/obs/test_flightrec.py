@@ -1,0 +1,174 @@
+"""Flight recorder: ring bounds, hooks, dumps, and the ops listing."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs import events as obs_events
+from repro.obs.flightrec import (
+    DEFAULT_CAPACITY,
+    SCHEMA,
+    FlightRecorder,
+    recent_dumps,
+)
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("event", {"index": index})
+        entries = recorder.entries()
+        assert len(entries) == 4
+        assert [e["payload"]["index"] for e in entries] == [6, 7, 8, 9]
+
+    def test_entries_carry_kind_and_clocks(self):
+        recorder = FlightRecorder()
+        recorder.record("fault", {"kind": "power_droop"})
+        (entry,) = recorder.entries()
+        assert entry["kind"] == "fault"
+        assert entry["ts"] > 0 and entry["mono"] > 0
+
+    def test_default_capacity(self):
+        assert FlightRecorder()._ring.maxlen == DEFAULT_CAPACITY
+
+    def test_clear_empties_the_ring(self):
+        recorder = FlightRecorder()
+        recorder.record("event", {})
+        recorder.clear()
+        assert recorder.entries() == []
+
+
+class TestAttachment:
+    def test_attach_follows_the_event_bus(self):
+        recorder = FlightRecorder()
+        recorder.attach()
+        try:
+            obs_events.emit("unit_finished", unit="C5/0")
+        finally:
+            recorder.detach()
+        kinds = [e["kind"] for e in recorder.entries()]
+        assert kinds == ["event"]
+        (entry,) = recorder.entries()
+        assert entry["payload"]["event"] == "unit_finished"
+
+    def test_attach_follows_finished_spans(self):
+        TRACER.enable()
+        recorder = FlightRecorder()
+        recorder.attach()
+        try:
+            with TRACER.span("probe-batch", rows=8):
+                pass
+        finally:
+            recorder.detach()
+        (entry,) = [
+            e for e in recorder.entries() if e["kind"] == "span"
+        ]
+        assert entry["payload"]["name"] == "probe-batch"
+        assert entry["payload"]["attrs"] == {"rows": 8}
+        assert entry["payload"]["span_id"]
+
+    def test_detach_stops_following(self):
+        recorder = FlightRecorder()
+        recorder.attach()
+        recorder.detach()
+        obs_events.emit("late_event")
+        assert recorder.entries() == []
+        assert TRACER.on_record is None
+
+    def test_attach_is_idempotent(self):
+        recorder = FlightRecorder()
+        before = len(obs_events.subscribers())
+        recorder.attach()
+        recorder.attach()
+        assert len(obs_events.subscribers()) == before + 1
+        recorder.detach()
+
+    def test_detach_leaves_a_foreign_span_hook_alone(self):
+        sentinel = lambda span: None  # noqa: E731
+        recorder = FlightRecorder()
+        recorder.attach()
+        TRACER.on_record = sentinel
+        recorder.detach()
+        assert TRACER.on_record is sentinel
+        TRACER.on_record = None
+
+
+class TestDump:
+    def test_dump_without_a_directory_returns_none(self):
+        recorder = FlightRecorder()
+        recorder.record("event", {})
+        assert recorder.dump("no_sink") is None
+
+    def test_dump_writes_schema_reason_and_entries(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.configure(str(tmp_path))
+        recorder.record("fault", {"kind": "power_droop"})
+        path = recorder.dump("hang_injected", extra={"unit": "C5/0"})
+        assert path is not None and os.path.exists(path)
+        with open(path) as handle:
+            document = json.load(handle)
+        assert document["schema"] == SCHEMA
+        assert document["reason"] == "hang_injected"
+        assert document["extra"] == {"unit": "C5/0"}
+        assert document["pid"] == os.getpid()
+        assert len(document["entries"]) == 1
+
+    def test_dump_counts_in_the_registry(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.configure(str(tmp_path))
+        before = REGISTRY.counter_values().get(
+            "repro_flightrec_dumps_total", 0.0
+        )
+        recorder.dump("why")
+        after = REGISTRY.counter_values().get(
+            "repro_flightrec_dumps_total", 0.0
+        )
+        assert after == before + 1
+
+    def test_reasons_are_sanitized_into_filenames(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.configure(str(tmp_path))
+        path = recorder.dump("fault injected: power/droop!")
+        name = os.path.basename(path)
+        assert name.startswith(f"flightrec-{os.getpid()}-001-")
+        assert "/" not in name[len("flightrec-"):]
+        assert " " not in name
+
+    def test_sequential_dumps_never_collide(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.configure(str(tmp_path))
+        paths = {recorder.dump("again") for _ in range(3)}
+        assert len(paths) == 3
+
+
+class TestRecentDumps:
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert recent_dumps(str(tmp_path / "nope")) == []
+        assert recent_dumps("") == []
+
+    def test_lists_summaries_newest_first(self, tmp_path):
+        recorder = FlightRecorder()
+        for job in ("job-a", "job-b"):
+            recorder.configure(str(tmp_path / job))
+            recorder.record("event", {"job": job})
+            recorder.dump(f"reason-{job}")
+        dumps = recent_dumps(str(tmp_path))
+        assert len(dumps) == 2
+        assert dumps[0]["ts"] >= dumps[1]["ts"]
+        assert {d["reason"] for d in dumps} == {
+            "reason-job-a", "reason-job-b"
+        }
+        assert all(d["entries"] >= 1 for d in dumps)
+
+    def test_limit_and_torn_files_are_tolerated(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.configure(str(tmp_path))
+        for _ in range(4):
+            recorder.dump("r")
+        (tmp_path / "flightrec-0-999-torn.json").write_text("{not json")
+        dumps = recent_dumps(str(tmp_path), limit=2)
+        assert len(dumps) == 2

@@ -195,6 +195,151 @@ class TestSnapshotTransport:
         assert delta["counters"] == {} and delta["histograms"] == {}
 
 
+class TestLabeledMetrics:
+    def test_labels_create_children_on_first_use(self):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_l_total", labels=("tenant",))
+        family.labels(tenant="a").inc(2)
+        family.labels(tenant="b").inc(3)
+        assert family.value == 5
+        assert registry.counter_values()["repro_l_total"] == 5
+
+    def test_direct_mutation_of_a_family_is_rejected(self):
+        family = MetricsRegistry().counter(
+            "repro_l_total", labels=("tenant",)
+        )
+        with pytest.raises(ConfigurationError):
+            family.inc()
+
+    def test_label_set_must_match_declaration(self):
+        family = MetricsRegistry().histogram(
+            "repro_l_seconds", labels=("tenant", "engine")
+        )
+        with pytest.raises(ConfigurationError):
+            family.labels(tenant="a")
+        with pytest.raises(ConfigurationError):
+            family.labels(tenant="a", engine="x", extra="y")
+
+    def test_labeled_plain_redeclaration_conflicts(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_l_total", labels=("tenant",))
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_l_total")
+        registry.counter("repro_plain_total")
+        with pytest.raises(ConfigurationError):
+            registry.counter("repro_plain_total", labels=("tenant",))
+
+    def test_labelname_mismatch_conflicts(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_l", labels=("tenant",))
+        with pytest.raises(ConfigurationError):
+            registry.gauge("repro_l", labels=("engine",))
+
+
+class TestLabeledTransport:
+    def _worker_like(self):
+        """A registry shaped like a pool worker's: labeled families the
+        coordinator has never registered."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_unit_run_seconds", "per-engine unit wall",
+            labels=("engine",), buckets=(1.0, 10.0),
+        )
+        histogram.labels(engine="batch").observe(0.5)
+        histogram.labels(engine="batch").observe(20.0)
+        histogram.labels(engine="command").observe(2.0)
+        registry.counter(
+            "repro_unit_probes_total", labels=("engine",)
+        ).labels(engine="batch").inc(7)
+        registry.gauge(
+            "repro_unit_peak", labels=("engine",)
+        ).labels(engine="batch").set(4)
+        return registry
+
+    def test_merge_creates_absent_labeled_families(self):
+        """The coordinator-side hazard: a worker observes a labeled
+        histogram the coordinator never registered; merging its delta
+        must create the family instead of crashing or dropping it."""
+        target = MetricsRegistry()
+        target.merge_snapshot(self._worker_like().snapshot())
+        histogram = target.histogram(
+            "repro_unit_run_seconds", labels=("engine",),
+            buckets=(1.0, 10.0),
+        )
+        assert histogram.labels(engine="batch").count == 2
+        assert histogram.labels(engine="command").count == 1
+        assert target.counter_values()["repro_unit_probes_total"] == 7
+
+    def test_merge_accumulates_per_series(self):
+        target = self._worker_like()
+        target.merge_snapshot(self._worker_like().snapshot())
+        histogram = target.histogram(
+            "repro_unit_run_seconds", labels=("engine",),
+            buckets=(1.0, 10.0),
+        )
+        assert histogram.labels(engine="batch").count == 4
+        assert histogram.labels(engine="batch").sum == pytest.approx(41.0)
+
+    def test_merge_takes_gauge_maximum_per_series(self):
+        target = self._worker_like()
+        other = MetricsRegistry()
+        family = other.gauge("repro_unit_peak", labels=("engine",))
+        family.labels(engine="batch").set(9)
+        family.labels(engine="fused").set(1)
+        target.merge_snapshot(other.snapshot())
+        merged = target.gauge("repro_unit_peak", labels=("engine",))
+        assert merged.labels(engine="batch").value == 9
+        assert merged.labels(engine="fused").value == 1
+
+    def test_labeled_bucket_mismatch_rejected(self):
+        target = MetricsRegistry()
+        target.histogram(
+            "repro_unit_run_seconds", labels=("engine",),
+            buckets=(5.0, 50.0),
+        )
+        with pytest.raises(ConfigurationError):
+            target.merge_snapshot(self._worker_like().snapshot())
+
+    def test_delta_keeps_only_changed_series(self):
+        registry = self._worker_like()
+        baseline = registry.snapshot()
+        registry.histogram(
+            "repro_unit_run_seconds", labels=("engine",),
+            buckets=(1.0, 10.0),
+        ).labels(engine="fused").observe(0.1)
+        delta = snapshot_delta(baseline, registry.snapshot())
+        series = delta["histograms"]["repro_unit_run_seconds"]["series"]
+        assert list(series) == ["fused"]
+        assert series["fused"]["count"] == 1
+        assert delta["counters"] == {}
+
+    def test_delta_of_identical_labeled_snapshots_is_empty(self):
+        registry = self._worker_like()
+        delta = snapshot_delta(registry.snapshot(), registry.snapshot())
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_labeled_delta_merges_into_fresh_registry(self):
+        """End-to-end transport shape: worker baseline -> observe ->
+        delta -> coordinator merge, labeled family absent on both ends
+        until the merge creates it."""
+        worker = MetricsRegistry()
+        baseline = worker.snapshot()
+        worker.histogram(
+            "repro_unit_run_seconds", labels=("engine",),
+            buckets=(1.0, 10.0),
+        ).labels(engine="batch").observe(3.0)
+        delta = snapshot_delta(baseline, worker.snapshot())
+        coordinator = MetricsRegistry()
+        coordinator.merge_snapshot(delta)
+        merged = coordinator.histogram(
+            "repro_unit_run_seconds", labels=("engine",),
+            buckets=(1.0, 10.0),
+        )
+        assert merged.labels(engine="batch").count == 1
+        assert merged.labels(engine="batch").sum == pytest.approx(3.0)
+
+
 def _pool_unit(amount):
     """One pool work unit: mutate the inherited global registry and
     return only the delta this unit produced."""

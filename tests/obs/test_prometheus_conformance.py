@@ -1,0 +1,156 @@
+"""Prometheus text-format (version 0.0.4) conformance.
+
+A scrape target that bends the exposition rules poisons every
+dashboard downstream, so this suite checks the output against the
+format spec itself: HELP-before-TYPE ordering, one metadata block per
+family, cumulative histogram buckets ending in ``+Inf`` == ``_count``,
+and label-value escaping.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+
+#: ``metric_name{labels} value`` -- the sample-line grammar. Metric
+#: names per the spec; the label block (if any) is non-greedy so
+#: escaped quotes inside label values cannot end it early.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (?:[+-]?(?:\d+(?:\.\d+)?(?:e[+-]?\d+)?|Inf)|NaN)$"
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("repro_jobs_total", "jobs admitted").inc(3)
+    registry.gauge("repro_queue_depth", "jobs waiting").set(2.5)
+    histogram = registry.histogram(
+        "repro_wait_seconds", "queue wait", buckets=(0.1, 1.0, 10.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        histogram.observe(value)
+    labeled = registry.histogram(
+        "repro_tenant_wait_seconds", "per-tenant queue wait",
+        labels=("tenant",), buckets=(1.0, 10.0),
+    )
+    labeled.labels(tenant="acme").observe(0.5)
+    labeled.labels(tenant="acme").observe(20.0)
+    registry.counter(
+        "repro_escapes_total", "label escaping", labels=("path",),
+    ).labels(path='C:\\dir\n"quoted"').inc()
+    return registry
+
+
+class TestExpositionStructure:
+    def test_every_line_is_metadata_or_a_valid_sample(self):
+        text = _registry().prometheus_text()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE_RE.match(line), f"malformed sample: {line!r}"
+
+    def test_help_precedes_type_precedes_samples_once_per_family(self):
+        text = _registry().prometheus_text()
+        lines = text.splitlines()
+        seen_types = {}
+        for index, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ", 3)
+                assert name not in seen_types, f"duplicate TYPE for {name}"
+                seen_types[name] = kind
+                assert lines[index - 1] == (
+                    f"# HELP {name} " + lines[index - 1].split(" ", 3)[3]
+                )
+        assert seen_types == {
+            "repro_escapes_total": "counter",
+            "repro_jobs_total": "counter",
+            "repro_queue_depth": "gauge",
+            "repro_tenant_wait_seconds": "histogram",
+            "repro_wait_seconds": "histogram",
+        }
+
+    def test_samples_sit_under_their_own_family_metadata(self):
+        lines = _registry().prometheus_text().splitlines()
+        current_family = None
+        for line in lines:
+            if line.startswith("# TYPE "):
+                current_family = line.split(" ", 3)[2]
+                continue
+            if line.startswith("#"):
+                continue
+            name = re.split(r"[{ ]", line, maxsplit=1)[0]
+            base = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert current_family in (name, base), (
+                f"sample {line!r} outside its family block"
+            )
+
+
+class TestHistogramConformance:
+    def test_buckets_are_cumulative_and_end_at_inf(self):
+        text = _registry().prometheus_text()
+        buckets = re.findall(
+            r'repro_wait_seconds_bucket\{le="([^"]+)"\} (\d+)', text
+        )
+        assert [le for le, _ in buckets] == ["0.1", "1", "10", "+Inf"]
+        counts = [int(count) for _, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts == [1, 3, 4, 5]
+
+    def test_inf_bucket_equals_count(self):
+        text = _registry().prometheus_text()
+        inf = int(re.search(
+            r'repro_wait_seconds_bucket\{le="\+Inf"\} (\d+)', text
+        ).group(1))
+        count = int(re.search(
+            r"^repro_wait_seconds_count (\d+)$", text, re.M
+        ).group(1))
+        assert inf == count == 5
+
+    def test_sum_is_exposed(self):
+        text = _registry().prometheus_text()
+        total = float(re.search(
+            r"^repro_wait_seconds_sum (\S+)$", text, re.M
+        ).group(1))
+        assert total == 0.05 + 0.5 + 0.5 + 5.0 + 50.0
+
+    def test_labeled_histogram_keeps_le_last(self):
+        text = _registry().prometheus_text()
+        buckets = re.findall(
+            r"repro_tenant_wait_seconds_bucket\{([^}]*)\} \d+", text
+        )
+        assert buckets == [
+            'tenant="acme",le="1"',
+            'tenant="acme",le="10"',
+            'tenant="acme",le="+Inf"',
+        ]
+        assert 'repro_tenant_wait_seconds_sum{tenant="acme"}' in text
+        assert (
+            'repro_tenant_wait_seconds_count{tenant="acme"} 2' in text
+        )
+
+    def test_labeled_inf_bucket_equals_labeled_count(self):
+        text = _registry().prometheus_text()
+        inf = int(re.search(
+            r'repro_tenant_wait_seconds_bucket'
+            r'\{tenant="acme",le="\+Inf"\} (\d+)', text
+        ).group(1))
+        assert inf == 2
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline_are_escaped(self):
+        text = _registry().prometheus_text()
+        (line,) = [
+            l for l in text.splitlines()
+            if l.startswith("repro_escapes_total{")
+        ]
+        assert line == (
+            'repro_escapes_total{path="C:\\\\dir\\n\\"quoted\\""} 1'
+        )
+        # The exposition itself must stay one physical line.
+        assert "\n" not in line

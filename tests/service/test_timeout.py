@@ -9,6 +9,8 @@ fault-free run, with every counter exact (no double counting from a
 late duplicate outcome).
 """
 
+import os
+
 import pytest
 
 from repro.core.study import CharacterizationStudy
@@ -105,7 +107,51 @@ class TestHungWorkerReaping:
         assert after == before + 1
 
 
-class TestDuplicateDelivery:
+class TestReaperMergeHardening:
+    """Regression: pool workers observe the labeled
+    ``repro_service_unit_run_seconds{engine}`` histogram inside their
+    delta window, and the coordinator never registers that family
+    itself -- so a reaped-and-retried campaign exercises
+    ``merge_snapshot``'s create-on-merge path for labeled histograms
+    through the real timeout machinery."""
+
+    def test_worker_labeled_histogram_survives_the_reap_path(
+        self, tiny_scale
+    ):
+        family = REGISTRY.histogram(
+            "repro_service_unit_run_seconds",
+            labels=("engine",),
+        )
+        service = CampaignService(
+            modules=["C5"], tests=TESTS, scale=tiny_scale, seed=0,
+            max_workers=2, fault_plan=HangOneAttempt("C5/0"),
+            unit_timeout=3.0,
+        )
+        engine = service.probe_engine
+        before = family.labels(engine=engine).count
+        outcome = service.run()
+        completed = outcome.metrics.units_completed
+        assert completed == outcome.metrics.units_planned
+        # One delta per completed unit arrived (the reaped attempt's
+        # never did), and merging created/extended the labeled series.
+        assert family.labels(engine=engine).count == before + completed
+        assert family.labels(engine=engine).sum > 0
+
+    def test_reap_and_hang_paths_dump_the_flight_recorder(
+        self, tiny_scale, tmp_path
+    ):
+        flight_dir = str(tmp_path / "flightrec")
+        CampaignService(
+            modules=["C5"], tests=TESTS, scale=tiny_scale, seed=0,
+            max_workers=2, fault_plan=HangOneAttempt("C5/0"),
+            unit_timeout=3.0, flight_dir=flight_dir,
+        ).run()
+        names = sorted(os.listdir(flight_dir))
+        reasons = {name.rsplit("-", 1)[-1] for name in names}
+        # The hung worker flushed before going quiet; the coordinator
+        # flushed when the reaper declared the attempt dead.
+        assert "hang_injected.json" in reasons
+        assert "pool_reaped.json" in reasons
     def _state(self, units):
         return _RunState(
             units=units, pending=list(units), completed={},
@@ -125,7 +171,7 @@ class TestDuplicateDelivery:
         )
         units = plan_units(["C5"], tiny_scale, TESTS, None)
         unit = units[0]
-        result, wall, delta = _execute_unit(service._job(unit, 0))
+        result, wall, delta, _ = _execute_unit(service._job(unit, 0))
         assert delta["counters"], "the attempt must have moved counters"
         state = self._state(units)
         assert service._deliver_result(
@@ -156,7 +202,7 @@ class TestDuplicateDelivery:
         )
         units = plan_units(["C5"], tiny_scale, TESTS, None)
         unit = units[0]
-        result, wall, delta = _execute_unit(service._job(unit, 0))
+        result, wall, delta, _ = _execute_unit(service._job(unit, 0))
         state = self._state(units)
         # Simulate the reap path: the delta was merged for attempt 0,
         # but the outcome never surfaced (worker killed mid-return).
